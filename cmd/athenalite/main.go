@@ -1,0 +1,179 @@
+// Command athenalite is an interactive SQL shell over the TPC-DS dataset:
+// type queries, see results and per-query metrics, toggle fusion on and
+// off, and EXPLAIN plans to watch the rewrite rules work.
+//
+// Usage:
+//
+//	athenalite [-scale 0.1] [-fusion=true]
+//
+// Inside the shell:
+//
+//	SELECT ...;            run a query
+//	EXPLAIN SELECT ...;    show the optimized plan
+//	\fusion on|off         toggle the fusion rules
+//	\q <name>              run a named workload query (q65, q09, f01, ...)
+//	\list                  list workload queries
+//	\quit                  exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/engine"
+	"repro/internal/tpcds"
+)
+
+func main() {
+	var (
+		scale  = flag.Float64("scale", 0.1, "data scale factor")
+		fusion = flag.Bool("fusion", true, "enable fusion rules")
+	)
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "loading TPC-DS data at scale %.2f...\n", *scale)
+	st, err := tpcds.NewLoadedStore(*scale, 42)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	engines := map[string]*engine.Engine{
+		"baseline": engine.OpenWithStore(st, engine.Config{}),
+		"fusion":   engine.OpenWithStore(st, engine.Config{EnableFusion: true}),
+		"spool":    engine.OpenWithStore(st, engine.Config{EnableSpooling: true}),
+		"both":     engine.OpenWithStore(st, engine.Config{EnableFusion: true, EnableSpooling: true}),
+	}
+	mode := "baseline"
+	if *fusion {
+		mode = "fusion"
+	}
+	fmt.Printf("athenalite ready (mode %s). End statements with ';'.\n", mode)
+
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var pending strings.Builder
+	prompt := func() {
+		if pending.Len() == 0 {
+			fmt.Print("sql> ")
+		} else {
+			fmt.Print("...> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if pending.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !command(trimmed, engines, &mode) {
+				return
+			}
+			prompt()
+			continue
+		}
+		pending.WriteString(line)
+		pending.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			stmt := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(pending.String()), ";"))
+			pending.Reset()
+			if stmt != "" {
+				runStatement(engines[mode], stmt)
+			}
+		}
+		prompt()
+	}
+}
+
+func command(cmd string, engines map[string]*engine.Engine, mode *string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\quit", "\\q!", "\\exit":
+		return false
+	case "\\fusion":
+		if len(fields) == 2 {
+			if fields[1] == "on" {
+				*mode = "fusion"
+			} else {
+				*mode = "baseline"
+			}
+		}
+		fmt.Printf("mode %s\n", *mode)
+	case "\\mode":
+		if len(fields) == 2 {
+			if _, ok := engines[fields[1]]; ok {
+				*mode = fields[1]
+			} else {
+				fmt.Println("modes: baseline, fusion, spool, both")
+			}
+		}
+		fmt.Printf("mode %s\n", *mode)
+	case "\\list":
+		for _, q := range tpcds.Queries() {
+			marker := " "
+			if q.Affected {
+				marker = "*"
+			}
+			fmt.Printf("  %s %-4s %s\n", marker, q.Name, q.Pattern)
+		}
+		fmt.Println("  (* = affected by fusion rules)")
+	case "\\q":
+		if len(fields) != 2 {
+			fmt.Println("usage: \\q <name>")
+			break
+		}
+		q, ok := tpcds.Get(fields[1])
+		if !ok {
+			fmt.Printf("unknown query %q\n", fields[1])
+			break
+		}
+		runStatement(engines[*mode], q.SQL)
+	default:
+		fmt.Printf("unknown command %s\n", fields[0])
+	}
+	return true
+}
+
+func runStatement(eng *engine.Engine, stmt string) {
+	upper := strings.ToUpper(strings.TrimSpace(stmt))
+	if strings.HasPrefix(upper, "EXPLAIN") {
+		plan, err := eng.Explain(strings.TrimSpace(stmt[len("EXPLAIN"):]))
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Print(plan)
+		return
+	}
+	res, err := eng.Query(stmt)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	printResult(res)
+}
+
+func printResult(res *engine.Result) {
+	fmt.Println(strings.Join(res.Columns, " | "))
+	limit := len(res.Rows)
+	if limit > 50 {
+		limit = 50
+	}
+	for _, row := range res.Rows[:limit] {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		fmt.Println(strings.Join(parts, " | "))
+	}
+	if len(res.Rows) > limit {
+		fmt.Printf("... (%d more rows)\n", len(res.Rows)-limit)
+	}
+	fmt.Printf("-- %d rows, %v, %d bytes scanned", len(res.Rows),
+		res.Metrics.Elapsed.Round(10_000), res.Metrics.Storage.BytesScanned)
+	if len(res.RulesFired) > 0 {
+		fmt.Printf(", fusion: %s", strings.Join(res.RulesFired, ","))
+	}
+	fmt.Println()
+}

@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/tpcds"
+)
+
+// TestWorkloadSpoolingEquivalence checks the §I comparator: with spooling
+// enabled (and fusion off), every query still returns baseline results;
+// queries whose duplicated subexpressions are syntactically identical
+// (q01, q23, q30, q65, q95, and q88's shared join core) materialize a
+// spool and scan less, while queries whose duplicates differ (q09, q28 —
+// a different predicate in every subquery) are exactly the case spooling
+// cannot help and fusion can.
+func TestWorkloadSpoolingEquivalence(t *testing.T) {
+	st, err := tpcds.NewLoadedStore(0.05, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := OpenWithStore(st, Config{})
+	spool := OpenWithStore(st, Config{EnableSpooling: true})
+
+	spoolable := map[string]bool{"q01": true, "q23": true, "q30": true, "q65": true, "q88": true, "q95": true}
+	for _, q := range tpcds.AffectedQueries() {
+		q := q
+		t.Run(q.Name, func(t *testing.T) {
+			baseRes, err := base.Query(q.SQL)
+			if err != nil {
+				t.Fatalf("baseline: %v", err)
+			}
+			spoolRes, err := spool.Query(q.SQL)
+			if err != nil {
+				t.Fatalf("spooled: %v", err)
+			}
+			b, s := canonicalRows(baseRes.Rows), canonicalRows(spoolRes.Rows)
+			if len(b) != len(s) {
+				t.Fatalf("row counts differ: %d vs %d\n%s", len(b), len(s), spoolRes.Plan)
+			}
+			for i := range b {
+				if b[i] != s[i] {
+					t.Fatalf("row %d differs:\n  %s\n  %s", i, b[i], s[i])
+				}
+			}
+			if spoolable[q.Name] {
+				if spoolRes.Metrics.SpoolBytesWritten == 0 {
+					t.Errorf("expected a spool materialization:\n%s", spoolRes.Plan)
+				}
+				if spoolRes.Metrics.SpoolBytesRead < 2*spoolRes.Metrics.SpoolBytesWritten {
+					t.Errorf("spool must be read back per consumer: written=%d read=%d",
+						spoolRes.Metrics.SpoolBytesWritten, spoolRes.Metrics.SpoolBytesRead)
+				}
+				if spoolRes.Metrics.Storage.BytesScanned >= baseRes.Metrics.Storage.BytesScanned {
+					t.Errorf("spooling should reduce base-table bytes: %d vs %d",
+						spoolRes.Metrics.Storage.BytesScanned, baseRes.Metrics.Storage.BytesScanned)
+				}
+				if !strings.Contains(spoolRes.Plan, "Spool") {
+					t.Errorf("plan lacks spool operator:\n%s", spoolRes.Plan)
+				}
+			} else {
+				if spoolRes.Metrics.SpoolBytesWritten != 0 {
+					t.Errorf("%s's duplicates differ syntactically; spooling should not trigger:\n%s",
+						q.Name, spoolRes.Plan)
+				}
+			}
+		})
+	}
+}
+
+// TestSpoolingPlusFusion checks the paper's roadmap configuration: fusion
+// removes what it can, spooling mops up the rest; results stay identical.
+func TestSpoolingPlusFusion(t *testing.T) {
+	st, err := tpcds.NewLoadedStore(0.05, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := OpenWithStore(st, Config{})
+	both := OpenWithStore(st, Config{EnableFusion: true, EnableSpooling: true})
+	for _, name := range []string{"q65", "q23", "q95", "f01"} {
+		q, _ := tpcds.Get(name)
+		baseRes, err := base.Query(q.SQL)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", name, err)
+		}
+		bothRes, err := both.Query(q.SQL)
+		if err != nil {
+			t.Fatalf("%s fusion+spool: %v", name, err)
+		}
+		b, s := canonicalRows(baseRes.Rows), canonicalRows(bothRes.Rows)
+		if len(b) != len(s) {
+			t.Fatalf("%s: row counts differ: %d vs %d", name, len(b), len(s))
+		}
+		for i := range b {
+			if b[i] != s[i] {
+				t.Fatalf("%s: row %d differs", name, i)
+			}
+		}
+	}
+}

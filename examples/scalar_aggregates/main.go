@@ -1,0 +1,58 @@
+// scalar_aggregates demonstrates the JoinOnKeys scalar special case
+// (§IV.B / §V.B) on TPC-DS Q09: fifteen scalar subqueries over the same
+// fact table with different range predicates collapse into a single scan
+// with fifteen masked aggregates — the paper's largest class of wins
+// (3–6x latency, 60–85%% fewer bytes at Athena's scale).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/engine"
+	"repro/internal/tpcds"
+)
+
+func main() {
+	st, err := tpcds.NewLoadedStore(0.2, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseline := engine.OpenWithStore(st, engine.Config{EnableFusion: false})
+	fused := engine.OpenWithStore(st, engine.Config{EnableFusion: true})
+
+	q09, _ := tpcds.Get("q09")
+
+	basePlan, _ := baseline.Explain(q09.SQL)
+	fusedPlan, _ := fused.Explain(q09.SQL)
+	fmt.Printf("baseline plan scans store_sales %d times\n", strings.Count(basePlan, "Scan store_sales"))
+	fmt.Printf("fused plan scans store_sales %d times\n\n", strings.Count(fusedPlan, "Scan store_sales"))
+
+	baseRes, err := baseline.Query(q09.SQL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fusedRes, err := fused.Query(q09.SQL)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("result row (5 CASE buckets):")
+	for i, col := range fusedRes.Columns {
+		fmt.Printf("  %-8s = %s\n", col, fusedRes.Rows[0][i])
+	}
+	fmt.Printf("\nbaseline: %v, %d bytes\n", baseRes.Metrics.Elapsed, baseRes.Metrics.Storage.BytesScanned)
+	fmt.Printf("fused:    %v, %d bytes (%.0f%% fewer)\n",
+		fusedRes.Metrics.Elapsed, fusedRes.Metrics.Storage.BytesScanned,
+		100*(1-float64(fusedRes.Metrics.Storage.BytesScanned)/float64(baseRes.Metrics.Storage.BytesScanned)))
+	fmt.Printf("rules: %v\n", fusedRes.RulesFired)
+
+	// Also run Q28, which exercises the MarkDistinct fusion path (§III.F).
+	q28, _ := tpcds.Get("q28")
+	r28, err := fused.Query(q28.SQL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nQ28 (DISTINCT aggregates through MarkDistinct fusion) fired: %v\n", r28.RulesFired)
+}

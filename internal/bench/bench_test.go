@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunWorkloadSubset(t *testing.T) {
+	report, err := Run(Options{Scale: 0.02, Seed: 1, Iterations: 1, Queries: []string{"q65", "f01"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Queries) != 2 {
+		t.Fatalf("queries = %d", len(report.Queries))
+	}
+	q65 := report.Queries[0]
+	if q65.Name != "q65" || !q65.PlanChanged {
+		t.Errorf("q65 report wrong: %+v", q65)
+	}
+	if q65.BytesFraction() >= 1 {
+		t.Errorf("q65 bytes fraction = %v, want < 1", q65.BytesFraction())
+	}
+	f01 := report.Queries[1]
+	if f01.PlanChanged {
+		t.Error("filler query must not change plan")
+	}
+	if f01.BytesFraction() != 1 {
+		t.Errorf("filler bytes fraction = %v, want 1", f01.BytesFraction())
+	}
+}
+
+func TestRunUnknownQuery(t *testing.T) {
+	if _, err := Run(Options{Scale: 0.01, Queries: []string{"nope"}}); err == nil {
+		t.Error("unknown query accepted")
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	report, err := Run(Options{Scale: 0.02, Seed: 1, Iterations: 1, Queries: []string{"q65", "q09"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f1, f2, sum, aux strings.Builder
+	report.WriteFigure1(&f1)
+	report.WriteFigure2(&f2)
+	report.WriteSummary(&sum)
+	report.WriteCPUAndMemory(&aux)
+	if !strings.Contains(f1.String(), "q65") || !strings.Contains(f1.String(), "speedup") {
+		t.Errorf("figure 1 output:\n%s", f1.String())
+	}
+	if !strings.Contains(f2.String(), "fraction") {
+		t.Errorf("figure 2 output:\n%s", f2.String())
+	}
+	if !strings.Contains(sum.String(), "overall latency improvement") {
+		t.Errorf("summary output:\n%s", sum.String())
+	}
+	if !strings.Contains(aux.String(), "cpu reduction") {
+		t.Errorf("aux output:\n%s", aux.String())
+	}
+	if report.MaxSpeedup() < 1 {
+		t.Errorf("max speedup = %v", report.MaxSpeedup())
+	}
+}
+
+func TestQueryReportDerivedMetrics(t *testing.T) {
+	r := QueryReport{BaselineLatency: 100, FusedLatency: 50, BaselineBytes: 200, FusedBytes: 50, BaselineCPU: 10, FusedCPU: 5}
+	if r.Speedup() != 2 {
+		t.Errorf("speedup = %v", r.Speedup())
+	}
+	if r.LatencyImprovement() != 0.5 {
+		t.Errorf("improvement = %v", r.LatencyImprovement())
+	}
+	if r.BytesFraction() != 0.25 {
+		t.Errorf("fraction = %v", r.BytesFraction())
+	}
+	if r.CPUReduction() != 0.5 {
+		t.Errorf("cpu = %v", r.CPUReduction())
+	}
+	// Zero guards.
+	z := QueryReport{}
+	if z.Speedup() != 1 || z.LatencyImprovement() != 0 || z.BytesFraction() != 1 || z.CPUReduction() != 0 {
+		t.Error("zero-value guards wrong")
+	}
+}

@@ -1,0 +1,95 @@
+package binder
+
+import "repro/internal/sql"
+
+// astEqual reports structural equality of two expression ASTs. It is used
+// to match SELECT-list expressions against GROUP BY expressions (SQL's
+// "grouped by the same expression" rule) before name resolution, since
+// after aggregation the expression's inner columns are out of scope.
+func astEqual(a, b sql.Expr) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	switch x := a.(type) {
+	case *sql.Name:
+		y, ok := b.(*sql.Name)
+		if !ok || len(x.Parts) != len(y.Parts) {
+			return false
+		}
+		// Match on the unqualified column name: t.c and c resolve to the
+		// same column whenever the query is unambiguous (which binding
+		// enforces separately).
+		return x.Parts[len(x.Parts)-1] == y.Parts[len(y.Parts)-1]
+	case *sql.NumberLit:
+		y, ok := b.(*sql.NumberLit)
+		return ok && x.Text == y.Text
+	case *sql.StringLit:
+		y, ok := b.(*sql.StringLit)
+		return ok && x.V == y.V
+	case *sql.BoolLit:
+		y, ok := b.(*sql.BoolLit)
+		return ok && x.V == y.V
+	case *sql.NullLit:
+		_, ok := b.(*sql.NullLit)
+		return ok
+	case *sql.DateLit:
+		y, ok := b.(*sql.DateLit)
+		return ok && x.V == y.V
+	case *sql.BinaryExpr:
+		y, ok := b.(*sql.BinaryExpr)
+		return ok && x.Op == y.Op && astEqual(x.L, y.L) && astEqual(x.R, y.R)
+	case *sql.NotExpr:
+		y, ok := b.(*sql.NotExpr)
+		return ok && astEqual(x.E, y.E)
+	case *sql.IsNullExpr:
+		y, ok := b.(*sql.IsNullExpr)
+		return ok && x.Neg == y.Neg && astEqual(x.E, y.E)
+	case *sql.BetweenExpr:
+		y, ok := b.(*sql.BetweenExpr)
+		return ok && x.Neg == y.Neg && astEqual(x.E, y.E) && astEqual(x.Lo, y.Lo) && astEqual(x.Hi, y.Hi)
+	case *sql.LikeExpr:
+		y, ok := b.(*sql.LikeExpr)
+		return ok && x.Neg == y.Neg && x.Pattern == y.Pattern && astEqual(x.E, y.E)
+	case *sql.InExpr:
+		y, ok := b.(*sql.InExpr)
+		if !ok || x.Neg != y.Neg || len(x.List) != len(y.List) ||
+			(x.Query == nil) != (y.Query == nil) || !astEqual(x.E, y.E) {
+			return false
+		}
+		if x.Query != nil {
+			return false // subqueries never match structurally
+		}
+		for i := range x.List {
+			if !astEqual(x.List[i], y.List[i]) {
+				return false
+			}
+		}
+		return true
+	case *sql.CaseExpr:
+		y, ok := b.(*sql.CaseExpr)
+		if !ok || len(x.Whens) != len(y.Whens) || !astEqual(x.Operand, y.Operand) || !astEqual(x.Else, y.Else) {
+			return false
+		}
+		for i := range x.Whens {
+			if !astEqual(x.Whens[i].Cond, y.Whens[i].Cond) || !astEqual(x.Whens[i].Then, y.Whens[i].Then) {
+				return false
+			}
+		}
+		return true
+	case *sql.FuncCall:
+		y, ok := b.(*sql.FuncCall)
+		if !ok || x.Name != y.Name || x.Star != y.Star || x.Distinct != y.Distinct ||
+			len(x.Args) != len(y.Args) || !astEqual(x.Filter, y.Filter) {
+			return false
+		}
+		for i := range x.Args {
+			if !astEqual(x.Args[i], y.Args[i]) {
+				return false
+			}
+		}
+		// Window specs never participate in GROUP BY matching.
+		return x.Over == nil && y.Over == nil
+	default:
+		return false
+	}
+}

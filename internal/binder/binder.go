@@ -1,0 +1,213 @@
+// Package binder lowers SQL ASTs to logical plans. Design choices mirror
+// the paper's engine:
+//
+//   - CTEs are inlined at every reference with fresh column identities —
+//     the source of the duplicated subtrees the fusion rules remove.
+//   - IN (subquery) predicates become semi joins.
+//   - Uncorrelated scalar subqueries become EnforceSingleRow plans attached
+//     by cross joins ("subquery removal ... into relational subtrees
+//     connected via cross products", §V.B).
+//   - Correlated scalar-aggregate subqueries are decorrelated [20] into a
+//     grouped aggregate joined on the correlation columns — producing
+//     exactly the P1 ⨝ GroupBy(P2) pattern GroupByJoinToWindow targets.
+//   - DISTINCT aggregates keep a Distinct flag that the optimizer lowers to
+//     MarkDistinct operators.
+package binder
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// Binder binds statements against a catalog.
+type Binder struct {
+	cat *catalog.Catalog
+}
+
+// New creates a binder.
+func New(cat *catalog.Catalog) *Binder { return &Binder{cat: cat} }
+
+// Bind lowers a parsed statement to a logical plan. The returned names
+// parallel the plan's output schema.
+func (b *Binder) Bind(stmt *sql.SelectStmt) (logical.Operator, []string, error) {
+	out, err := b.bindSelect(stmt, nil, map[string]*sql.SelectStmt{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out.plan, out.names, nil
+}
+
+// BindSQL parses and binds in one step.
+func (b *Binder) BindSQL(query string) (logical.Operator, []string, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b.Bind(stmt)
+}
+
+// bound is a plan plus its named output columns.
+type bound struct {
+	plan  logical.Operator
+	cols  []*expr.Column
+	names []string
+}
+
+// scopeItem is one named relation visible in a scope.
+type scopeItem struct {
+	qualifier string
+	cols      []*expr.Column
+	names     []string
+}
+
+// scope resolves column names; parent scopes provide correlation for
+// subqueries.
+type scope struct {
+	parent *scope
+	items  []scopeItem
+	// correlated collects outer-column references resolved through this
+	// scope's boundary (set on subquery scopes).
+	correlated *[]*expr.Column
+}
+
+func (s *scope) resolve(parts []string) (*expr.Column, bool, error) {
+	switch len(parts) {
+	case 1:
+		var found *expr.Column
+		for _, it := range s.items {
+			for i, n := range it.names {
+				if n == parts[0] {
+					if found != nil && found != it.cols[i] {
+						return nil, false, fmt.Errorf("binder: ambiguous column %q", parts[0])
+					}
+					found = it.cols[i]
+				}
+			}
+		}
+		if found != nil {
+			return found, false, nil
+		}
+	case 2:
+		for _, it := range s.items {
+			if it.qualifier != parts[0] {
+				continue
+			}
+			for i, n := range it.names {
+				if n == parts[1] {
+					return it.cols[i], false, nil
+				}
+			}
+			return nil, false, fmt.Errorf("binder: relation %q has no column %q", parts[0], parts[1])
+		}
+	default:
+		return nil, false, fmt.Errorf("binder: unsupported qualified name %s", strings.Join(parts, "."))
+	}
+	if s.parent != nil {
+		col, _, err := s.parent.resolve(parts)
+		if err != nil || col == nil {
+			return col, false, err
+		}
+		if s.correlated != nil {
+			*s.correlated = append(*s.correlated, col)
+		}
+		return col, true, nil
+	}
+	return nil, false, nil
+}
+
+// bindSelect lowers a full statement: CTE registration, body, ORDER BY,
+// LIMIT.
+func (b *Binder) bindSelect(stmt *sql.SelectStmt, outer *scope, ctes map[string]*sql.SelectStmt) (*bound, error) {
+	if len(stmt.With) > 0 {
+		inner := make(map[string]*sql.SelectStmt, len(ctes)+len(stmt.With))
+		for k, v := range ctes {
+			inner[k] = v
+		}
+		for _, cte := range stmt.With {
+			inner[cte.Name] = cte.Query
+		}
+		ctes = inner
+	}
+
+	var out *bound
+	var err error
+	switch body := stmt.Body.(type) {
+	case *sql.SelectCore:
+		out, err = b.bindCore(body, outer, ctes)
+	case *sql.UnionAllExpr:
+		out, err = b.bindUnion(body, outer, ctes)
+	default:
+		return nil, fmt.Errorf("binder: unsupported set expression %T", stmt.Body)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if len(stmt.OrderBy) > 0 {
+		outScope := &scope{items: []scopeItem{{cols: out.cols, names: out.names}}}
+		keys := make([]logical.SortKey, len(stmt.OrderBy))
+		for i, item := range stmt.OrderBy {
+			e, err := b.bindSimpleExpr(item.E, outScope)
+			if err != nil {
+				// Output columns are unqualified; allow table-qualified
+				// ORDER BY names to resolve by their bare column name.
+				if n, isName := item.E.(*sql.Name); isName && len(n.Parts) == 2 {
+					e, err = b.bindSimpleExpr(&sql.Name{Parts: n.Parts[1:]}, outScope)
+				}
+				if err != nil {
+					return nil, fmt.Errorf("binder: ORDER BY: %w", err)
+				}
+			}
+			keys[i] = logical.SortKey{E: e, Desc: item.Desc}
+		}
+		out.plan = &logical.Sort{Input: out.plan, Keys: keys}
+	}
+	if stmt.Limit != nil {
+		out.plan = &logical.Limit{Input: out.plan, N: *stmt.Limit}
+	}
+	return out, nil
+}
+
+func (b *Binder) bindUnion(u *sql.UnionAllExpr, outer *scope, ctes map[string]*sql.SelectStmt) (*bound, error) {
+	var inputs []logical.Operator
+	var inputCols [][]*expr.Column
+	var first *bound
+	for i, in := range u.Inputs {
+		var sub *bound
+		var err error
+		switch body := in.(type) {
+		case *sql.SelectCore:
+			sub, err = b.bindCore(body, outer, ctes)
+		case *sql.UnionAllExpr:
+			sub, err = b.bindUnion(body, outer, ctes)
+		default:
+			err = fmt.Errorf("binder: unsupported union input %T", in)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			first = sub
+		} else if len(sub.cols) != len(first.cols) {
+			return nil, fmt.Errorf("binder: UNION ALL branches have %d vs %d columns", len(first.cols), len(sub.cols))
+		} else {
+			for j := range sub.cols {
+				if !types.Comparable(sub.cols[j].Type, first.cols[j].Type) &&
+					sub.cols[j].Type != types.KindUnknown && first.cols[j].Type != types.KindUnknown {
+					return nil, fmt.Errorf("binder: UNION ALL column %d type mismatch: %s vs %s",
+						j+1, first.cols[j].Type, sub.cols[j].Type)
+				}
+			}
+		}
+		inputs = append(inputs, sub.plan)
+		inputCols = append(inputCols, sub.cols)
+	}
+	union := logical.NewUnionAll(inputs, inputCols)
+	return &bound{plan: union, cols: union.Cols, names: first.names}, nil
+}

@@ -1,0 +1,315 @@
+package binder
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/logical"
+	"repro/internal/types"
+)
+
+func testCatalog() *catalog.Catalog {
+	cat := catalog.New()
+	cat.MustAdd(&catalog.Table{
+		Name: "sales",
+		Columns: []catalog.Column{
+			{Name: "s_item", Type: types.KindInt64},
+			{Name: "s_store", Type: types.KindInt64},
+			{Name: "s_qty", Type: types.KindInt64},
+			{Name: "s_price", Type: types.KindFloat64},
+			{Name: "s_date", Type: types.KindInt64},
+		},
+		PartitionColumn: "s_date",
+	})
+	cat.MustAdd(&catalog.Table{
+		Name: "item",
+		Columns: []catalog.Column{
+			{Name: "i_item", Type: types.KindInt64},
+			{Name: "i_brand", Type: types.KindString},
+			{Name: "i_size", Type: types.KindString},
+		},
+	})
+	cat.MustAdd(&catalog.Table{
+		Name: "store",
+		Columns: []catalog.Column{
+			{Name: "st_store", Type: types.KindInt64},
+			{Name: "st_name", Type: types.KindString},
+		},
+	})
+	return cat
+}
+
+func mustBind(t *testing.T, query string) (logical.Operator, []string) {
+	t.Helper()
+	b := New(testCatalog())
+	plan, names, err := b.BindSQL(query)
+	if err != nil {
+		t.Fatalf("bind %q failed: %v", query, err)
+	}
+	if err := logical.Validate(plan); err != nil {
+		t.Fatalf("bound plan invalid: %v\n%s", err, logical.Format(plan))
+	}
+	return plan, names
+}
+
+func mustFail(t *testing.T, query, wantSubstr string) {
+	t.Helper()
+	b := New(testCatalog())
+	_, _, err := b.BindSQL(query)
+	if err == nil {
+		t.Fatalf("bind %q should fail", query)
+	}
+	if wantSubstr != "" && !strings.Contains(err.Error(), wantSubstr) {
+		t.Fatalf("bind %q error %q does not mention %q", query, err, wantSubstr)
+	}
+}
+
+func TestBindSimpleSelect(t *testing.T) {
+	plan, names := mustBind(t, "SELECT s_item, s_qty * 2 AS dbl FROM sales WHERE s_qty > 3")
+	if len(names) != 2 || names[0] != "s_item" || names[1] != "dbl" {
+		t.Errorf("names = %v", names)
+	}
+	if logical.CountScansOf(plan, "sales") != 1 {
+		t.Error("expected one scan")
+	}
+}
+
+func TestBindStar(t *testing.T) {
+	plan, names := mustBind(t, "SELECT * FROM item")
+	if len(names) != 3 {
+		t.Errorf("star expansion = %v", names)
+	}
+	_, qualifiedNames := mustBind(t, "SELECT i.* FROM item i, store s")
+	if len(qualifiedNames) != 3 {
+		t.Errorf("qualified star = %v", qualifiedNames)
+	}
+	_ = plan
+}
+
+func TestBindJoinAndQualifiedNames(t *testing.T) {
+	plan, _ := mustBind(t, `
+		SELECT st.st_name, s.s_qty
+		FROM sales s JOIN store st ON s.s_store = st.st_store
+		WHERE st.st_name = 'x'`)
+	joins := 0
+	logical.Walk(plan, func(op logical.Operator) bool {
+		if j, ok := op.(*logical.Join); ok && j.Kind == logical.InnerJoin {
+			joins++
+		}
+		return true
+	})
+	if joins != 1 {
+		t.Errorf("inner joins = %d", joins)
+	}
+}
+
+func TestBindGroupByWithAggregates(t *testing.T) {
+	plan, names := mustBind(t, `
+		SELECT s_store, SUM(s_price) AS revenue, COUNT(*) AS cnt
+		FROM sales GROUP BY s_store HAVING COUNT(*) > 1`)
+	if names[1] != "revenue" {
+		t.Errorf("names = %v", names)
+	}
+	var gb *logical.GroupBy
+	logical.Walk(plan, func(op logical.Operator) bool {
+		if g, ok := op.(*logical.GroupBy); ok {
+			gb = g
+		}
+		return true
+	})
+	if gb == nil || len(gb.Keys) != 1 || len(gb.Aggs) != 2 {
+		t.Fatalf("groupby shape wrong:\n%s", logical.Format(plan))
+	}
+}
+
+func TestBindAggregateWithFilterMask(t *testing.T) {
+	plan, _ := mustBind(t, `
+		SELECT COUNT(*) FILTER (WHERE s_qty > 5) AS big FROM sales`)
+	var gb *logical.GroupBy
+	logical.Walk(plan, func(op logical.Operator) bool {
+		if g, ok := op.(*logical.GroupBy); ok {
+			gb = g
+		}
+		return true
+	})
+	if gb == nil || gb.Aggs[0].Agg.Mask == nil {
+		t.Fatalf("FILTER mask not bound:\n%s", logical.Format(plan))
+	}
+}
+
+func TestBindDistinctAggregate(t *testing.T) {
+	plan, _ := mustBind(t, `SELECT COUNT(DISTINCT s_item) FROM sales`)
+	var gb *logical.GroupBy
+	logical.Walk(plan, func(op logical.Operator) bool {
+		if g, ok := op.(*logical.GroupBy); ok {
+			gb = g
+		}
+		return true
+	})
+	if gb == nil || !gb.Aggs[0].Agg.Distinct {
+		t.Fatalf("distinct flag lost:\n%s", logical.Format(plan))
+	}
+}
+
+func TestBindWindowFunction(t *testing.T) {
+	plan, _ := mustBind(t, `
+		SELECT s_item, AVG(s_price) OVER (PARTITION BY s_store) AS avg_p FROM sales`)
+	hasWindow := false
+	logical.Walk(plan, func(op logical.Operator) bool {
+		if _, ok := op.(*logical.Window); ok {
+			hasWindow = true
+		}
+		return true
+	})
+	if !hasWindow {
+		t.Fatalf("no window operator:\n%s", logical.Format(plan))
+	}
+}
+
+func TestBindCTEInlinedPerReference(t *testing.T) {
+	plan, _ := mustBind(t, `
+		WITH agg AS (SELECT s_store, SUM(s_price) AS rev FROM sales GROUP BY s_store)
+		SELECT a1.s_store FROM agg a1, agg a2 WHERE a1.s_store = a2.s_store`)
+	if got := logical.CountScansOf(plan, "sales"); got != 2 {
+		t.Errorf("CTE must inline per reference: %d scans, want 2\n%s", got, logical.Format(plan))
+	}
+}
+
+func TestBindUnionAll(t *testing.T) {
+	plan, names := mustBind(t, `
+		SELECT s_item FROM sales WHERE s_qty > 5
+		UNION ALL
+		SELECT i_item FROM item`)
+	u, ok := plan.(*logical.UnionAll)
+	if !ok {
+		t.Fatalf("root should be union, got %T", plan)
+	}
+	if len(u.Inputs) != 2 || len(names) != 1 {
+		t.Errorf("union shape wrong")
+	}
+}
+
+func TestBindInSubqueryBecomesSemiJoin(t *testing.T) {
+	plan, _ := mustBind(t, `
+		SELECT s_qty FROM sales
+		WHERE s_item IN (SELECT i_item FROM item WHERE i_brand = 'b')`)
+	semis := 0
+	logical.Walk(plan, func(op logical.Operator) bool {
+		if j, ok := op.(*logical.Join); ok && j.Kind == logical.SemiJoin {
+			semis++
+		}
+		return true
+	})
+	if semis != 1 {
+		t.Fatalf("semi joins = %d:\n%s", semis, logical.Format(plan))
+	}
+}
+
+func TestBindUncorrelatedScalarSubquery(t *testing.T) {
+	plan, _ := mustBind(t, `
+		SELECT s_item FROM sales
+		WHERE s_price > (SELECT AVG(s_price) FROM sales)`)
+	esrs := 0
+	logical.Walk(plan, func(op logical.Operator) bool {
+		if _, ok := op.(*logical.EnforceSingleRow); ok {
+			esrs++
+		}
+		return true
+	})
+	if esrs != 1 {
+		t.Fatalf("ESR count = %d:\n%s", esrs, logical.Format(plan))
+	}
+}
+
+func TestBindCorrelatedScalarSubqueryDecorrelates(t *testing.T) {
+	plan, _ := mustBind(t, `
+		SELECT s1.s_item FROM sales s1
+		WHERE s1.s_price > (SELECT AVG(s2.s_price) * 1.2 FROM sales s2 WHERE s2.s_store = s1.s_store)`)
+	// Expect: no ESR; a keyed GroupBy joined back (the decorrelated shape).
+	var keyedGBs int
+	logical.Walk(plan, func(op logical.Operator) bool {
+		if g, ok := op.(*logical.GroupBy); ok && len(g.Keys) > 0 {
+			keyedGBs++
+		}
+		if _, ok := op.(*logical.EnforceSingleRow); ok {
+			t.Error("correlated subquery must not use EnforceSingleRow")
+		}
+		return true
+	})
+	if keyedGBs != 1 {
+		t.Fatalf("decorrelated GroupBy count = %d:\n%s", keyedGBs, logical.Format(plan))
+	}
+}
+
+func TestBindValuesTable(t *testing.T) {
+	plan, names := mustBind(t, `SELECT tag FROM (VALUES (1), (2)) t(tag)`)
+	if len(names) != 1 || names[0] != "tag" {
+		t.Errorf("names = %v", names)
+	}
+	var v *logical.Values
+	logical.Walk(plan, func(op logical.Operator) bool {
+		if x, ok := op.(*logical.Values); ok {
+			v = x
+		}
+		return true
+	})
+	if v == nil || len(v.Rows) != 2 {
+		t.Fatalf("values node missing:\n%s", logical.Format(plan))
+	}
+}
+
+func TestBindSelectDistinct(t *testing.T) {
+	plan, _ := mustBind(t, `SELECT DISTINCT s_store FROM sales`)
+	gb, ok := plan.(*logical.GroupBy)
+	if !ok || len(gb.Keys) != 1 || len(gb.Aggs) != 0 {
+		t.Fatalf("distinct should plan as keyed GroupBy:\n%s", logical.Format(plan))
+	}
+}
+
+func TestBindCaseAndBetween(t *testing.T) {
+	mustBind(t, `
+		SELECT CASE WHEN s_qty BETWEEN 1 AND 5 THEN 'low' ELSE 'high' END AS bucket
+		FROM sales`)
+}
+
+func TestBindOrderLimitOverAlias(t *testing.T) {
+	plan, _ := mustBind(t, `SELECT s_item AS it FROM sales ORDER BY it DESC LIMIT 5`)
+	if _, ok := plan.(*logical.Limit); !ok {
+		t.Fatalf("root should be limit:\n%s", logical.Format(plan))
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	mustFail(t, "SELECT nope FROM sales", "unknown column")
+	mustFail(t, "SELECT s_item FROM nope", "unknown table")
+	mustFail(t, "SELECT s_item FROM sales, item WHERE i_item = s_item AND s_qty IN (SELECT i_item FROM item) OR TRUE", "")
+	mustFail(t, "SELECT i_item FROM item i1, item i2", "ambiguous")
+	mustFail(t, "SELECT s_item FROM sales UNION ALL SELECT i_item, i_brand FROM item", "columns")
+	mustFail(t, "SELECT (SELECT i_item, i_brand FROM item) FROM sales", "")
+	mustFail(t, "SELECT s_item FROM sales WHERE s_item NOT IN (SELECT i_item FROM item)", "NOT IN")
+}
+
+func TestBindNestedDerivedTables(t *testing.T) {
+	plan, _ := mustBind(t, `
+		SELECT x.rev FROM (
+			SELECT s_store, SUM(s_price) AS rev
+			FROM (SELECT s_store, s_price FROM sales WHERE s_qty > 0) inner_t
+			GROUP BY s_store
+		) x WHERE x.rev > 10`)
+	if logical.CountScansOf(plan, "sales") != 1 {
+		t.Errorf("scan count wrong:\n%s", logical.Format(plan))
+	}
+}
+
+func TestBindDuplicateOutputColumns(t *testing.T) {
+	// SELECT a, a must not produce duplicate column IDs in the schema.
+	plan, _ := mustBind(t, `SELECT s_item, s_item FROM sales`)
+	seen := map[int32]bool{}
+	for _, c := range plan.Schema() {
+		if seen[int32(c.ID)] {
+			t.Fatal("duplicate column IDs in output schema")
+		}
+		seen[int32(c.ID)] = true
+	}
+}

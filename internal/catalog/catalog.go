@@ -1,0 +1,153 @@
+// Package catalog holds table metadata: schemas, column definitions, key
+// constraints, partitioning information, and basic statistics. The binder
+// resolves names against the catalog, the storage layer lays tables out
+// according to their partition column, and the optimizer's heuristics read
+// the statistics.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/types"
+)
+
+// Column describes one column of a base table.
+type Column struct {
+	Name string
+	Type types.Kind
+}
+
+// Table describes a base table. PartitionColumn, when non-empty, names the
+// column whose values partition the table's storage layout (the analogue of
+// Athena's date-partitioned S3 layouts); filters on that column enable
+// partition pruning.
+type Table struct {
+	Name            string
+	Columns         []Column
+	PartitionColumn string
+	// Keys lists the candidate keys of the table (each a set of column
+	// names). The JoinOnKeys rule consults key information; per the paper,
+	// Athena lacks general key propagation, so only GroupBy outputs derive
+	// keys during planning — base-table keys are used by tests and examples.
+	Keys [][]string
+	// Stats carries coarse statistics used by rule-applicability heuristics.
+	Stats Stats
+}
+
+// Stats holds coarse per-table statistics.
+type Stats struct {
+	RowCount   int64
+	Partitions int
+}
+
+// ColumnIndex returns the ordinal of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Column returns the named column definition, or nil.
+func (t *Table) Column(name string) *Column {
+	if i := t.ColumnIndex(name); i >= 0 {
+		return &t.Columns[i]
+	}
+	return nil
+}
+
+// HasKey reports whether the given set of column names is a superset of
+// some declared key of the table.
+func (t *Table) HasKey(cols []string) bool {
+	set := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		set[c] = true
+	}
+	for _, key := range t.Keys {
+		all := true
+		for _, kc := range key {
+			if !set[kc] {
+				all = false
+				break
+			}
+		}
+		if all && len(key) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Catalog is a named collection of tables.
+type Catalog struct {
+	tables map[string]*Table
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Add registers a table, failing on duplicates or invalid definitions.
+func (c *Catalog) Add(t *Table) error {
+	if t.Name == "" {
+		return fmt.Errorf("catalog: table must have a name")
+	}
+	if _, ok := c.tables[t.Name]; ok {
+		return fmt.Errorf("catalog: table %q already exists", t.Name)
+	}
+	if len(t.Columns) == 0 {
+		return fmt.Errorf("catalog: table %q has no columns", t.Name)
+	}
+	seen := make(map[string]bool, len(t.Columns))
+	for _, col := range t.Columns {
+		if col.Name == "" {
+			return fmt.Errorf("catalog: table %q has an unnamed column", t.Name)
+		}
+		if seen[col.Name] {
+			return fmt.Errorf("catalog: table %q has duplicate column %q", t.Name, col.Name)
+		}
+		if col.Type == types.KindUnknown {
+			return fmt.Errorf("catalog: column %s.%s has unknown type", t.Name, col.Name)
+		}
+		seen[col.Name] = true
+	}
+	if t.PartitionColumn != "" && t.ColumnIndex(t.PartitionColumn) < 0 {
+		return fmt.Errorf("catalog: table %q partition column %q does not exist", t.Name, t.PartitionColumn)
+	}
+	for _, key := range t.Keys {
+		for _, kc := range key {
+			if t.ColumnIndex(kc) < 0 {
+				return fmt.Errorf("catalog: table %q key column %q does not exist", t.Name, kc)
+			}
+		}
+	}
+	c.tables[t.Name] = t
+	return nil
+}
+
+// MustAdd is Add but panics on error; intended for static schema setup.
+func (c *Catalog) MustAdd(t *Table) {
+	if err := c.Add(t); err != nil {
+		panic(err)
+	}
+}
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*Table, bool) {
+	t, ok := c.tables[name]
+	return t, ok
+}
+
+// Names returns the sorted table names.
+func (c *Catalog) Names() []string {
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,100 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func sample() *Table {
+	return &Table{
+		Name: "item",
+		Columns: []Column{
+			{Name: "i_item_sk", Type: types.KindInt64},
+			{Name: "i_brand", Type: types.KindString},
+			{Name: "i_price", Type: types.KindFloat64},
+		},
+		Keys: [][]string{{"i_item_sk"}},
+	}
+}
+
+func TestAddAndLookup(t *testing.T) {
+	c := New()
+	if err := c.Add(sample()); err != nil {
+		t.Fatal(err)
+	}
+	tab, ok := c.Table("item")
+	if !ok {
+		t.Fatal("table not found")
+	}
+	if tab.ColumnIndex("i_brand") != 1 {
+		t.Errorf("ColumnIndex(i_brand) = %d", tab.ColumnIndex("i_brand"))
+	}
+	if tab.ColumnIndex("missing") != -1 {
+		t.Error("missing column should be -1")
+	}
+	if col := tab.Column("i_price"); col == nil || col.Type != types.KindFloat64 {
+		t.Error("Column(i_price) wrong")
+	}
+	if tab.Column("nope") != nil {
+		t.Error("Column(nope) should be nil")
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	c := New()
+	if err := c.Add(&Table{}); err == nil {
+		t.Error("unnamed table accepted")
+	}
+	if err := c.Add(&Table{Name: "t"}); err == nil {
+		t.Error("no-column table accepted")
+	}
+	if err := c.Add(&Table{Name: "t", Columns: []Column{{Name: "a", Type: types.KindInt64}, {Name: "a", Type: types.KindInt64}}}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if err := c.Add(&Table{Name: "t", Columns: []Column{{Name: "a"}}}); err == nil {
+		t.Error("unknown-type column accepted")
+	}
+	if err := c.Add(&Table{Name: "t", Columns: []Column{{Name: "a", Type: types.KindInt64}}, PartitionColumn: "b"}); err == nil {
+		t.Error("bad partition column accepted")
+	}
+	if err := c.Add(&Table{Name: "t", Columns: []Column{{Name: "a", Type: types.KindInt64}}, Keys: [][]string{{"zz"}}}); err == nil {
+		t.Error("bad key column accepted")
+	}
+	c.MustAdd(sample())
+	if err := c.Add(sample()); err == nil {
+		t.Error("duplicate table accepted")
+	}
+}
+
+func TestHasKey(t *testing.T) {
+	tab := sample()
+	if !tab.HasKey([]string{"i_item_sk"}) {
+		t.Error("exact key not recognized")
+	}
+	if !tab.HasKey([]string{"i_item_sk", "i_brand"}) {
+		t.Error("superset of key not recognized")
+	}
+	if tab.HasKey([]string{"i_brand"}) {
+		t.Error("non-key recognized as key")
+	}
+}
+
+func TestNames(t *testing.T) {
+	c := New()
+	c.MustAdd(&Table{Name: "zeta", Columns: []Column{{Name: "a", Type: types.KindInt64}}})
+	c.MustAdd(&Table{Name: "alpha", Columns: []Column{{Name: "a", Type: types.KindInt64}}})
+	names := c.Names()
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "zeta" {
+		t.Errorf("Names() = %v", names)
+	}
+}
+
+func TestMustAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAdd should panic on error")
+		}
+	}()
+	New().MustAdd(&Table{})
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/types"
+)
+
+// Micro-benchmarks of the fusion machinery itself: optimization-time cost
+// matters because the paper's rules attempt fusion a quadratic number of
+// times over n-ary joins.
+
+func benchAggPair() (logical.Operator, logical.Operator) {
+	mk := func() logical.Operator {
+		s := logical.NewScan(testSales())
+		f := &logical.Filter{Input: s, Cond: expr.And(
+			expr.NewBinary(expr.OpGe, expr.Ref(s.Cols[0]), expr.Lit(types.Int(1))),
+			expr.NewBinary(expr.OpLe, expr.Ref(s.Cols[0]), expr.Lit(types.Int(100))),
+		)}
+		return &logical.GroupBy{Input: f,
+			Keys: []*expr.Column{s.Cols[1]},
+			Aggs: []logical.AggAssign{{
+				Col: expr.NewColumn("rev", types.KindFloat64),
+				Agg: expr.AggCall{Fn: expr.AggSum, Arg: expr.Ref(s.Cols[2])},
+			}}}
+	}
+	return mk(), mk()
+}
+
+func BenchmarkFuseGroupByPair(b *testing.B) {
+	p1, p2 := benchAggPair()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := Fuse(p1, p2); !ok {
+			b.Fatal("fusion failed")
+		}
+	}
+}
+
+func BenchmarkFuseAllEightBranches(b *testing.B) {
+	var plans []logical.Operator
+	for i := 0; i < 8; i++ {
+		s := logical.NewScan(testSales())
+		f := &logical.Filter{Input: s, Cond: expr.And(
+			expr.NewBinary(expr.OpGe, expr.Ref(s.Cols[0]), expr.Lit(types.Int(int64(i*10)))),
+			expr.NewBinary(expr.OpLe, expr.Ref(s.Cols[0]), expr.Lit(types.Int(int64(i*10+9)))),
+		)}
+		plans = append(plans, &logical.GroupBy{Input: f,
+			Aggs: []logical.AggAssign{{
+				Col: expr.NewColumn("c", types.KindInt64),
+				Agg: expr.AggCall{Fn: expr.AggCountStar},
+			}}})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := FuseAll(plans); !ok {
+			b.Fatal("n-ary fusion failed")
+		}
+	}
+}
+
+func BenchmarkGroupByJoinToWindowRule(b *testing.B) {
+	mkAgg := func() *logical.GroupBy {
+		s := logical.NewScan(testSales())
+		return &logical.GroupBy{Input: s,
+			Keys: []*expr.Column{s.Cols[1], s.Cols[0]},
+			Aggs: []logical.AggAssign{{
+				Col: expr.NewColumn("revenue", types.KindFloat64),
+				Agg: expr.AggCall{Fn: expr.AggSum, Arg: expr.Ref(s.Cols[2])},
+			}}}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sc := mkAgg()
+		sa := mkAgg()
+		sb := &logical.GroupBy{Input: sa, Keys: []*expr.Column{sa.Keys[0]},
+			Aggs: []logical.AggAssign{{
+				Col: expr.NewColumn("ave", types.KindFloat64),
+				Agg: expr.AggCall{Fn: expr.AggAvg, Arg: expr.Ref(sa.Aggs[0].Col)},
+			}}}
+		join := &logical.Join{Kind: logical.InnerJoin, Left: sc, Right: sb,
+			Cond: expr.Eq(expr.Ref(sc.Keys[0]), expr.Ref(sb.Keys[0]))}
+		b.StartTimer()
+		if _, changed := (GroupByJoinToWindow{}).Apply(join); !changed {
+			b.Fatal("rule did not fire")
+		}
+	}
+}
+
+func BenchmarkSimplifyLargeMask(b *testing.B) {
+	s := logical.NewScan(testSales())
+	var parts []expr.Expr
+	for i := 0; i < 16; i++ {
+		parts = append(parts, expr.And(
+			expr.NewBinary(expr.OpGe, expr.Ref(s.Cols[0]), expr.Lit(types.Int(int64(i)))),
+			expr.NewBinary(expr.OpLe, expr.Ref(s.Cols[0]), expr.Lit(types.Int(int64(i+10)))),
+		))
+	}
+	big := expr.And(parts[0], expr.Or(parts...))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		expr.Simplify(big)
+	}
+}

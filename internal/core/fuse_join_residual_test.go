@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/types"
+)
+
+// These tests cover the §III.D footnote: inner joins whose conditions only
+// partially match fuse on the common portion, with the differing conjuncts
+// becoming compensating residuals.
+
+func TestFuseJoinsResidualConditions(t *testing.T) {
+	tab := testSales()
+	mk := func(threshold int64) *logical.Join {
+		l, r := logical.NewScan(tab), logical.NewScan(tab)
+		cond := expr.And(
+			expr.Eq(expr.Ref(l.Cols[0]), expr.Ref(r.Cols[0])),
+			expr.NewBinary(expr.OpGt, expr.Ref(l.Cols[2]), expr.Lit(types.Float(float64(threshold)))),
+		)
+		return &logical.Join{Kind: logical.InnerJoin, Left: l, Right: r, Cond: cond}
+	}
+	j1, j2 := mk(10), mk(20) // shared equality, differing threshold
+	res, ok := Fuse(j1, j2)
+	if !ok {
+		t.Fatal("partially matching inner joins must fuse on the common portion")
+	}
+	mustValidate(t, res.Plan)
+	fusedJoin, isJoin := res.Plan.(*logical.Join)
+	if !isJoin {
+		t.Fatalf("fused root should be a join, got %T", res.Plan)
+	}
+	// The fused condition is the shared equality only.
+	if len(expr.Conjuncts(fusedJoin.Cond)) != 1 {
+		t.Errorf("fused join condition should be the shared equality: %s", fusedJoin.Cond)
+	}
+	// Residuals land in the compensations.
+	if res.LTrivial() || res.RTrivial() {
+		t.Errorf("residual thresholds must appear in compensations: L=%s R=%s", res.L, res.R)
+	}
+}
+
+func TestFuseJoinsNoSharedEqualityFails(t *testing.T) {
+	tab := testSales()
+	mk := func(col int) *logical.Join {
+		l, r := logical.NewScan(tab), logical.NewScan(tab)
+		return &logical.Join{Kind: logical.InnerJoin, Left: l, Right: r,
+			Cond: expr.Eq(expr.Ref(l.Cols[col]), expr.Ref(r.Cols[col]))}
+	}
+	// Different equality columns: no common equality conjunct → no fusion.
+	if _, ok := Fuse(mk(0), mk(1)); ok {
+		t.Fatal("joins sharing no equality conjunct must not fuse")
+	}
+}
+
+func TestFuseJoinsResidualSemiJoinStillStrict(t *testing.T) {
+	tab := testSales()
+	mk := func(threshold float64) *logical.Join {
+		l, r := logical.NewScan(tab), logical.NewScan(tab)
+		cond := expr.And(
+			expr.Eq(expr.Ref(l.Cols[0]), expr.Ref(r.Cols[0])),
+			expr.NewBinary(expr.OpGt, expr.Ref(r.Cols[2]), expr.Lit(types.Float(threshold))),
+		)
+		return &logical.Join{Kind: logical.SemiJoin, Left: l, Right: r, Cond: cond}
+	}
+	if _, ok := Fuse(mk(10), mk(20)); ok {
+		t.Fatal("semi joins with differing conditions must not fuse (no residual support)")
+	}
+}
+
+// TestFuseJoinsResidualSemantics executes the reconstruction contract for
+// the residual case.
+func TestFuseJoinsResidualSemantics(t *testing.T) {
+	st := propStore(t, rand.New(rand.NewSource(5)))
+	tab, _ := st.Catalog().Table("sales")
+	mk := func(threshold int64) *logical.Join {
+		l, r := logical.NewScan(tab), logical.NewScan(tab)
+		cond := expr.And(
+			expr.Eq(expr.Ref(l.Cols[0]), expr.Ref(r.Cols[0])),
+			expr.NewBinary(expr.OpGt, expr.Ref(l.Cols[2]), expr.Lit(types.Int(threshold))),
+		)
+		return &logical.Join{Kind: logical.InnerJoin, Left: l, Right: r, Cond: cond}
+	}
+	j1, j2 := mk(10), mk(30)
+	res, ok := Fuse(j1, j2)
+	if !ok {
+		t.Fatal("must fuse")
+	}
+	run := func(p logical.Operator) []string {
+		r, err := exec.Run(p, st)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return bag(r)
+	}
+	want1 := run(j1)
+	got1 := run(reconstruct(res.Plan, res.L, j1.Schema(), expr.Identity()))
+	if !sameBags(want1, got1) {
+		t.Fatalf("P1 reconstruction differs: %d vs %d rows", len(want1), len(got1))
+	}
+	want2 := run(j2)
+	got2 := run(reconstruct(res.Plan, res.R, j2.Schema(), res.M))
+	if !sameBags(want2, got2) {
+		t.Fatalf("P2 reconstruction differs: %d vs %d rows", len(want2), len(got2))
+	}
+}

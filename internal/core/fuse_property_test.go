@@ -1,0 +1,309 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/exec"
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// This file verifies the semantic contract of Fuse (§III) by execution:
+// for random plan pairs (P1, P2) over shared data, whenever
+// Fuse(P1, P2) = (P, M, L, R) succeeds it must hold that
+//
+//	rows(P1) = rows(Project_{outCols(P1)}(Filter_L(P)))
+//	rows(P2) = rows(Project_{M(outCols(P2))}(Filter_R(P)))
+//
+// as bags. Plans are generated from randomized specs sharing a base shape
+// (mirroring CTE instances that diverge through edits), which exercises
+// scan/filter/project/group-by/mark-distinct fusion including compensating
+// masks and COUNT(*) compensations.
+
+// propTable is the shared test table.
+func propTable() *catalog.Table {
+	return &catalog.Table{
+		Name: "sales",
+		Columns: []catalog.Column{
+			{Name: "item", Type: types.KindInt64},
+			{Name: "store", Type: types.KindInt64},
+			{Name: "qty", Type: types.KindInt64},
+			{Name: "price", Type: types.KindFloat64},
+		},
+	}
+}
+
+func propStore(t *testing.T, rng *rand.Rand) *storage.Store {
+	t.Helper()
+	cat := catalog.New()
+	cat.MustAdd(propTable())
+	st := storage.NewStore(cat)
+	var rows [][]types.Value
+	for i := 0; i < 200; i++ {
+		qty := types.Int(rng.Int63n(50))
+		if rng.Intn(20) == 0 {
+			qty = types.NullOf(types.KindInt64) // NULLs exercise mask/group semantics
+		}
+		rows = append(rows, []types.Value{
+			types.Int(rng.Int63n(8)),
+			types.Int(rng.Int63n(4)),
+			qty,
+			types.Float(float64(rng.Int63n(1000)) / 10),
+		})
+	}
+	if err := st.Load("sales", rows); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// planSpec describes one randomly generated plan.
+type planSpec struct {
+	filterCol int   // -1 = no filter; else column index with range predicate
+	filterLo  int64 // qty range bounds
+	filterHi  int64
+	project   bool
+	groupKeys int // 0 = none, 1 = {store}, 2 = {store,item}; -1 = scalar agg
+	aggFn     expr.AggFunc
+	aggMaskLo int64 // -1 = no mask
+	markCol   int   // -1 = no MarkDistinct; else column index
+}
+
+func randomSpec(rng *rand.Rand) planSpec {
+	s := planSpec{filterCol: -1, groupKeys: 0, markCol: -1, aggMaskLo: -1}
+	if rng.Intn(2) == 0 {
+		s.filterCol = 2 // qty
+		s.filterLo = rng.Int63n(40)
+		s.filterHi = s.filterLo + rng.Int63n(20)
+	}
+	switch rng.Intn(4) {
+	case 0:
+		s.groupKeys = 1
+	case 1:
+		s.groupKeys = 2
+	case 2:
+		s.groupKeys = -1 // scalar
+	}
+	if s.groupKeys != 0 {
+		s.aggFn = []expr.AggFunc{expr.AggCountStar, expr.AggSum, expr.AggAvg, expr.AggMin, expr.AggMax}[rng.Intn(5)]
+		if rng.Intn(2) == 0 {
+			s.aggMaskLo = rng.Int63n(40)
+		}
+	} else {
+		if rng.Intn(3) == 0 {
+			s.markCol = rng.Intn(2) // item or store
+		}
+		s.project = rng.Intn(2) == 0
+	}
+	return s
+}
+
+// mutate derives a second spec that often keeps the same shape (so fusion
+// succeeds) but changes predicates, masks or functions.
+func mutate(rng *rand.Rand, s planSpec) planSpec {
+	out := s
+	if s.filterCol >= 0 && rng.Intn(2) == 0 {
+		out.filterLo = rng.Int63n(40)
+		out.filterHi = out.filterLo + rng.Int63n(20)
+	}
+	if s.groupKeys != 0 {
+		if rng.Intn(2) == 0 {
+			out.aggFn = []expr.AggFunc{expr.AggCountStar, expr.AggSum, expr.AggAvg, expr.AggMin, expr.AggMax}[rng.Intn(5)]
+		}
+		if rng.Intn(2) == 0 {
+			out.aggMaskLo = rng.Int63n(40)
+		}
+	}
+	if rng.Intn(5) == 0 {
+		// Occasionally change shape entirely; fusion may then fail, which
+		// must be handled gracefully.
+		out = randomSpec(rng)
+	}
+	return out
+}
+
+// buildPlan materializes a spec over a fresh scan instance.
+func buildPlan(tab *catalog.Table, s planSpec) logical.Operator {
+	scan := logical.NewScan(tab)
+	var plan logical.Operator = scan
+	if s.filterCol >= 0 {
+		col := scan.Cols[s.filterCol]
+		plan = logical.NewFilter(plan, expr.And(
+			expr.NewBinary(expr.OpGe, expr.Ref(col), expr.Lit(types.Int(s.filterLo))),
+			expr.NewBinary(expr.OpLe, expr.Ref(col), expr.Lit(types.Int(s.filterHi))),
+		))
+	}
+	if s.markCol >= 0 {
+		plan = &logical.MarkDistinct{
+			Input:   plan,
+			MarkCol: expr.NewColumn("d", types.KindBool),
+			On:      []*expr.Column{scan.Cols[s.markCol]},
+		}
+	}
+	if s.groupKeys != 0 {
+		var keys []*expr.Column
+		switch s.groupKeys {
+		case 1:
+			keys = []*expr.Column{scan.Cols[1]}
+		case 2:
+			keys = []*expr.Column{scan.Cols[1], scan.Cols[0]}
+		}
+		agg := expr.AggCall{Fn: s.aggFn}
+		if s.aggFn != expr.AggCountStar {
+			agg.Arg = expr.Ref(scan.Cols[3])
+		}
+		if s.aggMaskLo >= 0 {
+			agg.Mask = expr.NewBinary(expr.OpGe, expr.Ref(scan.Cols[2]), expr.Lit(types.Int(s.aggMaskLo)))
+		}
+		plan = &logical.GroupBy{Input: plan, Keys: keys,
+			Aggs: []logical.AggAssign{{Col: expr.NewColumn("agg", agg.ResultType()), Agg: agg}}}
+	} else if s.project {
+		plan = &logical.Project{Input: plan, Cols: []logical.Assignment{
+			logical.Assign("x", expr.NewBinary(expr.OpAdd, expr.Ref(scan.Cols[0]), expr.Lit(types.Int(1)))),
+			logical.Assign("p2", expr.NewBinary(expr.OpMul, expr.Ref(scan.Cols[3]), expr.Lit(types.Float(2)))),
+		}}
+	}
+	return plan
+}
+
+// bag canonicalizes a result to a sorted multiset of strings.
+func bag(res *exec.Result) []string {
+	out := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		parts := make([]string, len(r))
+		for j, v := range r {
+			if v.Kind == types.KindFloat64 && !v.Null {
+				parts[j] = fmt.Sprintf("%.6f", v.F)
+			} else {
+				parts[j] = v.String()
+			}
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameBags(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// reconstruct builds Project_cols(Filter_comp(fused)).
+func reconstruct(fused logical.Operator, comp expr.Expr, cols []*expr.Column, m expr.Mapping) logical.Operator {
+	filtered := logical.NewFilter(fused, expr.Simplify(comp))
+	proj := &logical.Project{Input: filtered}
+	for _, c := range cols {
+		proj.Cols = append(proj.Cols, logical.Assign(c.Name, expr.Ref(m.Resolve(c))))
+	}
+	return proj
+}
+
+func TestFuseContractRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260706))
+	st := propStore(t, rng)
+	tab, _ := st.Catalog().Table("sales")
+
+	fused, failed := 0, 0
+	for iter := 0; iter < 400; iter++ {
+		specA := randomSpec(rng)
+		specB := mutate(rng, specA)
+		p1 := buildPlan(tab, specA)
+		p2 := buildPlan(tab, specB)
+
+		res, ok := Fuse(p1, p2)
+		if !ok {
+			failed++
+			continue
+		}
+		fused++
+		if err := logical.Validate(res.Plan); err != nil {
+			t.Fatalf("iter %d: fused plan invalid: %v\nP1:\n%sP2:\n%sfused:\n%s",
+				iter, err, logical.Format(p1), logical.Format(p2), logical.Format(res.Plan))
+		}
+
+		run := func(plan logical.Operator) *exec.Result {
+			r, err := exec.Run(plan, st)
+			if err != nil {
+				t.Fatalf("iter %d: execution failed: %v\n%s", iter, err, logical.Format(plan))
+			}
+			return r
+		}
+		want1 := bag(run(p1))
+		want2 := bag(run(p2))
+		got1 := bag(run(reconstruct(res.Plan, res.L, p1.Schema(), expr.Identity())))
+		got2 := bag(run(reconstruct(res.Plan, res.R, p2.Schema(), res.M)))
+
+		if !sameBags(want1, got1) {
+			t.Fatalf("iter %d: P1 reconstruction differs (%d vs %d rows)\nspecA=%+v specB=%+v\nP1:\n%sfused:\n%sL=%s",
+				iter, len(want1), len(got1), specA, specB, logical.Format(p1), logical.Format(res.Plan), res.L)
+		}
+		if !sameBags(want2, got2) {
+			t.Fatalf("iter %d: P2 reconstruction differs (%d vs %d rows)\nspecA=%+v specB=%+v\nP2:\n%sfused:\n%sR=%s M=%v",
+				iter, len(want2), len(got2), specA, specB, logical.Format(p2), logical.Format(res.Plan), res.R, res.M)
+		}
+	}
+	if fused < 100 {
+		t.Fatalf("only %d/%d pairs fused; generator too adversarial (failed=%d)", fused, 400, failed)
+	}
+	t.Logf("verified Fuse contract on %d random pairs (%d unfusable)", fused, failed)
+}
+
+// TestFuseAllContractRandomized extends the contract check to n-ary fusion.
+func TestFuseAllContractRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	st := propStore(t, rng)
+	tab, _ := st.Catalog().Table("sales")
+
+	checked := 0
+	for iter := 0; iter < 100; iter++ {
+		base := randomSpec(rng)
+		n := 2 + rng.Intn(3)
+		specs := make([]planSpec, n)
+		plans := make([]logical.Operator, n)
+		for i := range specs {
+			specs[i] = mutate(rng, base)
+			plans[i] = buildPlan(tab, specs[i])
+		}
+		res, ok := FuseAll(plans)
+		if !ok {
+			continue
+		}
+		checked++
+		if err := logical.Validate(res.Plan); err != nil {
+			t.Fatalf("iter %d: invalid n-ary fusion: %v", iter, err)
+		}
+		for i, p := range plans {
+			want, err := exec.Run(p, st)
+			if err != nil {
+				t.Fatalf("iter %d: branch %d failed: %v", iter, i, err)
+			}
+			got, err := exec.Run(reconstruct(res.Plan, res.Comps[i], p.Schema(), res.Ms[i]), st)
+			if err != nil {
+				t.Fatalf("iter %d: reconstruction %d failed: %v\n%s", iter, i, err, logical.Format(res.Plan))
+			}
+			if !sameBags(bag(want), bag(got)) {
+				t.Fatalf("iter %d: branch %d reconstruction differs\nspecs=%+v\nfused:\n%scomp=%s",
+					iter, i, specs, logical.Format(res.Plan), res.Comps[i])
+			}
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d n-ary fusions checked", checked)
+	}
+	t.Logf("verified n-ary contract on %d random groups", checked)
+}

@@ -1,0 +1,551 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/types"
+)
+
+// testItem returns a small TPC-DS-flavoured table for fusion tests.
+func testItem() *catalog.Table {
+	return &catalog.Table{
+		Name: "item",
+		Columns: []catalog.Column{
+			{Name: "i_item_sk", Type: types.KindInt64},
+			{Name: "i_brand_id", Type: types.KindInt64},
+			{Name: "i_category", Type: types.KindString},
+			{Name: "i_size", Type: types.KindString},
+		},
+	}
+}
+
+func testSales() *catalog.Table {
+	return &catalog.Table{
+		Name: "store_sales",
+		Columns: []catalog.Column{
+			{Name: "ss_item_sk", Type: types.KindInt64},
+			{Name: "ss_store_sk", Type: types.KindInt64},
+			{Name: "ss_price", Type: types.KindFloat64},
+		},
+	}
+}
+
+func mustValidate(t *testing.T, op logical.Operator) {
+	t.Helper()
+	if err := logical.Validate(op); err != nil {
+		t.Fatalf("fused plan invalid: %v\n%s", err, logical.Format(op))
+	}
+}
+
+func TestFuseScansSameTable(t *testing.T) {
+	tab := testItem()
+	s1, s2 := logical.NewScan(tab), logical.NewScan(tab)
+	res, ok := Fuse(s1, s2)
+	if !ok {
+		t.Fatal("same-table scans must fuse")
+	}
+	if res.Plan != logical.Operator(s1) {
+		t.Error("fused scan should be the first scan when columns cover")
+	}
+	if !res.LTrivial() || !res.RTrivial() {
+		t.Error("scan fusion compensations must be TRUE")
+	}
+	for i := range s2.Cols {
+		if res.M.Resolve(s2.Cols[i]) != s1.Cols[i] {
+			t.Errorf("column %d not mapped positionally", i)
+		}
+	}
+	mustValidate(t, res.Plan)
+}
+
+func TestFuseScansDifferentTables(t *testing.T) {
+	s1 := logical.NewScan(testItem())
+	s2 := logical.NewScan(testSales())
+	if _, ok := Fuse(s1, s2); ok {
+		t.Fatal("different tables must not fuse")
+	}
+}
+
+func TestFuseScansColumnSubsets(t *testing.T) {
+	tab := testItem()
+	s1 := logical.NewScan(tab)
+	s1.Cols, s1.ColNames = s1.Cols[:2], s1.ColNames[:2] // i_item_sk, i_brand_id
+	s2 := logical.NewScan(tab)
+	s2.Cols = []*expr.Column{s2.Cols[1], s2.Cols[3]} // i_brand_id, i_size
+	s2.ColNames = []string{"i_brand_id", "i_size"}
+	res, ok := Fuse(s1, s2)
+	if !ok {
+		t.Fatal("subset scans must fuse")
+	}
+	fused := res.Plan.(*logical.Scan)
+	if len(fused.Cols) != 3 {
+		t.Fatalf("fused scan should read union of columns, got %v", fused.ColNames)
+	}
+	if res.M.Resolve(s2.Cols[0]) != s1.Cols[1] {
+		t.Error("shared column must map onto P1 instance")
+	}
+	if res.M.Resolve(s2.Cols[1]) != s2.Cols[1] {
+		t.Error("P2-only column keeps identity")
+	}
+}
+
+// Paper §III.B example: same scan, different filters → disjunction with
+// compensating filters.
+func TestFuseFilters(t *testing.T) {
+	tab := testItem()
+	s1, s2 := logical.NewScan(tab), logical.NewScan(tab)
+	music1 := expr.Eq(expr.Ref(s1.Cols[2]), expr.Lit(types.String("Music")))
+	gt := expr.NewBinary(expr.OpGt, expr.Ref(s1.Cols[1]), expr.Lit(types.Int(1000)))
+	f1 := &logical.Filter{Input: s1, Cond: expr.And(music1, gt)}
+
+	music2 := expr.Eq(expr.Ref(s2.Cols[2]), expr.Lit(types.String("Music")))
+	lt := expr.NewBinary(expr.OpLt, expr.Ref(s2.Cols[1]), expr.Lit(types.Int(50)))
+	f2 := &logical.Filter{Input: s2, Cond: expr.And(music2, lt)}
+
+	res, ok := Fuse(f1, f2)
+	if !ok {
+		t.Fatal("filters over same scan must fuse")
+	}
+	mustValidate(t, res.Plan)
+	fused, isFilter := res.Plan.(*logical.Filter)
+	if !isFilter {
+		t.Fatalf("fused plan should be a Filter, got %T", res.Plan)
+	}
+	// Fused condition is the disjunction of both.
+	if len(expr.Disjuncts(fused.Cond)) != 2 {
+		t.Errorf("fused condition should be a 2-way disjunction: %s", fused.Cond)
+	}
+	// Compensations are the original (mapped) conditions.
+	if !expr.Equivalent(res.L, f1.Cond) {
+		t.Errorf("L = %s, want %s", res.L, f1.Cond)
+	}
+	wantR := expr.And(expr.Eq(expr.Ref(s1.Cols[2]), expr.Lit(types.String("Music"))),
+		expr.NewBinary(expr.OpLt, expr.Ref(s1.Cols[1]), expr.Lit(types.Int(50))))
+	if !expr.Equivalent(res.R, wantR) {
+		t.Errorf("R = %s, want %s", res.R, wantR)
+	}
+}
+
+func TestFuseFiltersEquivalentConditions(t *testing.T) {
+	tab := testItem()
+	s1, s2 := logical.NewScan(tab), logical.NewScan(tab)
+	f1 := &logical.Filter{Input: s1, Cond: expr.Eq(expr.Ref(s1.Cols[2]), expr.Lit(types.String("Music")))}
+	f2 := &logical.Filter{Input: s2, Cond: expr.Eq(expr.Ref(s2.Cols[2]), expr.Lit(types.String("Music")))}
+	res, ok := Fuse(f1, f2)
+	if !ok {
+		t.Fatal("must fuse")
+	}
+	if !res.LTrivial() || !res.RTrivial() {
+		t.Errorf("equivalent filters should fuse exactly; L=%s R=%s", res.L, res.R)
+	}
+	if !expr.Equivalent(res.Plan.(*logical.Filter).Cond, f1.Cond) {
+		t.Error("fused condition should be the shared condition")
+	}
+}
+
+// Paper §III.C: projections dedupe equivalent assignments through M.
+func TestFuseProjects(t *testing.T) {
+	tab := testItem()
+	s1, s2 := logical.NewScan(tab), logical.NewScan(tab)
+	p1 := &logical.Project{Input: s1, Cols: []logical.Assignment{
+		logical.Assign("brand_plus_one", expr.NewBinary(expr.OpAdd, expr.Ref(s1.Cols[1]), expr.Lit(types.Int(1)))),
+	}}
+	p2 := &logical.Project{Input: s2, Cols: []logical.Assignment{
+		logical.Assign("x", expr.NewBinary(expr.OpAdd, expr.Ref(s2.Cols[1]), expr.Lit(types.Int(1)))),
+		logical.Assign("y", expr.Lit(types.String("new brand"))),
+	}}
+	res, ok := Fuse(p1, p2)
+	if !ok {
+		t.Fatal("projects must fuse")
+	}
+	mustValidate(t, res.Plan)
+	fused := res.Plan.(*logical.Project)
+	if len(fused.Cols) != 2 {
+		t.Fatalf("fused project should have 2 assignments (x reused), got %d", len(fused.Cols))
+	}
+	if res.M.Resolve(p2.Cols[0].Col) != p1.Cols[0].Col {
+		t.Error("x must map to brand_plus_one")
+	}
+	if res.M.Resolve(p2.Cols[1].Col) != p2.Cols[1].Col {
+		t.Error("y keeps its identity as a new assignment")
+	}
+}
+
+// Compensating-filter columns must survive an enclosing projection.
+func TestFuseProjectsPreserveCompensationColumns(t *testing.T) {
+	tab := testItem()
+	s1, s2 := logical.NewScan(tab), logical.NewScan(tab)
+	f1 := &logical.Filter{Input: s1, Cond: expr.NewBinary(expr.OpGt, expr.Ref(s1.Cols[1]), expr.Lit(types.Int(10)))}
+	f2 := &logical.Filter{Input: s2, Cond: expr.NewBinary(expr.OpLt, expr.Ref(s2.Cols[1]), expr.Lit(types.Int(5)))}
+	// Projections keep only i_category — the filters' brand column would drop.
+	p1 := &logical.Project{Input: f1, Cols: []logical.Assignment{logical.Assign("c", expr.Ref(s1.Cols[2]))}}
+	p2 := &logical.Project{Input: f2, Cols: []logical.Assignment{logical.Assign("c", expr.Ref(s2.Cols[2]))}}
+	res, ok := Fuse(p1, p2)
+	if !ok {
+		t.Fatal("must fuse")
+	}
+	mustValidate(t, res.Plan)
+	out := logical.OutputSet(res.Plan)
+	for id := range expr.Columns(res.L) {
+		if !out[id] {
+			t.Errorf("L references column #%d not in fused output", id)
+		}
+	}
+	for id := range expr.Columns(res.R) {
+		if !out[id] {
+			t.Errorf("R references column #%d not in fused output", id)
+		}
+	}
+}
+
+// Paper §III.D: joins fuse when both sides fuse and conditions match mod M.
+func TestFuseJoins(t *testing.T) {
+	sales, item := testSales(), testItem()
+	ss1, it1 := logical.NewScan(sales), logical.NewScan(item)
+	ss2, it2 := logical.NewScan(sales), logical.NewScan(item)
+	j1 := &logical.Join{Kind: logical.InnerJoin, Left: ss1, Right: it1,
+		Cond: expr.Eq(expr.Ref(ss1.Cols[0]), expr.Ref(it1.Cols[0]))}
+	j2 := &logical.Join{Kind: logical.InnerJoin, Left: ss2, Right: it2,
+		Cond: expr.Eq(expr.Ref(ss2.Cols[0]), expr.Ref(it2.Cols[0]))}
+	res, ok := Fuse(j1, j2)
+	if !ok {
+		t.Fatal("identical joins must fuse")
+	}
+	mustValidate(t, res.Plan)
+	if !res.LTrivial() || !res.RTrivial() {
+		t.Error("identical joins should fuse exactly")
+	}
+	if logical.CountScansOf(res.Plan, "store_sales") != 1 {
+		t.Error("fused join should scan store_sales once")
+	}
+}
+
+func TestFuseJoinsDifferentConditions(t *testing.T) {
+	sales, item := testSales(), testItem()
+	ss1, it1 := logical.NewScan(sales), logical.NewScan(item)
+	ss2, it2 := logical.NewScan(sales), logical.NewScan(item)
+	j1 := &logical.Join{Kind: logical.InnerJoin, Left: ss1, Right: it1,
+		Cond: expr.Eq(expr.Ref(ss1.Cols[0]), expr.Ref(it1.Cols[0]))}
+	j2 := &logical.Join{Kind: logical.InnerJoin, Left: ss2, Right: it2,
+		Cond: expr.Eq(expr.Ref(ss2.Cols[1]), expr.Ref(it2.Cols[0]))} // different key
+	if _, ok := Fuse(j1, j2); ok {
+		t.Fatal("joins with different conditions must not fuse")
+	}
+}
+
+func TestFuseJoinsWithFilteredSides(t *testing.T) {
+	sales, item := testSales(), testItem()
+	ss1, it1 := logical.NewScan(sales), logical.NewScan(item)
+	ss2, it2 := logical.NewScan(sales), logical.NewScan(item)
+	f1 := &logical.Filter{Input: it1, Cond: expr.Eq(expr.Ref(it1.Cols[3]), expr.Lit(types.String("m")))}
+	f2 := &logical.Filter{Input: it2, Cond: expr.Eq(expr.Ref(it2.Cols[3]), expr.Lit(types.String("l")))}
+	j1 := &logical.Join{Kind: logical.InnerJoin, Left: ss1, Right: f1,
+		Cond: expr.Eq(expr.Ref(ss1.Cols[0]), expr.Ref(it1.Cols[0]))}
+	j2 := &logical.Join{Kind: logical.InnerJoin, Left: ss2, Right: f2,
+		Cond: expr.Eq(expr.Ref(ss2.Cols[0]), expr.Ref(it2.Cols[0]))}
+	res, ok := Fuse(j1, j2)
+	if !ok {
+		t.Fatal("joins with fusable filtered sides must fuse")
+	}
+	mustValidate(t, res.Plan)
+	if res.LTrivial() || res.RTrivial() {
+		t.Error("compensations should carry the side filters")
+	}
+}
+
+// Paper §III.E first example: scalar-vs-mask compensation via COUNT(*).
+func TestFuseGroupBysWithMasks(t *testing.T) {
+	tab := testSales()
+	s1, s2 := logical.NewScan(tab), logical.NewScan(tab)
+	// G1 = GroupBy{store} x:=SUM(price) over Filter(item=1)
+	f1 := &logical.Filter{Input: s1, Cond: expr.Eq(expr.Ref(s1.Cols[0]), expr.Lit(types.Int(1)))}
+	g1 := &logical.GroupBy{Input: f1, Keys: []*expr.Column{s1.Cols[1]},
+		Aggs: []logical.AggAssign{{Col: expr.NewColumn("x", types.KindFloat64),
+			Agg: expr.AggCall{Fn: expr.AggSum, Arg: expr.Ref(s1.Cols[2])}}}}
+	// G2 = GroupBy{store} y:=AVG(price) FILTER(item=2) over T
+	g2 := &logical.GroupBy{Input: s2, Keys: []*expr.Column{s2.Cols[1]},
+		Aggs: []logical.AggAssign{{Col: expr.NewColumn("y", types.KindFloat64),
+			Agg: expr.AggCall{Fn: expr.AggAvg, Arg: expr.Ref(s2.Cols[2]),
+				Mask: expr.Eq(expr.Ref(s2.Cols[0]), expr.Lit(types.Int(2)))}}}}
+
+	res, ok := Fuse(g1, g2)
+	if !ok {
+		t.Fatal("group-bys must fuse")
+	}
+	mustValidate(t, res.Plan)
+	fused := res.Plan.(*logical.GroupBy)
+	// x with tightened mask, y with mapped mask, plus compensating COUNT(*).
+	if len(fused.Aggs) != 3 {
+		t.Fatalf("fused aggs = %d, want 3 (x, y, countL):\n%s", len(fused.Aggs), logical.Format(fused))
+	}
+	if fused.Aggs[0].Agg.Mask == nil {
+		t.Error("x's mask must be tightened with L (the filter)")
+	}
+	if fused.Aggs[2].Agg.Fn != expr.AggCountStar {
+		t.Error("compensating aggregate must be COUNT(*)")
+	}
+	// L must be countL > 0; R trivial.
+	if res.LTrivial() {
+		t.Errorf("L should be count>0, got %s", res.L)
+	}
+	if !res.RTrivial() {
+		t.Errorf("R should be TRUE, got %s", res.R)
+	}
+	// Underlying input no longer filtered: the filter became a mask.
+	if _, isFilter := fused.Input.(*logical.Filter); isFilter {
+		t.Error("side filter should have been absorbed into masks, not kept")
+	}
+}
+
+func TestFuseGroupBysDedupAggs(t *testing.T) {
+	tab := testSales()
+	s1, s2 := logical.NewScan(tab), logical.NewScan(tab)
+	g1 := &logical.GroupBy{Input: s1, Keys: []*expr.Column{s1.Cols[1]},
+		Aggs: []logical.AggAssign{{Col: expr.NewColumn("rev", types.KindFloat64),
+			Agg: expr.AggCall{Fn: expr.AggSum, Arg: expr.Ref(s1.Cols[2])}}}}
+	g2 := &logical.GroupBy{Input: s2, Keys: []*expr.Column{s2.Cols[1]},
+		Aggs: []logical.AggAssign{{Col: expr.NewColumn("rev2", types.KindFloat64),
+			Agg: expr.AggCall{Fn: expr.AggSum, Arg: expr.Ref(s2.Cols[2])}}}}
+	res, ok := Fuse(g1, g2)
+	if !ok {
+		t.Fatal("identical group-bys must fuse")
+	}
+	fused := res.Plan.(*logical.GroupBy)
+	if len(fused.Aggs) != 1 {
+		t.Fatalf("identical aggregates should dedupe, got %d", len(fused.Aggs))
+	}
+	if res.M.Resolve(g2.Aggs[0].Col) != g1.Aggs[0].Col {
+		t.Error("rev2 must map to rev")
+	}
+	if res.M.Resolve(g2.Keys[0]) != g1.Keys[0] {
+		t.Error("group key must map through M")
+	}
+	if !res.LTrivial() || !res.RTrivial() {
+		t.Error("identical group-bys fuse exactly")
+	}
+}
+
+func TestFuseGroupBysDifferentKeys(t *testing.T) {
+	tab := testSales()
+	s1, s2 := logical.NewScan(tab), logical.NewScan(tab)
+	g1 := &logical.GroupBy{Input: s1, Keys: []*expr.Column{s1.Cols[1]}}
+	g2 := &logical.GroupBy{Input: s2, Keys: []*expr.Column{s2.Cols[0]}}
+	if _, ok := Fuse(g1, g2); ok {
+		t.Fatal("different grouping keys must not fuse")
+	}
+	g3 := &logical.GroupBy{Input: logical.NewScan(tab), Keys: nil}
+	if _, ok := Fuse(g1, g3); ok {
+		t.Fatal("different key arity must not fuse")
+	}
+}
+
+func TestFuseScalarGroupBys(t *testing.T) {
+	tab := testSales()
+	s1, s2 := logical.NewScan(tab), logical.NewScan(tab)
+	f1 := &logical.Filter{Input: s1, Cond: expr.NewBinary(expr.OpGt, expr.Ref(s1.Cols[2]), expr.Lit(types.Float(1)))}
+	f2 := &logical.Filter{Input: s2, Cond: expr.NewBinary(expr.OpLt, expr.Ref(s2.Cols[2]), expr.Lit(types.Float(100)))}
+	g1 := &logical.GroupBy{Input: f1, Aggs: []logical.AggAssign{{Col: expr.NewColumn("c1", types.KindInt64), Agg: expr.AggCall{Fn: expr.AggCountStar}}}}
+	g2 := &logical.GroupBy{Input: f2, Aggs: []logical.AggAssign{{Col: expr.NewColumn("c2", types.KindInt64), Agg: expr.AggCall{Fn: expr.AggCountStar}}}}
+	res, ok := Fuse(g1, g2)
+	if !ok {
+		t.Fatal("scalar group-bys must fuse")
+	}
+	mustValidate(t, res.Plan)
+	// Scalar aggregates: no compensating counts, compensations TRUE.
+	if !res.LTrivial() || !res.RTrivial() {
+		t.Error("scalar group-by compensations must be TRUE")
+	}
+	fused := res.Plan.(*logical.GroupBy)
+	if len(fused.Aggs) != 2 {
+		t.Fatalf("fused scalar aggs = %d, want 2", len(fused.Aggs))
+	}
+	// Both aggregates must have picked up their side's filter as mask.
+	if fused.Aggs[0].Agg.Mask == nil || fused.Aggs[1].Agg.Mask == nil {
+		t.Error("both aggregates need masks from the side filters")
+	}
+}
+
+func TestFuseMarkDistincts(t *testing.T) {
+	tab := testSales()
+	s1, s2 := logical.NewScan(tab), logical.NewScan(tab)
+	d1 := &logical.MarkDistinct{Input: s1, MarkCol: expr.NewColumn("d1", types.KindBool), On: []*expr.Column{s1.Cols[0]}}
+	d2 := &logical.MarkDistinct{Input: s2, MarkCol: expr.NewColumn("d2", types.KindBool), On: []*expr.Column{s2.Cols[1]}}
+	res, ok := Fuse(d1, d2)
+	if !ok {
+		t.Fatal("mark-distincts must fuse")
+	}
+	mustValidate(t, res.Plan)
+	outer, isMD := res.Plan.(*logical.MarkDistinct)
+	if !isMD {
+		t.Fatalf("fused root should be MarkDistinct, got %T", res.Plan)
+	}
+	if _, innerMD := outer.Input.(*logical.MarkDistinct); !innerMD {
+		t.Fatal("fused plan should chain two MarkDistinct operators")
+	}
+	out := logical.OutputSet(res.Plan)
+	if !out[d1.MarkCol.ID] || !out[d2.MarkCol.ID] {
+		t.Error("both mark columns must be visible in fused output")
+	}
+}
+
+func TestFuseMarkDistinctsWithCompensation(t *testing.T) {
+	tab := testSales()
+	s1, s2 := logical.NewScan(tab), logical.NewScan(tab)
+	f1 := &logical.Filter{Input: s1, Cond: expr.NewBinary(expr.OpGt, expr.Ref(s1.Cols[2]), expr.Lit(types.Float(5)))}
+	f2 := &logical.Filter{Input: s2, Cond: expr.NewBinary(expr.OpLt, expr.Ref(s2.Cols[2]), expr.Lit(types.Float(2)))}
+	d1 := &logical.MarkDistinct{Input: f1, MarkCol: expr.NewColumn("d1", types.KindBool), On: []*expr.Column{s1.Cols[0]}}
+	d2 := &logical.MarkDistinct{Input: f2, MarkCol: expr.NewColumn("d2", types.KindBool), On: []*expr.Column{s2.Cols[0]}}
+	res, ok := Fuse(d1, d2)
+	if !ok {
+		t.Fatal("must fuse")
+	}
+	mustValidate(t, res.Plan)
+	// Non-trivial compensations: each MarkDistinct must carry its side's
+	// compensating filter as a native mask, so rows of the other side do
+	// not consume its first-occurrence marks.
+	outer := res.Plan.(*logical.MarkDistinct)
+	inner := outer.Input.(*logical.MarkDistinct)
+	if outer.Mask == nil || expr.IsTrueLiteral(outer.Mask) {
+		t.Error("outer MarkDistinct must carry the L compensation as mask")
+	}
+	if inner.Mask == nil || expr.IsTrueLiteral(inner.Mask) {
+		t.Error("inner MarkDistinct must carry the R compensation as mask")
+	}
+	if !expr.Equivalent(outer.Mask, res.L) {
+		t.Errorf("outer mask %s should equal L %s", outer.Mask, res.L)
+	}
+	if !expr.Equivalent(inner.Mask, res.R) {
+		t.Errorf("inner mask %s should equal R %s", inner.Mask, res.R)
+	}
+}
+
+// §III.G example: Filter(T) vs MarkDistinct(Filter(T)) — skipping the
+// MarkDistinct must win over manufacturing a trivial filter.
+func TestFuseMismatchedSkipsMarkDistinct(t *testing.T) {
+	tab := testSales()
+	s1, s2 := logical.NewScan(tab), logical.NewScan(tab)
+	f1 := &logical.Filter{Input: s1, Cond: expr.NewBinary(expr.OpGt, expr.Ref(s1.Cols[2]), expr.Lit(types.Float(5)))}
+	f2 := &logical.Filter{Input: s2, Cond: expr.NewBinary(expr.OpGt, expr.Ref(s2.Cols[2]), expr.Lit(types.Float(5)))}
+	d2 := &logical.MarkDistinct{Input: f2, MarkCol: expr.NewColumn("d", types.KindBool), On: []*expr.Column{s2.Cols[0]}}
+	res, ok := Fuse(f1, d2)
+	if !ok {
+		t.Fatal("mismatched roots with MarkDistinct must fuse")
+	}
+	mustValidate(t, res.Plan)
+	// The result re-adds MarkDistinct above the fused filters; the filters
+	// fuse exactly, so the disjunction must have been pushed to the scan
+	// level (single filter, not filter-over-trivial-filter).
+	md, isMD := res.Plan.(*logical.MarkDistinct)
+	if !isMD {
+		t.Fatalf("root should be re-added MarkDistinct, got %T", res.Plan)
+	}
+	if _, isFilter := md.Input.(*logical.Filter); !isFilter {
+		t.Fatalf("MarkDistinct input should be fused Filter, got %T", md.Input)
+	}
+	if !res.LTrivial() || !res.RTrivial() {
+		t.Error("identical filters fuse exactly")
+	}
+}
+
+func TestFuseEnforceSingleRow(t *testing.T) {
+	tab := testSales()
+	s1, s2 := logical.NewScan(tab), logical.NewScan(tab)
+	g1 := &logical.GroupBy{Input: s1, Aggs: []logical.AggAssign{{Col: expr.NewColumn("a", types.KindInt64), Agg: expr.AggCall{Fn: expr.AggCountStar}}}}
+	g2 := &logical.GroupBy{Input: s2, Aggs: []logical.AggAssign{{Col: expr.NewColumn("b", types.KindFloat64), Agg: expr.AggCall{Fn: expr.AggAvg, Arg: expr.Ref(s2.Cols[2])}}}}
+	e1 := &logical.EnforceSingleRow{Input: g1}
+	e2 := &logical.EnforceSingleRow{Input: g2}
+	res, ok := Fuse(e1, e2)
+	if !ok {
+		t.Fatal("ESR over fusable scalar aggregates must fuse")
+	}
+	mustValidate(t, res.Plan)
+	if _, isESR := res.Plan.(*logical.EnforceSingleRow); !isESR {
+		t.Fatalf("root should stay EnforceSingleRow, got %T", res.Plan)
+	}
+	if len(res.Plan.Schema()) != 2 {
+		t.Errorf("fused schema should carry both aggregates, got %d cols", len(res.Plan.Schema()))
+	}
+}
+
+func TestFuseValues(t *testing.T) {
+	v1 := logical.NewValuesInt("tag", 1, 2)
+	v2 := logical.NewValuesInt("t2", 1, 2)
+	res, ok := Fuse(v1, v2)
+	if !ok {
+		t.Fatal("identical constant tables must fuse")
+	}
+	if res.M.Resolve(v2.Cols[0]) != v1.Cols[0] {
+		t.Error("values columns map positionally")
+	}
+	v3 := logical.NewValuesInt("t3", 1, 3)
+	if _, ok := Fuse(v1, v3); ok {
+		t.Fatal("different constant tables must not fuse")
+	}
+}
+
+func TestFuseAllThreeBranches(t *testing.T) {
+	tab := testItem()
+	mkFilter := func(lo int64) logical.Operator {
+		s := logical.NewScan(tab)
+		return &logical.Filter{Input: s, Cond: expr.Eq(expr.Ref(s.Cols[1]), expr.Lit(types.Int(lo)))}
+	}
+	plans := []logical.Operator{mkFilter(1), mkFilter(2), mkFilter(3)}
+	res, ok := FuseAll(plans)
+	if !ok {
+		t.Fatal("three filters over same table must fuse")
+	}
+	if len(res.Ms) != 3 || len(res.Comps) != 3 {
+		t.Fatalf("n-ary result arity wrong: %d/%d", len(res.Ms), len(res.Comps))
+	}
+	mustValidate(t, res.Plan)
+	if logical.CountScansOf(res.Plan, "item") != 1 {
+		t.Error("n-ary fusion should leave one scan")
+	}
+	// Each compensation must restore its branch's filter.
+	for i, want := range []int64{1, 2, 3} {
+		found := false
+		for _, c := range expr.Conjuncts(res.Comps[i]) {
+			if b, isBin := c.(*expr.Binary); isBin && b.Op == expr.OpEq {
+				if l, isLit := b.R.(*expr.Literal); isLit && l.Val.I == want {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Errorf("comp[%d] = %s does not restore brand=%d", i, res.Comps[i], want)
+		}
+	}
+}
+
+func TestFlattenAndRebuildJoinGraph(t *testing.T) {
+	sales, item := testSales(), testItem()
+	ss, it := logical.NewScan(sales), logical.NewScan(item)
+	join := &logical.Join{Kind: logical.InnerJoin, Left: ss, Right: it,
+		Cond: expr.Eq(expr.Ref(ss.Cols[0]), expr.Ref(it.Cols[0]))}
+	top := &logical.Filter{Input: join, Cond: expr.NewBinary(expr.OpGt, expr.Ref(ss.Cols[2]), expr.Lit(types.Float(0)))}
+	g := FlattenJoin(top)
+	if len(g.Inputs) != 2 || len(g.Conjuncts) != 2 {
+		t.Fatalf("flatten: %d inputs, %d conjuncts", len(g.Inputs), len(g.Conjuncts))
+	}
+	rebuilt := g.Build()
+	mustValidate(t, rebuilt)
+	// Single-input conjunct should be a filter on the input; join conjunct
+	// on the join.
+	if logical.CountOperators(rebuilt) < 4 {
+		t.Errorf("rebuilt plan too small:\n%s", logical.Format(rebuilt))
+	}
+}
+
+func TestJoinGraphSemiJoinIsLeaf(t *testing.T) {
+	sales := testSales()
+	s1, s2 := logical.NewScan(sales), logical.NewScan(sales)
+	semi := &logical.Join{Kind: logical.SemiJoin, Left: s1, Right: s2,
+		Cond: expr.Eq(expr.Ref(s1.Cols[0]), expr.Ref(s2.Cols[0]))}
+	g := FlattenJoin(semi)
+	if len(g.Inputs) != 1 {
+		t.Errorf("semi join must not be flattened, got %d inputs", len(g.Inputs))
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/types"
+)
+
+// TestFuseWindows covers Window-Window fusion: identical windowed
+// aggregates deduplicate through the mapping, distinct ones append.
+func TestFuseWindows(t *testing.T) {
+	tab := testSales()
+	mk := func(fn expr.AggFunc) (*logical.Window, *logical.Scan) {
+		s := logical.NewScan(tab)
+		return &logical.Window{Input: s, Funcs: []logical.WindowAssign{{
+			Col:         expr.NewColumn("w", types.KindFloat64),
+			Agg:         expr.AggCall{Fn: fn, Arg: expr.Ref(s.Cols[2])},
+			PartitionBy: []*expr.Column{s.Cols[1]},
+		}}}, s
+	}
+	w1, _ := mk(expr.AggAvg)
+	w2, _ := mk(expr.AggAvg)
+	res, ok := Fuse(w1, w2)
+	if !ok {
+		t.Fatal("identical windows must fuse")
+	}
+	mustValidate(t, res.Plan)
+	fused := res.Plan.(*logical.Window)
+	if len(fused.Funcs) != 1 {
+		t.Fatalf("identical window functions must dedupe, got %d", len(fused.Funcs))
+	}
+	if res.M.Resolve(w2.Funcs[0].Col) != w1.Funcs[0].Col {
+		t.Error("w2's output must map to w1's")
+	}
+
+	// Different function: appended, not deduped.
+	w3, _ := mk(expr.AggSum)
+	res2, ok := Fuse(w1, w3)
+	if !ok {
+		t.Fatal("windows with different functions must still fuse")
+	}
+	if len(res2.Plan.(*logical.Window).Funcs) != 2 {
+		t.Fatalf("distinct window functions must append, got %d", len(res2.Plan.(*logical.Window).Funcs))
+	}
+}
+
+// Windows over differently-filtered inputs do not fuse (non-trivial
+// compensations would change partition contents).
+func TestFuseWindowsRequiresExactInputs(t *testing.T) {
+	tab := testSales()
+	mk := func(lo float64) *logical.Window {
+		s := logical.NewScan(tab)
+		f := &logical.Filter{Input: s, Cond: expr.NewBinary(expr.OpGt, expr.Ref(s.Cols[2]), expr.Lit(types.Float(lo)))}
+		return &logical.Window{Input: f, Funcs: []logical.WindowAssign{{
+			Col:         expr.NewColumn("w", types.KindFloat64),
+			Agg:         expr.AggCall{Fn: expr.AggAvg, Arg: expr.Ref(s.Cols[2])},
+			PartitionBy: []*expr.Column{s.Cols[1]},
+		}}}
+	}
+	if _, ok := Fuse(mk(1), mk(2)); ok {
+		t.Fatal("windows over differing inputs must not fuse")
+	}
+}
+
+// Limit fusion requires equal limits and exact children.
+func TestFuseLimits(t *testing.T) {
+	tab := testSales()
+	mk := func(n int64) *logical.Limit {
+		return &logical.Limit{Input: logical.NewScan(tab), N: n}
+	}
+	if res, ok := Fuse(mk(5), mk(5)); !ok {
+		t.Fatal("equal limits over same scan must fuse")
+	} else {
+		mustValidate(t, res.Plan)
+		if _, isLimit := res.Plan.(*logical.Limit); !isLimit {
+			t.Errorf("fused root should stay Limit, got %T", res.Plan)
+		}
+	}
+	if _, ok := Fuse(mk(5), mk(6)); ok {
+		t.Fatal("different limits must not fuse")
+	}
+}
+
+// Mismatched-root fallback: Project on one side only.
+func TestFuseMismatchedProject(t *testing.T) {
+	tab := testSales()
+	s1, s2 := logical.NewScan(tab), logical.NewScan(tab)
+	p1 := &logical.Project{Input: s1, Cols: []logical.Assignment{
+		logical.Assign("x", expr.NewBinary(expr.OpMul, expr.Ref(s1.Cols[2]), expr.Lit(types.Float(2)))),
+	}}
+	res, ok := Fuse(p1, s2)
+	if !ok {
+		t.Fatal("project-vs-scan must fuse via manufactured identity projection")
+	}
+	mustValidate(t, res.Plan)
+	// All of s2's columns must be reachable through M or identity.
+	outSet := logical.OutputSet(res.Plan)
+	for _, c := range s2.Cols {
+		if !outSet[res.M.Resolve(c).ID] {
+			t.Errorf("s2 column %s unreachable in fused plan", c)
+		}
+	}
+	if !outSet[p1.Cols[0].Col.ID] {
+		t.Error("p1's computed column lost")
+	}
+}
+
+// Mismatched-root fallback: Filter on one side only.
+func TestFuseMismatchedFilter(t *testing.T) {
+	tab := testSales()
+	s1, s2 := logical.NewScan(tab), logical.NewScan(tab)
+	f1 := &logical.Filter{Input: s1, Cond: expr.NewBinary(expr.OpGt, expr.Ref(s1.Cols[2]), expr.Lit(types.Float(1)))}
+	res, ok := Fuse(f1, s2)
+	if !ok {
+		t.Fatal("filter-vs-scan must fuse via trivial TRUE filter")
+	}
+	mustValidate(t, res.Plan)
+	if res.LTrivial() {
+		t.Errorf("L must restore the filter, got %s", res.L)
+	}
+	if !res.RTrivial() {
+		t.Errorf("R must be TRUE (scan side unfiltered), got %s", res.R)
+	}
+}

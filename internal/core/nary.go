@@ -1,0 +1,194 @@
+package core
+
+import (
+	"repro/internal/expr"
+	"repro/internal/logical"
+)
+
+// NaryResult is the result of fusing n plans into one (§IV.E's native n-ary
+// extension of Fuse, used by the UnionAll rule): Plan covers every input,
+// Ms[i] maps input i's output columns into Plan's output, and Comps[i] is
+// the compensating filter restoring input i.
+type NaryResult struct {
+	Plan  logical.Operator
+	Ms    []expr.Mapping
+	Comps []expr.Expr
+}
+
+// FuseAll incrementally fuses a list of plans. Fusing the accumulated plan
+// with the next input preserves all previously fused columns (the fused
+// schema always includes every P1 output), so earlier mappings stay valid;
+// earlier compensations are tightened with the new step's L.
+func FuseAll(plans []logical.Operator) (*NaryResult, bool) {
+	if len(plans) == 0 {
+		return nil, false
+	}
+	res := &NaryResult{
+		Plan:  plans[0],
+		Ms:    []expr.Mapping{expr.Identity()},
+		Comps: []expr.Expr{expr.TrueExpr()},
+	}
+	for _, next := range plans[1:] {
+		step, ok := Fuse(res.Plan, next)
+		if !ok {
+			return nil, false
+		}
+		res.Plan = step.Plan
+		for i := range res.Comps {
+			res.Comps[i] = expr.Simplify(expr.And(res.Comps[i], step.L))
+		}
+		res.Ms = append(res.Ms, step.M)
+		res.Comps = append(res.Comps, expr.Simplify(step.R))
+	}
+	return res, true
+}
+
+// JoinGraph is a flattened view of a tree of inner joins, cross joins and
+// interleaved filters: a list of join inputs plus the conjuncts connecting
+// them. The fusion rules operate on this view (the paper runs its
+// join-based rules before join reordering, conceptually obtaining an n-ary
+// join and attempting pairwise applications, §IV.E).
+type JoinGraph struct {
+	Inputs    []logical.Operator
+	Conjuncts []expr.Expr
+}
+
+// FlattenJoin builds the join graph rooted at op. Only inner and cross
+// joins (and filters directly above them) are flattened; anything else
+// becomes a leaf input.
+func FlattenJoin(op logical.Operator) *JoinGraph {
+	g := &JoinGraph{}
+	g.flatten(op)
+	return g
+}
+
+func (g *JoinGraph) flatten(op logical.Operator) {
+	switch o := op.(type) {
+	case *logical.Join:
+		if o.Kind == logical.InnerJoin || o.Kind == logical.CrossJoin {
+			g.flatten(o.Left)
+			g.flatten(o.Right)
+			g.Conjuncts = append(g.Conjuncts, expr.Conjuncts(o.Cond)...)
+			return
+		}
+	case *logical.Filter:
+		g.flatten(o.Input)
+		g.Conjuncts = append(g.Conjuncts, expr.Conjuncts(o.Cond)...)
+		return
+	}
+	g.Inputs = append(g.Inputs, op)
+}
+
+// IsNontrivial reports whether the graph flattened more than a single leaf.
+func (g *JoinGraph) IsNontrivial() bool { return len(g.Inputs) > 1 }
+
+// Build reassembles the graph into a left-deep join tree. Each conjunct is
+// attached at the lowest join at which all its columns are available;
+// conjuncts referencing a single input are placed as filters on that input,
+// and any leftovers (none, for well-formed graphs) become a top filter.
+func (g *JoinGraph) Build() logical.Operator {
+	if len(g.Inputs) == 0 {
+		panic("core: empty join graph")
+	}
+	remaining := append([]expr.Expr{}, g.Conjuncts...)
+	avail := logical.OutputSet(g.Inputs[0])
+	take := func() []expr.Expr {
+		var taken []expr.Expr
+		var rest []expr.Expr
+		for _, c := range remaining {
+			if expr.RefersOnly(c, avail) {
+				taken = append(taken, c)
+			} else {
+				rest = append(rest, c)
+			}
+		}
+		remaining = rest
+		return taken
+	}
+
+	cur := g.Inputs[0]
+	if taken := take(); len(taken) > 0 {
+		cur = logical.NewFilter(cur, expr.And(taken...))
+	}
+	for _, next := range g.Inputs[1:] {
+		for _, c := range next.Schema() {
+			avail[c.ID] = true
+		}
+		taken := take()
+		if len(taken) > 0 {
+			cur = &logical.Join{Kind: logical.InnerJoin, Left: cur, Right: next, Cond: expr.And(taken...)}
+		} else {
+			cur = &logical.Join{Kind: logical.CrossJoin, Left: cur, Right: next}
+		}
+	}
+	if len(remaining) > 0 {
+		cur = logical.NewFilter(cur, expr.And(remaining...))
+	}
+	return cur
+}
+
+// conjunctsBetween partitions the graph's conjuncts into: equality
+// conjuncts linking exactly inputs i and j (returned as pairs), other
+// conjuncts touching both i and j only, and the rest. Used by the join
+// rules to test pairs of the n-ary join.
+func (g *JoinGraph) conjunctsBetween(i, j int) (eqs []columnPair, residual []expr.Expr, rest []expr.Expr) {
+	seti := logical.OutputSet(g.Inputs[i])
+	setj := logical.OutputSet(g.Inputs[j])
+	both := make(map[expr.ColumnID]bool, len(seti)+len(setj))
+	for k := range seti {
+		both[k] = true
+	}
+	for k := range setj {
+		both[k] = true
+	}
+	for _, c := range g.Conjuncts {
+		cols := expr.Columns(c)
+		touchesI, touchesJ := false, false
+		for id := range cols {
+			if seti[id] {
+				touchesI = true
+			}
+			if setj[id] {
+				touchesJ = true
+			}
+		}
+		if !(touchesI && touchesJ) || !expr.RefersOnly(c, both) {
+			rest = append(rest, c)
+			continue
+		}
+		if pair, ok := asEquality(c, seti, setj); ok {
+			eqs = append(eqs, pair)
+		} else {
+			residual = append(residual, c)
+		}
+	}
+	return eqs, residual, rest
+}
+
+// columnPair is an equality between a column of the "left" input and a
+// column of the "right" input of a candidate pair.
+type columnPair struct {
+	left  *expr.Column
+	right *expr.Column
+}
+
+// asEquality decomposes c into left-col = right-col relative to the two
+// column sets.
+func asEquality(c expr.Expr, left, right map[expr.ColumnID]bool) (columnPair, bool) {
+	b, ok := c.(*expr.Binary)
+	if !ok || b.Op != expr.OpEq {
+		return columnPair{}, false
+	}
+	lr, ok1 := b.L.(*expr.ColumnRef)
+	rr, ok2 := b.R.(*expr.ColumnRef)
+	if !ok1 || !ok2 {
+		return columnPair{}, false
+	}
+	if left[lr.Col.ID] && right[rr.Col.ID] {
+		return columnPair{left: lr.Col, right: rr.Col}, true
+	}
+	if left[rr.Col.ID] && right[lr.Col.ID] {
+		return columnPair{left: rr.Col, right: lr.Col}, true
+	}
+	return columnPair{}, false
+}

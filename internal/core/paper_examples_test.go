@@ -1,0 +1,238 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/types"
+)
+
+// This file replays the worked examples from the paper's §III, verbatim
+// where the operator algebra allows, as executable conformance checks.
+
+// paperItem mirrors the item columns the §III examples use.
+func paperItem() *catalog.Table {
+	return &catalog.Table{
+		Name: "item",
+		Columns: []catalog.Column{
+			{Name: "i_item_sk", Type: types.KindInt64},
+			{Name: "i_brand", Type: types.KindString},
+			{Name: "i_size", Type: types.KindString},
+			{Name: "i_brand_id", Type: types.KindInt64},
+			{Name: "i_category", Type: types.KindString},
+			{Name: "i_item_desc", Type: types.KindString},
+			{Name: "i_color", Type: types.KindString},
+			{Name: "i_category_id", Type: types.KindInt64},
+		},
+	}
+}
+
+// §III.A: SELECT i_item_sk AS sk, i_brand AS brand FROM item fused with
+// SELECT i_brand AS brand2, i_size AS size FROM item gives a single scan
+// with mapping brand2 → brand.
+func TestPaperExampleScanFusion(t *testing.T) {
+	tab := paperItem()
+	s1 := logical.NewScan(tab)
+	p1 := &logical.Project{Input: s1, Cols: []logical.Assignment{
+		{Col: s1.Cols[0], E: expr.Ref(s1.Cols[0])}, // sk
+		{Col: s1.Cols[1], E: expr.Ref(s1.Cols[1])}, // brand
+	}}
+	s2 := logical.NewScan(tab)
+	p2 := &logical.Project{Input: s2, Cols: []logical.Assignment{
+		{Col: s2.Cols[1], E: expr.Ref(s2.Cols[1])}, // brand2
+		{Col: s2.Cols[2], E: expr.Ref(s2.Cols[2])}, // size
+	}}
+	res, ok := Fuse(p1, p2)
+	if !ok {
+		t.Fatal("the §III.A example must fuse")
+	}
+	if !res.LTrivial() || !res.RTrivial() {
+		t.Error("§III.A: compensations must be TRUE")
+	}
+	// brand2 maps to brand (P1's instance of i_brand).
+	if res.M.Resolve(s2.Cols[1]) != s1.Cols[1] {
+		t.Error("§III.A: brand2 must map to brand")
+	}
+	// The fused plan exposes sk, brand, size.
+	outSet := logical.OutputSet(res.Plan)
+	for _, c := range []*expr.Column{s1.Cols[0], s1.Cols[1]} {
+		if !outSet[c.ID] {
+			t.Errorf("§III.A: fused plan lost %s", c)
+		}
+	}
+	if !outSet[res.M.Resolve(s2.Cols[2]).ID] {
+		t.Error("§III.A: fused plan lost size")
+	}
+	if logical.CountScansOf(res.Plan, "item") != 1 {
+		t.Error("§III.A: one scan expected")
+	}
+}
+
+// §III.B: category='Music' AND brand_id>1000 fused with category='Music'
+// AND brand_id<50 gives WHERE category='Music' AND (brand_id<50 OR
+// brand_id>1000) with the original conditions as compensations.
+func TestPaperExampleFilterFusion(t *testing.T) {
+	tab := paperItem()
+	s1, s2 := logical.NewScan(tab), logical.NewScan(tab)
+	f1 := &logical.Filter{Input: s1, Cond: expr.And(
+		expr.Eq(expr.Ref(s1.Cols[4]), expr.Lit(types.String("Music"))),
+		expr.NewBinary(expr.OpGt, expr.Ref(s1.Cols[3]), expr.Lit(types.Int(1000))),
+	)}
+	f2 := &logical.Filter{Input: s2, Cond: expr.And(
+		expr.Eq(expr.Ref(s2.Cols[4]), expr.Lit(types.String("Music"))),
+		expr.NewBinary(expr.OpLt, expr.Ref(s2.Cols[3]), expr.Lit(types.Int(50))),
+	)}
+	res, ok := Fuse(f1, f2)
+	if !ok {
+		t.Fatal("the §III.B example must fuse")
+	}
+	mustValidate(t, res.Plan)
+	// L restores P1, R restores P2 (modulo M).
+	if !expr.Equivalent(res.L, f1.Cond) {
+		t.Errorf("§III.B: L = %s", res.L)
+	}
+	if !expr.Equivalent(res.R, res.M.Apply(f2.Cond)) {
+		t.Errorf("§III.B: R = %s", res.R)
+	}
+	// The fused condition accepts the union of rows: it must be the
+	// disjunction of the two (the paper shows the factored Music AND
+	// (brand range) form; ours is the unfactored equivalent).
+	cond := res.Plan.(*logical.Filter).Cond
+	if len(expr.Disjuncts(cond)) != 2 {
+		t.Errorf("§III.B: fused condition should be a disjunction: %s", cond)
+	}
+}
+
+// §III.C: Project x:=a+1 fused with Project y:=a'+1, z:=3 reuses x for y.
+func TestPaperExampleProjectFusion(t *testing.T) {
+	tab := &catalog.Table{Name: "t", Columns: []catalog.Column{{Name: "a", Type: types.KindInt64}}}
+	s1, s2 := logical.NewScan(tab), logical.NewScan(tab)
+	p1 := &logical.Project{Input: s1, Cols: []logical.Assignment{
+		logical.Assign("x", expr.NewBinary(expr.OpAdd, expr.Ref(s1.Cols[0]), expr.Lit(types.Int(1)))),
+	}}
+	p2 := &logical.Project{Input: s2, Cols: []logical.Assignment{
+		logical.Assign("y", expr.NewBinary(expr.OpAdd, expr.Ref(s2.Cols[0]), expr.Lit(types.Int(1)))),
+		logical.Assign("z", expr.Lit(types.Int(3))),
+	}}
+	res, ok := Fuse(p1, p2)
+	if !ok {
+		t.Fatal("the §III.C example must fuse")
+	}
+	fused := res.Plan.(*logical.Project)
+	if len(fused.Cols) != 2 {
+		t.Fatalf("§III.C: expected assignments {x, z}, got %d", len(fused.Cols))
+	}
+	if res.M.Resolve(p2.Cols[0].Col) != p1.Cols[0].Col {
+		t.Error("§III.C: y must map to x")
+	}
+	if res.M.Resolve(p2.Cols[1].Col) != p2.Cols[1].Col {
+		t.Error("§III.C: z keeps its identity")
+	}
+	if !res.LTrivial() || !res.RTrivial() {
+		t.Error("§III.C: compensations must be TRUE")
+	}
+}
+
+// §III.E first example: G1 = GroupBy{a} x:=(SUM(b), TRUE) over Filter(c=1),
+// G2 = GroupBy{a} y:=(AVG(b), d=1). The fusion yields masked aggregates
+// [x:=(SUM(b),c=1), y:=(AVG(b),d=1), z:=(COUNT(*),c=1)] with L = z>0 and
+// R = TRUE.
+func TestPaperExampleGroupByFusion(t *testing.T) {
+	tab := &catalog.Table{Name: "t", Columns: []catalog.Column{
+		{Name: "a", Type: types.KindInt64},
+		{Name: "b", Type: types.KindInt64},
+		{Name: "c", Type: types.KindInt64},
+		{Name: "d", Type: types.KindInt64},
+	}}
+	s1, s2 := logical.NewScan(tab), logical.NewScan(tab)
+	g1 := &logical.GroupBy{
+		Input: &logical.Filter{Input: s1, Cond: expr.Eq(expr.Ref(s1.Cols[2]), expr.Lit(types.Int(1)))},
+		Keys:  []*expr.Column{s1.Cols[0]},
+		Aggs: []logical.AggAssign{{Col: expr.NewColumn("x", types.KindInt64),
+			Agg: expr.AggCall{Fn: expr.AggSum, Arg: expr.Ref(s1.Cols[1])}}},
+	}
+	g2 := &logical.GroupBy{
+		Input: s2,
+		Keys:  []*expr.Column{s2.Cols[0]},
+		Aggs: []logical.AggAssign{{Col: expr.NewColumn("y", types.KindFloat64),
+			Agg: expr.AggCall{Fn: expr.AggAvg, Arg: expr.Ref(s2.Cols[1]),
+				Mask: expr.Eq(expr.Ref(s2.Cols[3]), expr.Lit(types.Int(1)))}}},
+	}
+	res, ok := Fuse(g1, g2)
+	if !ok {
+		t.Fatal("the §III.E example must fuse")
+	}
+	mustValidate(t, res.Plan)
+	fused := res.Plan.(*logical.GroupBy)
+	if len(fused.Aggs) != 3 {
+		t.Fatalf("§III.E: aggs = %d, want 3 (x, y, z)", len(fused.Aggs))
+	}
+	// x's mask is the absorbed filter c=1.
+	if fused.Aggs[0].Agg.Mask == nil || !strings.Contains(fused.Aggs[0].Agg.Mask.String(), "= 1") {
+		t.Errorf("§III.E: x's mask = %v", fused.Aggs[0].Agg.Mask)
+	}
+	// z is COUNT(*) with the same mask; L = z > 0, R = TRUE.
+	z := fused.Aggs[2]
+	if z.Agg.Fn != expr.AggCountStar {
+		t.Errorf("§III.E: compensating aggregate = %s", z.Agg)
+	}
+	if res.RTrivial() == false {
+		t.Errorf("§III.E: R = %s, want TRUE", res.R)
+	}
+	wantL := expr.NewBinary(expr.OpGt, expr.Ref(z.Col), expr.Lit(types.Int(0)))
+	if !expr.Equivalent(res.L, wantL) {
+		t.Errorf("§III.E: L = %s, want %s", res.L, wantL)
+	}
+	// The filter below the group-by must be gone (absorbed into masks).
+	if _, isFilter := fused.Input.(*logical.Filter); isFilter {
+		t.Error("§III.E: the side filter must be absorbed into masks")
+	}
+}
+
+// §III.F: GroupBy{a} [x:=count(b) distinct, y:=count(c) distinct] lowers to
+// a MarkDistinct chain, and fusing two such plans chains the marks over one
+// input. Here we verify the fusion of the §III.F operator pair directly.
+func TestPaperExampleMarkDistinctChain(t *testing.T) {
+	tab := &catalog.Table{Name: "t", Columns: []catalog.Column{
+		{Name: "a", Type: types.KindInt64},
+		{Name: "b", Type: types.KindInt64},
+		{Name: "c", Type: types.KindInt64},
+	}}
+	s := logical.NewScan(tab)
+	inner := &logical.MarkDistinct{Input: s, MarkCol: expr.NewColumn("dc", types.KindBool), On: []*expr.Column{s.Cols[2]}}
+	outer := &logical.MarkDistinct{Input: inner, MarkCol: expr.NewColumn("db", types.KindBool), On: []*expr.Column{s.Cols[1]}}
+	gb := &logical.GroupBy{Input: outer, Keys: []*expr.Column{s.Cols[0]},
+		Aggs: []logical.AggAssign{
+			{Col: expr.NewColumn("x", types.KindInt64),
+				Agg: expr.AggCall{Fn: expr.AggCount, Arg: expr.Ref(s.Cols[1]), Mask: expr.Ref(outer.MarkCol)}},
+			{Col: expr.NewColumn("y", types.KindInt64),
+				Agg: expr.AggCall{Fn: expr.AggCount, Arg: expr.Ref(s.Cols[2]), Mask: expr.Ref(inner.MarkCol)}},
+		}}
+	if err := logical.Validate(gb); err != nil {
+		t.Fatalf("§III.F shape invalid: %v", err)
+	}
+	// A second identical instance fuses into one plan with both mark chains
+	// deduplicated (exact fuse).
+	s2 := logical.NewScan(tab)
+	inner2 := &logical.MarkDistinct{Input: s2, MarkCol: expr.NewColumn("dc", types.KindBool), On: []*expr.Column{s2.Cols[2]}}
+	outer2 := &logical.MarkDistinct{Input: inner2, MarkCol: expr.NewColumn("db", types.KindBool), On: []*expr.Column{s2.Cols[1]}}
+	gb2 := &logical.GroupBy{Input: outer2, Keys: []*expr.Column{s2.Cols[0]},
+		Aggs: []logical.AggAssign{
+			{Col: expr.NewColumn("x2", types.KindInt64),
+				Agg: expr.AggCall{Fn: expr.AggCount, Arg: expr.Ref(s2.Cols[1]), Mask: expr.Ref(outer2.MarkCol)}},
+		}}
+	res, ok := Fuse(gb, gb2)
+	if !ok {
+		t.Fatal("§III.F: identical mark chains must fuse")
+	}
+	mustValidate(t, res.Plan)
+	if got := logical.CountScansOf(res.Plan, "t"); got != 1 {
+		t.Errorf("§III.F: scans = %d, want 1", got)
+	}
+	if res.M.Resolve(gb2.Aggs[0].Col) != gb.Aggs[0].Col {
+		t.Error("§III.F: x2 must map to x")
+	}
+}

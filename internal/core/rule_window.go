@@ -1,0 +1,257 @@
+package core
+
+import (
+	"repro/internal/expr"
+	"repro/internal/logical"
+)
+
+// A Rule rewrites a plan rooted at op. It returns the rewritten plan and
+// whether anything changed; an unchanged result must return op itself.
+type Rule interface {
+	Name() string
+	Apply(op logical.Operator) (logical.Operator, bool)
+}
+
+// GroupByJoinToWindow implements §IV.A: the pattern P1 ⨝ GroupBy_K,A(P2)
+// with Fuse(P1, P2) succeeding exactly and the join keys matching the
+// grouping columns modulo the fuse mapping is replaced with a windowed
+// aggregation over the single fused input:
+//
+//	Filter_{M(C2)}
+//	  Window_{A OVER (PARTITION BY cl1..cln)}
+//	    Filter_{cl1 IS NOT NULL AND ...}
+//	      P
+//
+// followed by a projection that restores both original schemas (grouping
+// columns of the right side are re-exposed through the mapping). The rule
+// runs over the flattened n-ary join (§IV.E) so the two fusable inputs need
+// not be adjacent — exactly the Q01 situation, where store and customer
+// joins separate them.
+type GroupByJoinToWindow struct {
+	// MinReuseRows gates the rewrite on the estimated size of the common
+	// expression: duplicates below the threshold are not worth rewriting
+	// (the paper's statistics-based applicability heuristic, §IV.E).
+	// Zero applies the rule whenever it matches.
+	MinReuseRows float64
+}
+
+// Name implements Rule.
+func (GroupByJoinToWindow) Name() string { return "GroupByJoinToWindow" }
+
+// Apply implements Rule.
+func (r GroupByJoinToWindow) Apply(op logical.Operator) (logical.Operator, bool) {
+	if !isJoinRegionRoot(op) {
+		return op, false
+	}
+	g := FlattenJoin(op)
+	if !g.IsNontrivial() {
+		return op, false
+	}
+	changed := false
+	for {
+		if !applyWindowOnce(g, r.MinReuseRows) {
+			break
+		}
+		changed = true
+	}
+	if !changed {
+		return op, false
+	}
+	return g.Build(), true
+}
+
+// isJoinRegionRoot limits rule invocations to nodes that head a join
+// region; inner nodes of the same region are covered by the root's
+// invocation.
+func isJoinRegionRoot(op logical.Operator) bool {
+	switch o := op.(type) {
+	case *logical.Join:
+		return o.Kind == logical.InnerJoin || o.Kind == logical.CrossJoin
+	case *logical.Filter:
+		if j, ok := o.Input.(*logical.Join); ok {
+			return j.Kind == logical.InnerJoin || j.Kind == logical.CrossJoin
+		}
+	}
+	return false
+}
+
+// applyWindowOnce scans the n-ary join for one applicable (P1, GroupBy(P2))
+// pair, mutating the graph in place on success.
+func applyWindowOnce(g *JoinGraph, minReuseRows float64) bool {
+	for j, inputJ := range g.Inputs {
+		gb, having, projAssigns := peelGroupBy(inputJ)
+		if gb == nil || gb.IsScalar() || len(gb.Aggs) == 0 {
+			continue
+		}
+		// Heuristic gates (§IV.E): only rewrite when the duplicated common
+		// expression does real work — it reads at least one table, and its
+		// estimated size clears the configured threshold.
+		if !containsAnyScan(gb.Input) {
+			continue
+		}
+		if minReuseRows > 0 && logical.EstimateRows(gb.Input) < minReuseRows {
+			continue
+		}
+		for i := range g.Inputs {
+			if i == j {
+				continue
+			}
+			if tryWindowPair(g, i, j, gb, having, projAssigns) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// peelGroupBy unwraps an optional Project and/or Filter above a GroupBy
+// (the §IV.E extensions: predicates pushed between the join and the
+// group-by, and projections carried across the transformation). It returns
+// the GroupBy, the peeled filter condition (over GroupBy outputs), and the
+// peeled projection assignments, all to be re-applied above the window.
+func peelGroupBy(op logical.Operator) (*logical.GroupBy, expr.Expr, []logical.Assignment) {
+	var projAssigns []logical.Assignment
+	if p, ok := op.(*logical.Project); ok {
+		projAssigns = p.Cols
+		op = p.Input
+	}
+	switch o := op.(type) {
+	case *logical.GroupBy:
+		return o, nil, projAssigns
+	case *logical.Filter:
+		if gb, ok := o.Input.(*logical.GroupBy); ok {
+			return gb, o.Cond, projAssigns
+		}
+	}
+	return nil, nil, nil
+}
+
+func containsAnyScan(op logical.Operator) bool {
+	found := false
+	logical.Walk(op, func(o logical.Operator) bool {
+		if _, ok := o.(*logical.Scan); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func tryWindowPair(g *JoinGraph, i, j int, gb *logical.GroupBy, having expr.Expr, projAssigns []logical.Assignment) bool {
+	inputI := g.Inputs[i]
+	res, ok := Fuse(inputI, gb.Input)
+	if !ok || !res.LTrivial() || !res.RTrivial() {
+		return false
+	}
+	// substProj folds the peeled projection's computed columns back into an
+	// expression so it can be evaluated over the window's output.
+	substProj := func(e expr.Expr) expr.Expr {
+		if len(projAssigns) == 0 {
+			return e
+		}
+		return expr.Transform(e, func(x expr.Expr) expr.Expr {
+			if ref, isRef := x.(*expr.ColumnRef); isRef {
+				for _, a := range projAssigns {
+					if a.Col.ID == ref.Col.ID {
+						return a.E
+					}
+				}
+			}
+			return x
+		})
+	}
+	eqs, residual, rest := g.conjunctsBetween(i, j)
+	if len(eqs) == 0 {
+		return false
+	}
+	// The equality conjuncts must cover exactly the grouping columns on the
+	// group-by side, and each left column must be the mapping image of its
+	// right column (cli = M(cri)).
+	keySet := make(map[expr.ColumnID]bool, len(gb.Keys))
+	for _, k := range gb.Keys {
+		keySet[k.ID] = true
+	}
+	covered := make(map[expr.ColumnID]bool, len(eqs))
+	for _, pair := range eqs {
+		// conjunctsBetween orients pairs as (input i, input j), so the right
+		// column belongs to the group-by side.
+		l, r := pair.left, pair.right
+		if !keySet[r.ID] {
+			return false // equality on an aggregate output column
+		}
+		if res.M.Resolve(r) != l {
+			return false
+		}
+		covered[r.ID] = true
+	}
+	if len(covered) != len(gb.Keys) {
+		return false
+	}
+
+	// Build the replacement.
+	var notNulls []expr.Expr
+	partition := make([]*expr.Column, 0, len(gb.Keys))
+	for _, k := range gb.Keys {
+		mapped := res.M.Resolve(k)
+		notNulls = append(notNulls, expr.NotNull(expr.Ref(mapped)))
+		partition = append(partition, mapped)
+	}
+	base := logical.NewFilter(res.Plan, expr.And(notNulls...))
+	funcs := make([]logical.WindowAssign, len(gb.Aggs))
+	for idx, a := range gb.Aggs {
+		funcs[idx] = logical.WindowAssign{
+			Col:         a.Col, // keep identity: residuals reference it
+			Agg:         res.M.ApplyAgg(a.Agg),
+			PartitionBy: partition,
+		}
+	}
+	win := &logical.Window{Input: base, Funcs: funcs}
+
+	// Residual join conditions and the peeled post-group-by filter apply
+	// above the window, with group-by-side columns mapped.
+	var post []expr.Expr
+	for _, c := range residual {
+		post = append(post, res.M.Apply(substProj(c)))
+	}
+	if having != nil {
+		post = append(post, res.M.Apply(having))
+	}
+	filtered := logical.NewFilter(win, expr.Simplify(expr.And(post...)))
+
+	// Restore the combined schema of inputs i and j: input i's columns pass
+	// through the fused plan; the group-by side's outputs are re-exposed —
+	// key columns via the mapping, aggregate columns by identity (the
+	// window kept them), peeled projection columns by re-evaluating their
+	// expressions over the window output.
+	proj := &logical.Project{Input: filtered}
+	for _, c := range inputI.Schema() {
+		proj.Cols = append(proj.Cols, logical.Assignment{Col: c, E: expr.Ref(c)})
+	}
+	if len(projAssigns) > 0 {
+		for _, a := range projAssigns {
+			proj.Cols = append(proj.Cols, logical.Assignment{Col: a.Col, E: res.M.Apply(a.E)})
+		}
+	} else {
+		for _, k := range gb.Keys {
+			proj.Cols = append(proj.Cols, logical.Assignment{Col: k, E: expr.Ref(res.M.Resolve(k))})
+		}
+		for _, a := range gb.Aggs {
+			proj.Cols = append(proj.Cols, logical.Assignment{Col: a.Col, E: expr.Ref(a.Col)})
+		}
+	}
+
+	// Splice: replace inputs i and j with the rewrite; keep only the
+	// untouched conjuncts.
+	newInputs := make([]logical.Operator, 0, len(g.Inputs)-1)
+	for idx, in := range g.Inputs {
+		if idx == i {
+			newInputs = append(newInputs, proj)
+		} else if idx != j {
+			newInputs = append(newInputs, in)
+		}
+	}
+	g.Inputs = newInputs
+	g.Conjuncts = rest
+	return true
+}

@@ -1,0 +1,479 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/types"
+)
+
+// salesAgg builds a fresh instance of the Q65-style common expression:
+// GroupBy{store,item} revenue:=SUM(price) over Scan(store_sales).
+// Returns the group-by and its scan for column access.
+func salesAgg(t *testing.T) (*logical.GroupBy, *logical.Scan) {
+	t.Helper()
+	s := logical.NewScan(testSales())
+	gb := &logical.GroupBy{
+		Input: s,
+		Keys:  []*expr.Column{s.Cols[1], s.Cols[0]}, // store, item
+		Aggs: []logical.AggAssign{{
+			Col: expr.NewColumn("revenue", types.KindFloat64),
+			Agg: expr.AggCall{Fn: expr.AggSum, Arg: expr.Ref(s.Cols[2])},
+		}},
+	}
+	return gb, s
+}
+
+// TestGroupByJoinToWindow builds the motivating Q65 pattern:
+//
+//	sc ⨝_{store, revenue<=0.1*ave} GroupBy_{store}(AVG(revenue))(sa)
+//
+// where sc and sa are two instances of the same aggregation, and expects a
+// single-scan window plan.
+func TestGroupByJoinToWindow(t *testing.T) {
+	sc, _ := salesAgg(t)
+	sa, _ := salesAgg(t)
+	scStore := sc.Keys[0]
+	saStore := sa.Keys[0]
+	sb := &logical.GroupBy{
+		Input: sa,
+		Keys:  []*expr.Column{saStore},
+		Aggs: []logical.AggAssign{{
+			Col: expr.NewColumn("ave", types.KindFloat64),
+			Agg: expr.AggCall{Fn: expr.AggAvg, Arg: expr.Ref(sa.Aggs[0].Col)},
+		}},
+	}
+	scRevenue := sc.Aggs[0].Col
+	join := &logical.Join{
+		Kind: logical.InnerJoin,
+		Left: sc, Right: sb,
+		Cond: expr.And(
+			expr.Eq(expr.Ref(scStore), expr.Ref(saStore)),
+			expr.NewBinary(expr.OpLe, expr.Ref(scRevenue),
+				expr.NewBinary(expr.OpMul, expr.Lit(types.Float(0.1)), expr.Ref(sb.Aggs[0].Col))),
+		),
+	}
+	if got := logical.CountScansOf(join, "store_sales"); got != 2 {
+		t.Fatalf("precondition: %d scans, want 2", got)
+	}
+
+	out, changed := (GroupByJoinToWindow{}).Apply(join)
+	if !changed {
+		t.Fatalf("rule did not fire on:\n%s", logical.Format(join))
+	}
+	if err := logical.Validate(out); err != nil {
+		t.Fatalf("rewritten plan invalid: %v\n%s", err, logical.Format(out))
+	}
+	if got := logical.CountScansOf(out, "store_sales"); got != 1 {
+		t.Errorf("rewritten plan scans store_sales %d times, want 1:\n%s", got, logical.Format(out))
+	}
+	hasWindow := false
+	logical.Walk(out, func(o logical.Operator) bool {
+		if _, ok := o.(*logical.Window); ok {
+			hasWindow = true
+		}
+		return true
+	})
+	if !hasWindow {
+		t.Errorf("rewritten plan has no Window operator:\n%s", logical.Format(out))
+	}
+	// The join output schema must be restorable: every original output
+	// column (sc's and sb's) must appear in the rewritten schema.
+	outSet := logical.OutputSet(out)
+	for _, c := range join.Schema() {
+		if !outSet[c.ID] {
+			t.Errorf("rewritten plan lost output column %s", c)
+		}
+	}
+	// A NOT NULL guard on the partition key must exist below the window.
+	if !strings.Contains(logical.Format(out), "IS NOT NULL") {
+		t.Error("rewritten plan lacks the NOT NULL partition guard")
+	}
+}
+
+// The rule must not fire when the join keys do not cover the grouping keys.
+func TestGroupByJoinToWindowKeyMismatch(t *testing.T) {
+	sc, scScan := salesAgg(t)
+	sa, _ := salesAgg(t)
+	sb := &logical.GroupBy{
+		Input: sa,
+		Keys:  []*expr.Column{sa.Keys[0]},
+		Aggs: []logical.AggAssign{{
+			Col: expr.NewColumn("ave", types.KindFloat64),
+			Agg: expr.AggCall{Fn: expr.AggAvg, Arg: expr.Ref(sa.Aggs[0].Col)},
+		}},
+	}
+	_ = scScan
+	// Join on item instead of store: does not match sb's grouping key.
+	join := &logical.Join{
+		Kind: logical.InnerJoin, Left: sc, Right: sb,
+		Cond: expr.Eq(expr.Ref(sc.Keys[1]), expr.Ref(sb.Keys[0])),
+	}
+	if _, changed := (GroupByJoinToWindow{}).Apply(join); changed {
+		t.Error("rule fired despite key mismatch")
+	}
+}
+
+// TestGroupByJoinToWindowSeparatedInputs places the two fusable inputs at
+// opposite ends of an n-ary join (the Q01 shape, where store and customer
+// joins separate ctr1 from the decorrelated aggregate).
+func TestGroupByJoinToWindowSeparatedInputs(t *testing.T) {
+	ctr1, _ := salesAgg(t)
+	ctr2, _ := salesAgg(t)
+	avgGB := &logical.GroupBy{
+		Input: ctr2,
+		Keys:  []*expr.Column{ctr2.Keys[0]},
+		Aggs: []logical.AggAssign{{
+			Col: expr.NewColumn("avg_ret", types.KindFloat64),
+			Agg: expr.AggCall{Fn: expr.AggAvg, Arg: expr.Ref(ctr2.Aggs[0].Col)},
+		}},
+	}
+	store := logical.NewScan(testItem()) // stands in for the store dimension
+	inner := &logical.Join{Kind: logical.InnerJoin, Left: ctr1, Right: store,
+		Cond: expr.Eq(expr.Ref(ctr1.Keys[0]), expr.Ref(store.Cols[0]))}
+	outer := &logical.Join{Kind: logical.InnerJoin, Left: inner, Right: avgGB,
+		Cond: expr.And(
+			expr.Eq(expr.Ref(ctr1.Keys[0]), expr.Ref(avgGB.Keys[0])),
+			expr.NewBinary(expr.OpGt, expr.Ref(ctr1.Aggs[0].Col), expr.Ref(avgGB.Aggs[0].Col)),
+		)}
+
+	out, changed := (GroupByJoinToWindow{}).Apply(outer)
+	if !changed {
+		t.Fatalf("rule did not fire across n-ary join:\n%s", logical.Format(outer))
+	}
+	if err := logical.Validate(out); err != nil {
+		t.Fatalf("invalid: %v\n%s", err, logical.Format(out))
+	}
+	if got := logical.CountScansOf(out, "store_sales"); got != 1 {
+		t.Errorf("store_sales scanned %d times, want 1:\n%s", got, logical.Format(out))
+	}
+	if got := logical.CountScansOf(out, "item"); got != 1 {
+		t.Errorf("dimension must survive, scanned %d times", got)
+	}
+}
+
+// scalarAggBranch builds EnforceSingleRow(GroupBy_∅ agg(Filter(scan))) —
+// the shape scalar subquery removal produces for Q09.
+func scalarAggBranch(fn expr.AggFunc, lo, hi int64) (*logical.EnforceSingleRow, *logical.Scan) {
+	s := logical.NewScan(testSales())
+	cond := expr.And(
+		expr.NewBinary(expr.OpGe, expr.Ref(s.Cols[0]), expr.Lit(types.Int(lo))),
+		expr.NewBinary(expr.OpLe, expr.Ref(s.Cols[0]), expr.Lit(types.Int(hi))),
+	)
+	f := &logical.Filter{Input: s, Cond: cond}
+	var agg expr.AggCall
+	if fn == expr.AggCountStar {
+		agg = expr.AggCall{Fn: fn}
+	} else {
+		agg = expr.AggCall{Fn: fn, Arg: expr.Ref(s.Cols[2])}
+	}
+	gb := &logical.GroupBy{Input: f, Aggs: []logical.AggAssign{{
+		Col: expr.NewColumn("agg", agg.ResultType()), Agg: agg,
+	}}}
+	return &logical.EnforceSingleRow{Input: gb}, s
+}
+
+// TestJoinOnKeysScalar cross-joins several scalar aggregates over the same
+// table with different range predicates — the Q09/Q28/Q88 pattern — and
+// expects them all to collapse into one scan.
+func TestJoinOnKeysScalar(t *testing.T) {
+	e1, _ := scalarAggBranch(expr.AggCountStar, 1, 20)
+	e2, _ := scalarAggBranch(expr.AggAvg, 1, 20)
+	e3, _ := scalarAggBranch(expr.AggAvg, 21, 40)
+	cross1 := &logical.Join{Kind: logical.CrossJoin, Left: e1, Right: e2}
+	cross2 := &logical.Join{Kind: logical.CrossJoin, Left: cross1, Right: e3}
+	if got := logical.CountScansOf(cross2, "store_sales"); got != 3 {
+		t.Fatalf("precondition: %d scans", got)
+	}
+
+	out, changed := (JoinOnKeys{}).Apply(cross2)
+	if !changed {
+		t.Fatalf("rule did not fire:\n%s", logical.Format(cross2))
+	}
+	if err := logical.Validate(out); err != nil {
+		t.Fatalf("invalid: %v\n%s", err, logical.Format(out))
+	}
+	if got := logical.CountScansOf(out, "store_sales"); got != 1 {
+		t.Errorf("scans = %d, want 1:\n%s", got, logical.Format(out))
+	}
+	// All three aggregate outputs must survive.
+	outSet := logical.OutputSet(out)
+	for _, e := range []*logical.EnforceSingleRow{e1, e2, e3} {
+		for _, c := range e.Schema() {
+			if !outSet[c.ID] {
+				t.Errorf("lost scalar aggregate column %s", c)
+			}
+		}
+	}
+	// The fused filter must be the disjunction of the ranges (pushed to one
+	// filter below the group-by).
+	txt := logical.Format(out)
+	if !strings.Contains(txt, "OR") {
+		t.Errorf("expected disjunctive fused filter:\n%s", txt)
+	}
+}
+
+// TestJoinOnKeysKeyed joins two identical distinct-projections (GroupBy
+// with no aggregates) on their full key — the Q95 R0/R2 situation.
+func TestJoinOnKeysKeyed(t *testing.T) {
+	mkDistinct := func() *logical.GroupBy {
+		s := logical.NewScan(testSales())
+		return &logical.GroupBy{Input: s, Keys: []*expr.Column{s.Cols[0]}}
+	}
+	r0, r2 := mkDistinct(), mkDistinct()
+	probe := logical.NewScan(testSales())
+	j1 := &logical.Join{Kind: logical.InnerJoin, Left: probe, Right: r0,
+		Cond: expr.Eq(expr.Ref(probe.Cols[0]), expr.Ref(r0.Keys[0]))}
+	j2 := &logical.Join{Kind: logical.InnerJoin, Left: j1, Right: r2,
+		Cond: expr.Eq(expr.Ref(probe.Cols[0]), expr.Ref(r2.Keys[0]))}
+	if got := logical.CountScansOf(j2, "store_sales"); got != 3 {
+		t.Fatalf("precondition: %d scans", got)
+	}
+
+	out, changed := (JoinOnKeys{}).Apply(j2)
+	if !changed {
+		t.Fatalf("rule did not fire:\n%s", logical.Format(j2))
+	}
+	if err := logical.Validate(out); err != nil {
+		t.Fatalf("invalid: %v\n%s", err, logical.Format(out))
+	}
+	if got := logical.CountScansOf(out, "store_sales"); got != 2 {
+		t.Errorf("scans = %d, want 2 (probe + one distinct):\n%s", got, logical.Format(out))
+	}
+}
+
+// The keyed rule must not fire when the join misses part of a key.
+func TestJoinOnKeysPartialKey(t *testing.T) {
+	mk := func() *logical.GroupBy {
+		s := logical.NewScan(testSales())
+		return &logical.GroupBy{Input: s, Keys: []*expr.Column{s.Cols[0], s.Cols[1]}}
+	}
+	g1, g2 := mk(), mk()
+	join := &logical.Join{Kind: logical.InnerJoin, Left: g1, Right: g2,
+		Cond: expr.Eq(expr.Ref(g1.Keys[0]), expr.Ref(g2.Keys[0]))} // only half the key
+	if _, changed := (JoinOnKeys{}).Apply(join); changed {
+		t.Error("rule fired on partial-key join")
+	}
+}
+
+// expensiveCommon builds a fresh instance of a shared dimension subquery
+// (distinct item keys with revenue above a threshold).
+func expensiveCommon() *logical.GroupBy {
+	s := logical.NewScan(testSales())
+	f := &logical.Filter{Input: s, Cond: expr.NewBinary(expr.OpGt, expr.Ref(s.Cols[2]), expr.Lit(types.Float(100)))}
+	return &logical.GroupBy{Input: f, Keys: []*expr.Column{s.Cols[0]}}
+}
+
+// TestUnionAllOnJoin builds the Q23 shape: two branches over different fact
+// tables, each semi-joined against an instance of the same expensive
+// subquery, combined with UNION ALL. The rewrite must keep one instance.
+func TestUnionAllOnJoin(t *testing.T) {
+	cs := logical.NewScan(testItem())  // stands in for catalog_sales
+	ws := logical.NewScan(testSales()) // stands in for web_sales
+	z1, z2 := expensiveCommon(), expensiveCommon()
+	b1 := &logical.Join{Kind: logical.SemiJoin, Left: cs, Right: z1,
+		Cond: expr.Eq(expr.Ref(cs.Cols[0]), expr.Ref(z1.Keys[0]))}
+	b2 := &logical.Join{Kind: logical.SemiJoin, Left: ws, Right: z2,
+		Cond: expr.Eq(expr.Ref(ws.Cols[0]), expr.Ref(z2.Keys[0]))}
+	u := logical.NewUnionAll(
+		[]logical.Operator{b1, b2},
+		[][]*expr.Column{{cs.Cols[1]}, {ws.Cols[1]}},
+	)
+	if got := logical.CountScansOf(u, "store_sales"); got != 3 {
+		t.Fatalf("precondition: %d store_sales scans", got)
+	}
+
+	out, changed := (UnionAllOnJoin{}).Apply(u)
+	if !changed {
+		t.Fatalf("rule did not fire:\n%s", logical.Format(u))
+	}
+	if err := logical.Validate(out); err != nil {
+		t.Fatalf("invalid: %v\n%s", err, logical.Format(out))
+	}
+	// One shared-z scan plus the genuine ws fact scan.
+	if got := logical.CountScansOf(out, "store_sales"); got != 2 {
+		t.Errorf("store_sales scans = %d, want 2:\n%s", got, logical.Format(out))
+	}
+	// Output schema preserved.
+	outSet := logical.OutputSet(out)
+	for _, c := range u.Cols {
+		if !outSet[c.ID] {
+			t.Errorf("lost union output %s", c)
+		}
+	}
+	// The semi join must now sit above the union.
+	if _, isProj := out.(*logical.Project); !isProj {
+		t.Fatalf("expected top projection, got %T", out)
+	}
+	join, isJoin := out.(*logical.Project).Input.(*logical.Join)
+	if !isJoin || join.Kind != logical.SemiJoin {
+		t.Fatalf("expected semi join above union:\n%s", logical.Format(out))
+	}
+	if _, isUnion := join.Left.(*logical.UnionAll); !isUnion {
+		t.Errorf("union must be pushed below the semi join:\n%s", logical.Format(out))
+	}
+}
+
+// TestUnionAllOnJoinMultiLevel strips two shared semi-join levels in one
+// application.
+func TestUnionAllOnJoinMultiLevel(t *testing.T) {
+	mkBranch := func(fact *logical.Scan) (logical.Operator, *logical.Scan) {
+		za, zb := expensiveCommon(), expensiveCommon()
+		_ = zb
+		inner := &logical.Join{Kind: logical.SemiJoin, Left: fact, Right: za,
+			Cond: expr.Eq(expr.Ref(fact.Cols[0]), expr.Ref(za.Keys[0]))}
+		zc := expensiveCommon()
+		outer := &logical.Join{Kind: logical.SemiJoin, Left: inner, Right: zc,
+			Cond: expr.Eq(expr.Ref(fact.Cols[0]), expr.Ref(zc.Keys[0]))}
+		return outer, fact
+	}
+	b1, cs := mkBranch(logical.NewScan(testItem()))
+	b2, ws := mkBranch(logical.NewScan(testSales()))
+	u := logical.NewUnionAll(
+		[]logical.Operator{b1, b2},
+		[][]*expr.Column{{cs.Cols[1]}, {ws.Cols[1]}},
+	)
+	before := logical.CountScansOf(u, "store_sales")
+	out, changed := (UnionAllOnJoin{}).Apply(u)
+	if !changed {
+		t.Fatal("rule did not fire")
+	}
+	if err := logical.Validate(out); err != nil {
+		t.Fatalf("invalid: %v\n%s", err, logical.Format(out))
+	}
+	after := logical.CountScansOf(out, "store_sales")
+	if after >= before {
+		t.Errorf("scans did not decrease: before=%d after=%d", before, after)
+	}
+	// Two levels shared: 4 z-instances + ws fact = 5 before; 2 fused z + ws = 3 after.
+	if after != 3 {
+		t.Errorf("store_sales scans = %d, want 3:\n%s", after, logical.Format(out))
+	}
+}
+
+// TestUnionAllFusion exercises the §I CTE example: two differently-filtered
+// selections of the same subquery unioned together.
+func TestUnionAllFusion(t *testing.T) {
+	mk := func(category string) (logical.Operator, *expr.Column) {
+		s := logical.NewScan(testItem())
+		f := &logical.Filter{Input: s, Cond: expr.Eq(expr.Ref(s.Cols[2]), expr.Lit(types.String(category)))}
+		return f, s.Cols[0]
+	}
+	b1, out1 := mk("Music")
+	b2, out2 := mk("Books")
+	u := logical.NewUnionAll([]logical.Operator{b1, b2}, [][]*expr.Column{{out1}, {out2}})
+
+	out, changed := (UnionAllFusion{}).Apply(u)
+	if !changed {
+		t.Fatalf("rule did not fire:\n%s", logical.Format(u))
+	}
+	if err := logical.Validate(out); err != nil {
+		t.Fatalf("invalid: %v\n%s", err, logical.Format(out))
+	}
+	if got := logical.CountScansOf(out, "item"); got != 1 {
+		t.Errorf("item scans = %d, want 1:\n%s", got, logical.Format(out))
+	}
+	// Disjoint single-column string equalities are contradictory, so the
+	// simpler non-replicating form must be chosen (no Values table).
+	hasValues := false
+	logical.Walk(out, func(o logical.Operator) bool {
+		if _, ok := o.(*logical.Values); ok {
+			hasValues = true
+		}
+		return true
+	})
+	if hasValues {
+		t.Errorf("contradictory branches should avoid tag replication:\n%s", logical.Format(out))
+	}
+}
+
+// TestUnionAllFusionOverlapping uses overlapping predicates, which require
+// the tag cross-join to preserve row multiplicity.
+func TestUnionAllFusionOverlapping(t *testing.T) {
+	mk := func(limit int64) (logical.Operator, *expr.Column) {
+		s := logical.NewScan(testItem())
+		f := &logical.Filter{Input: s, Cond: expr.NewBinary(expr.OpGt, expr.Ref(s.Cols[1]), expr.Lit(types.Int(limit)))}
+		return f, s.Cols[0]
+	}
+	b1, out1 := mk(10)
+	b2, out2 := mk(20) // overlaps: brand > 20 implies brand > 10
+	u := logical.NewUnionAll([]logical.Operator{b1, b2}, [][]*expr.Column{{out1}, {out2}})
+
+	out, changed := (UnionAllFusion{}).Apply(u)
+	if !changed {
+		t.Fatal("rule did not fire")
+	}
+	if err := logical.Validate(out); err != nil {
+		t.Fatalf("invalid: %v\n%s", err, logical.Format(out))
+	}
+	hasValues := false
+	logical.Walk(out, func(o logical.Operator) bool {
+		if _, ok := o.(*logical.Values); ok {
+			hasValues = true
+		}
+		return true
+	})
+	if !hasValues {
+		t.Errorf("overlapping branches need the tag table:\n%s", logical.Format(out))
+	}
+	if got := logical.CountScansOf(out, "item"); got != 1 {
+		t.Errorf("item scans = %d, want 1", got)
+	}
+}
+
+// TestUnionAllFusionNary fuses three branches at once.
+func TestUnionAllFusionNary(t *testing.T) {
+	mk := func(limit int64) (logical.Operator, *expr.Column) {
+		s := logical.NewScan(testItem())
+		f := &logical.Filter{Input: s, Cond: expr.NewBinary(expr.OpGt, expr.Ref(s.Cols[1]), expr.Lit(types.Int(limit)))}
+		return f, s.Cols[0]
+	}
+	var ins []logical.Operator
+	var cols [][]*expr.Column
+	for _, lim := range []int64{10, 20, 30} {
+		b, c := mk(lim)
+		ins = append(ins, b)
+		cols = append(cols, []*expr.Column{c})
+	}
+	u := logical.NewUnionAll(ins, cols)
+	out, changed := (UnionAllFusion{}).Apply(u)
+	if !changed {
+		t.Fatal("rule did not fire on 3-ary union")
+	}
+	if err := logical.Validate(out); err != nil {
+		t.Fatalf("invalid: %v\n%s", err, logical.Format(out))
+	}
+	if got := logical.CountScansOf(out, "item"); got != 1 {
+		t.Errorf("item scans = %d, want 1", got)
+	}
+	// Tag table must have 3 rows.
+	logical.Walk(out, func(o logical.Operator) bool {
+		if v, ok := o.(*logical.Values); ok && len(v.Rows) != 3 {
+			t.Errorf("tag table has %d rows, want 3", len(v.Rows))
+		}
+		return true
+	})
+}
+
+// Rules must leave non-matching plans untouched.
+func TestRulesNoFalsePositives(t *testing.T) {
+	s1 := logical.NewScan(testSales())
+	s2 := logical.NewScan(testItem())
+	join := &logical.Join{Kind: logical.InnerJoin, Left: s1, Right: s2,
+		Cond: expr.Eq(expr.Ref(s1.Cols[0]), expr.Ref(s2.Cols[0]))}
+	for _, r := range []Rule{GroupByJoinToWindow{}, JoinOnKeys{}, UnionAllOnJoin{}, UnionAllFusion{}} {
+		if _, changed := r.Apply(join); changed {
+			t.Errorf("%s fired on a plain dimension join", r.Name())
+		}
+	}
+	// Union over different tables must stay.
+	u := logical.NewUnionAll(
+		[]logical.Operator{s1, s2},
+		[][]*expr.Column{{s1.Cols[0]}, {s2.Cols[0]}},
+	)
+	if _, changed := (UnionAllFusion{}).Apply(u); changed {
+		t.Error("UnionAllFusion fired on branches over different tables")
+	}
+}

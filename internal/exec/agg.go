@@ -1,0 +1,625 @@
+package exec
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/types"
+)
+
+// aggState accumulates one aggregate function's value.
+type aggState struct {
+	count int64
+	sumF  float64
+	sumI  int64
+	min   types.Value
+	max   types.Value
+	seen  bool
+}
+
+func (s *aggState) add(fn expr.AggFunc, v types.Value) {
+	switch fn {
+	case expr.AggCountStar:
+		s.count++
+	case expr.AggCount:
+		if !v.Null {
+			s.count++
+		}
+	case expr.AggSum, expr.AggAvg:
+		if !v.Null {
+			s.count++
+			s.seen = true
+			if v.Kind == types.KindFloat64 {
+				s.sumF += v.F
+			} else {
+				s.sumI += v.I
+				s.sumF += float64(v.I)
+			}
+		}
+	case expr.AggMin:
+		if !v.Null && (!s.seen || types.Compare(v, s.min) < 0) {
+			s.min = v
+			s.seen = true
+		}
+	case expr.AggMax:
+		if !v.Null && (!s.seen || types.Compare(v, s.max) > 0) {
+			s.max = v
+			s.seen = true
+		}
+	}
+}
+
+func (s *aggState) result(agg expr.AggCall) types.Value {
+	switch agg.Fn {
+	case expr.AggCountStar, expr.AggCount:
+		return types.Int(s.count)
+	case expr.AggSum:
+		if !s.seen {
+			return types.NullOf(agg.ResultType())
+		}
+		if agg.ResultType() == types.KindInt64 {
+			return types.Int(s.sumI)
+		}
+		return types.Float(s.sumF)
+	case expr.AggAvg:
+		if s.count == 0 {
+			return types.NullOf(types.KindFloat64)
+		}
+		return types.Float(s.sumF / float64(s.count))
+	case expr.AggMin:
+		if !s.seen {
+			return types.NullOf(agg.ResultType())
+		}
+		return s.min
+	default: // Max
+		if !s.seen {
+			return types.NullOf(agg.ResultType())
+		}
+		return s.max
+	}
+}
+
+// compiledAgg is an aggregate with a bound argument evaluator and an index
+// into the shared distinct-mask table (-1 = no mask).
+type compiledAgg struct {
+	agg     expr.AggCall
+	arg     *evaluator
+	maskIdx int
+}
+
+// compiledAggs shares mask evaluation across aggregates: structurally
+// equivalent masks (common when many FILTERed aggregates fuse over one
+// input, as in Q09's buckets) are evaluated once per row.
+type compiledAggs struct {
+	aggs    []compiledAgg
+	masks   []*evaluator
+	maskAst []expr.Expr
+	results []bool // per-row scratch, reused
+}
+
+func compileAggs(aggs []logical.AggAssign, layout map[expr.ColumnID]int) (*compiledAggs, error) {
+	out := &compiledAggs{aggs: make([]compiledAgg, len(aggs))}
+	for i, a := range aggs {
+		ca := compiledAgg{agg: a.Agg, maskIdx: -1}
+		var err error
+		if a.Agg.Arg != nil {
+			if ca.arg, err = newEvaluator(a.Agg.Arg, layout); err != nil {
+				return nil, err
+			}
+		}
+		if a.Agg.Mask != nil && !expr.IsTrueLiteral(a.Agg.Mask) {
+			found := -1
+			for k, ast := range out.maskAst {
+				if expr.Equal(ast, a.Agg.Mask) {
+					found = k
+					break
+				}
+			}
+			if found < 0 {
+				ev, err := newEvaluator(a.Agg.Mask, layout)
+				if err != nil {
+					return nil, err
+				}
+				out.masks = append(out.masks, ev)
+				out.maskAst = append(out.maskAst, a.Agg.Mask)
+				found = len(out.masks) - 1
+			}
+			ca.maskIdx = found
+		}
+		out.aggs[i] = ca
+	}
+	out.results = make([]bool, len(out.masks))
+	return out, nil
+}
+
+// evalMasks evaluates each distinct mask once for the row.
+func (ca *compiledAggs) evalMasks(row Row) {
+	for i, ev := range ca.masks {
+		ca.results[i] = ev.eval(row).IsTrue()
+	}
+}
+
+// feed accumulates one input row into the group's states, honouring masks
+// (evalMasks must have been called for the row).
+func feed(states []aggState, ca *compiledAggs, row Row) {
+	for i := range ca.aggs {
+		a := &ca.aggs[i]
+		if a.maskIdx >= 0 && !ca.results[a.maskIdx] {
+			continue
+		}
+		var v types.Value
+		if a.arg != nil {
+			v = a.arg.eval(row)
+		}
+		states[i].add(a.agg.Fn, v)
+	}
+}
+
+func (ex *executor) buildGroupBy(g *logical.GroupBy) (Iterator, error) {
+	in, err := ex.build(g.Input)
+	if err != nil {
+		return nil, err
+	}
+	layout := layoutOf(g.Input)
+	keyIdx := make([]int, len(g.Keys))
+	for i, k := range g.Keys {
+		idx, ok := layout[k.ID]
+		if !ok {
+			return nil, errUnbound(k)
+		}
+		keyIdx[i] = idx
+	}
+	aggs, err := compileAggs(g.Aggs, layout)
+	if err != nil {
+		return nil, err
+	}
+	return &groupByIter{in: in, keyIdx: keyIdx, aggs: aggs, scalar: len(g.Keys) == 0, m: ex.metrics}, nil
+}
+
+func errUnbound(c *expr.Column) error {
+	return &unboundError{col: c}
+}
+
+type unboundError struct{ col *expr.Column }
+
+func (e *unboundError) Error() string {
+	return "exec: column " + e.col.String() + " not produced by input"
+}
+
+// groupByIter is a blocking hash aggregation with per-aggregate masks
+// (§III.E). Group keys are compared SQL-DISTINCT-style: NULLs group
+// together.
+type groupByIter struct {
+	in     Iterator
+	keyIdx []int
+	aggs   *compiledAggs
+	scalar bool
+	m      *Metrics
+
+	built  bool
+	keys   []string // insertion order for deterministic output
+	groups map[string]*group
+	emit   int
+	keyBuf strings.Builder
+}
+
+type group struct {
+	keyVals []types.Value
+	states  []aggState
+}
+
+func (it *groupByIter) Next() (Row, error) {
+	if !it.built {
+		if err := it.consume(); err != nil {
+			return nil, err
+		}
+	}
+	if it.emit >= len(it.keys) {
+		return nil, nil
+	}
+	g := it.groups[it.keys[it.emit]]
+	it.emit++
+	out := make(Row, len(it.keyIdx)+len(it.aggs.aggs))
+	copy(out, g.keyVals)
+	for i := range it.aggs.aggs {
+		out[len(it.keyIdx)+i] = g.states[i].result(it.aggs.aggs[i].agg)
+	}
+	return out, nil
+}
+
+func (it *groupByIter) consume() error {
+	it.groups = make(map[string]*group)
+	kv := make([]types.Value, len(it.keyIdx))
+	for {
+		row, err := it.in.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		it.m.addProcessed(1)
+		for i, idx := range it.keyIdx {
+			kv[i] = row[idx]
+		}
+		k := encodeKey(&it.keyBuf, kv)
+		g, ok := it.groups[k]
+		if !ok {
+			g = &group{keyVals: append([]types.Value{}, kv...), states: make([]aggState, len(it.aggs.aggs))}
+			it.groups[k] = g
+			it.keys = append(it.keys, k)
+			it.m.addHashRows(1)
+		}
+		it.aggs.evalMasks(row)
+		feed(g.states, it.aggs, row)
+	}
+	// A scalar aggregate over empty input still produces one default row.
+	if it.scalar && len(it.keys) == 0 {
+		it.keys = append(it.keys, "")
+		it.groups[""] = &group{states: make([]aggState, len(it.aggs.aggs))}
+	}
+	it.built = true
+	return nil
+}
+
+// buildMarkDistinct merges a chain of adjacent MarkDistinct operators into
+// one physical operator (the paper's §III.F "processing a chain of
+// MarkDistinct operators holistically" optimization): one input pass, one
+// output row allocation, k distinct sets.
+func (ex *executor) buildMarkDistinct(md *logical.MarkDistinct) (Iterator, error) {
+	// Collect the chain innermost-last.
+	var chain []*logical.MarkDistinct
+	cur := md
+	for {
+		chain = append(chain, cur)
+		inner, ok := cur.Input.(*logical.MarkDistinct)
+		if !ok {
+			break
+		}
+		cur = inner
+	}
+	base := chain[len(chain)-1].Input
+	in, err := ex.build(base)
+	if err != nil {
+		return nil, err
+	}
+
+	// Output layout: base schema, then marks innermost-first (matching the
+	// logical schema of the nested operators).
+	layout := layoutOf(base)
+	baseWidth := len(base.Schema())
+	marks := make([]markSpec, len(chain))
+	for i := range chain {
+		node := chain[len(chain)-1-i] // innermost first
+		spec := markSpec{onIdx: make([]int, len(node.On)), seen: make(map[string]bool)}
+		for k, c := range node.On {
+			idx, ok := layout[c.ID]
+			if !ok {
+				return nil, errUnbound(c)
+			}
+			spec.onIdx[k] = idx
+		}
+		if node.Mask != nil {
+			ev, err := newEvaluator(node.Mask, layout)
+			if err != nil {
+				return nil, err
+			}
+			spec.mask = ev
+		}
+		marks[i] = spec
+		// Later (outer) masks may reference earlier mark columns.
+		layout[node.MarkCol.ID] = baseWidth + i
+	}
+	return &markDistinctIter{in: in, marks: marks, m: ex.metrics}, nil
+}
+
+type markSpec struct {
+	onIdx []int
+	mask  *evaluator
+	seen  map[string]bool
+}
+
+// markDistinctIter implements §III.F: pass the input through, appending one
+// boolean column per mark that is TRUE on the first occurrence of each
+// combination of the On columns among rows satisfying the mask (NULLs
+// compare as a single distinct value, matching SQL DISTINCT semantics).
+type markDistinctIter struct {
+	in     Iterator
+	marks  []markSpec
+	keyBuf strings.Builder
+	kv     []types.Value
+	m      *Metrics
+}
+
+func (it *markDistinctIter) Next() (Row, error) {
+	row, err := it.in.Next()
+	if row == nil || err != nil {
+		return nil, err
+	}
+	it.m.addProcessed(1)
+	out := make(Row, len(row)+len(it.marks))
+	copy(out, row)
+	for mi := range it.marks {
+		spec := &it.marks[mi]
+		first := false
+		if spec.mask == nil || spec.mask.eval(out).IsTrue() {
+			if cap(it.kv) < len(spec.onIdx) {
+				it.kv = make([]types.Value, len(spec.onIdx))
+			}
+			kv := it.kv[:len(spec.onIdx)]
+			for i, idx := range spec.onIdx {
+				kv[i] = out[idx]
+			}
+			k := encodeKey(&it.keyBuf, kv)
+			if !spec.seen[k] {
+				spec.seen[k] = true
+				first = true
+				it.m.addHashRows(1)
+			}
+		}
+		out[len(row)+mi] = types.Bool(first)
+	}
+	return out, nil
+}
+
+func (ex *executor) buildWindow(w *logical.Window) (Iterator, error) {
+	in, err := ex.build(w.Input)
+	if err != nil {
+		return nil, err
+	}
+	layout := layoutOf(w.Input)
+	funcs := make([]windowFunc, len(w.Funcs))
+	for i, f := range w.Funcs {
+		ca, err := compileAggs([]logical.AggAssign{{Col: f.Col, Agg: f.Agg}}, layout)
+		if err != nil {
+			return nil, err
+		}
+		partIdx := make([]int, len(f.PartitionBy))
+		for k, c := range f.PartitionBy {
+			idx, ok := layout[c.ID]
+			if !ok {
+				return nil, errUnbound(c)
+			}
+			partIdx[k] = idx
+		}
+		funcs[i] = windowFunc{agg: ca, partIdx: partIdx}
+	}
+	return &windowIter{in: in, funcs: funcs, m: ex.metrics}, nil
+}
+
+type windowFunc struct {
+	agg     *compiledAggs // exactly one aggregate
+	partIdx []int
+}
+
+// windowIter materializes its input, computes each windowed aggregate per
+// partition (unordered full-partition frame), and emits every input row
+// extended with its partition's aggregate values. The materialization is
+// the cost the paper observes making Q01-class latency gains modest even as
+// bytes scanned drop.
+type windowIter struct {
+	in    Iterator
+	funcs []windowFunc
+	m     *Metrics
+
+	built  bool
+	rows   []Row
+	outIdx int
+	// per function: row index -> partition state
+	states [][]*aggState
+	keyBuf strings.Builder
+}
+
+func (it *windowIter) Next() (Row, error) {
+	if !it.built {
+		if err := it.consume(); err != nil {
+			return nil, err
+		}
+	}
+	if it.outIdx >= len(it.rows) {
+		return nil, nil
+	}
+	row := it.rows[it.outIdx]
+	out := make(Row, len(row)+len(it.funcs))
+	copy(out, row)
+	for i := range it.funcs {
+		out[len(row)+i] = it.states[i][it.outIdx].result(it.funcs[i].agg.aggs[0].agg)
+	}
+	it.outIdx++
+	return out, nil
+}
+
+func (it *windowIter) consume() error {
+	for {
+		row, err := it.in.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		it.m.addProcessed(1)
+		it.m.addHashRows(1)
+		it.rows = append(it.rows, row)
+	}
+	it.states = make([][]*aggState, len(it.funcs))
+	for fi, f := range it.funcs {
+		partitions := make(map[string]*aggState)
+		rowState := make([]*aggState, len(it.rows))
+		kv := make([]types.Value, len(f.partIdx))
+		for ri, row := range it.rows {
+			for i, idx := range f.partIdx {
+				kv[i] = row[idx]
+			}
+			k := encodeKey(&it.keyBuf, kv)
+			st, ok := partitions[k]
+			if !ok {
+				st = &aggState{}
+				partitions[k] = st
+			}
+			rowState[ri] = st
+			f.agg.evalMasks(row)
+			a := &f.agg.aggs[0]
+			if a.maskIdx >= 0 && !f.agg.results[a.maskIdx] {
+				continue
+			}
+			var v types.Value
+			if a.arg != nil {
+				v = a.arg.eval(row)
+			}
+			st.add(a.agg.Fn, v)
+		}
+		it.states[fi] = rowState
+	}
+	it.built = true
+	return nil
+}
+
+func (ex *executor) buildUnion(u *logical.UnionAll) (Iterator, error) {
+	inputs := make([]Iterator, len(u.Inputs))
+	remaps := make([][]int, len(u.Inputs))
+	for i, in := range u.Inputs {
+		it, err := ex.build(in)
+		if err != nil {
+			return nil, err
+		}
+		inputs[i] = it
+		layout := layoutOf(in)
+		remap := make([]int, len(u.InputCols[i]))
+		for j, c := range u.InputCols[i] {
+			idx, ok := layout[c.ID]
+			if !ok {
+				return nil, errUnbound(c)
+			}
+			remap[j] = idx
+		}
+		remaps[i] = remap
+	}
+	return &unionIter{inputs: inputs, remaps: remaps, m: ex.metrics}, nil
+}
+
+type unionIter struct {
+	inputs []Iterator
+	remaps [][]int
+	cur    int
+	m      *Metrics
+}
+
+func (it *unionIter) Next() (Row, error) {
+	for it.cur < len(it.inputs) {
+		row, err := it.inputs[it.cur].Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			it.cur++
+			continue
+		}
+		it.m.addProcessed(1)
+		remap := it.remaps[it.cur]
+		out := make(Row, len(remap))
+		for j, idx := range remap {
+			out[j] = row[idx]
+		}
+		return out, nil
+	}
+	return nil, nil
+}
+
+func (ex *executor) buildSort(s *logical.Sort) (Iterator, error) {
+	in, err := ex.build(s.Input)
+	if err != nil {
+		return nil, err
+	}
+	layout := layoutOf(s.Input)
+	evs := make([]*evaluator, len(s.Keys))
+	for i, k := range s.Keys {
+		ev, err := newEvaluator(k.E, layout)
+		if err != nil {
+			return nil, err
+		}
+		evs[i] = ev
+	}
+	return &sortIter{in: in, evs: evs, keys: s.Keys, m: ex.metrics}, nil
+}
+
+// sortIter is a blocking full sort. NULLs order last ascending, first
+// descending.
+type sortIter struct {
+	in   Iterator
+	evs  []*evaluator
+	keys []logical.SortKey
+	m    *Metrics
+
+	built bool
+	rows  []Row
+	vals  [][]types.Value
+	idx   int
+}
+
+func (it *sortIter) Next() (Row, error) {
+	if !it.built {
+		for {
+			row, err := it.in.Next()
+			if err != nil {
+				return nil, err
+			}
+			if row == nil {
+				break
+			}
+			it.m.addProcessed(1)
+			it.rows = append(it.rows, row)
+			kv := make([]types.Value, len(it.evs))
+			for i, ev := range it.evs {
+				kv[i] = ev.eval(row)
+			}
+			it.vals = append(it.vals, kv)
+		}
+		order := make([]int, len(it.rows))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			va, vb := it.vals[order[a]], it.vals[order[b]]
+			for k := range it.keys {
+				c := compareForSort(va[k], vb[k])
+				if c == 0 {
+					continue
+				}
+				if it.keys[k].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		sorted := make([]Row, len(order))
+		for i, o := range order {
+			sorted[i] = it.rows[o]
+		}
+		it.rows = sorted
+		it.built = true
+	}
+	if it.idx >= len(it.rows) {
+		return nil, nil
+	}
+	r := it.rows[it.idx]
+	it.idx++
+	return r, nil
+}
+
+// compareForSort orders NULLs after every value.
+func compareForSort(a, b types.Value) int {
+	switch {
+	case a.Null && b.Null:
+		return 0
+	case a.Null:
+		return 1
+	case b.Null:
+		return -1
+	default:
+		return types.Compare(a, b)
+	}
+}

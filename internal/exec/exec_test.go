@@ -1,0 +1,520 @@
+package exec
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/optimizer"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// fixture builds a small catalog + store with a partitioned sales table and
+// an item dimension.
+func fixture(t *testing.T) *storage.Store {
+	t.Helper()
+	cat := catalog.New()
+	cat.MustAdd(&catalog.Table{
+		Name: "sales",
+		Columns: []catalog.Column{
+			{Name: "s_item", Type: types.KindInt64},
+			{Name: "s_store", Type: types.KindInt64},
+			{Name: "s_qty", Type: types.KindInt64},
+			{Name: "s_price", Type: types.KindFloat64},
+			{Name: "s_date", Type: types.KindInt64},
+		},
+		PartitionColumn: "s_date",
+	})
+	cat.MustAdd(&catalog.Table{
+		Name: "item",
+		Columns: []catalog.Column{
+			{Name: "i_item", Type: types.KindInt64},
+			{Name: "i_brand", Type: types.KindString},
+		},
+		Keys: [][]string{{"i_item"}},
+	})
+	st := storage.NewStore(cat)
+	var rows [][]types.Value
+	// 12 rows across 3 date partitions.
+	for i := 0; i < 12; i++ {
+		rows = append(rows, []types.Value{
+			types.Int(int64(i % 4)),       // item 0..3
+			types.Int(int64(i % 2)),       // store 0..1
+			types.Int(int64(i)),           // qty
+			types.Float(float64(i) * 1.5), // price
+			types.Int(int64(i % 3)),       // date partition 0..2
+		})
+	}
+	if err := st.Load("sales", rows); err != nil {
+		t.Fatal(err)
+	}
+	items := [][]types.Value{
+		{types.Int(0), types.String("alpha")},
+		{types.Int(1), types.String("beta")},
+		{types.Int(2), types.String("gamma")},
+		{types.Int(3), types.String("delta")},
+	}
+	if err := st.Load("item", items); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func scanOf(t *testing.T, st *storage.Store, name string) *logical.Scan {
+	t.Helper()
+	tab, ok := st.Catalog().Table(name)
+	if !ok {
+		t.Fatalf("no table %s", name)
+	}
+	return logical.NewScan(tab)
+}
+
+func runPlan(t *testing.T, st *storage.Store, plan logical.Operator) *Result {
+	t.Helper()
+	if err := logical.Validate(plan); err != nil {
+		t.Fatalf("invalid plan: %v\n%s", err, logical.Format(plan))
+	}
+	res, err := Run(plan, st)
+	if err != nil {
+		t.Fatalf("run failed: %v\n%s", err, logical.Format(plan))
+	}
+	return res
+}
+
+func TestScanAllRows(t *testing.T) {
+	st := fixture(t)
+	res := runPlan(t, st, scanOf(t, st, "sales"))
+	if len(res.Rows) != 12 {
+		t.Errorf("scan returned %d rows, want 12", len(res.Rows))
+	}
+	if res.Metrics.Storage.BytesScanned == 0 {
+		t.Error("scan must account bytes")
+	}
+}
+
+func TestFilterAndPartitionPruning(t *testing.T) {
+	st := fixture(t)
+	full := scanOf(t, st, "sales")
+	fullRes := runPlan(t, st, full)
+
+	s := scanOf(t, st, "sales")
+	plan := logical.NewFilter(s, expr.Eq(expr.Ref(s.ColumnFor("s_date")), expr.Lit(types.Int(1))))
+	res := runPlan(t, st, plan)
+	if len(res.Rows) != 4 {
+		t.Errorf("filtered rows = %d, want 4", len(res.Rows))
+	}
+	// Partition pruning must reduce bytes scanned to ~1/3.
+	if res.Metrics.Storage.BytesScanned*2 >= fullRes.Metrics.Storage.BytesScanned {
+		t.Errorf("pruning ineffective: %d vs full %d",
+			res.Metrics.Storage.BytesScanned, fullRes.Metrics.Storage.BytesScanned)
+	}
+	if res.Metrics.Storage.RowsScanned != 4 {
+		t.Errorf("rows scanned = %d, want 4 after pruning", res.Metrics.Storage.RowsScanned)
+	}
+}
+
+func TestColumnPruningReducesBytes(t *testing.T) {
+	st := fixture(t)
+	wide := scanOf(t, st, "sales")
+	wideRes := runPlan(t, st, wide)
+
+	narrow := scanOf(t, st, "sales")
+	narrow.Cols = narrow.Cols[:1]
+	narrow.ColNames = narrow.ColNames[:1]
+	narrowRes := runPlan(t, st, narrow)
+	if narrowRes.Metrics.Storage.BytesScanned >= wideRes.Metrics.Storage.BytesScanned {
+		t.Errorf("narrow scan not cheaper: %d vs %d",
+			narrowRes.Metrics.Storage.BytesScanned, wideRes.Metrics.Storage.BytesScanned)
+	}
+}
+
+func TestProjectEvaluation(t *testing.T) {
+	st := fixture(t)
+	s := scanOf(t, st, "sales")
+	plan := &logical.Project{Input: s, Cols: []logical.Assignment{
+		logical.Assign("double_qty", expr.NewBinary(expr.OpMul, expr.Ref(s.ColumnFor("s_qty")), expr.Lit(types.Int(2)))),
+	}}
+	res := runPlan(t, st, plan)
+	var sum int64
+	for _, r := range res.Rows {
+		sum += r[0].I
+	}
+	if sum != 2*(0+1+2+3+4+5+6+7+8+9+10+11) {
+		t.Errorf("sum of doubled qty = %d", sum)
+	}
+}
+
+func TestHashJoinInner(t *testing.T) {
+	st := fixture(t)
+	s := scanOf(t, st, "sales")
+	i := scanOf(t, st, "item")
+	join := &logical.Join{Kind: logical.InnerJoin, Left: s, Right: i,
+		Cond: expr.Eq(expr.Ref(s.ColumnFor("s_item")), expr.Ref(i.ColumnFor("i_item")))}
+	res := runPlan(t, st, join)
+	if len(res.Rows) != 12 {
+		t.Errorf("join rows = %d, want 12 (every sale matches one item)", len(res.Rows))
+	}
+	if len(res.Rows[0]) != 7 {
+		t.Errorf("join width = %d, want 7", len(res.Rows[0]))
+	}
+}
+
+func TestHashJoinSemiAndResidual(t *testing.T) {
+	st := fixture(t)
+	s := scanOf(t, st, "sales")
+	i := scanOf(t, st, "item")
+	// Semi join against items with brand >= "beta" lexically.
+	semi := &logical.Join{Kind: logical.SemiJoin, Left: s, Right: i,
+		Cond: expr.And(
+			expr.Eq(expr.Ref(s.ColumnFor("s_item")), expr.Ref(i.ColumnFor("i_item"))),
+			expr.NewBinary(expr.OpGe, expr.Ref(i.ColumnFor("i_brand")), expr.Lit(types.String("beta"))),
+		)}
+	res := runPlan(t, st, semi)
+	// items 1 (beta), 2 (gamma), 3 (delta): 9 of 12 sales rows.
+	if len(res.Rows) != 9 {
+		t.Errorf("semi join rows = %d, want 9", len(res.Rows))
+	}
+	if len(res.Rows[0]) != 5 {
+		t.Errorf("semi join must output left schema only, got width %d", len(res.Rows[0]))
+	}
+}
+
+func TestLeftJoinNullExtension(t *testing.T) {
+	st := fixture(t)
+	s := scanOf(t, st, "sales")
+	i := scanOf(t, st, "item")
+	// Restrict right side to item 0 only.
+	filtered := logical.NewFilter(i, expr.Eq(expr.Ref(i.ColumnFor("i_item")), expr.Lit(types.Int(0))))
+	left := &logical.Join{Kind: logical.LeftJoin, Left: s, Right: filtered,
+		Cond: expr.Eq(expr.Ref(s.ColumnFor("s_item")), expr.Ref(i.ColumnFor("i_item")))}
+	res := runPlan(t, st, left)
+	if len(res.Rows) != 12 {
+		t.Errorf("left join rows = %d, want 12", len(res.Rows))
+	}
+	nulls := 0
+	for _, r := range res.Rows {
+		if r[5].Null {
+			nulls++
+		}
+	}
+	if nulls != 9 {
+		t.Errorf("null-extended rows = %d, want 9", nulls)
+	}
+}
+
+func TestCrossJoin(t *testing.T) {
+	st := fixture(t)
+	s := scanOf(t, st, "item")
+	v := logical.NewValuesInt("tag", 1, 2)
+	cross := &logical.Join{Kind: logical.CrossJoin, Left: s, Right: v}
+	res := runPlan(t, st, cross)
+	if len(res.Rows) != 8 {
+		t.Errorf("cross join rows = %d, want 8", len(res.Rows))
+	}
+}
+
+func TestGroupByWithMasks(t *testing.T) {
+	st := fixture(t)
+	s := scanOf(t, st, "sales")
+	qty := s.ColumnFor("s_qty")
+	gb := &logical.GroupBy{
+		Input: s,
+		Keys:  []*expr.Column{s.ColumnFor("s_store")},
+		Aggs: []logical.AggAssign{
+			{Col: expr.NewColumn("cnt_small", types.KindInt64),
+				Agg: expr.AggCall{Fn: expr.AggCountStar,
+					Mask: expr.NewBinary(expr.OpLt, expr.Ref(qty), expr.Lit(types.Int(6)))}},
+			{Col: expr.NewColumn("total", types.KindInt64),
+				Agg: expr.AggCall{Fn: expr.AggSum, Arg: expr.Ref(qty)}},
+		},
+	}
+	res := runPlan(t, st, gb)
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %d, want 2", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		store := r[0].I
+		// Stores alternate; each store has qty values store, store+2, ... store+10.
+		wantCount := int64(3) // of the 6 rows per store, those with qty<6: qty=store,store+2,store+4
+		if r[1].I != wantCount {
+			t.Errorf("store %d masked count = %d, want %d", store, r[1].I, wantCount)
+		}
+		wantTotal := int64(0)
+		for q := store; q < 12; q += 2 {
+			wantTotal += q
+		}
+		if r[2].I != wantTotal {
+			t.Errorf("store %d total = %d, want %d", store, r[2].I, wantTotal)
+		}
+	}
+}
+
+func TestScalarGroupByOnEmptyInput(t *testing.T) {
+	st := fixture(t)
+	s := scanOf(t, st, "sales")
+	empty := logical.NewFilter(s, expr.FalseExpr())
+	gb := &logical.GroupBy{Input: empty, Aggs: []logical.AggAssign{
+		{Col: expr.NewColumn("c", types.KindInt64), Agg: expr.AggCall{Fn: expr.AggCountStar}},
+		{Col: expr.NewColumn("m", types.KindInt64), Agg: expr.AggCall{Fn: expr.AggMax, Arg: expr.Ref(s.ColumnFor("s_qty"))}},
+	}}
+	res := runPlan(t, st, gb)
+	if len(res.Rows) != 1 {
+		t.Fatalf("scalar aggregate must emit one row, got %d", len(res.Rows))
+	}
+	if res.Rows[0][0].I != 0 {
+		t.Errorf("COUNT over empty = %v, want 0", res.Rows[0][0])
+	}
+	if !res.Rows[0][1].Null {
+		t.Errorf("MAX over empty = %v, want NULL", res.Rows[0][1])
+	}
+}
+
+func TestMarkDistinct(t *testing.T) {
+	st := fixture(t)
+	s := scanOf(t, st, "sales")
+	md := &logical.MarkDistinct{Input: s, MarkCol: expr.NewColumn("d", types.KindBool),
+		On: []*expr.Column{s.ColumnFor("s_item")}}
+	res := runPlan(t, st, md)
+	marked := 0
+	for _, r := range res.Rows {
+		if r[5].IsTrue() {
+			marked++
+		}
+	}
+	if marked != 4 {
+		t.Errorf("marked rows = %d, want 4 distinct items", marked)
+	}
+}
+
+func TestWindowPartitionedAvg(t *testing.T) {
+	st := fixture(t)
+	s := scanOf(t, st, "sales")
+	w := &logical.Window{Input: s, Funcs: []logical.WindowAssign{{
+		Col:         expr.NewColumn("avg_qty", types.KindFloat64),
+		Agg:         expr.AggCall{Fn: expr.AggAvg, Arg: expr.Ref(s.ColumnFor("s_qty"))},
+		PartitionBy: []*expr.Column{s.ColumnFor("s_store")},
+	}}}
+	res := runPlan(t, st, w)
+	if len(res.Rows) != 12 {
+		t.Fatalf("window must preserve rows, got %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		store := r[1].I
+		want := float64(store) + 5 // avg of store, store+2, ..., store+10
+		if r[5].F != want {
+			t.Errorf("store %d avg = %v, want %v", store, r[5].F, want)
+		}
+	}
+}
+
+func TestUnionAllExec(t *testing.T) {
+	st := fixture(t)
+	s1, s2 := scanOf(t, st, "item"), scanOf(t, st, "item")
+	u := logical.NewUnionAll(
+		[]logical.Operator{s1, s2},
+		[][]*expr.Column{{s1.ColumnFor("i_item")}, {s2.ColumnFor("i_item")}},
+	)
+	res := runPlan(t, st, u)
+	if len(res.Rows) != 8 {
+		t.Errorf("union rows = %d, want 8", len(res.Rows))
+	}
+}
+
+func TestSortAndLimit(t *testing.T) {
+	st := fixture(t)
+	s := scanOf(t, st, "sales")
+	sorted := &logical.Sort{Input: s, Keys: []logical.SortKey{{E: expr.Ref(s.ColumnFor("s_qty")), Desc: true}}}
+	lim := &logical.Limit{Input: sorted, N: 3}
+	res := runPlan(t, st, lim)
+	if len(res.Rows) != 3 {
+		t.Fatalf("limit rows = %d", len(res.Rows))
+	}
+	if res.Rows[0][2].I != 11 || res.Rows[1][2].I != 10 || res.Rows[2][2].I != 9 {
+		t.Errorf("descending sort wrong: %v %v %v", res.Rows[0][2], res.Rows[1][2], res.Rows[2][2])
+	}
+}
+
+func TestEnforceSingleRow(t *testing.T) {
+	st := fixture(t)
+	s := scanOf(t, st, "sales")
+	gb := &logical.GroupBy{Input: s, Aggs: []logical.AggAssign{
+		{Col: expr.NewColumn("c", types.KindInt64), Agg: expr.AggCall{Fn: expr.AggCountStar}},
+	}}
+	res := runPlan(t, st, &logical.EnforceSingleRow{Input: gb})
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 12 {
+		t.Errorf("ESR result wrong: %v", res.Rows)
+	}
+	// Multi-row input must error.
+	multi := &logical.EnforceSingleRow{Input: scanOf(t, st, "item")}
+	if _, err := Run(multi, st); err == nil {
+		t.Error("ESR over multi-row input must fail")
+	}
+	// Empty input yields one NULL row.
+	empty := logical.NewFilter(scanOf(t, st, "item"), expr.FalseExpr())
+	res2 := runPlan(t, st, &logical.EnforceSingleRow{Input: empty})
+	if len(res2.Rows) != 1 || !res2.Rows[0][0].Null {
+		t.Errorf("ESR over empty input should emit NULL row: %v", res2.Rows)
+	}
+}
+
+// canonical renders a result set order-insensitively for equivalence checks.
+func canonical(res *Result) []string {
+	lines := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		parts := make([]string, len(r))
+		for j, v := range r {
+			// Round floats to tolerate summation-order differences.
+			if v.Kind == types.KindFloat64 && !v.Null {
+				parts[j] = types.Float(float64(int64(v.F*1e6+0.5)) / 1e6).String()
+			} else {
+				parts[j] = v.String()
+			}
+		}
+		lines[i] = strings.Join(parts, ",")
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// sameResults asserts two results are bag-equal modulo column order given
+// explicit projections.
+func sameResults(t *testing.T, a, b *Result) {
+	t.Helper()
+	ca, cb := canonical(a), canonical(b)
+	if len(ca) != len(cb) {
+		t.Fatalf("row counts differ: %d vs %d", len(ca), len(cb))
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatalf("row %d differs:\n  %s\n  %s", i, ca[i], cb[i])
+		}
+	}
+}
+
+// TestFusionPreservesSemanticsUnionAll is the executor-level equivalence
+// check for the UnionAll rule: same rows with and without fusion.
+func TestFusionPreservesSemanticsUnionAll(t *testing.T) {
+	st := fixture(t)
+	build := func() logical.Operator {
+		mk := func(limit int64) (logical.Operator, *expr.Column) {
+			s := scanOf(t, st, "sales")
+			f := logical.NewFilter(s, expr.NewBinary(expr.OpGt, expr.Ref(s.ColumnFor("s_qty")), expr.Lit(types.Int(limit))))
+			return f, s.ColumnFor("s_item")
+		}
+		b1, c1 := mk(3)
+		b2, c2 := mk(7) // overlapping predicates
+		return logical.NewUnionAll([]logical.Operator{b1, b2}, [][]*expr.Column{{c1}, {c2}})
+	}
+	baselinePlan, _ := optimizer.Optimize(build(), optimizer.Options{EnableFusion: false})
+	fusedPlan, trace := optimizer.Optimize(build(), optimizer.DefaultOptions())
+	if !trace.Changed("UnionAllFusion") {
+		t.Fatalf("fusion did not fire; trace=%v\n%s", trace.Fired, logical.Format(fusedPlan))
+	}
+	base := runPlan(t, st, baselinePlan)
+	fused := runPlan(t, st, fusedPlan)
+	sameResults(t, base, fused)
+	if fused.Metrics.Storage.BytesScanned >= base.Metrics.Storage.BytesScanned {
+		t.Errorf("fused plan should scan fewer bytes: %d vs %d",
+			fused.Metrics.Storage.BytesScanned, base.Metrics.Storage.BytesScanned)
+	}
+}
+
+// TestFusionPreservesSemanticsGroupByJoin checks the window rewrite
+// end-to-end against the baseline join-aggregate plan.
+func TestFusionPreservesSemanticsGroupByJoin(t *testing.T) {
+	st := fixture(t)
+	build := func() logical.Operator {
+		mkAgg := func() *logical.GroupBy {
+			s := scanOf(t, st, "sales")
+			return &logical.GroupBy{
+				Input: s,
+				Keys:  []*expr.Column{s.ColumnFor("s_store"), s.ColumnFor("s_item")},
+				Aggs: []logical.AggAssign{{
+					Col: expr.NewColumn("revenue", types.KindFloat64),
+					Agg: expr.AggCall{Fn: expr.AggSum, Arg: expr.Ref(s.ColumnFor("s_price"))},
+				}},
+			}
+		}
+		sc := mkAgg()
+		sa := mkAgg()
+		sb := &logical.GroupBy{
+			Input: sa,
+			Keys:  []*expr.Column{sa.Keys[0]},
+			Aggs: []logical.AggAssign{{
+				Col: expr.NewColumn("ave", types.KindFloat64),
+				Agg: expr.AggCall{Fn: expr.AggAvg, Arg: expr.Ref(sa.Aggs[0].Col)},
+			}},
+		}
+		join := &logical.Join{Kind: logical.InnerJoin, Left: sc, Right: sb,
+			Cond: expr.And(
+				expr.Eq(expr.Ref(sc.Keys[0]), expr.Ref(sb.Keys[0])),
+				expr.NewBinary(expr.OpGt, expr.Ref(sc.Aggs[0].Col),
+					expr.NewBinary(expr.OpMul, expr.Lit(types.Float(0.5)), expr.Ref(sb.Aggs[0].Col))),
+			)}
+		// Project a stable output (store, item, revenue, ave).
+		return &logical.Project{Input: join, Cols: []logical.Assignment{
+			logical.Assign("store", expr.Ref(sc.Keys[0])),
+			logical.Assign("item", expr.Ref(sc.Keys[1])),
+			logical.Assign("revenue", expr.Ref(sc.Aggs[0].Col)),
+			logical.Assign("ave", expr.Ref(sb.Aggs[0].Col)),
+		}}
+	}
+	baselinePlan, _ := optimizer.Optimize(build(), optimizer.Options{EnableFusion: false})
+	fusedPlan, trace := optimizer.Optimize(build(), optimizer.DefaultOptions())
+	if !trace.Changed("GroupByJoinToWindow") {
+		t.Fatalf("window rule did not fire; trace=%v\n%s", trace.Fired, logical.Format(fusedPlan))
+	}
+	base := runPlan(t, st, baselinePlan)
+	fused := runPlan(t, st, fusedPlan)
+	sameResults(t, base, fused)
+	if logical.CountScansOf(fusedPlan, "sales") != 1 {
+		t.Errorf("fused plan should scan sales once")
+	}
+}
+
+// TestFusionPreservesSemanticsScalarAggs checks the JoinOnKeys scalar path.
+func TestFusionPreservesSemanticsScalarAggs(t *testing.T) {
+	st := fixture(t)
+	build := func() logical.Operator {
+		mk := func(lo, hi int64, fn expr.AggFunc) logical.Operator {
+			s := scanOf(t, st, "sales")
+			qty := s.ColumnFor("s_qty")
+			f := logical.NewFilter(s, expr.And(
+				expr.NewBinary(expr.OpGe, expr.Ref(qty), expr.Lit(types.Int(lo))),
+				expr.NewBinary(expr.OpLe, expr.Ref(qty), expr.Lit(types.Int(hi))),
+			))
+			var agg expr.AggCall
+			if fn == expr.AggCountStar {
+				agg = expr.AggCall{Fn: fn}
+			} else {
+				agg = expr.AggCall{Fn: fn, Arg: expr.Ref(s.ColumnFor("s_price"))}
+			}
+			gb := &logical.GroupBy{Input: f, Aggs: []logical.AggAssign{{
+				Col: expr.NewColumn("v", agg.ResultType()), Agg: agg,
+			}}}
+			return &logical.EnforceSingleRow{Input: gb}
+		}
+		b1 := mk(0, 5, expr.AggCountStar)
+		b2 := mk(0, 5, expr.AggAvg)
+		b3 := mk(6, 11, expr.AggAvg)
+		return &logical.Join{Kind: logical.CrossJoin,
+			Left:  &logical.Join{Kind: logical.CrossJoin, Left: b1, Right: b2},
+			Right: b3}
+	}
+	baselinePlan, _ := optimizer.Optimize(build(), optimizer.Options{EnableFusion: false})
+	fusedPlan, trace := optimizer.Optimize(build(), optimizer.DefaultOptions())
+	if !trace.Changed("JoinOnKeys") {
+		t.Fatalf("JoinOnKeys did not fire; trace=%v", trace.Fired)
+	}
+	base := runPlan(t, st, baselinePlan)
+	fused := runPlan(t, st, fusedPlan)
+	sameResults(t, base, fused)
+	if base.Metrics.Storage.BytesScanned <= fused.Metrics.Storage.BytesScanned {
+		t.Errorf("fused bytes %d should be below baseline %d",
+			fused.Metrics.Storage.BytesScanned, base.Metrics.Storage.BytesScanned)
+	}
+}

@@ -1,0 +1,314 @@
+package exec
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/types"
+)
+
+// keyBuf encodes a tuple of values into a hashable string key with type
+// tags; NULL encodes distinctly so callers can decide NULL semantics.
+func encodeKey(b *strings.Builder, vals []types.Value) string {
+	b.Reset()
+	for _, v := range vals {
+		if v.Null {
+			b.WriteByte('n')
+		} else {
+			switch v.Kind {
+			case types.KindString:
+				b.WriteByte('s')
+				b.WriteString(strconv.Itoa(len(v.S)))
+				b.WriteByte(':')
+				b.WriteString(v.S)
+			case types.KindFloat64:
+				b.WriteByte('f')
+				b.WriteString(strconv.FormatFloat(v.F, 'b', -1, 64))
+			default:
+				b.WriteByte('i')
+				b.WriteString(strconv.FormatInt(v.I, 10))
+			}
+		}
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+func hasNull(vals []types.Value) bool {
+	for _, v := range vals {
+		if v.Null {
+			return true
+		}
+	}
+	return false
+}
+
+func (ex *executor) buildJoin(j *logical.Join) (Iterator, error) {
+	left, err := ex.build(j.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := ex.build(j.Right)
+	if err != nil {
+		return nil, err
+	}
+	leftLayout := layoutOf(j.Left)
+	rightLayout := layoutOf(j.Right)
+
+	// Split the condition into equi-join key expressions and a residual.
+	// Keys may be arbitrary expressions as long as each side of the
+	// equality evaluates over a single input (this is what keeps the
+	// CASE-dispatched keys produced by the UnionAllOnJoin rewrite
+	// hash-joinable).
+	var leftKeys, rightKeys []*evaluator
+	var residual []expr.Expr
+	leftSet := logical.OutputSet(j.Left)
+	rightSet := logical.OutputSet(j.Right)
+	for _, c := range expr.Conjuncts(j.Cond) {
+		if b, ok := c.(*expr.Binary); ok && b.Op == expr.OpEq {
+			le, re := b.L, b.R
+			if !expr.RefersOnly(le, leftSet) || !expr.RefersOnly(re, rightSet) {
+				le, re = re, le
+			}
+			if expr.RefersOnly(le, leftSet) && expr.RefersOnly(re, rightSet) &&
+				types.Comparable(le.Type(), re.Type()) {
+				lev, lerr := newEvaluator(le, leftLayout)
+				rev, rerr := newEvaluator(re, rightLayout)
+				if lerr == nil && rerr == nil {
+					leftKeys = append(leftKeys, lev)
+					rightKeys = append(rightKeys, rev)
+					continue
+				}
+			}
+		}
+		residual = append(residual, c)
+	}
+
+	// The residual (and any non-equi condition) evaluates over the combined
+	// left+right layout.
+	combined := make(map[expr.ColumnID]int, len(leftSet)+len(rightSet))
+	for id, idx := range leftLayout {
+		combined[id] = idx
+	}
+	width := len(j.Left.Schema())
+	for id, idx := range rightLayout {
+		combined[id] = width + idx
+	}
+	var resEv *evaluator
+	if len(residual) > 0 {
+		resEv, err = newEvaluator(expr.And(residual...), combined)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if len(leftKeys) == 0 {
+		return &nestedLoopIter{
+			kind: j.Kind, left: left, right: right,
+			leftWidth: width, rightWidth: len(j.Right.Schema()),
+			cond: resEv, m: ex.metrics,
+		}, nil
+	}
+	return &hashJoinIter{
+		kind: j.Kind, left: left, right: right,
+		leftKeys: leftKeys, rightKeys: rightKeys,
+		leftWidth: width, rightWidth: len(j.Right.Schema()),
+		residual: resEv, m: ex.metrics,
+	}, nil
+}
+
+// hashJoinIter builds a hash table over the right input and streams the
+// left (probe) input — the engine's only buffered state, matching a
+// streaming engine's memory profile.
+type hashJoinIter struct {
+	kind                  logical.JoinKind
+	left, right           Iterator
+	leftKeys, rightKeys   []*evaluator
+	leftWidth, rightWidth int
+	residual              *evaluator
+	m                     *Metrics
+
+	built   bool
+	table   map[string][]Row
+	keyBuf  strings.Builder
+	keyVals []types.Value
+
+	// probe state
+	curLeft        Row
+	curLeftMatched bool
+	curMatches     []Row
+	matchIdx       int
+}
+
+func (it *hashJoinIter) buildTable() error {
+	it.table = make(map[string][]Row)
+	it.keyVals = make([]types.Value, len(it.rightKeys))
+	for {
+		row, err := it.right.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		it.m.addProcessed(1)
+		for i, ev := range it.rightKeys {
+			it.keyVals[i] = ev.eval(row)
+		}
+		if hasNull(it.keyVals) {
+			continue // NULL keys never match in equi-joins
+		}
+		k := encodeKey(&it.keyBuf, it.keyVals)
+		it.table[k] = append(it.table[k], row)
+		it.m.addHashRows(1)
+	}
+	it.built = true
+	return nil
+}
+
+func (it *hashJoinIter) Next() (Row, error) {
+	if !it.built {
+		if err := it.buildTable(); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		// Emit pending matches for the current probe row.
+		for it.curLeft != nil && it.matchIdx < len(it.curMatches) {
+			r := it.curMatches[it.matchIdx]
+			it.matchIdx++
+			out := make(Row, it.leftWidth+it.rightWidth)
+			copy(out, it.curLeft)
+			copy(out[it.leftWidth:], r)
+			if it.residual != nil && !it.residual.eval(out).IsTrue() {
+				continue
+			}
+			switch it.kind {
+			case logical.SemiJoin:
+				// First surviving match emits the probe row once.
+				it.curMatches = nil
+				return it.curLeft, nil
+			case logical.LeftJoin, logical.InnerJoin:
+				it.curLeftMatched = true
+				return out, nil
+			}
+		}
+		// Left join: emit NULL-extended row when nothing matched.
+		if it.curLeft != nil && it.kind == logical.LeftJoin && !it.curLeftMatched {
+			out := make(Row, it.leftWidth+it.rightWidth)
+			copy(out, it.curLeft)
+			for i := it.leftWidth; i < len(out); i++ {
+				out[i] = types.Unknown()
+			}
+			it.curLeft = nil
+			return out, nil
+		}
+		// Advance to the next probe row.
+		row, err := it.left.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			return nil, nil
+		}
+		it.m.addProcessed(1)
+		it.curLeft = row
+		it.curLeftMatched = false
+		it.matchIdx = 0
+		kv := make([]types.Value, len(it.leftKeys))
+		for i, ev := range it.leftKeys {
+			kv[i] = ev.eval(row)
+		}
+		if hasNull(kv) {
+			it.curMatches = nil
+			if it.kind != logical.LeftJoin {
+				it.curLeft = nil
+			}
+			continue
+		}
+		it.curMatches = it.table[encodeKey(&it.keyBuf, kv)]
+		if len(it.curMatches) == 0 && it.kind != logical.LeftJoin {
+			it.curLeft = nil
+		}
+	}
+}
+
+// nestedLoopIter handles cross joins and joins without equi-conjuncts. The
+// right side is fully materialized.
+type nestedLoopIter struct {
+	kind                  logical.JoinKind
+	left, right           Iterator
+	leftWidth, rightWidth int
+	cond                  *evaluator
+	m                     *Metrics
+
+	built     bool
+	rightRows []Row
+	curLeft   Row
+	matched   bool
+	rightIdx  int
+}
+
+func (it *nestedLoopIter) Next() (Row, error) {
+	if !it.built {
+		for {
+			row, err := it.right.Next()
+			if err != nil {
+				return nil, err
+			}
+			if row == nil {
+				break
+			}
+			it.m.addProcessed(1)
+			it.m.addHashRows(1)
+			it.rightRows = append(it.rightRows, row)
+		}
+		it.built = true
+	}
+	for {
+		if it.curLeft == nil {
+			row, err := it.left.Next()
+			if err != nil {
+				return nil, err
+			}
+			if row == nil {
+				return nil, nil
+			}
+			it.m.addProcessed(1)
+			it.curLeft = row
+			it.matched = false
+			it.rightIdx = 0
+		}
+		for it.rightIdx < len(it.rightRows) {
+			r := it.rightRows[it.rightIdx]
+			it.rightIdx++
+			out := make(Row, it.leftWidth+it.rightWidth)
+			copy(out, it.curLeft)
+			copy(out[it.leftWidth:], r)
+			if it.cond != nil && !it.cond.eval(out).IsTrue() {
+				continue
+			}
+			switch it.kind {
+			case logical.SemiJoin:
+				left := it.curLeft
+				it.curLeft = nil
+				return left, nil
+			default:
+				it.matched = true
+				return out, nil
+			}
+		}
+		if it.kind == logical.LeftJoin && !it.matched {
+			out := make(Row, it.leftWidth+it.rightWidth)
+			copy(out, it.curLeft)
+			for i := it.leftWidth; i < len(out); i++ {
+				out[i] = types.Unknown()
+			}
+			it.curLeft = nil
+			return out, nil
+		}
+		it.curLeft = nil
+	}
+}

@@ -1,0 +1,228 @@
+package exec
+
+import (
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// buildFilter builds a filter; when the input is a scan of a partitioned
+// table, conjuncts referencing only the partition column are peeled off
+// into a partition pruner (the engine's analogue of Athena skipping S3
+// prefixes), and the rest stay as the residual predicate.
+func (ex *executor) buildFilter(f *logical.Filter) (Iterator, error) {
+	if scan, ok := f.Input.(*logical.Scan); ok && scan.Table.PartitionColumn != "" {
+		partCol := scan.ColumnFor(scan.Table.PartitionColumn)
+		if partCol != nil {
+			var pruneConjs, residual []expr.Expr
+			allowed := map[expr.ColumnID]bool{partCol.ID: true}
+			for _, c := range expr.Conjuncts(f.Cond) {
+				if expr.RefersOnly(c, allowed) {
+					pruneConjs = append(pruneConjs, c)
+				} else {
+					residual = append(residual, c)
+				}
+			}
+			if len(pruneConjs) > 0 {
+				cond := expr.And(pruneConjs...)
+				env := &expr.SlotEnv{Slots: map[expr.ColumnID]int{partCol.ID: 0}}
+				pruner := func(key types.Value) bool {
+					env.Row = Row{key}
+					return expr.Eval(cond, env).IsTrue()
+				}
+				in, err := ex.buildScan(scan, pruner)
+				if err != nil {
+					return nil, err
+				}
+				if len(residual) == 0 {
+					return in, nil
+				}
+				ev, err := newEvaluator(expr.And(residual...), layoutOf(scan))
+				if err != nil {
+					return nil, err
+				}
+				return &filterIter{in: in, cond: ev, m: ex.metrics}, nil
+			}
+		}
+	}
+	in, err := ex.build(f.Input)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := newEvaluator(f.Cond, layoutOf(f.Input))
+	if err != nil {
+		return nil, err
+	}
+	return &filterIter{in: in, cond: ev, m: ex.metrics}, nil
+}
+
+func (ex *executor) buildScan(s *logical.Scan, prune storage.Pruner) (Iterator, error) {
+	parts, err := ex.store.ScanPartitions(s.Table.Name, s.ColNames, prune, &ex.metrics.Storage)
+	if err != nil {
+		return nil, err
+	}
+	return &scanIter{scan: s, parts: parts, m: ex.metrics}, nil
+}
+
+// scanIter streams rows out of the selected partitions' column chunks,
+// decoding each value from the encoded chunk format (the engine's analogue
+// of Parquet decode work).
+type scanIter struct {
+	scan  *logical.Scan
+	parts []*storage.Partition
+	m     *Metrics
+
+	part    int
+	rowIdx  int
+	readers []storage.ChunkReader
+}
+
+func (it *scanIter) Next() (Row, error) {
+	for {
+		if it.part >= len(it.parts) {
+			return nil, nil
+		}
+		p := it.parts[it.part]
+		if it.readers == nil {
+			it.readers = make([]storage.ChunkReader, len(it.scan.ColNames))
+			for i, name := range it.scan.ColNames {
+				it.readers[i] = p.Chunk(name).NewReader()
+			}
+		}
+		if it.rowIdx >= p.NumRows {
+			it.part++
+			it.rowIdx = 0
+			it.readers = nil
+			continue
+		}
+		row := make(Row, len(it.readers))
+		for i := range it.readers {
+			row[i] = it.readers[i].Next()
+		}
+		it.rowIdx++
+		it.m.addProcessed(1)
+		return row, nil
+	}
+}
+
+type filterIter struct {
+	in   Iterator
+	cond *evaluator
+	m    *Metrics
+}
+
+func (it *filterIter) Next() (Row, error) {
+	for {
+		row, err := it.in.Next()
+		if row == nil || err != nil {
+			return nil, err
+		}
+		it.m.addProcessed(1)
+		if it.cond.eval(row).IsTrue() {
+			return row, nil
+		}
+	}
+}
+
+func (ex *executor) buildProject(p *logical.Project) (Iterator, error) {
+	in, err := ex.build(p.Input)
+	if err != nil {
+		return nil, err
+	}
+	layout := layoutOf(p.Input)
+	evs := make([]*evaluator, len(p.Cols))
+	for i, a := range p.Cols {
+		ev, err := newEvaluator(a.E, layout)
+		if err != nil {
+			return nil, err
+		}
+		evs[i] = ev
+	}
+	return &projectIter{in: in, evs: evs, m: ex.metrics}, nil
+}
+
+type projectIter struct {
+	in  Iterator
+	evs []*evaluator
+	m   *Metrics
+}
+
+func (it *projectIter) Next() (Row, error) {
+	row, err := it.in.Next()
+	if row == nil || err != nil {
+		return nil, err
+	}
+	it.m.addProcessed(1)
+	out := make(Row, len(it.evs))
+	for i, ev := range it.evs {
+		out[i] = ev.eval(row)
+	}
+	return out, nil
+}
+
+type valuesIter struct {
+	rows [][]types.Value
+	idx  int
+}
+
+func (it *valuesIter) Next() (Row, error) {
+	if it.idx >= len(it.rows) {
+		return nil, nil
+	}
+	r := it.rows[it.idx]
+	it.idx++
+	return r, nil
+}
+
+type limitIter struct {
+	in        Iterator
+	remaining int64
+}
+
+func (it *limitIter) Next() (Row, error) {
+	if it.remaining <= 0 {
+		return nil, nil
+	}
+	row, err := it.in.Next()
+	if row == nil || err != nil {
+		return nil, err
+	}
+	it.remaining--
+	return row, nil
+}
+
+// esrIter enforces the single-row contract of scalar subqueries: exactly
+// one output row, NULL-extended when the input is empty, an error when the
+// input has more than one row.
+type esrIter struct {
+	in    Iterator
+	width int
+	done  bool
+}
+
+func (it *esrIter) Next() (Row, error) {
+	if it.done {
+		return nil, nil
+	}
+	it.done = true
+	first, err := it.in.Next()
+	if err != nil {
+		return nil, err
+	}
+	if first == nil {
+		row := make(Row, it.width)
+		for i := range row {
+			row[i] = types.Unknown()
+		}
+		return row, nil
+	}
+	second, err := it.in.Next()
+	if err != nil {
+		return nil, err
+	}
+	if second != nil {
+		return nil, errTooManyRows
+	}
+	return first, nil
+}

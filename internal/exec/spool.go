@@ -1,0 +1,89 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/logical"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// spoolState is the shared materialization of one spool group: the
+// producer's rows encoded into a RowBuffer (write cost paid once), replayed
+// by every consumer (read cost paid per consumer).
+type spoolState struct {
+	producer Iterator
+	kinds    []types.Kind
+	buf      *storage.RowBuffer
+	done     bool
+}
+
+func (ex *executor) buildSpool(s *logical.Spool) (Iterator, error) {
+	if ex.spools == nil {
+		ex.spools = map[int]*spoolState{}
+	}
+	if s.Producer != nil {
+		in, err := ex.build(s.Producer)
+		if err != nil {
+			return nil, err
+		}
+		kinds := make([]types.Kind, len(s.Cols))
+		for i, c := range s.Cols {
+			kinds[i] = c.Type
+		}
+		ex.spools[s.ID] = &spoolState{producer: in, kinds: kinds}
+	}
+	return &spoolIter{ex: ex, id: s.ID}, nil
+}
+
+// materialize drains the producer into the encoded buffer.
+func (st *spoolState) materialize(m *Metrics) error {
+	if st.done {
+		return nil
+	}
+	st.buf = storage.NewRowBuffer(st.kinds)
+	for {
+		row, err := st.producer.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		m.addProcessed(1)
+		m.addHashRows(1) // materialized state is held in memory/disk
+		st.buf.Append(row)
+	}
+	st.buf.Seal()
+	m.addSpoolWritten(st.buf.Bytes())
+	st.done = true
+	return nil
+}
+
+// spoolIter replays a spool group's materialized rows. The first Next()
+// call of the first consumer triggers materialization.
+type spoolIter struct {
+	ex     *executor
+	id     int
+	reader *storage.RowReader
+}
+
+func (it *spoolIter) Next() (Row, error) {
+	if it.reader == nil {
+		st := it.ex.spools[it.id]
+		if st == nil {
+			return nil, fmt.Errorf("exec: spool #%d has no registered producer", it.id)
+		}
+		if err := st.materialize(it.ex.metrics); err != nil {
+			return nil, err
+		}
+		it.ex.metrics.addSpoolRead(st.buf.Bytes())
+		it.reader = st.buf.NewReader()
+	}
+	row := it.reader.Next()
+	if row == nil {
+		return nil, nil
+	}
+	it.ex.metrics.addProcessed(1)
+	return row, nil
+}

@@ -1,0 +1,410 @@
+package expr
+
+import (
+	"math"
+
+	"repro/internal/types"
+)
+
+// Simplify rewrites an expression into a cheaper equivalent form: constant
+// folding, boolean identity elimination (x AND TRUE → x, x OR TRUE → TRUE,
+// …), double-negation removal, duplicate-conjunct elimination, and
+// NOT-pushdown over comparisons. It is applied after every fusion step so
+// that compensating filters stay small (the paper relies on "orthogonal
+// rules … applicable to fused results", e.g. expression simplification over
+// masks).
+func Simplify(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	return simplifyRec(e)
+}
+
+// simplifyRec walks the tree but treats whole AND/OR chains as single
+// units: each chain is flattened, its parts simplified, and the chain
+// recombined exactly once. (A naive bottom-up rewrite would re-flatten and
+// re-deduplicate at every node of the chain — quadratic in the width of
+// the fused conditions the optimizer builds.)
+func simplifyRec(e Expr) Expr {
+	switch x := e.(type) {
+	case *Binary:
+		switch x.Op {
+		case OpAnd:
+			parts := Conjuncts(x)
+			out := make([]Expr, 0, len(parts))
+			for _, p := range parts {
+				// A part may itself simplify into a conjunction.
+				out = append(out, Conjuncts(simplifyRec(p))...)
+			}
+			return simplifyAnd(out)
+		case OpOr:
+			parts := Disjuncts(x)
+			out := make([]Expr, 0, len(parts))
+			for _, p := range parts {
+				out = append(out, Disjuncts(simplifyRec(p))...)
+			}
+			return simplifyOr(out)
+		}
+		l, r := simplifyRec(x.L), simplifyRec(x.R)
+		nx := x
+		if l != x.L || r != x.R {
+			nx = NewBinary(x.Op, l, r)
+		}
+		return simplifyBinary(nx)
+	case *Not:
+		inner := simplifyRec(x.E)
+		nx := x
+		if inner != x.E {
+			nx = &Not{E: inner}
+		}
+		return simplifyNot(nx)
+	case *IsNull:
+		inner := simplifyRec(x.E)
+		nx := x
+		if inner != x.E {
+			nx = &IsNull{E: inner, Neg: x.Neg}
+		}
+		if l, ok := nx.E.(*Literal); ok {
+			if nx.Neg {
+				return Lit(types.Bool(!l.Val.Null))
+			}
+			return Lit(types.Bool(l.Val.Null))
+		}
+		return nx
+	case *Case:
+		return simplifyCase(simplifyChildren(x).(*Case))
+	default:
+		return simplifyChildren(e)
+	}
+}
+
+// simplifyChildren recursively simplifies a node's children generically.
+func simplifyChildren(e Expr) Expr {
+	ch := e.Children()
+	if len(ch) == 0 {
+		return e
+	}
+	newCh := make([]Expr, len(ch))
+	changed := false
+	for i, c := range ch {
+		newCh[i] = simplifyRec(c)
+		if newCh[i] != c {
+			changed = true
+		}
+	}
+	if changed {
+		return e.WithChildren(newCh)
+	}
+	return e
+}
+
+func simplifyBinary(x *Binary) Expr {
+	// Fold constant subtrees.
+	if IsConstant(x.L) && IsConstant(x.R) {
+		return Lit(Eval(x, nil))
+	}
+	// x = x, x <= x etc. over identical column refs (safe only for
+	// comparisons that are reflexive; = on a NULL yields NULL, so we only
+	// fold when we cannot produce a wrong NULL → skip. Keep it simple and
+	// sound: no folding here.)
+	return x
+}
+
+func simplifyAnd(parts []Expr) Expr {
+	out := make([]Expr, 0, len(parts))
+	seen := make(map[string]bool, len(parts))
+	for _, p := range parts {
+		if IsTrueLiteral(p) {
+			continue
+		}
+		if IsFalseLiteral(p) {
+			return FalseExpr()
+		}
+		key := p.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, p)
+	}
+	// x = x is TRUE for non-NULL x; drop it when an x IS NOT NULL conjunct
+	// guards the NULL case (the shape JoinOnKeys rewrites leave behind).
+	if len(out) > 1 {
+		notNull := map[ColumnID]bool{}
+		for _, p := range out {
+			if isn, ok := p.(*IsNull); ok && isn.Neg {
+				if ref, ok := isn.E.(*ColumnRef); ok {
+					notNull[ref.Col.ID] = true
+				}
+			}
+		}
+		if len(notNull) > 0 {
+			kept := out[:0]
+			for _, p := range out {
+				if b, ok := p.(*Binary); ok && b.Op == OpEq {
+					lr, ok1 := b.L.(*ColumnRef)
+					rr, ok2 := b.R.(*ColumnRef)
+					if ok1 && ok2 && lr.Col.ID == rr.Col.ID && notNull[lr.Col.ID] {
+						continue
+					}
+				}
+				kept = append(kept, p)
+			}
+			out = kept
+		}
+	}
+	// Absorption: A AND (A OR B) → A. Drop any disjunctive conjunct one of
+	// whose disjuncts already appears as a conjunct. This keeps the masks
+	// produced by incremental n-ary fusion linear instead of quadratic.
+	if len(out) > 1 {
+		kept := out[:0]
+		for _, p := range out {
+			disjuncts := Disjuncts(p)
+			absorbed := false
+			if len(disjuncts) > 1 {
+				for _, d := range disjuncts {
+					if seen[d.String()] && d.String() != p.String() {
+						absorbed = true
+						break
+					}
+				}
+			}
+			if !absorbed {
+				kept = append(kept, p)
+			}
+		}
+		out = kept
+	}
+	return And(out...)
+}
+
+func simplifyOr(parts []Expr) Expr {
+	out := make([]Expr, 0, len(parts))
+	seen := make(map[string]bool, len(parts))
+	for _, p := range parts {
+		if IsFalseLiteral(p) {
+			continue
+		}
+		if IsTrueLiteral(p) {
+			return TrueExpr()
+		}
+		key := p.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, p)
+	}
+	// Absorption: A OR (A AND B) → A.
+	if len(out) > 1 {
+		kept := out[:0]
+		for _, p := range out {
+			conjuncts := Conjuncts(p)
+			absorbed := false
+			if len(conjuncts) > 1 {
+				for _, c := range conjuncts {
+					if seen[c.String()] && c.String() != p.String() {
+						absorbed = true
+						break
+					}
+				}
+			}
+			if !absorbed {
+				kept = append(kept, p)
+			}
+		}
+		out = kept
+	}
+	return Or(out...)
+}
+
+func simplifyNot(x *Not) Expr {
+	switch inner := x.E.(type) {
+	case *Literal:
+		if inner.Val.Null {
+			return Lit(types.NullOf(types.KindBool))
+		}
+		return Lit(types.Bool(!inner.Val.AsBool()))
+	case *Not:
+		return inner.E
+	case *Binary:
+		if inner.Op.IsComparison() {
+			var neg BinOp
+			switch inner.Op {
+			case OpEq:
+				neg = OpNe
+			case OpNe:
+				neg = OpEq
+			case OpLt:
+				neg = OpGe
+			case OpLe:
+				neg = OpGt
+			case OpGt:
+				neg = OpLe
+			default:
+				neg = OpLt
+			}
+			return NewBinary(neg, inner.L, inner.R)
+		}
+	}
+	return x
+}
+
+func simplifyCase(x *Case) Expr {
+	// Drop arms with constant-FALSE conditions; short-circuit on a leading
+	// constant-TRUE condition.
+	whens := make([]When, 0, len(x.Whens))
+	for _, w := range x.Whens {
+		if IsFalseLiteral(w.Cond) {
+			continue
+		}
+		if IsTrueLiteral(w.Cond) && len(whens) == 0 {
+			return w.Then
+		}
+		whens = append(whens, w)
+	}
+	if len(whens) == 0 {
+		if x.Else != nil {
+			return x.Else
+		}
+		return Lit(types.NullOf(x.Type()))
+	}
+	if len(whens) == len(x.Whens) {
+		return x
+	}
+	return &Case{Whens: whens, Else: x.Else}
+}
+
+// interval is a numeric range with optional open bounds, used by the
+// contradiction detector.
+type interval struct {
+	lo, hi         float64
+	loOpen, hiOpen bool
+	// eqStrings collects required string equalities (v = 'x').
+	eqString    string
+	hasEqString bool
+	impossible  bool
+}
+
+func newInterval() *interval {
+	return &interval{lo: math.Inf(-1), hi: math.Inf(1)}
+}
+
+func (iv *interval) addCompare(op BinOp, v types.Value) {
+	if v.Kind == types.KindString {
+		if op == OpEq {
+			if iv.hasEqString && iv.eqString != v.S {
+				iv.impossible = true
+			}
+			iv.eqString = v.S
+			iv.hasEqString = true
+		}
+		return
+	}
+	if !v.Kind.IsNumeric() && v.Kind != types.KindDate {
+		return
+	}
+	f := v.AsFloat()
+	switch op {
+	case OpEq:
+		iv.tightenLo(f, false)
+		iv.tightenHi(f, false)
+	case OpLt:
+		iv.tightenHi(f, true)
+	case OpLe:
+		iv.tightenHi(f, false)
+	case OpGt:
+		iv.tightenLo(f, true)
+	case OpGe:
+		iv.tightenLo(f, false)
+	}
+}
+
+func (iv *interval) tightenLo(f float64, open bool) {
+	if f > iv.lo || (f == iv.lo && open && !iv.loOpen) {
+		iv.lo, iv.loOpen = f, open
+	}
+}
+
+func (iv *interval) tightenHi(f float64, open bool) {
+	if f < iv.hi || (f == iv.hi && open && !iv.hiOpen) {
+		iv.hi, iv.hiOpen = f, open
+	}
+}
+
+func (iv *interval) empty() bool {
+	if iv.impossible {
+		return true
+	}
+	if iv.lo > iv.hi {
+		return true
+	}
+	if iv.lo == iv.hi && (iv.loOpen || iv.hiOpen) {
+		return true
+	}
+	return false
+}
+
+// Contradictory reports whether the conjunction of a and b is unsatisfiable
+// by simple single-column range analysis (e.g. x > 1000 AND x < 50, or
+// s = 'a' AND s = 'b'). It is sound (a true result really is a
+// contradiction) but incomplete. The UnionAll fusion rule uses it for the
+// L AND R ≡ FALSE shortcut from §IV.D.
+func Contradictory(a, b Expr) bool {
+	conj := append(Conjuncts(Simplify(a)), Conjuncts(Simplify(b))...)
+	ranges := make(map[ColumnID]*interval)
+	for _, c := range conj {
+		if IsFalseLiteral(c) {
+			return true
+		}
+		bin, ok := c.(*Binary)
+		if !ok || !bin.Op.IsComparison() {
+			continue
+		}
+		col, val, op, ok := normalizeComparison(bin)
+		if !ok {
+			continue
+		}
+		iv := ranges[col]
+		if iv == nil {
+			iv = newInterval()
+			ranges[col] = iv
+		}
+		iv.addCompare(op, val)
+		if iv.empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// normalizeComparison extracts (column, literal, op) from col-op-lit or
+// lit-op-col comparisons, flipping the operator in the latter case.
+func normalizeComparison(b *Binary) (ColumnID, types.Value, BinOp, bool) {
+	if ref, ok := b.L.(*ColumnRef); ok {
+		if lit, ok := b.R.(*Literal); ok && !lit.Val.Null {
+			return ref.Col.ID, lit.Val, b.Op, true
+		}
+	}
+	if ref, ok := b.R.(*ColumnRef); ok {
+		if lit, ok := b.L.(*Literal); ok && !lit.Val.Null {
+			return ref.Col.ID, lit.Val, flipOp(b.Op), true
+		}
+	}
+	return 0, types.Value{}, 0, false
+}
+
+func flipOp(op BinOp) BinOp {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	default:
+		return op
+	}
+}

@@ -1,0 +1,157 @@
+package logical
+
+import (
+	"math"
+
+	"repro/internal/expr"
+)
+
+// EstimateRows returns a coarse cardinality estimate for a plan, derived
+// from catalog statistics and textbook selectivity guesses. The paper notes
+// Athena "rel[ies] on local heuristics based on statistics and plan
+// properties to decide the applicability of each rule" (§IV.E, in lieu of
+// Cascades-style exploration); this estimator provides those statistics.
+// Estimates are order-of-magnitude tools, not truths — callers gate
+// decisions, they do not cost plans.
+func EstimateRows(op Operator) float64 {
+	switch o := op.(type) {
+	case *Scan:
+		if o.Table.Stats.RowCount > 0 {
+			return float64(o.Table.Stats.RowCount)
+		}
+		return 1000 // unknown tables assume a moderate size
+
+	case *Filter:
+		return EstimateRows(o.Input) * selectivity(o.Cond)
+
+	case *Project:
+		return EstimateRows(o.Input)
+
+	case *Join:
+		l, r := EstimateRows(o.Left), EstimateRows(o.Right)
+		switch o.Kind {
+		case CrossJoin:
+			return l * r
+		case SemiJoin:
+			return l * 0.5
+		case LeftJoin:
+			return math.Max(l, equiJoinRows(o, l, r))
+		default: // inner
+			return equiJoinRows(o, l, r)
+		}
+
+	case *GroupBy:
+		in := EstimateRows(o.Input)
+		if len(o.Keys) == 0 {
+			return 1
+		}
+		// Distinct groups grow sublinearly with input; more keys → more
+		// groups.
+		est := math.Pow(in, 0.75) * float64(len(o.Keys))
+		return math.Min(in, math.Max(1, est))
+
+	case *MarkDistinct, *Window:
+		return EstimateRows(op.Children()[0])
+
+	case *UnionAll:
+		var sum float64
+		for _, in := range o.Inputs {
+			sum += EstimateRows(in)
+		}
+		return sum
+
+	case *Values:
+		return float64(len(o.Rows))
+
+	case *Sort:
+		return EstimateRows(o.Input)
+
+	case *Limit:
+		return math.Min(float64(o.N), EstimateRows(o.Input))
+
+	case *EnforceSingleRow:
+		return 1
+
+	case *Spool:
+		if o.Producer != nil {
+			return EstimateRows(o.Producer)
+		}
+		return 1000
+
+	default:
+		return 1000
+	}
+}
+
+// equiJoinRows estimates an equi-join as the larger side (each probe row
+// matches about one build row through a key-ish column); joins without any
+// equality conjunct degrade toward a cross product damped by the residual
+// predicate selectivity.
+func equiJoinRows(j *Join, l, r float64) float64 {
+	hasEq := false
+	residual := 1.0
+	for _, c := range expr.Conjuncts(j.Cond) {
+		if b, ok := c.(*expr.Binary); ok && b.Op == expr.OpEq {
+			if _, lref := b.L.(*expr.ColumnRef); lref {
+				if _, rref := b.R.(*expr.ColumnRef); rref {
+					hasEq = true
+					continue
+				}
+			}
+		}
+		residual *= selectivity(c)
+	}
+	if hasEq {
+		return math.Max(1, math.Max(l, r)*residual)
+	}
+	return math.Max(1, l*r*residual)
+}
+
+// selectivity guesses the fraction of rows a predicate keeps, using the
+// System R-era constants.
+func selectivity(cond expr.Expr) float64 {
+	if cond == nil || expr.IsTrueLiteral(cond) {
+		return 1
+	}
+	switch x := cond.(type) {
+	case *expr.Binary:
+		switch x.Op {
+		case expr.OpAnd:
+			return selectivity(x.L) * selectivity(x.R)
+		case expr.OpOr:
+			sl, sr := selectivity(x.L), selectivity(x.R)
+			return sl + sr - sl*sr
+		case expr.OpEq:
+			return 0.1
+		case expr.OpNe:
+			return 0.9
+		default: // range comparisons
+			return 0.3
+		}
+	case *expr.Not:
+		return 1 - selectivity(x.E)
+	case *expr.IsNull:
+		if x.Neg {
+			return 0.95
+		}
+		return 0.05
+	case *expr.InList:
+		s := 0.1 * float64(len(x.List))
+		if s > 1 {
+			s = 1
+		}
+		if x.Neg {
+			return 1 - s
+		}
+		return s
+	case *expr.Like:
+		return 0.25
+	case *expr.Literal:
+		if expr.IsFalseLiteral(cond) {
+			return 0
+		}
+		return 1
+	default:
+		return 0.5
+	}
+}

@@ -1,0 +1,207 @@
+package logical
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+func itemTable() *catalog.Table {
+	return &catalog.Table{
+		Name: "item",
+		Columns: []catalog.Column{
+			{Name: "i_item_sk", Type: types.KindInt64},
+			{Name: "i_brand", Type: types.KindString},
+			{Name: "i_price", Type: types.KindFloat64},
+		},
+	}
+}
+
+func TestScanSchemaAndFreshIDs(t *testing.T) {
+	tab := itemTable()
+	s1 := NewScan(tab)
+	s2 := NewScan(tab)
+	if len(s1.Schema()) != 3 {
+		t.Fatalf("scan schema len = %d", len(s1.Schema()))
+	}
+	for i := range s1.Cols {
+		if s1.Cols[i].ID == s2.Cols[i].ID {
+			t.Error("two scans share column IDs; instances must be fresh")
+		}
+	}
+	if s1.ColumnFor("i_brand") == nil || s1.ColumnFor("nope") != nil {
+		t.Error("ColumnFor lookup wrong")
+	}
+}
+
+func TestFilterProjectSchemas(t *testing.T) {
+	s := NewScan(itemTable())
+	f := NewFilter(s, expr.Eq(expr.Ref(s.Cols[1]), expr.Lit(types.String("b"))))
+	if len(f.Schema()) != 3 {
+		t.Error("filter must preserve schema")
+	}
+	if NewFilter(s, expr.TrueExpr()) != Operator(s) {
+		t.Error("NewFilter should elide TRUE")
+	}
+	p := &Project{Input: s, Cols: []Assignment{Assign("x", expr.Ref(s.Cols[0]))}}
+	if len(p.Schema()) != 1 || p.Schema()[0].Name != "x" {
+		t.Error("project schema wrong")
+	}
+}
+
+func TestJoinSchemas(t *testing.T) {
+	s1, s2 := NewScan(itemTable()), NewScan(itemTable())
+	inner := &Join{Kind: InnerJoin, Left: s1, Right: s2, Cond: expr.Eq(expr.Ref(s1.Cols[0]), expr.Ref(s2.Cols[0]))}
+	if len(inner.Schema()) != 6 {
+		t.Errorf("inner join schema = %d cols", len(inner.Schema()))
+	}
+	semi := &Join{Kind: SemiJoin, Left: s1, Right: s2, Cond: inner.Cond}
+	if len(semi.Schema()) != 3 {
+		t.Errorf("semi join schema = %d cols, want left only", len(semi.Schema()))
+	}
+}
+
+func TestGroupBySchema(t *testing.T) {
+	s := NewScan(itemTable())
+	g := &GroupBy{
+		Input: s,
+		Keys:  []*expr.Column{s.Cols[0]},
+		Aggs:  []AggAssign{{Col: expr.NewColumn("cnt", types.KindInt64), Agg: expr.AggCall{Fn: expr.AggCountStar}}},
+	}
+	sch := g.Schema()
+	if len(sch) != 2 || sch[0] != s.Cols[0] || sch[1].Name != "cnt" {
+		t.Errorf("groupby schema wrong: %v", sch)
+	}
+	if g.IsScalar() {
+		t.Error("keyed groupby is not scalar")
+	}
+	if !(&GroupBy{Input: s}).IsScalar() {
+		t.Error("keyless groupby is scalar")
+	}
+}
+
+func TestMarkDistinctAndWindowSchemas(t *testing.T) {
+	s := NewScan(itemTable())
+	md := &MarkDistinct{Input: s, MarkCol: expr.NewColumn("d", types.KindBool), On: []*expr.Column{s.Cols[1]}}
+	if got := len(md.Schema()); got != 4 {
+		t.Errorf("markdistinct schema = %d cols", got)
+	}
+	w := &Window{Input: s, Funcs: []WindowAssign{{
+		Col:         expr.NewColumn("avg_p", types.KindFloat64),
+		Agg:         expr.AggCall{Fn: expr.AggAvg, Arg: expr.Ref(s.Cols[2])},
+		PartitionBy: []*expr.Column{s.Cols[0]},
+	}}}
+	if got := len(w.Schema()); got != 4 {
+		t.Errorf("window schema = %d cols", got)
+	}
+}
+
+func TestUnionAllSchema(t *testing.T) {
+	s1, s2 := NewScan(itemTable()), NewScan(itemTable())
+	u := NewUnionAll(
+		[]Operator{s1, s2},
+		[][]*expr.Column{{s1.Cols[0]}, {s2.Cols[0]}},
+	)
+	if len(u.Schema()) != 1 || u.Schema()[0].ID == s1.Cols[0].ID {
+		t.Error("union output must be fresh single column")
+	}
+}
+
+func TestValuesAndFormat(t *testing.T) {
+	v := NewValuesInt("tag", 1, 2)
+	if len(v.Rows) != 2 || v.Rows[1][0].I != 2 {
+		t.Error("NewValuesInt rows wrong")
+	}
+	s := NewScan(itemTable())
+	f := NewFilter(s, expr.NotNull(expr.Ref(s.Cols[0])))
+	out := Format(f)
+	if !strings.Contains(out, "Filter") || !strings.Contains(out, "  Scan item") {
+		t.Errorf("Format output unexpected:\n%s", out)
+	}
+}
+
+func TestTransformRewrites(t *testing.T) {
+	s := NewScan(itemTable())
+	f := NewFilter(s, expr.NotNull(expr.Ref(s.Cols[0])))
+	l := &Limit{Input: f, N: 10}
+	got := Transform(l, func(op Operator) Operator {
+		if lim, ok := op.(*Limit); ok {
+			return &Limit{Input: lim.Input, N: 5}
+		}
+		return op
+	})
+	if got.(*Limit).N != 5 {
+		t.Error("Transform did not rewrite limit")
+	}
+	// Bottom-up rebuild preserves unrelated nodes.
+	if got.(*Limit).Input != Operator(f) {
+		t.Error("Transform rebuilt an unchanged subtree")
+	}
+}
+
+func TestValidateCatchesBadColumnRefs(t *testing.T) {
+	s := NewScan(itemTable())
+	other := NewScan(itemTable())
+	bad := &Filter{Input: s, Cond: expr.NotNull(expr.Ref(other.Cols[0]))}
+	if err := Validate(bad); err == nil {
+		t.Error("Validate should reject filter over foreign columns")
+	}
+	good := &Filter{Input: s, Cond: expr.NotNull(expr.Ref(s.Cols[0]))}
+	if err := Validate(good); err != nil {
+		t.Errorf("Validate rejected valid plan: %v", err)
+	}
+}
+
+func TestValidateUnionArity(t *testing.T) {
+	s1, s2 := NewScan(itemTable()), NewScan(itemTable())
+	u := NewUnionAll([]Operator{s1, s2}, [][]*expr.Column{{s1.Cols[0]}, {s2.Cols[0]}})
+	if err := Validate(u); err != nil {
+		t.Errorf("valid union rejected: %v", err)
+	}
+	bad := &UnionAll{Inputs: []Operator{s1, s2}, Cols: u.Cols, InputCols: [][]*expr.Column{{s1.Cols[0]}}}
+	if err := Validate(bad); err == nil {
+		t.Error("union with missing input column list accepted")
+	}
+	bad2 := &UnionAll{Inputs: []Operator{s1, s2}, Cols: u.Cols, InputCols: [][]*expr.Column{{s1.Cols[0]}, {s1.Cols[0]}}}
+	if err := Validate(bad2); err == nil {
+		t.Error("union referencing wrong input's column accepted")
+	}
+}
+
+func TestValidateGroupByKeys(t *testing.T) {
+	s := NewScan(itemTable())
+	foreign := expr.NewColumn("zz", types.KindInt64)
+	bad := &GroupBy{Input: s, Keys: []*expr.Column{foreign}}
+	if err := Validate(bad); err == nil {
+		t.Error("groupby with foreign key column accepted")
+	}
+}
+
+func TestCountScansOf(t *testing.T) {
+	tab := itemTable()
+	s1, s2 := NewScan(tab), NewScan(tab)
+	j := &Join{Kind: CrossJoin, Left: s1, Right: s2}
+	if got := CountScansOf(j, "item"); got != 2 {
+		t.Errorf("CountScansOf = %d, want 2", got)
+	}
+	if got := CountScansOf(j, "store"); got != 0 {
+		t.Errorf("CountScansOf(store) = %d, want 0", got)
+	}
+	if CountOperators(j) != 3 {
+		t.Errorf("CountOperators = %d, want 3", CountOperators(j))
+	}
+}
+
+func TestIdentityProject(t *testing.T) {
+	s := NewScan(itemTable())
+	p := IdentityProject(s, s.Cols[:2])
+	if len(p.Schema()) != 2 || p.Schema()[0] != s.Cols[0] {
+		t.Error("IdentityProject should pass columns through by identity")
+	}
+	if err := Validate(p); err != nil {
+		t.Errorf("IdentityProject invalid: %v", err)
+	}
+}

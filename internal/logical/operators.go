@@ -1,0 +1,448 @@
+// Package logical defines the logical relational algebra the optimizer and
+// the fusion primitives operate on: operator trees with per-instance column
+// identities, schema propagation, validation, printing, and tree rewriting.
+//
+// The operator vocabulary mirrors the paper's §III: Scan, Filter, Project,
+// Join (inner/left/semi/cross), GroupBy with masked aggregates, MarkDistinct,
+// Window, UnionAll, Values (constant tables), Sort, Limit, and
+// EnforceSingleRow. Fused plans are expressed with these operators only —
+// no ResinMap/ResinReduce-style super-operators — which is the property
+// that lets every other rewrite rule keep firing on fused results.
+package logical
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+// Operator is a node of a logical plan tree.
+type Operator interface {
+	// Schema returns the output columns of the operator, in order.
+	Schema() []*expr.Column
+	// Children returns the operator's inputs.
+	Children() []Operator
+	// WithChildren returns a copy of the operator with the inputs replaced;
+	// the slice length must match Children().
+	WithChildren(ch []Operator) Operator
+	// Describe returns a one-line description without children.
+	Describe() string
+}
+
+// Scan reads a base table. Cols[i] is the output column instance bound to
+// the table column named ColNames[i]. Every Scan allocates fresh column
+// identities, so two scans of the same table never share column IDs.
+type Scan struct {
+	Table    *catalog.Table
+	Cols     []*expr.Column
+	ColNames []string
+}
+
+// NewScan builds a scan over all columns of the table with fresh identities.
+func NewScan(t *catalog.Table) *Scan {
+	s := &Scan{Table: t}
+	for _, c := range t.Columns {
+		s.Cols = append(s.Cols, expr.NewColumn(c.Name, c.Type))
+		s.ColNames = append(s.ColNames, c.Name)
+	}
+	return s
+}
+
+func (s *Scan) Schema() []*expr.Column { return s.Cols }
+func (s *Scan) Children() []Operator   { return nil }
+func (s *Scan) WithChildren(ch []Operator) Operator {
+	if len(ch) != 0 {
+		panic("logical: Scan has no children")
+	}
+	return s
+}
+func (s *Scan) Describe() string {
+	return fmt.Sprintf("Scan %s [%s]", s.Table.Name, columnList(s.Cols))
+}
+
+// ColumnFor returns the output column bound to the named table column, or
+// nil if the scan does not read it.
+func (s *Scan) ColumnFor(name string) *expr.Column {
+	for i, n := range s.ColNames {
+		if n == name {
+			return s.Cols[i]
+		}
+	}
+	return nil
+}
+
+// Filter keeps rows for which Cond evaluates to TRUE.
+type Filter struct {
+	Input Operator
+	Cond  expr.Expr
+}
+
+// NewFilter wraps input in a filter, dropping a trivially TRUE condition.
+func NewFilter(input Operator, cond expr.Expr) Operator {
+	if cond == nil || expr.IsTrueLiteral(cond) {
+		return input
+	}
+	return &Filter{Input: input, Cond: cond}
+}
+
+func (f *Filter) Schema() []*expr.Column { return f.Input.Schema() }
+func (f *Filter) Children() []Operator   { return []Operator{f.Input} }
+func (f *Filter) WithChildren(ch []Operator) Operator {
+	return &Filter{Input: ch[0], Cond: f.Cond}
+}
+func (f *Filter) Describe() string { return fmt.Sprintf("Filter %s", f.Cond) }
+
+// Assignment binds an expression to a (new) output column.
+type Assignment struct {
+	Col *expr.Column
+	E   expr.Expr
+}
+
+// Assign creates an assignment with a fresh column of the right type.
+func Assign(name string, e expr.Expr) Assignment {
+	return Assignment{Col: expr.NewColumn(name, e.Type()), E: e}
+}
+
+// Project computes a new schema from expressions over the input.
+type Project struct {
+	Input Operator
+	Cols  []Assignment
+}
+
+func (p *Project) Schema() []*expr.Column {
+	out := make([]*expr.Column, len(p.Cols))
+	for i, a := range p.Cols {
+		out[i] = a.Col
+	}
+	return out
+}
+func (p *Project) Children() []Operator { return []Operator{p.Input} }
+func (p *Project) WithChildren(ch []Operator) Operator {
+	return &Project{Input: ch[0], Cols: p.Cols}
+}
+func (p *Project) Describe() string {
+	parts := make([]string, len(p.Cols))
+	for i, a := range p.Cols {
+		if ref, ok := a.E.(*expr.ColumnRef); ok && ref.Col == a.Col {
+			parts[i] = a.Col.String()
+		} else {
+			parts[i] = fmt.Sprintf("%s := %s", a.Col, a.E)
+		}
+	}
+	return fmt.Sprintf("Project [%s]", strings.Join(parts, ", "))
+}
+
+// IdentityProject builds a projection that passes through the given columns
+// unchanged (used when manufacturing trivial projections during fusion).
+func IdentityProject(input Operator, cols []*expr.Column) *Project {
+	p := &Project{Input: input}
+	for _, c := range cols {
+		p.Cols = append(p.Cols, Assignment{Col: c, E: expr.Ref(c)})
+	}
+	return p
+}
+
+// JoinKind enumerates join variants.
+type JoinKind uint8
+
+const (
+	InnerJoin JoinKind = iota
+	LeftJoin
+	SemiJoin
+	CrossJoin
+)
+
+var joinNames = [...]string{"InnerJoin", "LeftJoin", "SemiJoin", "CrossJoin"}
+
+func (k JoinKind) String() string { return joinNames[k] }
+
+// Join combines two inputs. Cond is nil for CrossJoin. A SemiJoin outputs
+// only the left schema (rows of the left input with at least one match).
+type Join struct {
+	Kind  JoinKind
+	Left  Operator
+	Right Operator
+	Cond  expr.Expr
+}
+
+func (j *Join) Schema() []*expr.Column {
+	if j.Kind == SemiJoin {
+		return j.Left.Schema()
+	}
+	l := j.Left.Schema()
+	r := j.Right.Schema()
+	out := make([]*expr.Column, 0, len(l)+len(r))
+	out = append(out, l...)
+	out = append(out, r...)
+	return out
+}
+func (j *Join) Children() []Operator { return []Operator{j.Left, j.Right} }
+func (j *Join) WithChildren(ch []Operator) Operator {
+	return &Join{Kind: j.Kind, Left: ch[0], Right: ch[1], Cond: j.Cond}
+}
+func (j *Join) Describe() string {
+	if j.Cond == nil {
+		return j.Kind.String()
+	}
+	return fmt.Sprintf("%s on %s", j.Kind, j.Cond)
+}
+
+// AggAssign binds a masked aggregate call to an output column.
+type AggAssign struct {
+	Col *expr.Column
+	Agg expr.AggCall
+}
+
+// GroupBy groups the input on Keys and computes masked aggregates. Keys are
+// input columns and keep their identity in the output schema (followed by
+// the aggregate output columns). An empty Keys list is a scalar aggregate
+// producing exactly one row.
+type GroupBy struct {
+	Input Operator
+	Keys  []*expr.Column
+	Aggs  []AggAssign
+}
+
+func (g *GroupBy) Schema() []*expr.Column {
+	out := make([]*expr.Column, 0, len(g.Keys)+len(g.Aggs))
+	out = append(out, g.Keys...)
+	for _, a := range g.Aggs {
+		out = append(out, a.Col)
+	}
+	return out
+}
+func (g *GroupBy) Children() []Operator { return []Operator{g.Input} }
+func (g *GroupBy) WithChildren(ch []Operator) Operator {
+	return &GroupBy{Input: ch[0], Keys: g.Keys, Aggs: g.Aggs}
+}
+func (g *GroupBy) Describe() string {
+	parts := make([]string, len(g.Aggs))
+	for i, a := range g.Aggs {
+		parts[i] = fmt.Sprintf("%s := %s", a.Col, a.Agg)
+	}
+	return fmt.Sprintf("GroupBy keys=[%s] aggs=[%s]", columnList(g.Keys), strings.Join(parts, ", "))
+}
+
+// IsScalar reports whether this is a scalar (no grouping keys) aggregate.
+func (g *GroupBy) IsScalar() bool { return len(g.Keys) == 0 }
+
+// MarkDistinct passes the input through, appending a boolean column MarkCol
+// that is TRUE the first time each combination of values of On is seen
+// (§III.F). Together with aggregate masks it implements DISTINCT aggregates.
+// Mask, when non-nil, restricts marking to rows satisfying it (rows failing
+// the mask get FALSE and do not consume first-occurrences) — the paper's
+// "extending the MarkDistinct operator itself to consider masks natively"
+// optimization, which lets fusion avoid materializing compensation columns.
+type MarkDistinct struct {
+	Input   Operator
+	MarkCol *expr.Column
+	On      []*expr.Column
+	Mask    expr.Expr
+}
+
+func (m *MarkDistinct) Schema() []*expr.Column {
+	return append(append([]*expr.Column{}, m.Input.Schema()...), m.MarkCol)
+}
+func (m *MarkDistinct) Children() []Operator { return []Operator{m.Input} }
+func (m *MarkDistinct) WithChildren(ch []Operator) Operator {
+	return &MarkDistinct{Input: ch[0], MarkCol: m.MarkCol, On: m.On, Mask: m.Mask}
+}
+func (m *MarkDistinct) Describe() string {
+	if m.Mask != nil && !expr.IsTrueLiteral(m.Mask) {
+		return fmt.Sprintf("MarkDistinct %s := distinct(%s) MASK %s", m.MarkCol, columnList(m.On), m.Mask)
+	}
+	return fmt.Sprintf("MarkDistinct %s := distinct(%s)", m.MarkCol, columnList(m.On))
+}
+
+// WindowAssign binds a windowed aggregate (partitioned, unordered — the
+// full-partition frame the paper's rewrites need) to an output column.
+type WindowAssign struct {
+	Col         *expr.Column
+	Agg         expr.AggCall
+	PartitionBy []*expr.Column
+}
+
+// Window appends windowed aggregate columns to the input schema.
+type Window struct {
+	Input Operator
+	Funcs []WindowAssign
+}
+
+func (w *Window) Schema() []*expr.Column {
+	out := append([]*expr.Column{}, w.Input.Schema()...)
+	for _, f := range w.Funcs {
+		out = append(out, f.Col)
+	}
+	return out
+}
+func (w *Window) Children() []Operator { return []Operator{w.Input} }
+func (w *Window) WithChildren(ch []Operator) Operator {
+	return &Window{Input: ch[0], Funcs: w.Funcs}
+}
+func (w *Window) Describe() string {
+	parts := make([]string, len(w.Funcs))
+	for i, f := range w.Funcs {
+		parts[i] = fmt.Sprintf("%s := %s OVER (PARTITION BY %s)", f.Col, f.Agg, columnList(f.PartitionBy))
+	}
+	return "Window " + strings.Join(parts, ", ")
+}
+
+// UnionAll concatenates the rows of its inputs. Cols are fresh output
+// columns; InputCols[i][j] names the column of Inputs[i] that feeds output
+// column j (the positional mapping UM from §IV.C/D).
+type UnionAll struct {
+	Inputs    []Operator
+	Cols      []*expr.Column
+	InputCols [][]*expr.Column
+}
+
+// NewUnionAll builds a union whose output columns take names/types from the
+// first input's selected columns.
+func NewUnionAll(inputs []Operator, inputCols [][]*expr.Column) *UnionAll {
+	u := &UnionAll{Inputs: inputs, InputCols: inputCols}
+	for _, c := range inputCols[0] {
+		u.Cols = append(u.Cols, expr.NewColumn(c.Name, c.Type))
+	}
+	return u
+}
+
+func (u *UnionAll) Schema() []*expr.Column { return u.Cols }
+func (u *UnionAll) Children() []Operator   { return u.Inputs }
+func (u *UnionAll) WithChildren(ch []Operator) Operator {
+	return &UnionAll{Inputs: ch, Cols: u.Cols, InputCols: u.InputCols}
+}
+func (u *UnionAll) Describe() string {
+	return fmt.Sprintf("UnionAll(%d inputs) [%s]", len(u.Inputs), columnList(u.Cols))
+}
+
+// Values is a constant table (e.g. the tag table (1),(2) used by the
+// UnionAll fusion rewrite).
+type Values struct {
+	Cols []*expr.Column
+	Rows [][]types.Value
+}
+
+// NewValuesInt builds a single-column BIGINT constant table.
+func NewValuesInt(name string, vals ...int64) *Values {
+	v := &Values{Cols: []*expr.Column{expr.NewColumn(name, types.KindInt64)}}
+	for _, x := range vals {
+		v.Rows = append(v.Rows, []types.Value{types.Int(x)})
+	}
+	return v
+}
+
+func (v *Values) Schema() []*expr.Column { return v.Cols }
+func (v *Values) Children() []Operator   { return nil }
+func (v *Values) WithChildren(ch []Operator) Operator {
+	if len(ch) != 0 {
+		panic("logical: Values has no children")
+	}
+	return v
+}
+func (v *Values) Describe() string {
+	return fmt.Sprintf("Values %d rows [%s]", len(v.Rows), columnList(v.Cols))
+}
+
+// Spool materializes a common subexpression once and replays it to every
+// consumer — the paper's §I comparator ("a common approach to deal with
+// common subexpressions is via spooling"), inducing DAG-like execution.
+// Exactly one occurrence per ID carries the Producer plan; the others are
+// pure readers. Cols is this occurrence's output schema, corresponding
+// positionally to the producer's schema (duplicate subtrees are
+// structurally identical, so their schemas align by position).
+type Spool struct {
+	ID       int
+	Producer Operator // nil for secondary consumers
+	Cols     []*expr.Column
+}
+
+func (s *Spool) Schema() []*expr.Column { return s.Cols }
+func (s *Spool) Children() []Operator {
+	if s.Producer == nil {
+		return nil
+	}
+	return []Operator{s.Producer}
+}
+func (s *Spool) WithChildren(ch []Operator) Operator {
+	if s.Producer == nil {
+		if len(ch) != 0 {
+			panic("logical: consumer Spool has no children")
+		}
+		return s
+	}
+	return &Spool{ID: s.ID, Producer: ch[0], Cols: s.Cols}
+}
+func (s *Spool) Describe() string {
+	role := "read"
+	if s.Producer != nil {
+		role = "materialize"
+	}
+	return fmt.Sprintf("Spool #%d (%s) [%s]", s.ID, role, columnList(s.Cols))
+}
+
+// SortKey is one ORDER BY term.
+type SortKey struct {
+	E    expr.Expr
+	Desc bool
+}
+
+// Sort orders the input by the given keys.
+type Sort struct {
+	Input Operator
+	Keys  []SortKey
+}
+
+func (s *Sort) Schema() []*expr.Column { return s.Input.Schema() }
+func (s *Sort) Children() []Operator   { return []Operator{s.Input} }
+func (s *Sort) WithChildren(ch []Operator) Operator {
+	return &Sort{Input: ch[0], Keys: s.Keys}
+}
+func (s *Sort) Describe() string {
+	parts := make([]string, len(s.Keys))
+	for i, k := range s.Keys {
+		dir := "ASC"
+		if k.Desc {
+			dir = "DESC"
+		}
+		parts[i] = fmt.Sprintf("%s %s", k.E, dir)
+	}
+	return "Sort " + strings.Join(parts, ", ")
+}
+
+// Limit truncates the input to N rows.
+type Limit struct {
+	Input Operator
+	N     int64
+}
+
+func (l *Limit) Schema() []*expr.Column { return l.Input.Schema() }
+func (l *Limit) Children() []Operator   { return []Operator{l.Input} }
+func (l *Limit) WithChildren(ch []Operator) Operator {
+	return &Limit{Input: ch[0], N: l.N}
+}
+func (l *Limit) Describe() string { return fmt.Sprintf("Limit %d", l.N) }
+
+// EnforceSingleRow asserts that its input produces at most one row (failing
+// the query otherwise) and emits exactly one row, NULL-extending an empty
+// input. It is how the binder plans scalar subqueries.
+type EnforceSingleRow struct {
+	Input Operator
+}
+
+func (e *EnforceSingleRow) Schema() []*expr.Column { return e.Input.Schema() }
+func (e *EnforceSingleRow) Children() []Operator   { return []Operator{e.Input} }
+func (e *EnforceSingleRow) WithChildren(ch []Operator) Operator {
+	return &EnforceSingleRow{Input: ch[0]}
+}
+func (e *EnforceSingleRow) Describe() string { return "EnforceSingleRow" }
+
+func columnList(cols []*expr.Column) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, ", ")
+}

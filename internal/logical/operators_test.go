@@ -1,0 +1,155 @@
+package logical
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/types"
+)
+
+func TestDescribeStrings(t *testing.T) {
+	tab := itemTable()
+	s := NewScan(tab)
+	cases := []struct {
+		op   Operator
+		want string
+	}{
+		{s, "Scan item"},
+		{&Filter{Input: s, Cond: expr.TrueExpr()}, "Filter"},
+		{&Project{Input: s, Cols: []Assignment{Assign("x", expr.Ref(s.Cols[0]))}}, "Project"},
+		{&Join{Kind: CrossJoin, Left: s, Right: NewScan(tab)}, "CrossJoin"},
+		{&Join{Kind: LeftJoin, Left: s, Right: NewScan(tab), Cond: expr.TrueExpr()}, "LeftJoin"},
+		{&GroupBy{Input: s, Keys: []*expr.Column{s.Cols[0]}}, "GroupBy"},
+		{&MarkDistinct{Input: s, MarkCol: expr.NewColumn("d", types.KindBool), On: s.Cols[:1]}, "MarkDistinct"},
+		{&MarkDistinct{Input: s, MarkCol: expr.NewColumn("d", types.KindBool), On: s.Cols[:1],
+			Mask: expr.NotNull(expr.Ref(s.Cols[0]))}, "MASK"},
+		{&Window{Input: s, Funcs: []WindowAssign{{Col: expr.NewColumn("w", types.KindFloat64),
+			Agg: expr.AggCall{Fn: expr.AggAvg, Arg: expr.Ref(s.Cols[2])}, PartitionBy: s.Cols[:1]}}}, "Window"},
+		{NewValuesInt("t", 1), "Values"},
+		{&Sort{Input: s, Keys: []SortKey{{E: expr.Ref(s.Cols[0]), Desc: true}}}, "DESC"},
+		{&Limit{Input: s, N: 3}, "Limit 3"},
+		{&EnforceSingleRow{Input: s}, "EnforceSingleRow"},
+		{&Spool{ID: 7, Producer: s, Cols: s.Cols}, "Spool #7 (materialize)"},
+		{&Spool{ID: 7, Cols: s.Cols}, "Spool #7 (read)"},
+	}
+	for _, c := range cases {
+		if got := c.op.Describe(); !strings.Contains(got, c.want) {
+			t.Errorf("Describe() = %q, want substring %q", got, c.want)
+		}
+	}
+}
+
+func TestWithChildrenRoundTrips(t *testing.T) {
+	tab := itemTable()
+	s := NewScan(tab)
+	ops := []Operator{
+		&Filter{Input: s, Cond: expr.TrueExpr()},
+		&Project{Input: s, Cols: []Assignment{Assign("x", expr.Ref(s.Cols[0]))}},
+		&Join{Kind: InnerJoin, Left: s, Right: NewScan(tab), Cond: expr.TrueExpr()},
+		&GroupBy{Input: s, Keys: []*expr.Column{s.Cols[0]}},
+		&MarkDistinct{Input: s, MarkCol: expr.NewColumn("d", types.KindBool), On: s.Cols[:1]},
+		&Window{Input: s},
+		&Sort{Input: s},
+		&Limit{Input: s, N: 1},
+		&EnforceSingleRow{Input: s},
+		&Spool{ID: 1, Producer: s, Cols: s.Cols},
+	}
+	for _, op := range ops {
+		ch := op.Children()
+		rebuilt := op.WithChildren(ch)
+		if len(rebuilt.Children()) != len(ch) {
+			t.Errorf("%T: WithChildren changed arity", op)
+		}
+		if len(rebuilt.Schema()) != len(op.Schema()) {
+			t.Errorf("%T: WithChildren changed schema", op)
+		}
+	}
+	// Leaf nodes panic when given children.
+	for _, leaf := range []Operator{s, NewValuesInt("t", 1), &Spool{ID: 2, Cols: s.Cols}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%T: WithChildren(child) must panic for leaves", leaf)
+				}
+			}()
+			leaf.WithChildren([]Operator{s})
+		}()
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	s := NewScan(itemTable())
+	f := NewFilter(s, expr.NotNull(expr.Ref(s.Cols[0])))
+	visited := 0
+	Walk(f, func(op Operator) bool {
+		visited++
+		return false // prune immediately
+	})
+	if visited != 1 {
+		t.Errorf("visited = %d, want 1 after prune", visited)
+	}
+	Walk(nil, func(Operator) bool { t.Error("nil walk must not call f"); return true })
+}
+
+func TestTransformDown(t *testing.T) {
+	s := NewScan(itemTable())
+	l := &Limit{Input: &Limit{Input: s, N: 5}, N: 10}
+	out := TransformDown(l, func(op Operator) Operator {
+		if lim, ok := op.(*Limit); ok && lim.N == 10 {
+			return lim.Input // drop the outer limit
+		}
+		return op
+	})
+	if out.(*Limit).N != 5 {
+		t.Errorf("TransformDown result wrong:\n%s", Format(out))
+	}
+}
+
+func TestFilterConjunctsHelper(t *testing.T) {
+	s := NewScan(itemTable())
+	cond := expr.And(expr.NotNull(expr.Ref(s.Cols[0])), expr.NotNull(expr.Ref(s.Cols[1])))
+	f := &Filter{Input: s, Cond: cond}
+	if got := FilterConjuncts(f); len(got) != 2 {
+		t.Errorf("FilterConjuncts = %d items", len(got))
+	}
+	if FilterConjuncts(s) != nil {
+		t.Error("non-filter should yield nil")
+	}
+}
+
+func TestOutputColumn(t *testing.T) {
+	s := NewScan(itemTable())
+	if OutputColumn(s, s.Cols[1].ID) != s.Cols[1] {
+		t.Error("OutputColumn lookup failed")
+	}
+	if OutputColumn(s, expr.ColumnID(999999)) != nil {
+		t.Error("missing column should be nil")
+	}
+}
+
+func TestValidateSpoolAndMask(t *testing.T) {
+	s := NewScan(itemTable())
+	sp := &Spool{ID: 1, Producer: s, Cols: s.Cols}
+	if err := Validate(sp); err != nil {
+		t.Errorf("valid spool rejected: %v", err)
+	}
+	// MarkDistinct with a mask over foreign columns must fail validation.
+	other := NewScan(itemTable())
+	bad := &MarkDistinct{Input: s, MarkCol: expr.NewColumn("d", types.KindBool),
+		On: s.Cols[:1], Mask: expr.NotNull(expr.Ref(other.Cols[0]))}
+	if err := Validate(bad); err == nil {
+		t.Error("mask over foreign columns accepted")
+	}
+}
+
+func TestValidateDuplicateOutput(t *testing.T) {
+	s := NewScan(itemTable())
+	dup := &Project{Input: s, Cols: []Assignment{
+		{Col: s.Cols[0], E: expr.Ref(s.Cols[0])},
+		{Col: s.Cols[0], E: expr.Ref(s.Cols[0])},
+	}}
+	if err := Validate(dup); err == nil {
+		t.Error("duplicate output columns accepted")
+	}
+}

@@ -1,0 +1,274 @@
+package logical
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+)
+
+// Format renders a plan tree with two-space indentation per level, one
+// operator per line. It is the EXPLAIN output and the format tests assert
+// against.
+func Format(op Operator) string {
+	return FormatWith(op, nil)
+}
+
+// FormatWith renders the plan with an optional per-operator annotation
+// appended to each line (e.g. cardinality estimates in EXPLAIN output).
+func FormatWith(op Operator, annot func(Operator) string) string {
+	var b strings.Builder
+	format(&b, op, 0, annot)
+	return b.String()
+}
+
+func format(b *strings.Builder, op Operator, depth int, annot func(Operator) string) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	b.WriteString(op.Describe())
+	if annot != nil {
+		if a := annot(op); a != "" {
+			b.WriteString("  ")
+			b.WriteString(a)
+		}
+	}
+	b.WriteByte('\n')
+	for _, c := range op.Children() {
+		format(b, c, depth+1, annot)
+	}
+}
+
+// Walk visits every operator pre-order; returning false prunes the subtree.
+func Walk(op Operator, f func(Operator) bool) {
+	if op == nil || !f(op) {
+		return
+	}
+	for _, c := range op.Children() {
+		Walk(c, f)
+	}
+}
+
+// Transform rewrites a plan bottom-up: children first, then f on the
+// (possibly rebuilt) node. f returning its argument keeps the node.
+func Transform(op Operator, f func(Operator) Operator) Operator {
+	ch := op.Children()
+	if len(ch) > 0 {
+		newCh := make([]Operator, len(ch))
+		changed := false
+		for i, c := range ch {
+			newCh[i] = Transform(c, f)
+			if newCh[i] != c {
+				changed = true
+			}
+		}
+		if changed {
+			op = op.WithChildren(newCh)
+		}
+	}
+	return f(op)
+}
+
+// TransformDown rewrites a plan top-down: f on the node first, then recurse
+// into the (possibly new) node's children.
+func TransformDown(op Operator, f func(Operator) Operator) Operator {
+	op = f(op)
+	ch := op.Children()
+	if len(ch) == 0 {
+		return op
+	}
+	newCh := make([]Operator, len(ch))
+	changed := false
+	for i, c := range ch {
+		newCh[i] = TransformDown(c, f)
+		if newCh[i] != c {
+			changed = true
+		}
+	}
+	if changed {
+		op = op.WithChildren(newCh)
+	}
+	return op
+}
+
+// OutputSet returns the set of column IDs in op's output schema.
+func OutputSet(op Operator) map[expr.ColumnID]bool {
+	out := make(map[expr.ColumnID]bool)
+	for _, c := range op.Schema() {
+		out[c.ID] = true
+	}
+	return out
+}
+
+// OutputColumn finds an output column by ID, or nil.
+func OutputColumn(op Operator, id expr.ColumnID) *expr.Column {
+	for _, c := range op.Schema() {
+		if c.ID == id {
+			return c
+		}
+	}
+	return nil
+}
+
+// ExprsOf returns every expression embedded in a single operator (not its
+// children), for validation and column-usage analysis. Aggregate args and
+// masks, window partition columns, sort keys and union input columns are
+// all included (column lists as ColumnRefs).
+func ExprsOf(op Operator) []expr.Expr {
+	var out []expr.Expr
+	add := func(e expr.Expr) {
+		if e != nil {
+			out = append(out, e)
+		}
+	}
+	switch o := op.(type) {
+	case *Filter:
+		add(o.Cond)
+	case *Project:
+		for _, a := range o.Cols {
+			add(a.E)
+		}
+	case *Join:
+		add(o.Cond)
+	case *GroupBy:
+		for _, k := range o.Keys {
+			add(expr.Ref(k))
+		}
+		for _, a := range o.Aggs {
+			add(a.Agg.Arg)
+			add(a.Agg.Mask)
+		}
+	case *MarkDistinct:
+		for _, c := range o.On {
+			add(expr.Ref(c))
+		}
+		add(o.Mask)
+	case *Window:
+		for _, f := range o.Funcs {
+			add(f.Agg.Arg)
+			add(f.Agg.Mask)
+			for _, p := range f.PartitionBy {
+				add(expr.Ref(p))
+			}
+		}
+	case *UnionAll:
+		for _, cols := range o.InputCols {
+			for _, c := range cols {
+				add(expr.Ref(c))
+			}
+		}
+	case *Sort:
+		for _, k := range o.Keys {
+			add(k.E)
+		}
+	}
+	return out
+}
+
+// Validate checks structural well-formedness of a plan: every expression in
+// every operator references only columns produced by that operator's
+// children (join conditions may use both sides; union input lists must
+// reference the corresponding input and match arity), and output schemas
+// contain no duplicate column IDs. It returns the first problem found.
+// The optimizer runs Validate after every rule application in tests, which
+// catches malformed fusion results early.
+func Validate(op Operator) error {
+	var walkErr error
+	Walk(op, func(o Operator) bool {
+		if err := validateOne(o); err != nil {
+			walkErr = err
+			return false
+		}
+		return true
+	})
+	return walkErr
+}
+
+func validateOne(op Operator) error {
+	// Duplicate output columns.
+	seen := make(map[expr.ColumnID]bool)
+	for _, c := range op.Schema() {
+		if seen[c.ID] {
+			return fmt.Errorf("logical: %s has duplicate output column %s", op.Describe(), c)
+		}
+		seen[c.ID] = true
+	}
+
+	visible := make(map[expr.ColumnID]bool)
+	for _, c := range op.Children() {
+		for _, col := range c.Schema() {
+			visible[col.ID] = true
+		}
+	}
+
+	switch o := op.(type) {
+	case *UnionAll:
+		if len(o.InputCols) != len(o.Inputs) {
+			return fmt.Errorf("logical: UnionAll has %d inputs but %d input column lists", len(o.Inputs), len(o.InputCols))
+		}
+		for i, cols := range o.InputCols {
+			if len(cols) != len(o.Cols) {
+				return fmt.Errorf("logical: UnionAll input %d provides %d columns, want %d", i, len(cols), len(o.Cols))
+			}
+			inSet := OutputSet(o.Inputs[i])
+			for _, c := range cols {
+				if !inSet[c.ID] {
+					return fmt.Errorf("logical: UnionAll input %d column %s not produced by that input", i, c)
+				}
+			}
+		}
+		return nil
+	case *GroupBy:
+		inSet := OutputSet(o.Input)
+		for _, k := range o.Keys {
+			if !inSet[k.ID] {
+				return fmt.Errorf("logical: GroupBy key %s not produced by input", k)
+			}
+		}
+	case *MarkDistinct:
+		inSet := OutputSet(o.Input)
+		for _, c := range o.On {
+			if !inSet[c.ID] {
+				return fmt.Errorf("logical: MarkDistinct column %s not produced by input", c)
+			}
+		}
+	}
+
+	for _, e := range ExprsOf(op) {
+		if !expr.RefersOnly(e, visible) {
+			return fmt.Errorf("logical: %s references columns outside its inputs in %s", op.Describe(), e)
+		}
+	}
+	return nil
+}
+
+// FilterConjuncts returns the flattened conjuncts of a filter condition
+// directly above op, or nil if op is not a Filter.
+func FilterConjuncts(op Operator) []expr.Expr {
+	if f, ok := op.(*Filter); ok {
+		return expr.Conjuncts(f.Cond)
+	}
+	return nil
+}
+
+// CountOperators returns the number of operators in the tree (including
+// shared subtrees once per reachable path; plans are trees, so this is the
+// plan size). Useful for heuristics and tests asserting duplicate removal.
+func CountOperators(op Operator) int {
+	n := 0
+	Walk(op, func(Operator) bool { n++; return true })
+	return n
+}
+
+// CountScansOf counts Scan operators over the named table; the Figure 2
+// bytes-scanned story reduces to this number going down.
+func CountScansOf(op Operator, table string) int {
+	n := 0
+	Walk(op, func(o Operator) bool {
+		if s, ok := o.(*Scan); ok && s.Table.Name == table {
+			n++
+		}
+		return true
+	})
+	return n
+}

@@ -1,0 +1,103 @@
+package optimizer
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/types"
+)
+
+// TestDisabledRulesAblation verifies per-rule ablation: with JoinOnKeys
+// disabled, the Q09-style cross join of scalar aggregates must keep its
+// duplicated scans even though fusion is on.
+func TestDisabledRulesAblation(t *testing.T) {
+	tab := salesTable()
+	mk := func(lo, hi int64) logical.Operator {
+		s := logical.NewScan(tab)
+		f := logical.NewFilter(s, expr.And(
+			expr.NewBinary(expr.OpGe, expr.Ref(s.Cols[2]), expr.Lit(types.Int(lo))),
+			expr.NewBinary(expr.OpLe, expr.Ref(s.Cols[2]), expr.Lit(types.Int(hi))),
+		))
+		gb := &logical.GroupBy{Input: f, Aggs: []logical.AggAssign{{
+			Col: expr.NewColumn("v", types.KindFloat64),
+			Agg: expr.AggCall{Fn: expr.AggAvg, Arg: expr.Ref(s.Cols[3])},
+		}}}
+		return &logical.EnforceSingleRow{Input: gb}
+	}
+	build := func() logical.Operator {
+		return &logical.Join{Kind: logical.CrossJoin, Left: mk(1, 5), Right: mk(6, 9)}
+	}
+
+	full, fullTrace := Optimize(build(), DefaultOptions())
+	if !fullTrace.Changed("JoinOnKeys") {
+		t.Fatal("precondition: JoinOnKeys fires with all rules on")
+	}
+	if logical.CountScansOf(full, "store_sales") != 1 {
+		t.Fatal("precondition: full fusion leaves one scan")
+	}
+
+	opts := DefaultOptions()
+	opts.DisabledRules = []string{"JoinOnKeys"}
+	ablated, trace := Optimize(build(), opts)
+	if trace.Changed("JoinOnKeys") {
+		t.Error("disabled rule fired")
+	}
+	if got := logical.CountScansOf(ablated, "store_sales"); got != 2 {
+		t.Errorf("ablated plan scans = %d, want 2:\n%s", got, logical.Format(ablated))
+	}
+}
+
+// TestDisabledRulesLeaveOthersActive ensures disabling one rule does not
+// silence the rest.
+func TestDisabledRulesLeaveOthersActive(t *testing.T) {
+	tab := salesTable()
+	mkFilter := func(lo int64) (logical.Operator, *expr.Column) {
+		s := logical.NewScan(tab)
+		f := logical.NewFilter(s, expr.NewBinary(expr.OpGt, expr.Ref(s.Cols[2]), expr.Lit(types.Int(lo))))
+		return f, s.Cols[0]
+	}
+	b1, c1 := mkFilter(1)
+	b2, c2 := mkFilter(5)
+	u := logical.NewUnionAll([]logical.Operator{b1, b2}, [][]*expr.Column{{c1}, {c2}})
+
+	opts := DefaultOptions()
+	opts.DisabledRules = []string{"JoinOnKeys", "GroupByJoinToWindow"}
+	out, trace := Optimize(u, opts)
+	if !trace.Changed("UnionAllFusion") {
+		t.Errorf("UnionAllFusion should still fire; trace=%v\n%s", trace.Fired, logical.Format(out))
+	}
+}
+
+// TestMinReuseRowsGate checks the statistics-based applicability heuristic:
+// with a threshold far above the table size, fusion rules decline to fire.
+func TestMinReuseRowsGate(t *testing.T) {
+	tab := salesTable()
+	tab.Stats.RowCount = 100 // small table
+	mk := func(lo int64) logical.Operator {
+		s := logical.NewScan(tab)
+		f := logical.NewFilter(s, expr.NewBinary(expr.OpGt, expr.Ref(s.Cols[2]), expr.Lit(types.Int(lo))))
+		gb := &logical.GroupBy{Input: f, Aggs: []logical.AggAssign{{
+			Col: expr.NewColumn("v", types.KindFloat64),
+			Agg: expr.AggCall{Fn: expr.AggAvg, Arg: expr.Ref(s.Cols[3])},
+		}}}
+		return &logical.EnforceSingleRow{Input: gb}
+	}
+	build := func() logical.Operator {
+		return &logical.Join{Kind: logical.CrossJoin, Left: mk(1), Right: mk(5)}
+	}
+
+	// Threshold above the estimate: rule declines.
+	opts := DefaultOptions()
+	opts.MinReuseRows = 1e9
+	_, trace := Optimize(build(), opts)
+	if trace.Changed("JoinOnKeys") {
+		t.Error("JoinOnKeys fired despite tiny estimated reuse")
+	}
+	// Threshold below: rule fires.
+	opts.MinReuseRows = 1
+	_, trace2 := Optimize(build(), opts)
+	if !trace2.Changed("JoinOnKeys") {
+		t.Error("JoinOnKeys should fire above the threshold")
+	}
+}

@@ -1,0 +1,343 @@
+package optimizer
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/types"
+)
+
+func salesTable() *catalog.Table {
+	return &catalog.Table{
+		Name: "store_sales",
+		Columns: []catalog.Column{
+			{Name: "ss_item_sk", Type: types.KindInt64},
+			{Name: "ss_store_sk", Type: types.KindInt64},
+			{Name: "ss_qty", Type: types.KindInt64},
+			{Name: "ss_price", Type: types.KindFloat64},
+		},
+	}
+}
+
+func itemTable() *catalog.Table {
+	return &catalog.Table{
+		Name: "item",
+		Columns: []catalog.Column{
+			{Name: "i_item_sk", Type: types.KindInt64},
+			{Name: "i_brand", Type: types.KindString},
+		},
+	}
+}
+
+func mustValid(t *testing.T, plan logical.Operator) {
+	t.Helper()
+	if err := logical.Validate(plan); err != nil {
+		t.Fatalf("plan invalid: %v\n%s", err, logical.Format(plan))
+	}
+}
+
+func TestPushDownThroughJoin(t *testing.T) {
+	ss := logical.NewScan(salesTable())
+	it := logical.NewScan(itemTable())
+	join := &logical.Join{Kind: logical.CrossJoin, Left: ss, Right: it}
+	cond := expr.And(
+		expr.Eq(expr.Ref(ss.Cols[0]), expr.Ref(it.Cols[0])),
+		expr.NewBinary(expr.OpGt, expr.Ref(ss.Cols[2]), expr.Lit(types.Int(5))),
+		expr.Eq(expr.Ref(it.Cols[1]), expr.Lit(types.String("b"))),
+	)
+	plan := logical.NewFilter(join, cond)
+	out := PushDownPredicates(plan)
+	mustValid(t, out)
+	// Expect: InnerJoin(Filter(ss), Filter(it)) with equality as join cond.
+	j, ok := out.(*logical.Join)
+	if !ok || j.Kind != logical.InnerJoin {
+		t.Fatalf("expected inner join at root:\n%s", logical.Format(out))
+	}
+	if _, ok := j.Left.(*logical.Filter); !ok {
+		t.Errorf("left predicate not pushed:\n%s", logical.Format(out))
+	}
+	if _, ok := j.Right.(*logical.Filter); !ok {
+		t.Errorf("right predicate not pushed:\n%s", logical.Format(out))
+	}
+}
+
+func TestPushDownThroughProjectAndGroupBy(t *testing.T) {
+	ss := logical.NewScan(salesTable())
+	gb := &logical.GroupBy{Input: ss, Keys: []*expr.Column{ss.Cols[1]},
+		Aggs: []logical.AggAssign{{Col: expr.NewColumn("total", types.KindFloat64),
+			Agg: expr.AggCall{Fn: expr.AggSum, Arg: expr.Ref(ss.Cols[3])}}}}
+	// Filter on the grouping key must sink below the GroupBy to the scan.
+	plan := logical.NewFilter(gb, expr.NewBinary(expr.OpGt, expr.Ref(ss.Cols[1]), expr.Lit(types.Int(10))))
+	out := PushDownPredicates(plan)
+	mustValid(t, out)
+	if _, isFilter := out.(*logical.Filter); isFilter {
+		t.Errorf("key filter should sink below GroupBy:\n%s", logical.Format(out))
+	}
+	// Filter on the aggregate output must stay above.
+	gb2 := &logical.GroupBy{Input: logical.NewScan(salesTable()), Keys: nil,
+		Aggs: []logical.AggAssign{{Col: expr.NewColumn("total", types.KindFloat64),
+			Agg: expr.AggCall{Fn: expr.AggSum, Arg: expr.Ref(ss.Cols[3])}}}}
+	_ = gb2
+}
+
+func TestPushDownThroughUnion(t *testing.T) {
+	s1, s2 := logical.NewScan(salesTable()), logical.NewScan(salesTable())
+	u := logical.NewUnionAll([]logical.Operator{s1, s2},
+		[][]*expr.Column{{s1.Cols[2]}, {s2.Cols[2]}})
+	plan := logical.NewFilter(u, expr.NewBinary(expr.OpGt, expr.Ref(u.Cols[0]), expr.Lit(types.Int(3))))
+	out := PushDownPredicates(plan)
+	mustValid(t, out)
+	uo, ok := out.(*logical.UnionAll)
+	if !ok {
+		t.Fatalf("union should be root after pushdown:\n%s", logical.Format(out))
+	}
+	for i, in := range uo.Inputs {
+		if _, isFilter := in.(*logical.Filter); !isFilter {
+			t.Errorf("branch %d did not receive pushed filter:\n%s", i, logical.Format(out))
+		}
+	}
+}
+
+func TestPushDownNotThroughLimit(t *testing.T) {
+	ss := logical.NewScan(salesTable())
+	lim := &logical.Limit{Input: ss, N: 10}
+	plan := logical.NewFilter(lim, expr.NewBinary(expr.OpGt, expr.Ref(ss.Cols[2]), expr.Lit(types.Int(3))))
+	out := PushDownPredicates(plan)
+	mustValid(t, out)
+	if _, isFilter := out.(*logical.Filter); !isFilter {
+		t.Errorf("filter must stay above Limit:\n%s", logical.Format(out))
+	}
+}
+
+func TestPruneColumnsNarrowsScan(t *testing.T) {
+	ss := logical.NewScan(salesTable())
+	proj := &logical.Project{Input: ss, Cols: []logical.Assignment{
+		logical.Assign("q", expr.Ref(ss.Cols[2])),
+	}}
+	out := PruneColumns(proj, nil)
+	mustValid(t, out)
+	scan := out.(*logical.Project).Input.(*logical.Scan)
+	if len(scan.Cols) != 1 || scan.ColNames[0] != "ss_qty" {
+		t.Errorf("scan not narrowed: %v", scan.ColNames)
+	}
+}
+
+func TestPruneColumnsDropsDeadMarkDistinct(t *testing.T) {
+	ss := logical.NewScan(salesTable())
+	md := &logical.MarkDistinct{Input: ss, MarkCol: expr.NewColumn("d", types.KindBool), On: []*expr.Column{ss.Cols[0]}}
+	proj := &logical.Project{Input: md, Cols: []logical.Assignment{
+		logical.Assign("q", expr.Ref(ss.Cols[2])),
+	}}
+	out := PruneColumns(proj, nil)
+	mustValid(t, out)
+	found := false
+	logical.Walk(out, func(o logical.Operator) bool {
+		if _, ok := o.(*logical.MarkDistinct); ok {
+			found = true
+		}
+		return true
+	})
+	if found {
+		t.Errorf("dead MarkDistinct should be removed:\n%s", logical.Format(out))
+	}
+}
+
+func TestPruneColumnsKeepsRootSchema(t *testing.T) {
+	ss := logical.NewScan(salesTable())
+	before := ss.Schema()
+	out := PruneColumns(ss, nil)
+	after := out.Schema()
+	if len(before) != len(after) {
+		t.Errorf("root schema changed: %d -> %d", len(before), len(after))
+	}
+}
+
+func TestLowerDistinctAggregates(t *testing.T) {
+	ss := logical.NewScan(salesTable())
+	gb := &logical.GroupBy{Input: ss, Keys: []*expr.Column{ss.Cols[1]},
+		Aggs: []logical.AggAssign{
+			{Col: expr.NewColumn("dcount", types.KindInt64),
+				Agg: expr.AggCall{Fn: expr.AggCount, Arg: expr.Ref(ss.Cols[0]), Distinct: true}},
+			{Col: expr.NewColumn("total", types.KindFloat64),
+				Agg: expr.AggCall{Fn: expr.AggSum, Arg: expr.Ref(ss.Cols[3])}},
+		}}
+	out := LowerDistinctAggregates(gb)
+	mustValid(t, out)
+	g := out.(*logical.GroupBy)
+	if g.Aggs[0].Agg.Distinct {
+		t.Error("distinct flag must be cleared")
+	}
+	if g.Aggs[0].Agg.Mask == nil {
+		t.Error("distinct aggregate must gain a mark mask")
+	}
+	md, ok := g.Input.(*logical.MarkDistinct)
+	if !ok {
+		t.Fatalf("expected MarkDistinct input, got %T", g.Input)
+	}
+	// Mark set must include the grouping key and the argument.
+	if len(md.On) != 2 {
+		t.Errorf("MarkDistinct on %d cols, want 2 (group key + arg)", len(md.On))
+	}
+	// Two distinct aggs on the same argument share one MarkDistinct.
+	gb2 := &logical.GroupBy{Input: logical.NewScan(salesTable()), Keys: nil,
+		Aggs: []logical.AggAssign{
+			{Col: expr.NewColumn("c1", types.KindInt64), Agg: expr.AggCall{Fn: expr.AggCount, Arg: expr.Ref(ss.Cols[0]), Distinct: true}},
+		}}
+	_ = gb2
+}
+
+func TestSemiJoinToDistinctJoinGate(t *testing.T) {
+	// Right side without duplicate scans: rule must not fire.
+	left := logical.NewScan(salesTable())
+	right := logical.NewScan(itemTable())
+	semi := &logical.Join{Kind: logical.SemiJoin, Left: left, Right: right,
+		Cond: expr.Eq(expr.Ref(left.Cols[0]), expr.Ref(right.Cols[0]))}
+	if _, changed := (SemiJoinToDistinctJoin{}).Apply(semi); changed {
+		t.Error("rule fired without duplicate scans")
+	}
+	// Right side with a self-join (Q95's ws_wh): rule fires.
+	w1, w2 := logical.NewScan(salesTable()), logical.NewScan(salesTable())
+	selfJoin := &logical.Join{Kind: logical.InnerJoin, Left: w1, Right: w2,
+		Cond: expr.Eq(expr.Ref(w1.Cols[0]), expr.Ref(w2.Cols[0]))}
+	semi2 := &logical.Join{Kind: logical.SemiJoin, Left: left, Right: selfJoin,
+		Cond: expr.Eq(expr.Ref(left.Cols[0]), expr.Ref(w1.Cols[0]))}
+	out, changed := (SemiJoinToDistinctJoin{}).Apply(semi2)
+	if !changed {
+		t.Fatal("rule should fire on self-joined right side")
+	}
+	mustValid(t, out)
+	j := out.(*logical.Join)
+	if j.Kind != logical.InnerJoin {
+		t.Error("result must be an inner join")
+	}
+	if gb, ok := j.Right.(*logical.GroupBy); !ok || len(gb.Keys) != 1 || len(gb.Aggs) != 0 {
+		t.Errorf("right side must be a distinct GroupBy:\n%s", logical.Format(out))
+	}
+}
+
+func TestPushDistinctThroughJoin(t *testing.T) {
+	a := logical.NewScan(salesTable())
+	b := logical.NewScan(itemTable())
+	join := &logical.Join{Kind: logical.InnerJoin, Left: a, Right: b,
+		Cond: expr.Eq(expr.Ref(a.Cols[0]), expr.Ref(b.Cols[0]))}
+	distinct := &logical.GroupBy{Input: join, Keys: []*expr.Column{b.Cols[0]}}
+	out, changed := (PushDistinctThroughJoin{}).Apply(distinct)
+	if !changed {
+		t.Fatal("rule should fire when keys equal right join columns")
+	}
+	mustValid(t, out)
+	j := out.(*logical.Join)
+	if _, ok := j.Left.(*logical.GroupBy); !ok {
+		t.Error("left side must become distinct")
+	}
+	if _, ok := j.Right.(*logical.GroupBy); !ok {
+		t.Error("right side must become distinct")
+	}
+	// Keys not matching join columns: no fire.
+	distinct2 := &logical.GroupBy{Input: join, Keys: []*expr.Column{b.Cols[1]}}
+	if _, changed := (PushDistinctThroughJoin{}).Apply(distinct2); changed {
+		t.Error("rule fired with non-join-column keys")
+	}
+}
+
+// TestOptimizeEndToEndScalarAggregates runs the full pipeline on a Q09-like
+// plan and checks baseline-vs-fused scan counts.
+func TestOptimizeEndToEndScalarAggregates(t *testing.T) {
+	tab := salesTable()
+	mkBranch := func(lo, hi int64) logical.Operator {
+		s := logical.NewScan(tab)
+		cond := expr.And(
+			expr.NewBinary(expr.OpGe, expr.Ref(s.Cols[2]), expr.Lit(types.Int(lo))),
+			expr.NewBinary(expr.OpLe, expr.Ref(s.Cols[2]), expr.Lit(types.Int(hi))),
+		)
+		gb := &logical.GroupBy{Input: logical.NewFilter(s, cond),
+			Aggs: []logical.AggAssign{{Col: expr.NewColumn("v", types.KindFloat64),
+				Agg: expr.AggCall{Fn: expr.AggAvg, Arg: expr.Ref(s.Cols[3])}}}}
+		return &logical.EnforceSingleRow{Input: gb}
+	}
+	b1, b2, b3 := mkBranch(1, 20), mkBranch(21, 40), mkBranch(41, 60)
+	plan := &logical.Join{Kind: logical.CrossJoin,
+		Left:  &logical.Join{Kind: logical.CrossJoin, Left: b1, Right: b2},
+		Right: b3}
+
+	baseline, traceOff := Optimize(plan, Options{EnableFusion: false})
+	mustValid(t, baseline)
+	if traceOff.Any() {
+		t.Error("baseline must not fire fusion rules")
+	}
+	if got := logical.CountScansOf(baseline, "store_sales"); got != 3 {
+		t.Errorf("baseline scans = %d, want 3", got)
+	}
+
+	fused, traceOn := Optimize(plan, DefaultOptions())
+	mustValid(t, fused)
+	if !traceOn.Changed("JoinOnKeys") {
+		t.Errorf("JoinOnKeys did not fire; trace=%v\n%s", traceOn.Fired, logical.Format(fused))
+	}
+	if got := logical.CountScansOf(fused, "store_sales"); got != 1 {
+		t.Errorf("fused scans = %d, want 1:\n%s", got, logical.Format(fused))
+	}
+	// Output schema preserved.
+	outSet := logical.OutputSet(fused)
+	for _, c := range plan.Schema() {
+		if !outSet[c.ID] {
+			t.Errorf("fused plan lost column %s", c)
+		}
+	}
+}
+
+// TestOptimizeEndToEndQ95Chain checks the semi-join → distinct-join →
+// distinct-pushdown → JoinOnKeys interplay on a Q95-shaped plan.
+func TestOptimizeEndToEndQ95Chain(t *testing.T) {
+	web := salesTable() // stands in for web_sales
+	mkWsWh := func() (logical.Operator, *expr.Column) {
+		w1, w2 := logical.NewScan(web), logical.NewScan(web)
+		j := &logical.Join{Kind: logical.InnerJoin, Left: w1, Right: w2,
+			Cond: expr.And(
+				expr.Eq(expr.Ref(w1.Cols[0]), expr.Ref(w2.Cols[0])),
+				expr.NewBinary(expr.OpNe, expr.Ref(w1.Cols[1]), expr.Ref(w2.Cols[1])),
+			)}
+		return j, w1.Cols[0]
+	}
+	probe := logical.NewScan(web)
+	wh1, k1 := mkWsWh()
+	wh2, k2 := mkWsWh()
+	ret := logical.NewScan(itemTable()) // stands in for web_returns
+	wh2join := &logical.Join{Kind: logical.InnerJoin, Left: wh2, Right: ret,
+		Cond: expr.Eq(expr.Ref(k2), expr.Ref(ret.Cols[0]))}
+	semi1 := &logical.Join{Kind: logical.SemiJoin, Left: probe, Right: wh1,
+		Cond: expr.Eq(expr.Ref(probe.Cols[0]), expr.Ref(k1))}
+	semi2 := &logical.Join{Kind: logical.SemiJoin, Left: semi1, Right: wh2join,
+		Cond: expr.Eq(expr.Ref(probe.Cols[0]), expr.Ref(ret.Cols[0]))}
+
+	baseline, _ := Optimize(semi2, Options{EnableFusion: false})
+	mustValid(t, baseline)
+	baseScans := logical.CountScansOf(baseline, "store_sales")
+	if baseScans != 5 {
+		t.Fatalf("baseline scans = %d, want 5 (probe + 2×self-join)", baseScans)
+	}
+
+	fused, trace := Optimize(semi2, DefaultOptions())
+	mustValid(t, fused)
+	fusedScans := logical.CountScansOf(fused, "store_sales")
+	if fusedScans >= baseScans {
+		t.Errorf("fusion did not reduce scans: %d -> %d; trace=%v\n%s",
+			baseScans, fusedScans, trace.Fired, logical.Format(fused))
+	}
+	if !trace.Changed("JoinOnKeys") {
+		t.Errorf("JoinOnKeys did not fire; trace=%v", trace.Fired)
+	}
+}
+
+// Optimization must be idempotent on already-optimized plans.
+func TestOptimizeIdempotent(t *testing.T) {
+	ss := logical.NewScan(salesTable())
+	plan := logical.NewFilter(ss, expr.NewBinary(expr.OpGt, expr.Ref(ss.Cols[2]), expr.Lit(types.Int(1))))
+	once, _ := Optimize(plan, DefaultOptions())
+	twice, _ := Optimize(once, DefaultOptions())
+	if logical.Format(once) != logical.Format(twice) {
+		t.Errorf("not idempotent:\n%s\nvs\n%s", logical.Format(once), logical.Format(twice))
+	}
+}

@@ -1,0 +1,242 @@
+package optimizer
+
+import (
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/types"
+)
+
+// LowerDistinctAggregates rewrites GroupBy operators containing DISTINCT
+// aggregates into the MarkDistinct form of §III.F: each distinct aggregate
+// gets a MarkDistinct operator over (grouping keys ∪ aggregate argument)
+// below the GroupBy, and the aggregate's mask is tightened with the mark
+// column. This is Athena's alternative implementation of distinct
+// aggregates; lowering before optimization lets the fusion machinery handle
+// queries like Q28 through the MarkDistinct fusion rules.
+func LowerDistinctAggregates(plan logical.Operator) logical.Operator {
+	return logical.Transform(plan, func(op logical.Operator) logical.Operator {
+		gb, ok := op.(*logical.GroupBy)
+		if !ok {
+			return op
+		}
+		hasDistinct := false
+		for _, a := range gb.Aggs {
+			if a.Agg.Distinct {
+				hasDistinct = true
+				break
+			}
+		}
+		if !hasDistinct {
+			return op
+		}
+
+		input := gb.Input
+		var extraAssigns []logical.Assignment
+		aggs := make([]logical.AggAssign, len(gb.Aggs))
+		// Reuse one MarkDistinct per distinct argument expression.
+		marks := map[string]*expr.Column{}
+		for i, a := range gb.Aggs {
+			if !a.Agg.Distinct {
+				aggs[i] = a
+				continue
+			}
+			arg := a.Agg.Arg
+			argCol, isRef := columnOf(arg)
+			if !isRef {
+				// Materialize the argument expression first.
+				argCol = expr.NewColumn("$dval", arg.Type())
+				extraAssigns = append(extraAssigns, logical.Assignment{Col: argCol, E: arg})
+			}
+			key := argCol.String()
+			mark, seen := marks[key]
+			if !seen {
+				mark = expr.NewColumn("$distinct", types.KindBool)
+				marks[key] = mark
+				on := append(append([]*expr.Column{}, gb.Keys...), argCol)
+				if len(extraAssigns) > 0 {
+					proj := logical.IdentityProject(input, input.Schema())
+					proj.Cols = append(proj.Cols, extraAssigns...)
+					input = proj
+					extraAssigns = nil
+				}
+				input = &logical.MarkDistinct{Input: input, MarkCol: mark, On: on}
+			}
+			agg := a.Agg
+			agg.Distinct = false
+			agg.Arg = expr.Ref(argCol)
+			agg.Mask = expr.Simplify(expr.And(agg.Mask, expr.Ref(mark)))
+			aggs[i] = logical.AggAssign{Col: a.Col, Agg: agg}
+		}
+		return &logical.GroupBy{Input: input, Keys: gb.Keys, Aggs: aggs}
+	})
+}
+
+func columnOf(e expr.Expr) (*expr.Column, bool) {
+	if ref, ok := e.(*expr.ColumnRef); ok {
+		return ref.Col, true
+	}
+	return nil, false
+}
+
+// SemiJoinToDistinctJoin converts a semi join whose right side contains
+// duplicate table scans (the heuristic proxy for "an expensive common
+// expression worth deduplicating", e.g. Q95's self-joined ws_wh CTE) into
+// an inner join against the distinct projection of the right-side join
+// columns. The widened schema is harmless — columns are consumed by
+// explicit identity — and the distinct GroupBy becomes visible to
+// JoinOnKeys.
+type SemiJoinToDistinctJoin struct{}
+
+// Name implements core.Rule.
+func (SemiJoinToDistinctJoin) Name() string { return "SemiJoinToDistinctJoin" }
+
+// Apply implements core.Rule.
+func (SemiJoinToDistinctJoin) Apply(op logical.Operator) (logical.Operator, bool) {
+	j, ok := op.(*logical.Join)
+	if !ok || j.Kind != logical.SemiJoin || j.Cond == nil {
+		return op, false
+	}
+	if !hasDuplicateTableScan(j.Right) {
+		return op, false
+	}
+	rightSet := logical.OutputSet(j.Right)
+	var rightCols []*expr.Column
+	seen := map[expr.ColumnID]bool{}
+	for _, c := range expr.Conjuncts(j.Cond) {
+		b, isBin := c.(*expr.Binary)
+		if !isBin || b.Op != expr.OpEq {
+			return op, false
+		}
+		lr, ok1 := b.L.(*expr.ColumnRef)
+		rr, ok2 := b.R.(*expr.ColumnRef)
+		if !ok1 || !ok2 {
+			return op, false
+		}
+		rc := rr.Col
+		if !rightSet[rc.ID] {
+			rc = lr.Col
+		}
+		if !rightSet[rc.ID] {
+			return op, false
+		}
+		if !seen[rc.ID] {
+			seen[rc.ID] = true
+			rightCols = append(rightCols, rc)
+		}
+	}
+	if len(rightCols) == 0 {
+		return op, false
+	}
+	distinct := &logical.GroupBy{Input: j.Right, Keys: rightCols}
+	return &logical.Join{Kind: logical.InnerJoin, Left: j.Left, Right: distinct, Cond: j.Cond}, true
+}
+
+// PushDistinctThroughJoin pushes a no-aggregate GroupBy (a DISTINCT) below
+// an inner equi-join when the grouping keys are exactly one side's join
+// columns — the paper's "rule that pushes a distinct operation below a join
+// whenever the distinct and join columns agree" from the Q95 walkthrough.
+// The join of the two per-side distincts then produces exactly the original
+// distinct key values (each at multiplicity one).
+type PushDistinctThroughJoin struct{}
+
+// Name implements core.Rule.
+func (PushDistinctThroughJoin) Name() string { return "PushDistinctThroughJoin" }
+
+// Apply implements core.Rule.
+func (PushDistinctThroughJoin) Apply(op logical.Operator) (logical.Operator, bool) {
+	gb, ok := op.(*logical.GroupBy)
+	if !ok || len(gb.Aggs) != 0 || len(gb.Keys) == 0 {
+		return op, false
+	}
+	j, ok := gb.Input.(*logical.Join)
+	if !ok || j.Kind != logical.InnerJoin || j.Cond == nil {
+		return op, false
+	}
+	leftSet := logical.OutputSet(j.Left)
+	rightSet := logical.OutputSet(j.Right)
+	var leftCols, rightCols []*expr.Column
+	for _, c := range expr.Conjuncts(j.Cond) {
+		b, isBin := c.(*expr.Binary)
+		if !isBin || b.Op != expr.OpEq {
+			return op, false
+		}
+		lr, ok1 := b.L.(*expr.ColumnRef)
+		rr, ok2 := b.R.(*expr.ColumnRef)
+		if !ok1 || !ok2 {
+			return op, false
+		}
+		l, r := lr.Col, rr.Col
+		if leftSet[r.ID] && rightSet[l.ID] {
+			l, r = r, l
+		}
+		if !leftSet[l.ID] || !rightSet[r.ID] {
+			return op, false
+		}
+		leftCols = append(leftCols, l)
+		rightCols = append(rightCols, r)
+	}
+	// The grouping keys must be exactly one side's join columns.
+	if equalColumnSets(gb.Keys, rightCols) {
+		return &logical.Join{
+			Kind:  logical.InnerJoin,
+			Left:  &logical.GroupBy{Input: j.Left, Keys: dedupe(leftCols)},
+			Right: &logical.GroupBy{Input: j.Right, Keys: dedupe(rightCols)},
+			Cond:  j.Cond,
+		}, true
+	}
+	if equalColumnSets(gb.Keys, leftCols) {
+		return &logical.Join{
+			Kind:  logical.InnerJoin,
+			Left:  &logical.GroupBy{Input: j.Left, Keys: dedupe(leftCols)},
+			Right: &logical.GroupBy{Input: j.Right, Keys: dedupe(rightCols)},
+			Cond:  j.Cond,
+		}, true
+	}
+	return op, false
+}
+
+func equalColumnSets(a, b []*expr.Column) bool {
+	as := map[expr.ColumnID]bool{}
+	for _, c := range a {
+		as[c.ID] = true
+	}
+	bs := map[expr.ColumnID]bool{}
+	for _, c := range b {
+		if !as[c.ID] {
+			return false
+		}
+		bs[c.ID] = true
+	}
+	return len(as) == len(bs)
+}
+
+func dedupe(cols []*expr.Column) []*expr.Column {
+	seen := map[expr.ColumnID]bool{}
+	var out []*expr.Column
+	for _, c := range cols {
+		if !seen[c.ID] {
+			seen[c.ID] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// hasDuplicateTableScan reports whether the subtree scans any table more
+// than once — the statistics-free heuristic for "contains a duplicated
+// common expression".
+func hasDuplicateTableScan(op logical.Operator) bool {
+	counts := map[string]int{}
+	dup := false
+	logical.Walk(op, func(o logical.Operator) bool {
+		if s, ok := o.(*logical.Scan); ok {
+			counts[s.Table.Name]++
+			if counts[s.Table.Name] > 1 {
+				dup = true
+				return false
+			}
+		}
+		return !dup
+	})
+	return dup
+}

@@ -1,0 +1,177 @@
+package optimizer
+
+import (
+	"repro/internal/expr"
+	"repro/internal/logical"
+)
+
+// mapOperatorExprs returns a copy of the operator with every embedded
+// expression rewritten by f (children untouched). Returns op unchanged when
+// nothing changed.
+func mapOperatorExprs(op logical.Operator, f func(expr.Expr) expr.Expr) logical.Operator {
+	switch o := op.(type) {
+	case *logical.Filter:
+		c := f(o.Cond)
+		if c == o.Cond {
+			return op
+		}
+		return &logical.Filter{Input: o.Input, Cond: c}
+	case *logical.Project:
+		changed := false
+		cols := make([]logical.Assignment, len(o.Cols))
+		for i, a := range o.Cols {
+			e := f(a.E)
+			if e != a.E {
+				changed = true
+			}
+			cols[i] = logical.Assignment{Col: a.Col, E: e}
+		}
+		if !changed {
+			return op
+		}
+		return &logical.Project{Input: o.Input, Cols: cols}
+	case *logical.Join:
+		if o.Cond == nil {
+			return op
+		}
+		c := f(o.Cond)
+		if c == o.Cond {
+			return op
+		}
+		return &logical.Join{Kind: o.Kind, Left: o.Left, Right: o.Right, Cond: c}
+	case *logical.GroupBy:
+		changed := false
+		aggs := make([]logical.AggAssign, len(o.Aggs))
+		for i, a := range o.Aggs {
+			agg := a.Agg
+			if agg.Arg != nil {
+				if e := f(agg.Arg); e != agg.Arg {
+					agg.Arg = e
+					changed = true
+				}
+			}
+			if agg.Mask != nil {
+				if e := f(agg.Mask); e != agg.Mask {
+					agg.Mask = e
+					changed = true
+				}
+			}
+			aggs[i] = logical.AggAssign{Col: a.Col, Agg: agg}
+		}
+		if !changed {
+			return op
+		}
+		return &logical.GroupBy{Input: o.Input, Keys: o.Keys, Aggs: aggs}
+	case *logical.Window:
+		changed := false
+		funcs := make([]logical.WindowAssign, len(o.Funcs))
+		for i, w := range o.Funcs {
+			agg := w.Agg
+			if agg.Arg != nil {
+				if e := f(agg.Arg); e != agg.Arg {
+					agg.Arg = e
+					changed = true
+				}
+			}
+			if agg.Mask != nil {
+				if e := f(agg.Mask); e != agg.Mask {
+					agg.Mask = e
+					changed = true
+				}
+			}
+			funcs[i] = logical.WindowAssign{Col: w.Col, Agg: agg, PartitionBy: w.PartitionBy}
+		}
+		if !changed {
+			return op
+		}
+		return &logical.Window{Input: o.Input, Funcs: funcs}
+	case *logical.MarkDistinct:
+		if o.Mask == nil {
+			return op
+		}
+		m := f(o.Mask)
+		if expr.IsTrueLiteral(m) {
+			m = nil
+		}
+		if m == o.Mask {
+			return op
+		}
+		return &logical.MarkDistinct{Input: o.Input, MarkCol: o.MarkCol, On: o.On, Mask: m}
+	case *logical.Sort:
+		changed := false
+		keys := make([]logical.SortKey, len(o.Keys))
+		for i, k := range o.Keys {
+			e := f(k.E)
+			if e != k.E {
+				changed = true
+			}
+			keys[i] = logical.SortKey{E: e, Desc: k.Desc}
+		}
+		if !changed {
+			return op
+		}
+		return &logical.Sort{Input: o.Input, Keys: keys}
+	default:
+		return op
+	}
+}
+
+// SimplifyExpressions applies expression simplification to every operator.
+func SimplifyExpressions(plan logical.Operator) logical.Operator {
+	return logical.Transform(plan, func(op logical.Operator) logical.Operator {
+		out := mapOperatorExprs(op, expr.Simplify)
+		// A filter that simplified to TRUE disappears.
+		if f, ok := out.(*logical.Filter); ok && expr.IsTrueLiteral(f.Cond) {
+			return f.Input
+		}
+		return out
+	})
+}
+
+// MergeFilters collapses adjacent filters into a single conjunction.
+func MergeFilters(plan logical.Operator) logical.Operator {
+	return logical.Transform(plan, func(op logical.Operator) logical.Operator {
+		f, ok := op.(*logical.Filter)
+		if !ok {
+			return op
+		}
+		inner, ok := f.Input.(*logical.Filter)
+		if !ok {
+			return op
+		}
+		return &logical.Filter{Input: inner.Input, Cond: expr.And(f.Cond, inner.Cond)}
+	})
+}
+
+// RemoveTrivialOperators drops operators that provably do nothing: identity
+// projections, single-input unions, TRUE filters.
+func RemoveTrivialOperators(plan logical.Operator) logical.Operator {
+	return logical.Transform(plan, func(op logical.Operator) logical.Operator {
+		switch o := op.(type) {
+		case *logical.Filter:
+			if expr.IsTrueLiteral(o.Cond) {
+				return o.Input
+			}
+		case *logical.Project:
+			// An all-identity projection only narrows or reorders the
+			// schema; consumers reference columns by identity, so it can be
+			// dropped entirely (column pruning re-narrows scans later).
+			for _, a := range o.Cols {
+				ref, ok := a.E.(*expr.ColumnRef)
+				if !ok || ref.Col != a.Col {
+					return op
+				}
+			}
+			return o.Input
+		case *logical.UnionAll:
+			if len(o.Inputs) == 1 {
+				proj := &logical.Project{Input: o.Inputs[0]}
+				for j, c := range o.Cols {
+					proj.Cols = append(proj.Cols, logical.Assignment{Col: c, E: expr.Ref(o.InputCols[0][j])})
+				}
+				return proj
+			}
+		}
+		return op
+	})
+}

@@ -1,0 +1,194 @@
+package optimizer
+
+import (
+	"repro/internal/expr"
+	"repro/internal/logical"
+)
+
+// PruneColumns removes columns nothing upstream consumes: scans narrow to
+// the referenced columns (directly reducing bytes scanned from storage),
+// projections drop dead assignments, group-bys drop dead aggregates,
+// windows drop dead functions, unions drop dead outputs, and MarkDistinct
+// operators whose mark column is dead disappear entirely. keep lists the
+// root columns that must survive; nil keeps the whole root schema.
+func PruneColumns(plan logical.Operator, keep []*expr.Column) logical.Operator {
+	required := make(map[expr.ColumnID]bool)
+	if keep == nil {
+		for _, c := range plan.Schema() {
+			required[c.ID] = true
+		}
+	} else {
+		for _, c := range keep {
+			required[c.ID] = true
+		}
+	}
+	return prune(plan, required)
+}
+
+func prune(op logical.Operator, required map[expr.ColumnID]bool) logical.Operator {
+	switch o := op.(type) {
+	case *logical.Scan:
+		var cols []*expr.Column
+		var names []string
+		for i, c := range o.Cols {
+			if required[c.ID] {
+				cols = append(cols, c)
+				names = append(names, o.ColNames[i])
+			}
+		}
+		if len(cols) == 0 {
+			// Keep one column: a zero-column scan cannot drive row counts.
+			cols = o.Cols[:1]
+			names = o.ColNames[:1]
+		}
+		if len(cols) == len(o.Cols) {
+			return o
+		}
+		return &logical.Scan{Table: o.Table, Cols: cols, ColNames: names}
+
+	case *logical.Filter:
+		need := clone(required)
+		expr.CollectColumns(o.Cond, need)
+		return &logical.Filter{Input: prune(o.Input, need), Cond: o.Cond}
+
+	case *logical.Project:
+		var cols []logical.Assignment
+		for _, a := range o.Cols {
+			if required[a.Col.ID] {
+				cols = append(cols, a)
+			}
+		}
+		if len(cols) == 0 {
+			cols = o.Cols[:1]
+		}
+		need := make(map[expr.ColumnID]bool)
+		for _, a := range cols {
+			expr.CollectColumns(a.E, need)
+		}
+		return &logical.Project{Input: prune(o.Input, need), Cols: cols}
+
+	case *logical.Join:
+		need := clone(required)
+		if o.Cond != nil {
+			expr.CollectColumns(o.Cond, need)
+		}
+		return &logical.Join{Kind: o.Kind, Left: prune(o.Left, need), Right: prune(o.Right, need), Cond: o.Cond}
+
+	case *logical.GroupBy:
+		var aggs []logical.AggAssign
+		for _, a := range o.Aggs {
+			if required[a.Col.ID] {
+				aggs = append(aggs, a)
+			}
+		}
+		if len(o.Keys) == 0 && len(aggs) == 0 && len(o.Aggs) > 0 {
+			aggs = o.Aggs[:1] // scalar aggregate must keep one output
+		}
+		need := make(map[expr.ColumnID]bool)
+		for _, k := range o.Keys {
+			need[k.ID] = true
+		}
+		for _, a := range aggs {
+			if a.Agg.Arg != nil {
+				expr.CollectColumns(a.Agg.Arg, need)
+			}
+			if a.Agg.Mask != nil {
+				expr.CollectColumns(a.Agg.Mask, need)
+			}
+		}
+		return &logical.GroupBy{Input: prune(o.Input, need), Keys: o.Keys, Aggs: aggs}
+
+	case *logical.MarkDistinct:
+		if !required[o.MarkCol.ID] {
+			return prune(o.Input, required)
+		}
+		need := clone(required)
+		delete(need, o.MarkCol.ID)
+		for _, c := range o.On {
+			need[c.ID] = true
+		}
+		if o.Mask != nil {
+			expr.CollectColumns(o.Mask, need)
+		}
+		return &logical.MarkDistinct{Input: prune(o.Input, need), MarkCol: o.MarkCol, On: o.On, Mask: o.Mask}
+
+	case *logical.Window:
+		var funcs []logical.WindowAssign
+		for _, f := range o.Funcs {
+			if required[f.Col.ID] {
+				funcs = append(funcs, f)
+			}
+		}
+		if len(funcs) == 0 {
+			return prune(o.Input, required)
+		}
+		need := clone(required)
+		for _, f := range funcs {
+			delete(need, f.Col.ID)
+		}
+		for _, f := range funcs {
+			if f.Agg.Arg != nil {
+				expr.CollectColumns(f.Agg.Arg, need)
+			}
+			if f.Agg.Mask != nil {
+				expr.CollectColumns(f.Agg.Mask, need)
+			}
+			for _, p := range f.PartitionBy {
+				need[p.ID] = true
+			}
+		}
+		return &logical.Window{Input: prune(o.Input, need), Funcs: funcs}
+
+	case *logical.UnionAll:
+		var keep []int
+		for j, c := range o.Cols {
+			if required[c.ID] {
+				keep = append(keep, j)
+			}
+		}
+		if len(keep) == 0 {
+			keep = []int{0}
+		}
+		cols := make([]*expr.Column, len(keep))
+		inputCols := make([][]*expr.Column, len(o.Inputs))
+		inputs := make([]logical.Operator, len(o.Inputs))
+		for i := range o.Inputs {
+			inputCols[i] = make([]*expr.Column, len(keep))
+			need := make(map[expr.ColumnID]bool)
+			for k, j := range keep {
+				cols[k] = o.Cols[j]
+				inputCols[i][k] = o.InputCols[i][j]
+				need[o.InputCols[i][j].ID] = true
+			}
+			inputs[i] = prune(o.Inputs[i], need)
+		}
+		return &logical.UnionAll{Inputs: inputs, Cols: cols, InputCols: inputCols}
+
+	case *logical.Sort:
+		need := clone(required)
+		for _, k := range o.Keys {
+			expr.CollectColumns(k.E, need)
+		}
+		return &logical.Sort{Input: prune(o.Input, need), Keys: o.Keys}
+
+	case *logical.Limit:
+		return &logical.Limit{Input: prune(o.Input, required), N: o.N}
+
+	case *logical.EnforceSingleRow:
+		return &logical.EnforceSingleRow{Input: prune(o.Input, required)}
+
+	case *logical.Values:
+		return o
+
+	default:
+		return op
+	}
+}
+
+func clone(s map[expr.ColumnID]bool) map[expr.ColumnID]bool {
+	out := make(map[expr.ColumnID]bool, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}

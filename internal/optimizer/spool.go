@@ -1,0 +1,388 @@
+package optimizer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/logical"
+)
+
+// SpoolCommonSubplans implements the paper's §I comparator: instead of
+// fusing, duplicated subtrees are materialized once and replayed to every
+// consumer ("spooling [21]", which the paper names as Athena's roadmap for
+// the general case). Duplicates are detected by canonical plan signatures
+// (column identities renumbered per subtree, so two CTE inlinings match),
+// and the largest duplicated subtrees win. Returns the rewritten plan and
+// the number of spool groups introduced.
+func SpoolCommonSubplans(plan logical.Operator) (logical.Operator, int) {
+	counts := map[string]int{}
+	countSignatures(plan, counts)
+
+	groups := map[string]*spoolGroup{}
+	next := 1
+	out := spoolRewrite(plan, counts, groups, &next)
+
+	// Unwrap groups that ended up with a single occurrence (their other
+	// copies were nested inside a larger spooled subtree): a spool with one
+	// reader is pure overhead.
+	single := map[int]bool{}
+	used := 0
+	for _, g := range groups {
+		if g.occurrences < 2 {
+			single[g.id] = true
+		} else {
+			used++
+		}
+	}
+	if len(single) > 0 {
+		out = logical.Transform(out, func(op logical.Operator) logical.Operator {
+			if s, ok := op.(*logical.Spool); ok && single[s.ID] && s.Producer != nil {
+				return s.Producer
+			}
+			return op
+		})
+	}
+	return out, used
+}
+
+type spoolGroup struct {
+	id          int
+	occurrences int
+	hasProducer bool
+}
+
+func countSignatures(op logical.Operator, counts map[string]int) {
+	counts[Signature(op)]++
+	for _, c := range op.Children() {
+		countSignatures(c, counts)
+	}
+}
+
+func spoolRewrite(op logical.Operator, counts map[string]int, groups map[string]*spoolGroup, next *int) logical.Operator {
+	sig := Signature(op)
+	if counts[sig] >= 2 && worthSpooling(op) {
+		g := groups[sig]
+		if g == nil {
+			g = &spoolGroup{id: *next}
+			*next++
+			groups[sig] = g
+		}
+		g.occurrences++
+		s := &logical.Spool{ID: g.id, Cols: op.Schema()}
+		if !g.hasProducer {
+			g.hasProducer = true
+			s.Producer = op
+		}
+		return s
+	}
+	ch := op.Children()
+	if len(ch) == 0 {
+		return op
+	}
+	newCh := make([]logical.Operator, len(ch))
+	changed := false
+	for i, c := range ch {
+		newCh[i] = spoolRewrite(c, counts, groups, next)
+		if newCh[i] != c {
+			changed = true
+		}
+	}
+	if changed {
+		return op.WithChildren(newCh)
+	}
+	return op
+}
+
+// worthSpooling gates materialization to subtrees that do real work: they
+// must read a table and contain more than a bare scan (materializing a
+// plain scan re-buffers the base table for no benefit).
+func worthSpooling(op logical.Operator) bool {
+	if _, isScan := op.(*logical.Scan); isScan {
+		return false
+	}
+	found := false
+	logical.Walk(op, func(o logical.Operator) bool {
+		if _, ok := o.(*logical.Scan); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Signature renders a canonical description of a plan: column identities
+// are renumbered in first-appearance order, so structurally identical
+// subtrees (e.g. two inlinings of the same CTE) produce equal strings while
+// any structural or literal difference changes the signature.
+func Signature(op logical.Operator) string {
+	var b strings.Builder
+	ids := map[expr.ColumnID]int{}
+	sigOp(&b, op, ids)
+	return b.String()
+}
+
+func canonID(ids map[expr.ColumnID]int, id expr.ColumnID) int {
+	if n, ok := ids[id]; ok {
+		return n
+	}
+	n := len(ids)
+	ids[id] = n
+	return n
+}
+
+func sigOp(b *strings.Builder, op logical.Operator, ids map[expr.ColumnID]int) {
+	switch o := op.(type) {
+	case *logical.Scan:
+		b.WriteString("scan(")
+		b.WriteString(o.Table.Name)
+		for i, name := range o.ColNames {
+			b.WriteByte(',')
+			b.WriteString(name)
+			b.WriteByte('=')
+			b.WriteString(strconv.Itoa(canonID(ids, o.Cols[i].ID)))
+		}
+		b.WriteByte(')')
+		return
+	case *logical.Filter:
+		sigOp(b, o.Input, ids)
+		b.WriteString("|filter[")
+		sigExpr(b, o.Cond, ids)
+		b.WriteByte(']')
+		return
+	case *logical.Project:
+		sigOp(b, o.Input, ids)
+		b.WriteString("|project[")
+		for i, a := range o.Cols {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			sigExpr(b, a.E, ids)
+			b.WriteString("->")
+			b.WriteString(strconv.Itoa(canonID(ids, a.Col.ID)))
+		}
+		b.WriteByte(']')
+		return
+	case *logical.Join:
+		b.WriteString("join(")
+		b.WriteString(o.Kind.String())
+		b.WriteByte(';')
+		sigOp(b, o.Left, ids)
+		b.WriteByte(';')
+		sigOp(b, o.Right, ids)
+		b.WriteByte(';')
+		sigExpr(b, o.Cond, ids)
+		b.WriteByte(')')
+		return
+	case *logical.GroupBy:
+		sigOp(b, o.Input, ids)
+		b.WriteString("|groupby[")
+		for i, k := range o.Keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(canonID(ids, k.ID)))
+		}
+		b.WriteByte(';')
+		for i, a := range o.Aggs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(a.Agg.Fn.String())
+			b.WriteByte('(')
+			sigExpr(b, a.Agg.Arg, ids)
+			b.WriteByte('#')
+			sigExpr(b, a.Agg.Mask, ids)
+			b.WriteString(")->")
+			b.WriteString(strconv.Itoa(canonID(ids, a.Col.ID)))
+		}
+		b.WriteByte(']')
+		return
+	case *logical.MarkDistinct:
+		sigOp(b, o.Input, ids)
+		b.WriteString("|markdistinct[")
+		for i, c := range o.On {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(canonID(ids, c.ID)))
+		}
+		b.WriteByte('#')
+		sigExpr(b, o.Mask, ids)
+		b.WriteString("->")
+		b.WriteString(strconv.Itoa(canonID(ids, o.MarkCol.ID)))
+		b.WriteByte(']')
+		return
+	case *logical.Window:
+		sigOp(b, o.Input, ids)
+		b.WriteString("|window[")
+		for i, f := range o.Funcs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(f.Agg.Fn.String())
+			b.WriteByte('(')
+			sigExpr(b, f.Agg.Arg, ids)
+			b.WriteByte('#')
+			sigExpr(b, f.Agg.Mask, ids)
+			b.WriteString(")over(")
+			for k, p := range f.PartitionBy {
+				if k > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(strconv.Itoa(canonID(ids, p.ID)))
+			}
+			b.WriteString(")->")
+			b.WriteString(strconv.Itoa(canonID(ids, f.Col.ID)))
+		}
+		b.WriteByte(']')
+		return
+	case *logical.UnionAll:
+		b.WriteString("union(")
+		for i, in := range o.Inputs {
+			if i > 0 {
+				b.WriteByte(';')
+			}
+			sigOp(b, in, ids)
+			b.WriteByte('[')
+			for k, c := range o.InputCols[i] {
+				if k > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(strconv.Itoa(canonID(ids, c.ID)))
+			}
+			b.WriteByte(']')
+		}
+		b.WriteString(")->")
+		for i, c := range o.Cols {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(canonID(ids, c.ID)))
+		}
+		return
+	case *logical.Values:
+		b.WriteString("values(")
+		for i, c := range o.Cols {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(c.Type.String())
+			b.WriteByte('=')
+			b.WriteString(strconv.Itoa(canonID(ids, c.ID)))
+		}
+		b.WriteByte(';')
+		for _, row := range o.Rows {
+			for _, v := range row {
+				b.WriteString(v.String())
+				b.WriteByte(',')
+			}
+			b.WriteByte('/')
+		}
+		b.WriteByte(')')
+		return
+	case *logical.Sort:
+		sigOp(b, o.Input, ids)
+		b.WriteString("|sort[")
+		for i, k := range o.Keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			sigExpr(b, k.E, ids)
+			if k.Desc {
+				b.WriteString(" desc")
+			}
+		}
+		b.WriteByte(']')
+		return
+	case *logical.Limit:
+		sigOp(b, o.Input, ids)
+		fmt.Fprintf(b, "|limit[%d]", o.N)
+		return
+	case *logical.EnforceSingleRow:
+		sigOp(b, o.Input, ids)
+		b.WriteString("|esr")
+		return
+	case *logical.Spool:
+		fmt.Fprintf(b, "spool#%d", o.ID)
+		if o.Producer != nil {
+			b.WriteByte('(')
+			sigOp(b, o.Producer, ids)
+			b.WriteByte(')')
+		}
+		return
+	default:
+		fmt.Fprintf(b, "op(%T)", op)
+	}
+}
+
+func sigExpr(b *strings.Builder, e expr.Expr, ids map[expr.ColumnID]int) {
+	if e == nil {
+		b.WriteByte('_')
+		return
+	}
+	switch x := e.(type) {
+	case *expr.ColumnRef:
+		b.WriteByte('c')
+		b.WriteString(strconv.Itoa(canonID(ids, x.Col.ID)))
+	case *expr.Literal:
+		b.WriteString(x.Val.String())
+	case *expr.Binary:
+		b.WriteByte('(')
+		sigExpr(b, x.L, ids)
+		b.WriteString(x.Op.String())
+		sigExpr(b, x.R, ids)
+		b.WriteByte(')')
+	case *expr.Not:
+		b.WriteString("not(")
+		sigExpr(b, x.E, ids)
+		b.WriteByte(')')
+	case *expr.IsNull:
+		b.WriteString("isnull(")
+		sigExpr(b, x.E, ids)
+		if x.Neg {
+			b.WriteString(",neg")
+		}
+		b.WriteByte(')')
+	case *expr.InList:
+		b.WriteString("in(")
+		sigExpr(b, x.E, ids)
+		for _, it := range x.List {
+			b.WriteByte(',')
+			sigExpr(b, it, ids)
+		}
+		if x.Neg {
+			b.WriteString(",neg")
+		}
+		b.WriteByte(')')
+	case *expr.Like:
+		b.WriteString("like(")
+		sigExpr(b, x.E, ids)
+		b.WriteByte(',')
+		b.WriteString(x.Pattern)
+		b.WriteByte(')')
+	case *expr.Case:
+		b.WriteString("case(")
+		for _, w := range x.Whens {
+			sigExpr(b, w.Cond, ids)
+			b.WriteString("=>")
+			sigExpr(b, w.Then, ids)
+			b.WriteByte(';')
+		}
+		sigExpr(b, x.Else, ids)
+		b.WriteByte(')')
+	case *expr.Coalesce:
+		b.WriteString("coalesce(")
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			sigExpr(b, a, ids)
+		}
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "e(%T)", e)
+	}
+}

@@ -1,0 +1,141 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/types"
+)
+
+// dupAgg builds a fresh instance of a common aggregation subtree.
+func dupAgg() *logical.GroupBy {
+	s := logical.NewScan(salesTable())
+	f := logical.NewFilter(s, expr.NewBinary(expr.OpGt, expr.Ref(s.Cols[2]), expr.Lit(types.Int(5))))
+	return &logical.GroupBy{Input: f, Keys: []*expr.Column{s.Cols[1]},
+		Aggs: []logical.AggAssign{{Col: expr.NewColumn("rev", types.KindFloat64),
+			Agg: expr.AggCall{Fn: expr.AggSum, Arg: expr.Ref(s.Cols[3])}}}}
+}
+
+func TestSignatureCanonicalizesColumnIDs(t *testing.T) {
+	a, b := dupAgg(), dupAgg()
+	if Signature(a) != Signature(b) {
+		t.Fatalf("structurally identical subtrees must share a signature:\n%s\nvs\n%s",
+			Signature(a), Signature(b))
+	}
+	// A literal change must change the signature.
+	s := logical.NewScan(salesTable())
+	c := &logical.GroupBy{Input: logical.NewFilter(s, expr.NewBinary(expr.OpGt, expr.Ref(s.Cols[2]), expr.Lit(types.Int(6)))),
+		Keys: []*expr.Column{s.Cols[1]},
+		Aggs: []logical.AggAssign{{Col: expr.NewColumn("rev", types.KindFloat64),
+			Agg: expr.AggCall{Fn: expr.AggSum, Arg: expr.Ref(s.Cols[3])}}}}
+	if Signature(a) == Signature(c) {
+		t.Fatal("different literals must produce different signatures")
+	}
+	// A different aggregate function must change the signature.
+	d := dupAgg()
+	d.Aggs[0].Agg.Fn = expr.AggAvg
+	if Signature(a) == Signature(d) {
+		t.Fatal("different aggregate functions must differ")
+	}
+}
+
+func TestSpoolCommonSubplansBasic(t *testing.T) {
+	a, b := dupAgg(), dupAgg()
+	join := &logical.Join{Kind: logical.InnerJoin, Left: a, Right: b,
+		Cond: expr.Eq(expr.Ref(a.Keys[0]), expr.Ref(b.Keys[0]))}
+	out, groups := SpoolCommonSubplans(join)
+	if groups != 1 {
+		t.Fatalf("groups = %d, want 1", groups)
+	}
+	if err := logical.Validate(out); err != nil {
+		t.Fatalf("invalid: %v\n%s", err, logical.Format(out))
+	}
+	producers, readers := 0, 0
+	logical.Walk(out, func(op logical.Operator) bool {
+		if sp, ok := op.(*logical.Spool); ok {
+			if sp.Producer != nil {
+				producers++
+			} else {
+				readers++
+			}
+		}
+		return true
+	})
+	if producers != 1 || readers != 1 {
+		t.Errorf("producers=%d readers=%d, want 1/1:\n%s", producers, readers, logical.Format(out))
+	}
+	// The consumer-side schema must keep the original columns so upstream
+	// references stay valid.
+	outSet := logical.OutputSet(out)
+	for _, c := range join.Schema() {
+		if !outSet[c.ID] {
+			t.Errorf("lost column %s", c)
+		}
+	}
+}
+
+func TestSpoolSkipsBareScansAndSingles(t *testing.T) {
+	tab := salesTable()
+	s1, s2 := logical.NewScan(tab), logical.NewScan(tab)
+	join := &logical.Join{Kind: logical.CrossJoin, Left: s1, Right: s2}
+	out, groups := SpoolCommonSubplans(join)
+	if groups != 0 {
+		t.Errorf("bare scans must not spool:\n%s", logical.Format(out))
+	}
+	// A unique subtree must not spool either.
+	single := dupAgg()
+	out2, groups2 := SpoolCommonSubplans(single)
+	if groups2 != 0 {
+		t.Errorf("unique subtree spooled:\n%s", logical.Format(out2))
+	}
+	if strings.Contains(logical.Format(out2), "Spool") {
+		t.Error("no spool operators expected")
+	}
+}
+
+func TestSpoolPicksLargestDuplicate(t *testing.T) {
+	// Duplicate subtree X containing a smaller duplicate Y: only X spools.
+	mk := func() logical.Operator {
+		inner := dupAgg()
+		return logical.NewFilter(inner, expr.NewBinary(expr.OpGt, expr.Ref(inner.Aggs[0].Col), expr.Lit(types.Float(1))))
+	}
+	a, b := mk(), mk()
+	u := logical.NewUnionAll([]logical.Operator{a, b},
+		[][]*expr.Column{{a.Schema()[0]}, {b.Schema()[0]}})
+	out, groups := SpoolCommonSubplans(u)
+	if groups != 1 {
+		t.Fatalf("groups = %d, want exactly 1 (the maximal subtree):\n%s", groups, logical.Format(out))
+	}
+	spools := 0
+	logical.Walk(out, func(op logical.Operator) bool {
+		if _, ok := op.(*logical.Spool); ok {
+			spools++
+		}
+		return true
+	})
+	if spools != 2 {
+		t.Errorf("spool occurrences = %d, want 2:\n%s", spools, logical.Format(out))
+	}
+}
+
+func TestSpoolThreeConsumers(t *testing.T) {
+	a, b, c := dupAgg(), dupAgg(), dupAgg()
+	u := logical.NewUnionAll([]logical.Operator{a, b, c},
+		[][]*expr.Column{{a.Schema()[0]}, {b.Schema()[0]}, {c.Schema()[0]}})
+	out, groups := SpoolCommonSubplans(u)
+	if groups != 1 {
+		t.Fatalf("groups = %d", groups)
+	}
+	readers := 0
+	logical.Walk(out, func(op logical.Operator) bool {
+		if sp, ok := op.(*logical.Spool); ok && sp.Producer == nil {
+			readers++
+		}
+		return true
+	})
+	if readers != 2 {
+		t.Errorf("readers = %d, want 2 (plus one producer)", readers)
+	}
+}

@@ -1,0 +1,227 @@
+package sql
+
+// The AST mirrors the grammar closely; the binder (package binder) lowers
+// it to logical plans.
+
+// SelectStmt is a full statement: optional CTEs, a set expression body, and
+// optional ORDER BY / LIMIT.
+type SelectStmt struct {
+	With    []CTE
+	Body    SetExpr
+	OrderBy []OrderItem
+	Limit   *int64
+}
+
+// CTE is one WITH binding.
+type CTE struct {
+	Name  string
+	Query *SelectStmt
+}
+
+// OrderItem is one ORDER BY term.
+type OrderItem struct {
+	E    Expr
+	Desc bool
+}
+
+// SetExpr is a select core or a UNION ALL of set expressions.
+type SetExpr interface{ isSetExpr() }
+
+// UnionAllExpr combines the rows of its inputs.
+type UnionAllExpr struct {
+	Inputs []SetExpr
+}
+
+func (*UnionAllExpr) isSetExpr() {}
+
+// SelectCore is a single SELECT ... FROM ... WHERE ... GROUP BY ... HAVING.
+type SelectCore struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+}
+
+func (*SelectCore) isSetExpr() {}
+
+// SelectItem is one projection: an expression with an optional alias, or a
+// star (optionally qualified: t.*).
+type SelectItem struct {
+	Expr      Expr
+	Alias     string
+	Star      bool
+	StarTable string
+}
+
+// TableRef is a FROM-clause item.
+type TableRef interface{ isTableRef() }
+
+// TableName references a base table or CTE, with an optional alias.
+type TableName struct {
+	Name  string
+	Alias string
+}
+
+func (*TableName) isTableRef() {}
+
+// Derived is a parenthesized subquery with an alias (and optional column
+// aliases: (VALUES ...) T(tag)).
+type Derived struct {
+	Query      *SelectStmt
+	Alias      string
+	ColAliases []string
+}
+
+func (*Derived) isTableRef() {}
+
+// JoinRef is an explicit JOIN ... ON.
+type JoinRef struct {
+	Kind  string // "INNER", "LEFT", "CROSS"
+	Left  TableRef
+	Right TableRef
+	On    Expr
+}
+
+func (*JoinRef) isTableRef() {}
+
+// ValuesRef is a VALUES constant table in FROM position.
+type ValuesRef struct {
+	Rows       [][]Expr
+	Alias      string
+	ColAliases []string
+}
+
+func (*ValuesRef) isTableRef() {}
+
+// Expr is a scalar expression AST node.
+type Expr interface{ isExpr() }
+
+// Name is a possibly-qualified identifier (col or table.col).
+type Name struct {
+	Parts []string
+}
+
+func (*Name) isExpr() {}
+
+// NumberLit is an unparsed numeric literal.
+type NumberLit struct{ Text string }
+
+func (*NumberLit) isExpr() {}
+
+// StringLit is a string literal.
+type StringLit struct{ V string }
+
+func (*StringLit) isExpr() {}
+
+// BoolLit is TRUE/FALSE.
+type BoolLit struct{ V bool }
+
+func (*BoolLit) isExpr() {}
+
+// NullLit is NULL.
+type NullLit struct{}
+
+func (*NullLit) isExpr() {}
+
+// DateLit is DATE 'yyyy-mm-dd'.
+type DateLit struct{ V string }
+
+func (*DateLit) isExpr() {}
+
+// BinaryExpr is any infix operation, including AND/OR.
+type BinaryExpr struct {
+	Op   string // "+", "-", "*", "/", "=", "<>", "<", "<=", ">", ">=", "AND", "OR"
+	L, R Expr
+}
+
+func (*BinaryExpr) isExpr() {}
+
+// NotExpr is logical negation.
+type NotExpr struct{ E Expr }
+
+func (*NotExpr) isExpr() {}
+
+// IsNullExpr is IS [NOT] NULL.
+type IsNullExpr struct {
+	E   Expr
+	Neg bool
+}
+
+func (*IsNullExpr) isExpr() {}
+
+// BetweenExpr is [NOT] BETWEEN.
+type BetweenExpr struct {
+	E, Lo, Hi Expr
+	Neg       bool
+}
+
+func (*BetweenExpr) isExpr() {}
+
+// InExpr is [NOT] IN over a list or a subquery.
+type InExpr struct {
+	E     Expr
+	List  []Expr
+	Query *SelectStmt
+	Neg   bool
+}
+
+func (*InExpr) isExpr() {}
+
+// LikeExpr is [NOT] LIKE with a literal pattern.
+type LikeExpr struct {
+	E       Expr
+	Pattern string
+	Neg     bool
+}
+
+func (*LikeExpr) isExpr() {}
+
+// WhenClause is one CASE arm.
+type WhenClause struct {
+	Cond Expr
+	Then Expr
+}
+
+// CaseExpr is a searched or simple CASE.
+type CaseExpr struct {
+	Operand Expr // nil for searched CASE
+	Whens   []WhenClause
+	Else    Expr
+}
+
+func (*CaseExpr) isExpr() {}
+
+// WindowSpec is OVER (PARTITION BY ...).
+type WindowSpec struct {
+	PartitionBy []Expr
+}
+
+// FuncCall covers aggregates (with optional DISTINCT, FILTER, OVER) and
+// scalar functions (COALESCE).
+type FuncCall struct {
+	Name     string
+	Args     []Expr
+	Star     bool // COUNT(*)
+	Distinct bool
+	Filter   Expr        // FILTER (WHERE ...)
+	Over     *WindowSpec // window function when non-nil
+}
+
+func (*FuncCall) isExpr() {}
+
+// SubqueryExpr is a scalar subquery in expression position.
+type SubqueryExpr struct {
+	Query *SelectStmt
+}
+
+func (*SubqueryExpr) isExpr() {}
+
+// ExistsExpr is [NOT] EXISTS (subquery).
+type ExistsExpr struct {
+	Query *SelectStmt
+	Neg   bool
+}
+
+func (*ExistsExpr) isExpr() {}

@@ -1,0 +1,167 @@
+// Package sql implements the engine's SQL front end: a hand-written lexer
+// and recursive-descent parser for the ANSI SQL subset exercised by the
+// TPC-DS workload — WITH/CTEs, joins, IN/scalar subqueries, GROUP BY with
+// FILTER masks, DISTINCT aggregates, window functions over PARTITION BY,
+// UNION ALL, CASE, BETWEEN, LIKE, ORDER BY/LIMIT, and VALUES.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexer tokens.
+type TokenKind uint8
+
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokSymbol // punctuation and operators
+)
+
+// Token is one lexical unit; Pos is a byte offset for error messages.
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; identifiers lower-cased
+	Pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "AS": true, "ON": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "OUTER": true,
+	"CROSS": true, "AND": true, "OR": true, "NOT": true, "IN": true,
+	"EXISTS": true, "BETWEEN": true, "LIKE": true, "IS": true, "NULL": true,
+	"TRUE": true, "FALSE": true, "CASE": true, "WHEN": true, "THEN": true,
+	"ELSE": true, "END": true, "UNION": true, "ALL": true, "DISTINCT": true,
+	"WITH": true, "VALUES": true, "OVER": true, "PARTITION": true,
+	"FILTER": true, "ASC": true, "DESC": true, "DATE": true, "SEMI": true,
+	"COALESCE": true, "CAST": true, "INTERVAL": true,
+}
+
+// Lexer tokenizes SQL text.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Next returns the next token, or an error on malformed input.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		upper := strings.ToUpper(word)
+		if keywords[upper] {
+			return Token{Kind: TokKeyword, Text: upper, Pos: start}, nil
+		}
+		return Token{Kind: TokIdent, Text: strings.ToLower(word), Pos: start}, nil
+	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+		seenDot := false
+		for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.' && !seenDot) {
+			if l.src[l.pos] == '.' {
+				seenDot = true
+			}
+			l.pos++
+		}
+		return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			if l.src[l.pos] == '\'' {
+				// '' is an escaped quote.
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					b.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		return Token{Kind: TokString, Text: b.String(), Pos: start}, nil
+	default:
+		// Multi-char operators first.
+		for _, op := range []string{"<>", "<=", ">=", "!=", "||"} {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.pos += len(op)
+				text := op
+				if op == "!=" {
+					text = "<>"
+				}
+				return Token{Kind: TokSymbol, Text: text, Pos: start}, nil
+			}
+		}
+		if strings.ContainsRune("(),.*+-/<>=;", rune(c)) {
+			l.pos++
+			return Token{Kind: TokSymbol, Text: string(c), Pos: start}, nil
+		}
+		return Token{}, fmt.Errorf("sql: unexpected character %q at offset %d", c, l.pos)
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case unicode.IsSpace(rune(c)):
+			l.pos++
+		case strings.HasPrefix(l.src[l.pos:], "--"):
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case strings.HasPrefix(l.src[l.pos:], "/*"):
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+			} else {
+				l.pos += 2 + end + 2
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+func isDigit(c byte) bool     { return c >= '0' && c <= '9' }
+
+// Tokenize lexes the whole input.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,816 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser is a recursive-descent SQL parser over the token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+	src  string
+}
+
+// Parse parses a single SELECT statement (optionally ended with ';').
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, src: src}
+	stmt, err := p.parseSelectStmt()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TokSymbol, ";")
+	if !p.at(TokEOF, "") {
+		return nil, p.errf("unexpected trailing input %q", p.peek().Text)
+	}
+	return stmt, nil
+}
+
+func (p *Parser) peek() Token { return p.toks[p.pos] }
+
+func (p *Parser) at(kind TokenKind, text string) bool {
+	t := p.peek()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *Parser) atKeyword(kw string) bool { return p.at(TokKeyword, kw) }
+
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) accept(kind TokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(kind TokenKind, text string) (Token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	return Token{}, p.errf("expected %q, found %q", text, p.peek().Text)
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: parse error at offset %d: %s", p.peek().Pos, fmt.Sprintf(format, args...))
+}
+
+// parseSelectStmt parses [WITH ...] body [ORDER BY ...] [LIMIT n].
+func (p *Parser) parseSelectStmt() (*SelectStmt, error) {
+	stmt := &SelectStmt{}
+	if p.accept(TokKeyword, "WITH") {
+		for {
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokKeyword, "AS"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSymbol, "("); err != nil {
+				return nil, err
+			}
+			q, err := p.parseSelectStmt()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			stmt.With = append(stmt.With, CTE{Name: name, Query: q})
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	body, err := p.parseSetExpr()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Body = body
+
+	if p.accept(TokKeyword, "ORDER") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{E: e}
+			if p.accept(TokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(TokKeyword, "ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "LIMIT") {
+		t, err := p.expect(TokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad LIMIT value %q", t.Text)
+		}
+		stmt.Limit = &n
+	}
+	return stmt, nil
+}
+
+// parseSetExpr parses core (UNION ALL core)*.
+func (p *Parser) parseSetExpr() (SetExpr, error) {
+	first, err := p.parseSetPrimary()
+	if err != nil {
+		return nil, err
+	}
+	inputs := []SetExpr{first}
+	for p.atKeyword("UNION") {
+		p.next()
+		if _, err := p.expect(TokKeyword, "ALL"); err != nil {
+			return nil, p.errf("only UNION ALL is supported")
+		}
+		next, err := p.parseSetPrimary()
+		if err != nil {
+			return nil, err
+		}
+		inputs = append(inputs, next)
+	}
+	if len(inputs) == 1 {
+		return first, nil
+	}
+	return &UnionAllExpr{Inputs: inputs}, nil
+}
+
+// parseSetPrimary parses a SELECT core or a parenthesized set expression.
+func (p *Parser) parseSetPrimary() (SetExpr, error) {
+	if p.accept(TokSymbol, "(") {
+		inner, err := p.parseSetExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	return p.parseSelectCore()
+}
+
+func (p *Parser) parseSelectCore() (*SelectCore, error) {
+	if _, err := p.expect(TokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	core := &SelectCore{}
+	core.Distinct = p.accept(TokKeyword, "DISTINCT")
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		core.Items = append(core.Items, item)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(TokKeyword, "FROM") {
+		for {
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			core.From = append(core.From, ref)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		core.Where = e
+	}
+	if p.accept(TokKeyword, "GROUP") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			core.GroupBy = append(core.GroupBy, e)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(TokKeyword, "HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		core.Having = e
+	}
+	return core, nil
+}
+
+func (p *Parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(TokSymbol, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	// t.* form.
+	if p.peek().Kind == TokIdent && p.pos+2 < len(p.toks) &&
+		p.toks[p.pos+1].Kind == TokSymbol && p.toks[p.pos+1].Text == "." &&
+		p.toks[p.pos+2].Kind == TokSymbol && p.toks[p.pos+2].Text == "*" {
+		t := p.next()
+		p.next()
+		p.next()
+		return SelectItem{Star: true, StarTable: t.Text}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.accept(TokKeyword, "AS") {
+		a, err := p.expectIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a
+	} else if p.peek().Kind == TokIdent {
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+// parseTableRef parses primary (JOIN primary ON expr)* chains.
+func (p *Parser) parseTableRef() (TableRef, error) {
+	left, err := p.parseTablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		kind := ""
+		switch {
+		case p.atKeyword("JOIN"):
+			kind = "INNER"
+			p.next()
+		case p.atKeyword("INNER"):
+			p.next()
+			if _, err := p.expect(TokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+			kind = "INNER"
+		case p.atKeyword("LEFT"):
+			p.next()
+			p.accept(TokKeyword, "OUTER")
+			if _, err := p.expect(TokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+			kind = "LEFT"
+		case p.atKeyword("CROSS"):
+			p.next()
+			if _, err := p.expect(TokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+			kind = "CROSS"
+		default:
+			return left, nil
+		}
+		right, err := p.parseTablePrimary()
+		if err != nil {
+			return nil, err
+		}
+		var on Expr
+		if kind != "CROSS" {
+			if _, err := p.expect(TokKeyword, "ON"); err != nil {
+				return nil, err
+			}
+			on, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		left = &JoinRef{Kind: kind, Left: left, Right: right, On: on}
+	}
+}
+
+func (p *Parser) parseTablePrimary() (TableRef, error) {
+	if p.accept(TokSymbol, "(") {
+		if p.atKeyword("VALUES") {
+			ref, err := p.parseValues()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			alias, colAliases, err := p.parseTableAlias()
+			if err != nil {
+				return nil, err
+			}
+			ref.Alias, ref.ColAliases = alias, colAliases
+			return ref, nil
+		}
+		q, err := p.parseSelectStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		alias, colAliases, err := p.parseTableAlias()
+		if err != nil {
+			return nil, err
+		}
+		return &Derived{Query: q, Alias: alias, ColAliases: colAliases}, nil
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ref := &TableName{Name: name}
+	if p.accept(TokKeyword, "AS") {
+		a, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		ref.Alias = a
+	} else if p.peek().Kind == TokIdent {
+		ref.Alias = p.next().Text
+	}
+	return ref, nil
+}
+
+// parseTableAlias parses [AS] alias [(col, ...)] after a derived table.
+func (p *Parser) parseTableAlias() (string, []string, error) {
+	alias := ""
+	p.accept(TokKeyword, "AS")
+	if p.peek().Kind == TokIdent {
+		alias = p.next().Text
+	}
+	var cols []string
+	if alias != "" && p.accept(TokSymbol, "(") {
+		for {
+			c, err := p.expectIdent()
+			if err != nil {
+				return "", nil, err
+			}
+			cols = append(cols, c)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return "", nil, err
+		}
+	}
+	return alias, cols, nil
+}
+
+func (p *Parser) parseValues() (*ValuesRef, error) {
+	if _, err := p.expect(TokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	ref := &ValuesRef{}
+	for {
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		ref.Rows = append(ref.Rows, row)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	return ref, nil
+}
+
+func (p *Parser) expectIdent() (string, error) {
+	if p.peek().Kind == TokIdent {
+		return p.next().Text, nil
+	}
+	return "", p.errf("expected identifier, found %q", p.peek().Text)
+}
+
+// --- expressions, precedence climbing ---
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("OR") {
+		p.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("AND") {
+		p.next()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.atKeyword("NOT") {
+		p.next()
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *Parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(TokSymbol, "=") || p.at(TokSymbol, "<>") || p.at(TokSymbol, "<") ||
+			p.at(TokSymbol, "<=") || p.at(TokSymbol, ">") || p.at(TokSymbol, ">="):
+			op := p.next().Text
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: op, L: l, R: r}
+		case p.atKeyword("IS"):
+			p.next()
+			neg := p.accept(TokKeyword, "NOT")
+			if _, err := p.expect(TokKeyword, "NULL"); err != nil {
+				return nil, err
+			}
+			l = &IsNullExpr{E: l, Neg: neg}
+		case p.atKeyword("BETWEEN"), p.atKeyword("IN"), p.atKeyword("LIKE"), p.atKeyword("NOT"):
+			neg := false
+			if p.atKeyword("NOT") {
+				// NOT BETWEEN / NOT IN / NOT LIKE.
+				save := p.pos
+				p.next()
+				if !(p.atKeyword("BETWEEN") || p.atKeyword("IN") || p.atKeyword("LIKE")) {
+					p.pos = save
+					return l, nil
+				}
+				neg = true
+			}
+			switch {
+			case p.accept(TokKeyword, "BETWEEN"):
+				lo, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(TokKeyword, "AND"); err != nil {
+					return nil, err
+				}
+				hi, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				l = &BetweenExpr{E: l, Lo: lo, Hi: hi, Neg: neg}
+			case p.accept(TokKeyword, "IN"):
+				if _, err := p.expect(TokSymbol, "("); err != nil {
+					return nil, err
+				}
+				if p.atKeyword("SELECT") || p.atKeyword("WITH") {
+					q, err := p.parseSelectStmt()
+					if err != nil {
+						return nil, err
+					}
+					if _, err := p.expect(TokSymbol, ")"); err != nil {
+						return nil, err
+					}
+					l = &InExpr{E: l, Query: q, Neg: neg}
+				} else {
+					var list []Expr
+					for {
+						e, err := p.parseExpr()
+						if err != nil {
+							return nil, err
+						}
+						list = append(list, e)
+						if !p.accept(TokSymbol, ",") {
+							break
+						}
+					}
+					if _, err := p.expect(TokSymbol, ")"); err != nil {
+						return nil, err
+					}
+					l = &InExpr{E: l, List: list, Neg: neg}
+				}
+			case p.accept(TokKeyword, "LIKE"):
+				t, err := p.expect(TokString, "")
+				if err != nil {
+					return nil, p.errf("LIKE requires a string literal pattern")
+				}
+				l = &LikeExpr{E: l, Pattern: t.Text, Neg: neg}
+			}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokSymbol, "+") || p.at(TokSymbol, "-") {
+		op := p.next().Text
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(TokSymbol, "*") || p.at(TokSymbol, "/") {
+		op := p.next().Text
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.accept(TokSymbol, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: "-", L: &NumberLit{Text: "0"}, R: e}, nil
+	}
+	p.accept(TokSymbol, "+")
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.Kind == TokNumber:
+		p.next()
+		return &NumberLit{Text: t.Text}, nil
+	case t.Kind == TokString:
+		p.next()
+		return &StringLit{V: t.Text}, nil
+	case p.atKeyword("TRUE"):
+		p.next()
+		return &BoolLit{V: true}, nil
+	case p.atKeyword("FALSE"):
+		p.next()
+		return &BoolLit{V: false}, nil
+	case p.atKeyword("NULL"):
+		p.next()
+		return &NullLit{}, nil
+	case p.atKeyword("DATE"):
+		p.next()
+		s, err := p.expect(TokString, "")
+		if err != nil {
+			return nil, p.errf("DATE requires a string literal")
+		}
+		return &DateLit{V: s.Text}, nil
+	case p.atKeyword("CASE"):
+		return p.parseCase()
+	case p.atKeyword("EXISTS"):
+		p.next()
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		q, err := p.parseSelectStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &ExistsExpr{Query: q}, nil
+	case p.atKeyword("COALESCE"):
+		p.next()
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var args []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, e)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return &FuncCall{Name: "coalesce", Args: args}, nil
+	case p.accept(TokSymbol, "("):
+		// Scalar subquery or parenthesized expression.
+		if p.atKeyword("SELECT") || p.atKeyword("WITH") {
+			q, err := p.parseSelectStmt()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return &SubqueryExpr{Query: q}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.Kind == TokIdent:
+		return p.parseNameOrCall()
+	default:
+		return nil, p.errf("unexpected token %q in expression", t.Text)
+	}
+}
+
+func (p *Parser) parseCase() (Expr, error) {
+	p.next() // CASE
+	out := &CaseExpr{}
+	if !p.atKeyword("WHEN") {
+		op, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		out.Operand = op
+	}
+	for p.accept(TokKeyword, "WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		out.Whens = append(out.Whens, WhenClause{Cond: cond, Then: then})
+	}
+	if len(out.Whens) == 0 {
+		return nil, p.errf("CASE requires at least one WHEN")
+	}
+	if p.accept(TokKeyword, "ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		out.Else = e
+	}
+	if _, err := p.expect(TokKeyword, "END"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseNameOrCall parses identifiers, qualified names, and function calls
+// with the optional aggregate suffixes (DISTINCT, FILTER, OVER).
+func (p *Parser) parseNameOrCall() (Expr, error) {
+	first := p.next().Text
+	if p.accept(TokSymbol, "(") {
+		call := &FuncCall{Name: first}
+		if p.accept(TokSymbol, "*") {
+			call.Star = true
+		} else if !p.at(TokSymbol, ")") {
+			call.Distinct = p.accept(TokKeyword, "DISTINCT")
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, e)
+				if !p.accept(TokSymbol, ",") {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		if p.accept(TokKeyword, "FILTER") {
+			if _, err := p.expect(TokSymbol, "("); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokKeyword, "WHERE"); err != nil {
+				return nil, err
+			}
+			f, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			call.Filter = f
+		}
+		if p.accept(TokKeyword, "OVER") {
+			if _, err := p.expect(TokSymbol, "("); err != nil {
+				return nil, err
+			}
+			spec := &WindowSpec{}
+			if p.accept(TokKeyword, "PARTITION") {
+				if _, err := p.expect(TokKeyword, "BY"); err != nil {
+					return nil, err
+				}
+				for {
+					e, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					spec.PartitionBy = append(spec.PartitionBy, e)
+					if !p.accept(TokSymbol, ",") {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			call.Over = spec
+		}
+		return call, nil
+	}
+	parts := []string{first}
+	for p.accept(TokSymbol, ".") {
+		n, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, n)
+	}
+	return &Name{Parts: parts}, nil
+}

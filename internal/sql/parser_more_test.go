@@ -1,0 +1,126 @@
+package sql
+
+import "testing"
+
+func TestParseExists(t *testing.T) {
+	stmt := mustParse(t, `SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u)`)
+	core := stmt.Body.(*SelectCore)
+	if _, ok := core.Where.(*ExistsExpr); !ok {
+		t.Fatalf("where = %#v", core.Where)
+	}
+}
+
+func TestParseSimpleCaseWithOperand(t *testing.T) {
+	stmt := mustParse(t, `SELECT CASE a WHEN 1 THEN 'x' ELSE 'y' END FROM t`)
+	c := stmt.Body.(*SelectCore).Items[0].Expr.(*CaseExpr)
+	if c.Operand == nil {
+		t.Fatal("operand form not recognized")
+	}
+}
+
+func TestParseCoalesce(t *testing.T) {
+	stmt := mustParse(t, `SELECT COALESCE(a, b, 0) FROM t`)
+	f := stmt.Body.(*SelectCore).Items[0].Expr.(*FuncCall)
+	if f.Name != "coalesce" || len(f.Args) != 3 {
+		t.Fatalf("coalesce = %+v", f)
+	}
+}
+
+func TestParseUnaryOperators(t *testing.T) {
+	stmt := mustParse(t, `SELECT -a, +b, -(a + b) FROM t`)
+	if len(stmt.Body.(*SelectCore).Items) != 3 {
+		t.Fatal("unary items wrong")
+	}
+}
+
+func TestParseParenthesizedSetExpr(t *testing.T) {
+	stmt := mustParse(t, `(SELECT a FROM t) UNION ALL (SELECT b FROM u)`)
+	u, ok := stmt.Body.(*UnionAllExpr)
+	if !ok || len(u.Inputs) != 2 {
+		t.Fatalf("body = %#v", stmt.Body)
+	}
+}
+
+func TestParseInSubqueryWithCTE(t *testing.T) {
+	mustParse(t, `SELECT a FROM t WHERE a IN (WITH c AS (SELECT x FROM u) SELECT x FROM c)`)
+}
+
+func TestParseAliasForms(t *testing.T) {
+	stmt := mustParse(t, `SELECT x.a AS aa, y.b bb FROM t AS x, u y`)
+	core := stmt.Body.(*SelectCore)
+	if core.Items[0].Alias != "aa" || core.Items[1].Alias != "bb" {
+		t.Errorf("aliases = %+v", core.Items)
+	}
+	if core.From[0].(*TableName).Alias != "x" || core.From[1].(*TableName).Alias != "y" {
+		t.Errorf("table aliases wrong")
+	}
+}
+
+func TestParseSemicolonAndComments(t *testing.T) {
+	mustParse(t, "SELECT a FROM t; -- trailing comment")
+	mustParse(t, "/* leading */ SELECT a FROM t")
+}
+
+func TestParseIsNullForms(t *testing.T) {
+	stmt := mustParse(t, `SELECT a FROM t WHERE a IS NULL OR b IS NOT NULL`)
+	if stmt.Body.(*SelectCore).Where == nil {
+		t.Fatal("where missing")
+	}
+}
+
+func TestParseNegativeNumberAndDecimal(t *testing.T) {
+	stmt := mustParse(t, `SELECT 0.5, .25 + 1, -3 FROM t`)
+	if len(stmt.Body.(*SelectCore).Items) != 3 {
+		t.Fatal("items wrong")
+	}
+}
+
+func TestParseMoreErrors(t *testing.T) {
+	bad := []string{
+		`SELECT a FROM t WHERE a LIKE b`,            // LIKE needs a string literal
+		`SELECT a FROM (SELECT b FROM u`,            // unclosed paren
+		`SELECT COUNT( FROM t`,                      // bad call
+		`WITH c AS SELECT a FROM t SELECT a FROM c`, // missing parens
+		`SELECT a FROM t JOIN u`,                    // missing ON
+		`SELECT a FROM t GROUP BY`,                  // missing expr
+		`SELECT a FROM (VALUES ()) x(a)`,            // empty row
+		`SELECT DATE 42 FROM t`,                     // DATE needs string
+		`SELECT a FILTER (a > 1) FROM t`,            // FILTER needs WHERE
+		`SELECT SUM(a) OVER (PARTITION a) FROM t`,   // missing BY
+		`SELECT CASE WHEN a THEN b FROM t`,          // missing END
+		`SELECT a BETWEEN 1 FROM t`,                 // missing AND
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseNotPrecedence(t *testing.T) {
+	// NOT binds tighter than AND.
+	stmt := mustParse(t, `SELECT a FROM t WHERE NOT a = 1 AND b = 2`)
+	w := stmt.Body.(*SelectCore).Where.(*BinaryExpr)
+	if w.Op != "AND" {
+		t.Fatalf("top op = %s", w.Op)
+	}
+	if _, ok := w.L.(*NotExpr); !ok {
+		t.Fatalf("left = %#v", w.L)
+	}
+}
+
+func TestParseQualifiedStar(t *testing.T) {
+	stmt := mustParse(t, `SELECT t.*, u.a FROM t, u`)
+	items := stmt.Body.(*SelectCore).Items
+	if !items[0].Star || items[0].StarTable != "t" {
+		t.Fatalf("qualified star = %+v", items[0])
+	}
+}
+
+func TestParseNotInChain(t *testing.T) {
+	// "NOT" followed by something other than BETWEEN/IN/LIKE backtracks.
+	stmt := mustParse(t, `SELECT a FROM t WHERE a > 1 AND NOT (b = 2)`)
+	if stmt.Body.(*SelectCore).Where == nil {
+		t.Fatal("where missing")
+	}
+}

@@ -1,0 +1,237 @@
+package sql
+
+import (
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q) failed: %v", src, err)
+	}
+	return stmt
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := Tokenize("SELECT a, 'it''s' FROM t -- comment\nWHERE x >= 1.5 /* block */ AND y <> 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokenKind
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+	}
+	if toks[0].Text != "SELECT" || toks[0].Kind != TokKeyword {
+		t.Errorf("first token = %+v", toks[0])
+	}
+	if toks[3].Kind != TokString || toks[3].Text != "it's" {
+		t.Errorf("string literal = %+v", toks[3])
+	}
+	found := false
+	for _, tok := range toks {
+		if tok.Kind == TokSymbol && tok.Text == ">=" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error(">= not lexed as one token")
+	}
+	_ = kinds
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := Tokenize("SELECT 'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := Tokenize("SELECT @"); err == nil {
+		t.Error("bad character accepted")
+	}
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	stmt := mustParse(t, "SELECT a, b AS bee FROM t WHERE a > 1 ORDER BY a DESC LIMIT 10")
+	core := stmt.Body.(*SelectCore)
+	if len(core.Items) != 2 || core.Items[1].Alias != "bee" {
+		t.Errorf("items = %+v", core.Items)
+	}
+	if len(core.From) != 1 {
+		t.Errorf("from = %+v", core.From)
+	}
+	if stmt.Limit == nil || *stmt.Limit != 10 {
+		t.Errorf("limit = %v", stmt.Limit)
+	}
+	if len(stmt.OrderBy) != 1 || !stmt.OrderBy[0].Desc {
+		t.Errorf("orderby = %+v", stmt.OrderBy)
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	stmt := mustParse(t, "SELECT * FROM a JOIN b ON a.x = b.y LEFT JOIN c ON b.z = c.z, d")
+	core := stmt.Body.(*SelectCore)
+	if len(core.From) != 2 {
+		t.Fatalf("from list = %d items", len(core.From))
+	}
+	j, ok := core.From[0].(*JoinRef)
+	if !ok || j.Kind != "LEFT" {
+		t.Fatalf("outer join ref = %+v", core.From[0])
+	}
+	inner, ok := j.Left.(*JoinRef)
+	if !ok || inner.Kind != "INNER" {
+		t.Fatalf("inner join ref = %+v", j.Left)
+	}
+}
+
+func TestParseCTEsAndUnion(t *testing.T) {
+	stmt := mustParse(t, `
+		WITH cte AS (SELECT a FROM t), cte2 AS (SELECT b FROM u)
+		SELECT a FROM cte WHERE a = 1
+		UNION ALL
+		SELECT b FROM cte2
+		UNION ALL
+		SELECT 3`)
+	if len(stmt.With) != 2 {
+		t.Fatalf("with = %d", len(stmt.With))
+	}
+	u, ok := stmt.Body.(*UnionAllExpr)
+	if !ok || len(u.Inputs) != 3 {
+		t.Fatalf("union = %+v", stmt.Body)
+	}
+}
+
+func TestParseSubqueries(t *testing.T) {
+	stmt := mustParse(t, `
+		SELECT x FROM t
+		WHERE a IN (SELECT k FROM s)
+		  AND b > (SELECT AVG(v) FROM s2 WHERE s2.g = t.g)
+		  AND c IN (1, 2, 3)`)
+	core := stmt.Body.(*SelectCore)
+	conj, ok := core.Where.(*BinaryExpr)
+	if !ok || conj.Op != "AND" {
+		t.Fatalf("where = %+v", core.Where)
+	}
+}
+
+func TestParseAggregatesWithFilterAndOver(t *testing.T) {
+	stmt := mustParse(t, `
+		SELECT COUNT(*) FILTER (WHERE x > 1) AS c,
+		       SUM(DISTINCT y) AS s,
+		       AVG(z) OVER (PARTITION BY g, h) AS w
+		FROM t`)
+	core := stmt.Body.(*SelectCore)
+	c := core.Items[0].Expr.(*FuncCall)
+	if !c.Star || c.Filter == nil {
+		t.Errorf("count call = %+v", c)
+	}
+	s := core.Items[1].Expr.(*FuncCall)
+	if !s.Distinct {
+		t.Errorf("sum call = %+v", s)
+	}
+	w := core.Items[2].Expr.(*FuncCall)
+	if w.Over == nil || len(w.Over.PartitionBy) != 2 {
+		t.Errorf("window call = %+v", w)
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	stmt := mustParse(t, `SELECT CASE WHEN a > 1 THEN 'hi' WHEN a > 0 THEN 'mid' ELSE 'lo' END FROM t`)
+	core := stmt.Body.(*SelectCore)
+	c := core.Items[0].Expr.(*CaseExpr)
+	if len(c.Whens) != 2 || c.Else == nil || c.Operand != nil {
+		t.Errorf("case = %+v", c)
+	}
+}
+
+func TestParseBetweenLikeIsNull(t *testing.T) {
+	stmt := mustParse(t, `SELECT * FROM t WHERE a BETWEEN 1 AND 2 AND b NOT LIKE 'x%' AND c IS NOT NULL AND d NOT IN (5)`)
+	core := stmt.Body.(*SelectCore)
+	if core.Where == nil {
+		t.Fatal("no where")
+	}
+}
+
+func TestParseValuesTable(t *testing.T) {
+	stmt := mustParse(t, `SELECT tag FROM (VALUES (1), (2)) T(tag)`)
+	core := stmt.Body.(*SelectCore)
+	v, ok := core.From[0].(*ValuesRef)
+	if !ok || len(v.Rows) != 2 || v.Alias != "t" || len(v.ColAliases) != 1 {
+		t.Fatalf("values ref = %+v", core.From[0])
+	}
+}
+
+func TestParseDerivedTable(t *testing.T) {
+	stmt := mustParse(t, `SELECT q.a FROM (SELECT a FROM t GROUP BY a) q`)
+	core := stmt.Body.(*SelectCore)
+	d, ok := core.From[0].(*Derived)
+	if !ok || d.Alias != "q" {
+		t.Fatalf("derived = %+v", core.From[0])
+	}
+}
+
+func TestParseDateLiteralAndArithmetic(t *testing.T) {
+	stmt := mustParse(t, `SELECT d + 1, -x * 2 FROM t WHERE d = DATE '2000-01-02'`)
+	core := stmt.Body.(*SelectCore)
+	if len(core.Items) != 2 {
+		t.Fatalf("items = %d", len(core.Items))
+	}
+	where := core.Where.(*BinaryExpr)
+	if _, ok := where.R.(*DateLit); !ok {
+		t.Errorf("rhs = %+v", where.R)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t UNION SELECT b FROM u", // UNION without ALL
+		"SELECT a FROM t ORDER BY",
+		"SELECT a FROM t LIMIT x",
+		"SELECT CASE END FROM t",
+		"SELECT a FROM t t2 t3 t4",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseQ65Shape(t *testing.T) {
+	mustParse(t, `
+SELECT s_store_name, i_item_desc, revenue
+FROM store, item,
+    (SELECT ss_store_sk, AVG(revenue) AS ave
+     FROM (SELECT ss_store_sk, ss_item_sk,
+               SUM(ss_sales_price) AS revenue
+           FROM store_sales, date_dim
+           WHERE ss_sold_date_sk = d_date_sk
+         AND d_month_seq BETWEEN 1212 AND 1247
+           GROUP BY ss_store_sk, ss_item_sk) sa
+     GROUP BY ss_store_sk) sb,
+    (SELECT ss_store_sk, ss_item_sk,
+            SUM(ss_sales_price) AS revenue
+     FROM store_sales, date_dim
+     WHERE ss_sold_date_sk = d_date_sk
+     AND d_month_seq BETWEEN 1212 AND 1247
+     GROUP BY ss_store_sk, ss_item_sk) sc
+WHERE sb.ss_store_sk = sc.ss_store_sk
+  AND sc.revenue <= 0.1 * sb.ave
+  AND s_store_sk = sc.ss_store_sk
+  AND i_item_sk = sc.ss_item_sk
+ORDER BY s_store_name, i_item_desc LIMIT 100`)
+}
+
+func TestParseQ09Shape(t *testing.T) {
+	mustParse(t, `
+SELECT CASE
+  WHEN (SELECT COUNT(*) FROM store_sales WHERE ss_quantity BETWEEN 1 AND 20) > 48409437
+  THEN (SELECT AVG(ss_ext_discount_amt) FROM store_sales WHERE ss_quantity BETWEEN 1 AND 20)
+  ELSE (SELECT AVG(ss_net_profit) FROM store_sales WHERE ss_quantity BETWEEN 1 AND 20) END
+  AS bucket1
+FROM reason
+WHERE r_reason_sk = 1`)
+}

@@ -1,0 +1,80 @@
+package storage
+
+import "repro/internal/types"
+
+// RowBuffer is an encoded row-major buffer used by the spooling executor to
+// materialize intermediate results. Writes pay the same encode + stream
+// transform as base-table storage, and every read pays the reverse — so a
+// spooled common subexpression is written once and *read back* by every
+// consumer, reproducing the cost structure the paper argues fusion avoids
+// ("alternatives that materialize intermediate results ... not only write
+// those intermediates, but need to read them multiple times").
+type RowBuffer struct {
+	kinds  []types.Kind
+	data   []byte
+	rows   int
+	sealed bool
+}
+
+// NewRowBuffer creates a buffer for rows with the given column kinds.
+func NewRowBuffer(kinds []types.Kind) *RowBuffer {
+	return &RowBuffer{kinds: append([]types.Kind{}, kinds...)}
+}
+
+// Append encodes one row; the row width must match the declared kinds.
+func (b *RowBuffer) Append(row []types.Value) {
+	if b.sealed {
+		panic("storage: append to sealed RowBuffer")
+	}
+	for _, v := range row {
+		b.data = appendValue(b.data, v)
+	}
+	b.rows++
+}
+
+// Seal applies the storage transform; the buffer becomes read-only.
+func (b *RowBuffer) Seal() {
+	if !b.sealed {
+		b.data = transform(b.data)
+		b.sealed = true
+	}
+}
+
+// Rows returns the number of buffered rows.
+func (b *RowBuffer) Rows() int { return b.rows }
+
+// Bytes returns the encoded size (charged once on write and once per
+// reader).
+func (b *RowBuffer) Bytes() int64 { return int64(len(b.data)) }
+
+// NewReader reverses the transform and decodes rows sequentially.
+func (b *RowBuffer) NewReader() *RowReader {
+	if !b.sealed {
+		panic("storage: read from unsealed RowBuffer")
+	}
+	return &RowReader{kinds: b.kinds, data: transform(b.data), remaining: b.rows}
+}
+
+// RowReader sequentially decodes a sealed RowBuffer.
+type RowReader struct {
+	kinds     []types.Kind
+	data      []byte
+	off       int
+	remaining int
+}
+
+// Next decodes the next row, or returns nil when exhausted.
+func (r *RowReader) Next() []types.Value {
+	if r.remaining == 0 {
+		return nil
+	}
+	r.remaining--
+	row := make([]types.Value, len(r.kinds))
+	cr := ChunkReader{data: r.data, off: r.off}
+	for i, k := range r.kinds {
+		cr.kind = k
+		row[i] = cr.Next()
+	}
+	r.off = cr.off
+	return row
+}

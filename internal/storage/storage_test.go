@@ -1,0 +1,172 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/catalog"
+	"repro/internal/types"
+)
+
+func testCatalog() *catalog.Catalog {
+	cat := catalog.New()
+	cat.MustAdd(&catalog.Table{
+		Name: "t",
+		Columns: []catalog.Column{
+			{Name: "a", Type: types.KindInt64},
+			{Name: "b", Type: types.KindString},
+			{Name: "d", Type: types.KindInt64},
+		},
+		PartitionColumn: "d",
+	})
+	cat.MustAdd(&catalog.Table{
+		Name: "u",
+		Columns: []catalog.Column{
+			{Name: "x", Type: types.KindFloat64},
+		},
+	})
+	return cat
+}
+
+func TestLoadAndPartitioning(t *testing.T) {
+	st := NewStore(testCatalog())
+	rows := [][]types.Value{
+		{types.Int(1), types.String("one"), types.Int(10)},
+		{types.Int(2), types.String("two"), types.Int(20)},
+		{types.Int(3), types.String("three"), types.Int(10)},
+	}
+	if err := st.Load("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	td := st.Data("t")
+	if len(td.Partitions) != 2 {
+		t.Fatalf("partitions = %d, want 2", len(td.Partitions))
+	}
+	if td.NumRows() != 3 {
+		t.Errorf("rows = %d", td.NumRows())
+	}
+	tab, _ := st.Catalog().Table("t")
+	if tab.Stats.RowCount != 3 || tab.Stats.Partitions != 2 {
+		t.Errorf("stats not refreshed: %+v", tab.Stats)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	st := NewStore(testCatalog())
+	if err := st.Load("missing", nil); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if err := st.Load("t", [][]types.Value{{types.Int(1)}}); err == nil {
+		t.Error("short row accepted")
+	}
+}
+
+func TestScanPartitionsPruning(t *testing.T) {
+	st := NewStore(testCatalog())
+	var rows [][]types.Value
+	for i := 0; i < 30; i++ {
+		rows = append(rows, []types.Value{
+			types.Int(int64(i)), types.String("v"), types.Int(int64(i % 3)),
+		})
+	}
+	if err := st.Load("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	var m Metrics
+	parts, err := st.ScanPartitions("t", []string{"a"}, func(key types.Value) bool {
+		return key.I == 1
+	}, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 1 {
+		t.Fatalf("pruned to %d partitions, want 1", len(parts))
+	}
+	if m.RowsScanned != 10 {
+		t.Errorf("rows scanned = %d, want 10", m.RowsScanned)
+	}
+	if m.BytesScanned <= 0 {
+		t.Error("bytes not accounted")
+	}
+
+	// Full scan of more columns reads more bytes.
+	var m2 Metrics
+	if _, err := st.ScanPartitions("t", []string{"a", "b", "d"}, nil, &m2); err != nil {
+		t.Fatal(err)
+	}
+	if m2.BytesScanned <= m.BytesScanned {
+		t.Error("wider scan should cost more bytes")
+	}
+	if _, err := st.ScanPartitions("t", []string{"zzz"}, nil, nil); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := st.ScanPartitions("u", []string{"x"}, nil, nil); err == nil {
+		t.Error("unloaded table accepted")
+	}
+}
+
+// Property: every value round-trips through the chunk encoding.
+func TestChunkEncodingRoundTrip(t *testing.T) {
+	cases := []types.Value{
+		types.Int(0), types.Int(-1), types.Int(1 << 40), types.Int(-(1 << 40)),
+		types.Float(0), types.Float(-3.25), types.Float(1e300),
+		types.String(""), types.String("hello world"), types.String("with | pipe"),
+		types.Bool(true), types.Bool(false),
+		types.Date(12000),
+		types.NullOf(types.KindInt64), types.NullOf(types.KindString),
+	}
+	for _, v := range cases {
+		chunk := &ColumnChunk{Kind: v.Kind, Count: 1}
+		chunk.Data = appendValue(chunk.Data, v)
+		chunk.Data = transform(chunk.Data)
+		r := chunk.NewReader()
+		got := r.Next()
+		if !got.Equal(v) {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestChunkEncodingSequenceProperty(t *testing.T) {
+	f := func(ints []int64, strs []string) bool {
+		chunkI := &ColumnChunk{Kind: types.KindInt64}
+		for _, i := range ints {
+			chunkI.Data = appendValue(chunkI.Data, types.Int(i))
+		}
+		chunkI.Data = transform(chunkI.Data)
+		r := chunkI.NewReader()
+		for _, i := range ints {
+			if got := r.Next(); got.I != i || got.Null {
+				return false
+			}
+		}
+		chunkS := &ColumnChunk{Kind: types.KindString}
+		for _, s := range strs {
+			chunkS.Data = appendValue(chunkS.Data, types.String(s))
+		}
+		chunkS.Data = transform(chunkS.Data)
+		rs := chunkS.NewReader()
+		for _, s := range strs {
+			if got := rs.Next(); got.S != s || got.Null {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	st := NewStore(testCatalog())
+	rows := [][]types.Value{
+		{types.Int(1), types.String("one"), types.Int(10)},
+	}
+	if err := st.Load("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	if st.Data("t").TotalBytes() <= 0 {
+		t.Error("TotalBytes should be positive")
+	}
+}

@@ -1,0 +1,323 @@
+package tpcds
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// Scale constants: row counts at Scale = 1. The generator is a synthetic
+// stand-in for the official dsdgen at 3TB (which is proprietary tooling and
+// far beyond a test-process footprint); it preserves the properties the
+// queries exercise — date-partitioned facts, realistic key relationships,
+// skewed measures, shared order numbers for the Q95 self join — so plan
+// shapes and relative metrics carry over.
+const (
+	baseDays         = 1826 // 1998-01-01 .. 2002-12-31
+	baseItems        = 1000
+	baseStores       = 20
+	baseCustomers    = 2000
+	baseAddresses    = 1000
+	baseWebSites     = 10
+	baseReasons      = 10
+	baseHousehold    = 100
+	baseTimes        = 1440
+	baseStoreSales   = 60000
+	baseStoreReturns = 12000
+	baseCatalogSales = 20000
+	baseWebSales     = 20000
+	baseWebReturns   = 4000
+
+	firstDateSK = 2450815
+)
+
+// Data holds generated rows per table.
+type Data struct {
+	Scale  float64
+	Tables map[string][][]types.Value
+}
+
+// Generate builds a deterministic dataset at the given scale (1.0 ≈ 100k
+// fact rows total) from the given seed.
+func Generate(scale float64, seed int64) *Data {
+	if scale <= 0 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := &Data{Scale: scale, Tables: map[string][][]types.Value{}}
+
+	n := func(base int) int {
+		v := int(math.Round(float64(base) * scale))
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	// Dimensions do not scale linearly with facts (square-root scaling
+	// keeps fan-outs realistic at small scales).
+	dim := func(base int) int {
+		v := int(math.Round(float64(base) * math.Sqrt(scale)))
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+
+	days := baseDays // the calendar does not scale
+	items := dim(baseItems)
+	stores := dim(baseStores)
+	customers := dim(baseCustomers)
+	addresses := dim(baseAddresses)
+	webSites := dim(baseWebSites)
+	households := dim(baseHousehold)
+
+	// date_dim: d_month_seq 1188 (1998-01) .. 1247 (2002-12), so the
+	// paper's BETWEEN 1212 AND 1247 covers 2000-01 onward.
+	var dateRows [][]types.Value
+	day := 0
+	for year := 1998; year <= 2002; year++ {
+		for moy := 1; moy <= 12; moy++ {
+			dom := 1
+			daysInMonth := 30
+			if moy == 2 {
+				daysInMonth = 28
+			}
+			for ; dom <= daysInMonth && day < days; dom++ {
+				seq := int64(1188 + (year-1998)*12 + (moy - 1))
+				dateRows = append(dateRows, []types.Value{
+					types.Int(int64(firstDateSK + day)),
+					types.Int(int64(year)),
+					types.Int(int64(moy)),
+					types.Int(int64(dom)),
+					types.Int(seq),
+					types.String(dayNames[day%7]),
+				})
+				day++
+			}
+		}
+	}
+	d.Tables["date_dim"] = dateRows
+	maxDate := int64(firstDateSK + len(dateRows) - 1)
+
+	randDate := func() int64 { return firstDateSK + rng.Int63n(int64(len(dateRows))) }
+
+	var itemRows [][]types.Value
+	for i := 1; i <= items; i++ {
+		itemRows = append(itemRows, []types.Value{
+			types.Int(int64(i)),
+			types.String(fmt.Sprintf("ITEM%06d", i)),
+			types.String(fmt.Sprintf("description of item %d", i)),
+			types.Int(int64(1 + rng.Intn(500))),
+			types.String(brands[rng.Intn(len(brands))]),
+			types.Int(int64(1 + rng.Intn(10))),
+			types.String(categories[rng.Intn(len(categories))]),
+			types.String(sizes[rng.Intn(len(sizes))]),
+			types.String(colors[rng.Intn(len(colors))]),
+			types.Float(round2(0.5 + rng.Float64()*99)),
+		})
+	}
+	d.Tables["item"] = itemRows
+
+	var storeRows [][]types.Value
+	for i := 1; i <= stores; i++ {
+		storeRows = append(storeRows, []types.Value{
+			types.Int(int64(i)),
+			types.String(fmt.Sprintf("STORE%04d", i)),
+			types.String(fmt.Sprintf("Store #%d", i)),
+			types.String(states[rng.Intn(len(states))]),
+			types.String(fmt.Sprintf("City%02d", rng.Intn(30))),
+		})
+	}
+	d.Tables["store"] = storeRows
+
+	var custRows [][]types.Value
+	for i := 1; i <= customers; i++ {
+		custRows = append(custRows, []types.Value{
+			types.Int(int64(i)),
+			types.String(fmt.Sprintf("CUST%08d", i)),
+			types.String(firstNames[rng.Intn(len(firstNames))]),
+			types.String(lastNames[rng.Intn(len(lastNames))]),
+			types.Int(int64(1 + rng.Intn(addresses))),
+		})
+	}
+	d.Tables["customer"] = custRows
+
+	var addrRows [][]types.Value
+	for i := 1; i <= addresses; i++ {
+		addrRows = append(addrRows, []types.Value{
+			types.Int(int64(i)),
+			types.String(states[rng.Intn(len(states))]),
+			types.String(fmt.Sprintf("City%02d", rng.Intn(30))),
+		})
+	}
+	d.Tables["customer_address"] = addrRows
+
+	var siteRows [][]types.Value
+	for i := 1; i <= webSites; i++ {
+		siteRows = append(siteRows, []types.Value{
+			types.Int(int64(i)),
+			types.String(fmt.Sprintf("pri%d", i)),
+		})
+	}
+	d.Tables["web_site"] = siteRows
+
+	var reasonRows [][]types.Value
+	for i := 1; i <= baseReasons; i++ {
+		reasonRows = append(reasonRows, []types.Value{
+			types.Int(int64(i)),
+			types.String(fmt.Sprintf("reason %d", i)),
+		})
+	}
+	d.Tables["reason"] = reasonRows
+
+	var hdRows [][]types.Value
+	for i := 1; i <= households; i++ {
+		hdRows = append(hdRows, []types.Value{
+			types.Int(int64(i)),
+			types.Int(int64(rng.Intn(10))),
+			types.Int(int64(rng.Intn(5))),
+		})
+	}
+	d.Tables["household_demographics"] = hdRows
+
+	var timeRows [][]types.Value
+	for i := 0; i < baseTimes; i++ {
+		timeRows = append(timeRows, []types.Value{
+			types.Int(int64(i)),
+			types.Int(int64(i / 60)),
+			types.Int(int64(i % 60)),
+		})
+	}
+	d.Tables["time_dim"] = timeRows
+
+	// Skewed price helper: a heavy tail makes averages discriminative.
+	price := func() float64 {
+		p := rng.Float64()
+		return round2(1 + 200*p*p*p)
+	}
+
+	var ssRows [][]types.Value
+	for i := 0; i < n(baseStoreSales); i++ {
+		list := price()
+		sales := round2(list * (0.4 + 0.6*rng.Float64()))
+		ssRows = append(ssRows, []types.Value{
+			types.Int(randDate()),
+			types.Int(rng.Int63n(baseTimes)),
+			types.Int(int64(1 + rng.Intn(items))),
+			types.Int(int64(1 + rng.Intn(customers))),
+			types.Int(int64(1 + rng.Intn(households))),
+			types.Int(int64(1 + rng.Intn(addresses))),
+			types.Int(int64(1 + rng.Intn(stores))),
+			types.Int(int64(1 + rng.Intn(100))),
+			types.Float(list),
+			types.Float(sales),
+			types.Float(round2(list * 0.1 * rng.Float64())),
+			types.Float(round2(sales * float64(1+rng.Intn(10)))),
+			types.Float(round2(list * 0.05 * rng.Float64())),
+			types.Float(round2(sales - list*0.7)),
+		})
+	}
+	d.Tables["store_sales"] = ssRows
+
+	var srRows [][]types.Value
+	for i := 0; i < n(baseStoreReturns); i++ {
+		srRows = append(srRows, []types.Value{
+			types.Int(randDate()),
+			types.Int(int64(1 + rng.Intn(items))),
+			types.Int(int64(1 + rng.Intn(customers))),
+			types.Int(int64(1 + rng.Intn(stores))),
+			types.Float(price()),
+			types.Float(round2(rng.Float64() * 50)),
+		})
+	}
+	d.Tables["store_returns"] = srRows
+
+	var csRows [][]types.Value
+	for i := 0; i < n(baseCatalogSales); i++ {
+		csRows = append(csRows, []types.Value{
+			types.Int(randDate()),
+			types.Int(int64(1 + rng.Intn(items))),
+			types.Int(int64(1 + rng.Intn(customers))),
+			types.Int(int64(1 + rng.Intn(100))),
+			types.Float(price()),
+		})
+	}
+	d.Tables["catalog_sales"] = csRows
+
+	numWebSales := n(baseWebSales)
+	numOrders := numWebSales/3 + 1
+	var wsRows [][]types.Value
+	for i := 0; i < numWebSales; i++ {
+		soldDate := randDate()
+		shipDate := soldDate + rng.Int63n(90)
+		if shipDate > maxDate {
+			shipDate = maxDate
+		}
+		wsRows = append(wsRows, []types.Value{
+			types.Int(soldDate),
+			types.Int(shipDate),
+			types.Int(int64(1 + rng.Intn(items))),
+			types.Int(int64(1 + rng.Intn(customers))),
+			types.Int(int64(1 + rng.Intn(addresses))),
+			types.Int(int64(1 + rng.Intn(webSites))),
+			types.Int(int64(1 + rng.Intn(numOrders))),
+			types.Int(int64(1 + rng.Intn(5))),
+			types.Int(int64(1 + rng.Intn(100))),
+			types.Float(price()),
+			types.Float(round2(rng.Float64() * 20)),
+			types.Float(round2(rng.Float64()*100 - 30)),
+		})
+	}
+	d.Tables["web_sales"] = wsRows
+
+	var wrRows [][]types.Value
+	for i := 0; i < n(baseWebReturns); i++ {
+		wrRows = append(wrRows, []types.Value{
+			types.Int(randDate()),
+			types.Int(int64(1 + rng.Intn(numOrders))),
+			types.Int(int64(1 + rng.Intn(items))),
+			types.Int(int64(1 + rng.Intn(customers))),
+			types.Int(int64(1 + rng.Intn(addresses))),
+			types.Float(round2(rng.Float64() * 80)),
+		})
+	}
+	d.Tables["web_returns"] = wrRows
+
+	return d
+}
+
+// LoadAll ingests every generated table into the store.
+func (d *Data) LoadAll(st *storage.Store) error {
+	for name, rows := range d.Tables {
+		if err := st.Load(name, rows); err != nil {
+			return fmt.Errorf("tpcds: loading %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// NewLoadedStore is the one-call setup used by tests, examples and benches.
+func NewLoadedStore(scale float64, seed int64) (*storage.Store, error) {
+	cat := NewCatalog()
+	st := storage.NewStore(cat)
+	if err := Generate(scale, seed).LoadAll(st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func round2(f float64) float64 { return math.Round(f*100) / 100 }
+
+var (
+	dayNames   = []string{"Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"}
+	brands     = []string{"amalgimporto", "edu packscholar", "exportiimporto", "scholarmaxi", "univmaxi", "importoamalg", "brandbrand", "corpnameless"}
+	categories = []string{"Music", "Books", "Electronics", "Home", "Sports", "Shoes", "Jewelry", "Men", "Women", "Children"}
+	sizes      = []string{"small", "medium", "large", "extra large", "petite", "N/A"}
+	colors     = []string{"red", "green", "blue", "yellow", "black", "white", "purple", "orange"}
+	states     = []string{"TN", "CA", "WA", "NY", "TX", "GA", "OH", "IL", "FL", "MI"}
+	firstNames = []string{"John", "Mary", "James", "Linda", "Robert", "Susan", "Michael", "Karen"}
+	lastNames  = []string{"Smith", "Jones", "Brown", "Wilson", "Taylor", "Lee", "White", "Clark"}
+)

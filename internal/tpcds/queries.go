@@ -1,0 +1,481 @@
+package tpcds
+
+// Query is one workload entry.
+type Query struct {
+	// Name is the TPC-DS identifier (q01, q09, ...) or filler id (f01...).
+	Name string
+	// SQL is the query text (the paper's variant for affected queries).
+	SQL string
+	// Affected marks queries the paper reports as changed by the fusion
+	// rules (Figures 1 and 2).
+	Affected bool
+	// Rules lists the fusion rules expected to fire.
+	Rules []string
+	// Pattern describes which paper section the query exercises.
+	Pattern string
+}
+
+// AffectedQueries returns the eight queries of the paper's Figures 1 and 2.
+func AffectedQueries() []Query {
+	var out []Query
+	for _, q := range Queries() {
+		if q.Affected {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// FillerQueries returns the fusion-neutral remainder of the workload.
+func FillerQueries() []Query {
+	var out []Query
+	for _, q := range Queries() {
+		if !q.Affected {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Get returns a query by name.
+func Get(name string) (Query, bool) {
+	for _, q := range Queries() {
+		if q.Name == name {
+			return q, true
+		}
+	}
+	return Query{}, false
+}
+
+// Queries returns the full workload: the paper's eight affected queries
+// plus twenty filler queries standing in for the untouched remainder of
+// the 99-query benchmark.
+func Queries() []Query {
+	return []Query{
+		{
+			Name:     "q01",
+			Affected: true,
+			Rules:    []string{"GroupByJoinToWindow"},
+			Pattern:  "§V.A decorrelation + window rewrite",
+			SQL: `
+WITH customer_total_return AS (
+  SELECT sr_customer_sk AS ctr_customer_sk,
+         sr_store_sk AS ctr_store_sk,
+         SUM(sr_return_amt) AS ctr_total_return
+  FROM store_returns, date_dim
+  WHERE sr_returned_date_sk = d_date_sk AND d_year = 2000
+  GROUP BY sr_customer_sk, sr_store_sk)
+SELECT c_customer_id
+FROM customer_total_return ctr1, store, customer
+WHERE ctr1.ctr_total_return > (
+    SELECT AVG(ctr_total_return) * 1.2
+    FROM customer_total_return ctr2
+    WHERE ctr1.ctr_store_sk = ctr2.ctr_store_sk)
+  AND s_store_sk = ctr1.ctr_store_sk
+  AND s_state = 'TN'
+  AND ctr1.ctr_customer_sk = c_customer_sk
+ORDER BY c_customer_id LIMIT 100`,
+		},
+		{
+			Name:     "q09",
+			Affected: true,
+			Rules:    []string{"JoinOnKeys"},
+			Pattern:  "§V.B scalar aggregate merging",
+			SQL: `
+SELECT CASE
+         WHEN (SELECT COUNT(*) FROM store_sales WHERE ss_quantity BETWEEN 1 AND 20) > 12000
+         THEN (SELECT AVG(ss_ext_discount_amt) FROM store_sales WHERE ss_quantity BETWEEN 1 AND 20)
+         ELSE (SELECT AVG(ss_net_profit) FROM store_sales WHERE ss_quantity BETWEEN 1 AND 20) END AS bucket1,
+       CASE
+         WHEN (SELECT COUNT(*) FROM store_sales WHERE ss_quantity BETWEEN 21 AND 40) > 12000
+         THEN (SELECT AVG(ss_ext_discount_amt) FROM store_sales WHERE ss_quantity BETWEEN 21 AND 40)
+         ELSE (SELECT AVG(ss_net_profit) FROM store_sales WHERE ss_quantity BETWEEN 21 AND 40) END AS bucket2,
+       CASE
+         WHEN (SELECT COUNT(*) FROM store_sales WHERE ss_quantity BETWEEN 41 AND 60) > 12000
+         THEN (SELECT AVG(ss_ext_discount_amt) FROM store_sales WHERE ss_quantity BETWEEN 41 AND 60)
+         ELSE (SELECT AVG(ss_net_profit) FROM store_sales WHERE ss_quantity BETWEEN 41 AND 60) END AS bucket3,
+       CASE
+         WHEN (SELECT COUNT(*) FROM store_sales WHERE ss_quantity BETWEEN 61 AND 80) > 12000
+         THEN (SELECT AVG(ss_ext_discount_amt) FROM store_sales WHERE ss_quantity BETWEEN 61 AND 80)
+         ELSE (SELECT AVG(ss_net_profit) FROM store_sales WHERE ss_quantity BETWEEN 61 AND 80) END AS bucket4,
+       CASE
+         WHEN (SELECT COUNT(*) FROM store_sales WHERE ss_quantity BETWEEN 81 AND 100) > 12000
+         THEN (SELECT AVG(ss_ext_discount_amt) FROM store_sales WHERE ss_quantity BETWEEN 81 AND 100)
+         ELSE (SELECT AVG(ss_net_profit) FROM store_sales WHERE ss_quantity BETWEEN 81 AND 100) END AS bucket5
+FROM reason
+WHERE r_reason_sk = 1`,
+		},
+		{
+			Name:     "q23",
+			Affected: true,
+			Rules:    []string{"UnionAllOnJoin"},
+			Pattern:  "§V.C union refactoring over different fact tables",
+			SQL: `
+WITH freq_items AS (
+  SELECT ss_item_sk AS item_sk
+  FROM store_sales, date_dim
+  WHERE ss_sold_date_sk = d_date_sk AND d_year = 1999
+  GROUP BY ss_item_sk
+  HAVING COUNT(*) > 8),
+best_customer AS (
+  SELECT ss_customer_sk AS cust_sk
+  FROM store_sales
+  GROUP BY ss_customer_sk
+  HAVING SUM(ss_sales_price) > 900)
+SELECT SUM(sales) AS total_sales FROM (
+  SELECT cs_quantity * cs_list_price AS sales
+  FROM catalog_sales, date_dim
+  WHERE d_year = 1999 AND d_moy = 1 AND cs_sold_date_sk = d_date_sk
+    AND cs_item_sk IN (SELECT item_sk FROM freq_items)
+    AND cs_bill_customer_sk IN (SELECT cust_sk FROM best_customer)
+  UNION ALL
+  SELECT ws_quantity * ws_list_price AS sales
+  FROM web_sales, date_dim
+  WHERE d_year = 1999 AND d_moy = 1 AND ws_sold_date_sk = d_date_sk
+    AND ws_item_sk IN (SELECT item_sk FROM freq_items)
+    AND ws_bill_customer_sk IN (SELECT cust_sk FROM best_customer)) x`,
+		},
+		{
+			Name:     "q28",
+			Affected: true,
+			Rules:    []string{"JoinOnKeys"},
+			Pattern:  "§V.B scalar aggregates with DISTINCT (MarkDistinct fusion)",
+			SQL: `
+SELECT b1.b1_lp, b1.b1_cnt, b1.b1_cntd,
+       b2.b2_lp, b2.b2_cnt, b2.b2_cntd,
+       b3.b3_lp, b3.b3_cnt, b3.b3_cntd,
+       b4.b4_lp, b4.b4_cnt, b4.b4_cntd,
+       b5.b5_lp, b5.b5_cnt, b5.b5_cntd,
+       b6.b6_lp, b6.b6_cnt, b6.b6_cntd
+FROM
+ (SELECT AVG(ss_list_price) AS b1_lp, COUNT(ss_list_price) AS b1_cnt, COUNT(DISTINCT ss_list_price) AS b1_cntd
+  FROM store_sales
+  WHERE ss_quantity BETWEEN 0 AND 5
+    AND (ss_list_price BETWEEN 10 AND 60 OR ss_coupon_amt BETWEEN 1 AND 5)) b1,
+ (SELECT AVG(ss_list_price) AS b2_lp, COUNT(ss_list_price) AS b2_cnt, COUNT(DISTINCT ss_list_price) AS b2_cntd
+  FROM store_sales
+  WHERE ss_quantity BETWEEN 6 AND 10
+    AND (ss_list_price BETWEEN 20 AND 70 OR ss_coupon_amt BETWEEN 2 AND 6)) b2,
+ (SELECT AVG(ss_list_price) AS b3_lp, COUNT(ss_list_price) AS b3_cnt, COUNT(DISTINCT ss_list_price) AS b3_cntd
+  FROM store_sales
+  WHERE ss_quantity BETWEEN 11 AND 15
+    AND (ss_list_price BETWEEN 30 AND 80 OR ss_coupon_amt BETWEEN 3 AND 7)) b3,
+ (SELECT AVG(ss_list_price) AS b4_lp, COUNT(ss_list_price) AS b4_cnt, COUNT(DISTINCT ss_list_price) AS b4_cntd
+  FROM store_sales
+  WHERE ss_quantity BETWEEN 16 AND 20
+    AND (ss_list_price BETWEEN 40 AND 90 OR ss_coupon_amt BETWEEN 4 AND 8)) b4,
+ (SELECT AVG(ss_list_price) AS b5_lp, COUNT(ss_list_price) AS b5_cnt, COUNT(DISTINCT ss_list_price) AS b5_cntd
+  FROM store_sales
+  WHERE ss_quantity BETWEEN 21 AND 25
+    AND (ss_list_price BETWEEN 50 AND 100 OR ss_coupon_amt BETWEEN 5 AND 9)) b5,
+ (SELECT AVG(ss_list_price) AS b6_lp, COUNT(ss_list_price) AS b6_cnt, COUNT(DISTINCT ss_list_price) AS b6_cntd
+  FROM store_sales
+  WHERE ss_quantity BETWEEN 26 AND 30
+    AND (ss_list_price BETWEEN 60 AND 110 OR ss_coupon_amt BETWEEN 6 AND 10)) b6`,
+		},
+		{
+			Name:     "q30",
+			Affected: true,
+			Rules:    []string{"GroupByJoinToWindow"},
+			Pattern:  "§V.A window rewrite over web returns",
+			SQL: `
+WITH customer_total_return AS (
+  SELECT wr_returning_customer_sk AS ctr_customer_sk,
+         ca_state AS ctr_state,
+         SUM(wr_return_amt) AS ctr_total_return
+  FROM web_returns, date_dim, customer_address
+  WHERE wr_returned_date_sk = d_date_sk AND d_year = 2000
+    AND wr_returning_addr_sk = ca_address_sk
+  GROUP BY wr_returning_customer_sk, ca_state)
+SELECT c_customer_id
+FROM customer_total_return ctr1, customer
+WHERE ctr1.ctr_total_return > (
+    SELECT AVG(ctr_total_return) * 1.2
+    FROM customer_total_return ctr2
+    WHERE ctr1.ctr_state = ctr2.ctr_state)
+  AND ctr1.ctr_customer_sk = c_customer_sk
+ORDER BY c_customer_id LIMIT 100`,
+		},
+		{
+			Name:     "q65",
+			Affected: true,
+			Rules:    []string{"GroupByJoinToWindow"},
+			Pattern:  "§I motivating example: aggregate joined back to its input",
+			SQL: `
+SELECT s_store_name, i_item_desc, revenue
+FROM store, item,
+    (SELECT ss_store_sk, AVG(revenue) AS ave
+     FROM (SELECT ss_store_sk, ss_item_sk,
+               SUM(ss_sales_price) AS revenue
+           FROM store_sales, date_dim
+           WHERE ss_sold_date_sk = d_date_sk
+         AND d_month_seq BETWEEN 1212 AND 1247
+           GROUP BY ss_store_sk, ss_item_sk) sa
+     GROUP BY ss_store_sk) sb,
+    (SELECT ss_store_sk, ss_item_sk,
+            SUM(ss_sales_price) AS revenue
+     FROM store_sales, date_dim
+     WHERE ss_sold_date_sk = d_date_sk
+     AND d_month_seq BETWEEN 1212 AND 1247
+     GROUP BY ss_store_sk, ss_item_sk) sc
+WHERE sb.ss_store_sk = sc.ss_store_sk
+  AND sc.revenue <= 0.1 * sb.ave
+  AND s_store_sk = sc.ss_store_sk
+  AND i_item_sk = sc.ss_item_sk
+ORDER BY s_store_name, i_item_desc LIMIT 100`,
+		},
+		{
+			Name:     "q88",
+			Affected: true,
+			Rules:    []string{"JoinOnKeys"},
+			Pattern:  "§V.B scalar aggregates over a multi-way join",
+			SQL: `
+SELECT s1.h8_30 AS h8_30, s2.h9_00 AS h9_00, s3.h9_30 AS h9_30, s4.h10_00 AS h10_00,
+       s5.h10_30 AS h10_30, s6.h11_00 AS h11_00, s7.h11_30 AS h11_30, s8.h12_00 AS h12_00
+FROM
+ (SELECT COUNT(*) AS h8_30 FROM store_sales, household_demographics, time_dim, store
+  WHERE ss_sold_time_sk = t_time_sk AND ss_hdemo_sk = hd_demo_sk AND ss_store_sk = s_store_sk
+    AND t_hour = 8 AND t_minute >= 30
+    AND ((hd_dep_count = 4 AND hd_vehicle_count <= 6) OR (hd_dep_count = 2 AND hd_vehicle_count <= 4))
+    AND s_store_name = 'Store #1') s1,
+ (SELECT COUNT(*) AS h9_00 FROM store_sales, household_demographics, time_dim, store
+  WHERE ss_sold_time_sk = t_time_sk AND ss_hdemo_sk = hd_demo_sk AND ss_store_sk = s_store_sk
+    AND t_hour = 9 AND t_minute < 30
+    AND ((hd_dep_count = 4 AND hd_vehicle_count <= 6) OR (hd_dep_count = 2 AND hd_vehicle_count <= 4))
+    AND s_store_name = 'Store #1') s2,
+ (SELECT COUNT(*) AS h9_30 FROM store_sales, household_demographics, time_dim, store
+  WHERE ss_sold_time_sk = t_time_sk AND ss_hdemo_sk = hd_demo_sk AND ss_store_sk = s_store_sk
+    AND t_hour = 9 AND t_minute >= 30
+    AND ((hd_dep_count = 4 AND hd_vehicle_count <= 6) OR (hd_dep_count = 2 AND hd_vehicle_count <= 4))
+    AND s_store_name = 'Store #1') s3,
+ (SELECT COUNT(*) AS h10_00 FROM store_sales, household_demographics, time_dim, store
+  WHERE ss_sold_time_sk = t_time_sk AND ss_hdemo_sk = hd_demo_sk AND ss_store_sk = s_store_sk
+    AND t_hour = 10 AND t_minute < 30
+    AND ((hd_dep_count = 4 AND hd_vehicle_count <= 6) OR (hd_dep_count = 2 AND hd_vehicle_count <= 4))
+    AND s_store_name = 'Store #1') s4,
+ (SELECT COUNT(*) AS h10_30 FROM store_sales, household_demographics, time_dim, store
+  WHERE ss_sold_time_sk = t_time_sk AND ss_hdemo_sk = hd_demo_sk AND ss_store_sk = s_store_sk
+    AND t_hour = 10 AND t_minute >= 30
+    AND ((hd_dep_count = 4 AND hd_vehicle_count <= 6) OR (hd_dep_count = 2 AND hd_vehicle_count <= 4))
+    AND s_store_name = 'Store #1') s5,
+ (SELECT COUNT(*) AS h11_00 FROM store_sales, household_demographics, time_dim, store
+  WHERE ss_sold_time_sk = t_time_sk AND ss_hdemo_sk = hd_demo_sk AND ss_store_sk = s_store_sk
+    AND t_hour = 11 AND t_minute < 30
+    AND ((hd_dep_count = 4 AND hd_vehicle_count <= 6) OR (hd_dep_count = 2 AND hd_vehicle_count <= 4))
+    AND s_store_name = 'Store #1') s6,
+ (SELECT COUNT(*) AS h11_30 FROM store_sales, household_demographics, time_dim, store
+  WHERE ss_sold_time_sk = t_time_sk AND ss_hdemo_sk = hd_demo_sk AND ss_store_sk = s_store_sk
+    AND t_hour = 11 AND t_minute >= 30
+    AND ((hd_dep_count = 4 AND hd_vehicle_count <= 6) OR (hd_dep_count = 2 AND hd_vehicle_count <= 4))
+    AND s_store_name = 'Store #1') s7,
+ (SELECT COUNT(*) AS h12_00 FROM store_sales, household_demographics, time_dim, store
+  WHERE ss_sold_time_sk = t_time_sk AND ss_hdemo_sk = hd_demo_sk AND ss_store_sk = s_store_sk
+    AND t_hour = 12 AND t_minute < 30
+    AND ((hd_dep_count = 4 AND hd_vehicle_count <= 6) OR (hd_dep_count = 2 AND hd_vehicle_count <= 4))
+    AND s_store_name = 'Store #1') s8`,
+		},
+		{
+			Name:     "q95",
+			Affected: true,
+			Rules:    []string{"JoinOnKeys"},
+			Pattern:  "§V.D redundant relational aggregates over a self-joined CTE",
+			SQL: `
+WITH ws_wh AS (
+  SELECT ws1.ws_order_number AS ws_wh_number
+  FROM web_sales ws1, web_sales ws2
+  WHERE ws1.ws_order_number = ws2.ws_order_number
+    AND ws1.ws_warehouse_sk <> ws2.ws_warehouse_sk)
+SELECT COUNT(DISTINCT ws_order_number) AS order_count,
+       SUM(ws_ext_ship_cost) AS total_shipping_cost,
+       SUM(ws_net_profit) AS total_net_profit
+FROM web_sales, date_dim, customer_address, web_site
+WHERE d_year = 1999 AND d_moy = 2
+  AND ws_ship_date_sk = d_date_sk
+  AND ws_ship_addr_sk = ca_address_sk
+  AND ca_state = 'TN'
+  AND ws_web_site_sk = web_site_sk
+  AND ws_order_number IN (SELECT ws_wh_number FROM ws_wh)
+  AND ws_order_number IN (SELECT wr_order_number FROM ws_wh
+       JOIN web_returns ON wr_order_number = ws_wh_number)`,
+		},
+
+		// ---- Filler workload: fusion-neutral queries standing in for the
+		// untouched remainder of the 99-query benchmark. ----
+		{Name: "f01", Pattern: "aggregate join", SQL: `
+SELECT s_store_name, SUM(ss_sales_price) AS revenue
+FROM store_sales, store
+WHERE ss_store_sk = s_store_sk
+GROUP BY s_store_name
+ORDER BY revenue DESC LIMIT 10`},
+		{Name: "f02", Pattern: "date-filtered aggregate", SQL: `
+SELECT d_moy, SUM(ss_sales_price) AS monthly
+FROM store_sales, date_dim
+WHERE ss_sold_date_sk = d_date_sk AND d_year = 1999
+GROUP BY d_moy
+ORDER BY d_moy`},
+		{Name: "f03", Pattern: "top-n", SQL: `
+SELECT ss_item_sk, SUM(ss_quantity) AS qty
+FROM store_sales
+GROUP BY ss_item_sk
+ORDER BY qty DESC, ss_item_sk LIMIT 10`},
+		{Name: "f04", Pattern: "dimension rollup", SQL: `
+SELECT i_category, COUNT(*) AS cnt, AVG(ss_sales_price) AS avg_price
+FROM store_sales, item
+WHERE ss_item_sk = i_item_sk
+GROUP BY i_category
+ORDER BY i_category`},
+		{Name: "f05", Pattern: "returns rollup", SQL: `
+SELECT sr_store_sk, SUM(sr_return_amt) AS returned
+FROM store_returns
+GROUP BY sr_store_sk
+ORDER BY returned DESC LIMIT 5`},
+		{Name: "f06", Pattern: "catalog monthly", SQL: `
+SELECT d_year, d_moy, COUNT(*) AS orders
+FROM catalog_sales, date_dim
+WHERE cs_sold_date_sk = d_date_sk AND d_year = 2000
+GROUP BY d_year, d_moy
+ORDER BY d_moy`},
+		{Name: "f07", Pattern: "web profit", SQL: `
+SELECT web_company_name, SUM(ws_net_profit) AS profit
+FROM web_sales, web_site
+WHERE ws_web_site_sk = web_site_sk
+GROUP BY web_company_name
+ORDER BY profit DESC`},
+		{Name: "f08", Pattern: "customers by state", SQL: `
+SELECT ca_state, COUNT(*) AS customers
+FROM customer, customer_address
+WHERE c_current_addr_sk = ca_address_sk
+GROUP BY ca_state
+ORDER BY customers DESC, ca_state`},
+		{Name: "f09", Pattern: "price by size", SQL: `
+SELECT i_size, AVG(i_current_price) AS avg_price
+FROM item
+GROUP BY i_size
+ORDER BY i_size`},
+		{Name: "f10", Pattern: "day-name filter", SQL: `
+SELECT COUNT(*) AS monday_sales
+FROM store_sales, date_dim
+WHERE ss_sold_date_sk = d_date_sk AND d_day_name = 'Monday'`},
+		{Name: "f11", Pattern: "distinct aggregate", SQL: `
+SELECT ss_store_sk, COUNT(DISTINCT ss_customer_sk) AS uniq_customers
+FROM store_sales
+GROUP BY ss_store_sk
+ORDER BY ss_store_sk`},
+		{Name: "f12", Pattern: "hourly histogram", SQL: `
+SELECT t_hour, COUNT(*) AS cnt
+FROM store_sales, time_dim
+WHERE ss_sold_time_sk = t_time_sk AND t_hour BETWEEN 9 AND 17
+GROUP BY t_hour
+ORDER BY t_hour`},
+		{Name: "f13", Pattern: "demographics", SQL: `
+SELECT hd_vehicle_count, COUNT(*) AS households
+FROM household_demographics
+GROUP BY hd_vehicle_count
+ORDER BY hd_vehicle_count`},
+		{Name: "f14", Pattern: "scalar statistics", SQL: `
+SELECT MIN(sr_fee) AS min_fee, MAX(sr_fee) AS max_fee, AVG(sr_fee) AS avg_fee
+FROM store_returns`},
+		{Name: "f15", Pattern: "web returns by state", SQL: `
+SELECT ca_state, SUM(wr_return_amt) AS returned
+FROM web_returns, customer_address
+WHERE wr_returning_addr_sk = ca_address_sk
+GROUP BY ca_state
+ORDER BY returned DESC LIMIT 5`},
+		{Name: "f16", Pattern: "uncorrelated scalar subquery (not fusable)", SQL: `
+SELECT COUNT(*) AS pricey_items
+FROM item
+WHERE i_current_price > (SELECT AVG(i_current_price) FROM item)`},
+		{Name: "f17", Pattern: "bucketed CASE rollup", SQL: `
+SELECT CASE WHEN ss_quantity < 25 THEN 'low'
+            WHEN ss_quantity < 75 THEN 'mid'
+            ELSE 'high' END AS bucket,
+       COUNT(*) AS cnt
+FROM store_sales
+GROUP BY CASE WHEN ss_quantity < 25 THEN 'low'
+              WHEN ss_quantity < 75 THEN 'mid'
+              ELSE 'high' END
+ORDER BY bucket`},
+		{Name: "f18", Pattern: "three-way join", SQL: `
+SELECT s_state, i_category, SUM(ss_net_profit) AS profit
+FROM store_sales, store, item
+WHERE ss_store_sk = s_store_sk AND ss_item_sk = i_item_sk AND i_category = 'Music'
+GROUP BY s_state, i_category
+ORDER BY profit DESC LIMIT 10`},
+		{Name: "f19", Pattern: "semi join (single instance)", SQL: `
+SELECT COUNT(*) AS big_ticket
+FROM catalog_sales
+WHERE cs_item_sk IN (SELECT i_item_sk FROM item WHERE i_current_price > 100)`},
+		{Name: "f20", Pattern: "union of different facts (not fusable)", SQL: `
+SELECT 'catalog' AS channel, COUNT(*) AS cnt FROM catalog_sales
+UNION ALL
+SELECT 'web' AS channel, COUNT(*) AS cnt FROM web_sales`},
+		{Name: "f21", Pattern: "plain window function", SQL: `
+SELECT ss_item_sk, ss_sales_price,
+       AVG(ss_sales_price) OVER (PARTITION BY ss_store_sk) AS store_avg
+FROM store_sales
+WHERE ss_quantity > 95
+ORDER BY ss_item_sk, ss_sales_price LIMIT 20`},
+		{Name: "f22", Pattern: "distinct aggregate by month", SQL: `
+SELECT d_moy, COUNT(DISTINCT ss_item_sk) AS items_sold
+FROM store_sales, date_dim
+WHERE ss_sold_date_sk = d_date_sk AND d_year = 2001
+GROUP BY d_moy
+ORDER BY d_moy`},
+		{Name: "f23", Pattern: "left join report", SQL: `
+SELECT s_store_name, COUNT(*) AS cnt
+FROM store LEFT JOIN store_sales ON s_store_sk = ss_store_sk AND ss_quantity > 98
+GROUP BY s_store_name
+ORDER BY s_store_name LIMIT 10`},
+		{Name: "f24", Pattern: "LIKE filter", SQL: `
+SELECT COUNT(*) AS music_like
+FROM item
+WHERE i_category LIKE 'M%' AND i_item_desc LIKE '%item%'`},
+		{Name: "f25", Pattern: "IN-list filter", SQL: `
+SELECT i_size, COUNT(*) AS cnt
+FROM item
+WHERE i_color IN ('red', 'green', 'blue')
+GROUP BY i_size
+ORDER BY i_size`},
+		{Name: "f26", Pattern: "multi-key rollup with HAVING", SQL: `
+SELECT ss_store_sk, ss_item_sk, SUM(ss_quantity) AS qty
+FROM store_sales
+GROUP BY ss_store_sk, ss_item_sk
+HAVING SUM(ss_quantity) > 150
+ORDER BY qty DESC, ss_store_sk, ss_item_sk LIMIT 10`},
+		{Name: "f27", Pattern: "CASE and COALESCE mix", SQL: `
+SELECT COALESCE(hd_vehicle_count, 0) AS vehicles,
+       SUM(CASE WHEN hd_dep_count > 5 THEN 1 ELSE 0 END) AS big_households
+FROM household_demographics
+GROUP BY COALESCE(hd_vehicle_count, 0)
+ORDER BY vehicles`},
+		{Name: "f28", Pattern: "returns by customer", SQL: `
+SELECT c_customer_id, SUM(sr_return_amt) AS returned
+FROM store_returns, customer
+WHERE sr_customer_sk = c_customer_sk
+GROUP BY c_customer_id
+ORDER BY returned DESC, c_customer_id LIMIT 10`},
+		{Name: "f29", Pattern: "single IN subquery", SQL: `
+SELECT COUNT(*) AS cheap_web_orders
+FROM web_sales
+WHERE ws_item_sk IN (SELECT i_item_sk FROM item WHERE i_current_price < 10)`},
+		{Name: "f30", Pattern: "date-range scan with order", SQL: `
+SELECT d_date_sk, COUNT(*) AS cnt
+FROM web_sales, date_dim
+WHERE ws_sold_date_sk = d_date_sk AND d_year = 2002 AND d_moy BETWEEN 6 AND 8
+GROUP BY d_date_sk
+ORDER BY cnt DESC, d_date_sk LIMIT 5`},
+		{Name: "f31", Pattern: "nested derived tables", SQL: `
+SELECT big.s_store_sk, big.total FROM (
+  SELECT s_store_sk, total FROM (
+    SELECT ss_store_sk AS s_store_sk, SUM(ss_ext_sales_price) AS total
+    FROM store_sales GROUP BY ss_store_sk) inner_t
+  WHERE total > 100) big
+ORDER BY big.total DESC LIMIT 5`},
+		{Name: "f32", Pattern: "three-way union of different tables", SQL: `
+SELECT 'store' AS channel, SUM(ss_sales_price) AS amt FROM store_sales
+UNION ALL
+SELECT 'catalog' AS channel, SUM(cs_list_price) AS amt FROM catalog_sales
+UNION ALL
+SELECT 'web' AS channel, SUM(ws_list_price) AS amt FROM web_sales`},
+	}
+}

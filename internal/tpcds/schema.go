@@ -1,0 +1,205 @@
+// Package tpcds provides the evaluation substrate: the subset of the
+// TPC-DS schema touched by the paper's queries, a deterministic scaled data
+// generator, and the query texts — the eight queries the paper's Figures 1
+// and 2 analyze (Q01, Q09, Q23, Q28, Q30, Q65, Q88, Q95, written as the
+// paper's variants) plus a filler workload of fusion-neutral queries used
+// to reproduce the whole-benchmark aggregates.
+package tpcds
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/types"
+)
+
+// NewCatalog builds the TPC-DS subset catalog. The seven largest tables are
+// partitioned by their date column, mirroring the paper's layout (store
+// returns/catalog sales/web sales partitioned into hundreds of date
+// partitions).
+func NewCatalog() *catalog.Catalog {
+	cat := catalog.New()
+	i64 := types.KindInt64
+	f64 := types.KindFloat64
+	str := types.KindString
+
+	cat.MustAdd(&catalog.Table{
+		Name: "date_dim",
+		Columns: []catalog.Column{
+			{Name: "d_date_sk", Type: i64},
+			{Name: "d_year", Type: i64},
+			{Name: "d_moy", Type: i64},
+			{Name: "d_dom", Type: i64},
+			{Name: "d_month_seq", Type: i64},
+			{Name: "d_day_name", Type: str},
+		},
+		Keys: [][]string{{"d_date_sk"}},
+	})
+
+	cat.MustAdd(&catalog.Table{
+		Name: "item",
+		Columns: []catalog.Column{
+			{Name: "i_item_sk", Type: i64},
+			{Name: "i_item_id", Type: str},
+			{Name: "i_item_desc", Type: str},
+			{Name: "i_brand_id", Type: i64},
+			{Name: "i_brand", Type: str},
+			{Name: "i_category_id", Type: i64},
+			{Name: "i_category", Type: str},
+			{Name: "i_size", Type: str},
+			{Name: "i_color", Type: str},
+			{Name: "i_current_price", Type: f64},
+		},
+		Keys: [][]string{{"i_item_sk"}},
+	})
+
+	cat.MustAdd(&catalog.Table{
+		Name: "store",
+		Columns: []catalog.Column{
+			{Name: "s_store_sk", Type: i64},
+			{Name: "s_store_id", Type: str},
+			{Name: "s_store_name", Type: str},
+			{Name: "s_state", Type: str},
+			{Name: "s_city", Type: str},
+		},
+		Keys: [][]string{{"s_store_sk"}},
+	})
+
+	cat.MustAdd(&catalog.Table{
+		Name: "customer",
+		Columns: []catalog.Column{
+			{Name: "c_customer_sk", Type: i64},
+			{Name: "c_customer_id", Type: str},
+			{Name: "c_first_name", Type: str},
+			{Name: "c_last_name", Type: str},
+			{Name: "c_current_addr_sk", Type: i64},
+		},
+		Keys: [][]string{{"c_customer_sk"}},
+	})
+
+	cat.MustAdd(&catalog.Table{
+		Name: "customer_address",
+		Columns: []catalog.Column{
+			{Name: "ca_address_sk", Type: i64},
+			{Name: "ca_state", Type: str},
+			{Name: "ca_city", Type: str},
+		},
+		Keys: [][]string{{"ca_address_sk"}},
+	})
+
+	cat.MustAdd(&catalog.Table{
+		Name: "web_site",
+		Columns: []catalog.Column{
+			{Name: "web_site_sk", Type: i64},
+			{Name: "web_company_name", Type: str},
+		},
+		Keys: [][]string{{"web_site_sk"}},
+	})
+
+	cat.MustAdd(&catalog.Table{
+		Name: "reason",
+		Columns: []catalog.Column{
+			{Name: "r_reason_sk", Type: i64},
+			{Name: "r_reason_desc", Type: str},
+		},
+		Keys: [][]string{{"r_reason_sk"}},
+	})
+
+	cat.MustAdd(&catalog.Table{
+		Name: "household_demographics",
+		Columns: []catalog.Column{
+			{Name: "hd_demo_sk", Type: i64},
+			{Name: "hd_dep_count", Type: i64},
+			{Name: "hd_vehicle_count", Type: i64},
+		},
+		Keys: [][]string{{"hd_demo_sk"}},
+	})
+
+	cat.MustAdd(&catalog.Table{
+		Name: "time_dim",
+		Columns: []catalog.Column{
+			{Name: "t_time_sk", Type: i64},
+			{Name: "t_hour", Type: i64},
+			{Name: "t_minute", Type: i64},
+		},
+		Keys: [][]string{{"t_time_sk"}},
+	})
+
+	cat.MustAdd(&catalog.Table{
+		Name: "store_sales",
+		Columns: []catalog.Column{
+			{Name: "ss_sold_date_sk", Type: i64},
+			{Name: "ss_sold_time_sk", Type: i64},
+			{Name: "ss_item_sk", Type: i64},
+			{Name: "ss_customer_sk", Type: i64},
+			{Name: "ss_hdemo_sk", Type: i64},
+			{Name: "ss_addr_sk", Type: i64},
+			{Name: "ss_store_sk", Type: i64},
+			{Name: "ss_quantity", Type: i64},
+			{Name: "ss_list_price", Type: f64},
+			{Name: "ss_sales_price", Type: f64},
+			{Name: "ss_ext_discount_amt", Type: f64},
+			{Name: "ss_ext_sales_price", Type: f64},
+			{Name: "ss_coupon_amt", Type: f64},
+			{Name: "ss_net_profit", Type: f64},
+		},
+		PartitionColumn: "ss_sold_date_sk",
+	})
+
+	cat.MustAdd(&catalog.Table{
+		Name: "store_returns",
+		Columns: []catalog.Column{
+			{Name: "sr_returned_date_sk", Type: i64},
+			{Name: "sr_item_sk", Type: i64},
+			{Name: "sr_customer_sk", Type: i64},
+			{Name: "sr_store_sk", Type: i64},
+			{Name: "sr_return_amt", Type: f64},
+			{Name: "sr_fee", Type: f64},
+		},
+		PartitionColumn: "sr_returned_date_sk",
+	})
+
+	cat.MustAdd(&catalog.Table{
+		Name: "catalog_sales",
+		Columns: []catalog.Column{
+			{Name: "cs_sold_date_sk", Type: i64},
+			{Name: "cs_item_sk", Type: i64},
+			{Name: "cs_bill_customer_sk", Type: i64},
+			{Name: "cs_quantity", Type: i64},
+			{Name: "cs_list_price", Type: f64},
+		},
+		PartitionColumn: "cs_sold_date_sk",
+	})
+
+	cat.MustAdd(&catalog.Table{
+		Name: "web_sales",
+		Columns: []catalog.Column{
+			{Name: "ws_sold_date_sk", Type: i64},
+			{Name: "ws_ship_date_sk", Type: i64},
+			{Name: "ws_item_sk", Type: i64},
+			{Name: "ws_bill_customer_sk", Type: i64},
+			{Name: "ws_ship_addr_sk", Type: i64},
+			{Name: "ws_web_site_sk", Type: i64},
+			{Name: "ws_order_number", Type: i64},
+			{Name: "ws_warehouse_sk", Type: i64},
+			{Name: "ws_quantity", Type: i64},
+			{Name: "ws_list_price", Type: f64},
+			{Name: "ws_ext_ship_cost", Type: f64},
+			{Name: "ws_net_profit", Type: f64},
+		},
+		PartitionColumn: "ws_sold_date_sk",
+	})
+
+	cat.MustAdd(&catalog.Table{
+		Name: "web_returns",
+		Columns: []catalog.Column{
+			{Name: "wr_returned_date_sk", Type: i64},
+			{Name: "wr_order_number", Type: i64},
+			{Name: "wr_item_sk", Type: i64},
+			{Name: "wr_returning_customer_sk", Type: i64},
+			{Name: "wr_returning_addr_sk", Type: i64},
+			{Name: "wr_return_amt", Type: f64},
+		},
+		PartitionColumn: "wr_returned_date_sk",
+	})
+
+	return cat
+}

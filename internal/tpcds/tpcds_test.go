@@ -1,0 +1,177 @@
+package tpcds
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestCatalogCompleteness(t *testing.T) {
+	cat := NewCatalog()
+	want := []string{
+		"date_dim", "item", "store", "customer", "customer_address",
+		"web_site", "reason", "household_demographics", "time_dim",
+		"store_sales", "store_returns", "catalog_sales", "web_sales", "web_returns",
+	}
+	for _, name := range want {
+		if _, ok := cat.Table(name); !ok {
+			t.Errorf("missing table %s", name)
+		}
+	}
+	// The paper partitions the large fact tables by date.
+	for _, name := range []string{"store_sales", "store_returns", "catalog_sales", "web_sales", "web_returns"} {
+		tab, _ := cat.Table(name)
+		if tab.PartitionColumn == "" {
+			t.Errorf("%s must be date-partitioned", name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(0.01, 7)
+	b := Generate(0.01, 7)
+	for name, rowsA := range a.Tables {
+		rowsB := b.Tables[name]
+		if len(rowsA) != len(rowsB) {
+			t.Fatalf("%s: %d vs %d rows across runs", name, len(rowsA), len(rowsB))
+		}
+		for i := range rowsA {
+			for j := range rowsA[i] {
+				if !rowsA[i][j].Equal(rowsB[i][j]) {
+					t.Fatalf("%s row %d col %d differs", name, i, j)
+				}
+			}
+		}
+	}
+	c := Generate(0.01, 8)
+	if len(c.Tables["store_sales"]) == 0 {
+		t.Fatal("no sales generated")
+	}
+}
+
+func TestGenerateScaling(t *testing.T) {
+	small := Generate(0.01, 1)
+	big := Generate(0.1, 1)
+	if len(big.Tables["store_sales"]) <= len(small.Tables["store_sales"]) {
+		t.Error("fact tables must scale")
+	}
+	// The calendar does not scale.
+	if len(big.Tables["date_dim"]) != len(small.Tables["date_dim"]) {
+		t.Error("date_dim must not scale")
+	}
+}
+
+func TestGenerateReferentialIntegrity(t *testing.T) {
+	d := Generate(0.02, 42)
+	items := map[int64]bool{}
+	for _, r := range d.Tables["item"] {
+		items[r[0].I] = true
+	}
+	dates := map[int64]bool{}
+	for _, r := range d.Tables["date_dim"] {
+		dates[r[0].I] = true
+	}
+	for i, r := range d.Tables["store_sales"] {
+		if !dates[r[0].I] {
+			t.Fatalf("store_sales row %d references unknown date %d", i, r[0].I)
+		}
+		if !items[r[2].I] {
+			t.Fatalf("store_sales row %d references unknown item %d", i, r[2].I)
+		}
+	}
+	// Month sequences must cover the paper's 1212..1247 window.
+	seqs := map[int64]bool{}
+	for _, r := range d.Tables["date_dim"] {
+		seqs[r[4].I] = true
+	}
+	if !seqs[1212] || !seqs[1247] {
+		t.Error("d_month_seq must cover 1212..1247")
+	}
+}
+
+func TestGenerateRowTypes(t *testing.T) {
+	cat := NewCatalog()
+	d := Generate(0.01, 3)
+	for name, rows := range d.Tables {
+		tab, ok := cat.Table(name)
+		if !ok {
+			t.Fatalf("generated unknown table %s", name)
+		}
+		for i, r := range rows {
+			if len(r) != len(tab.Columns) {
+				t.Fatalf("%s row %d has %d cols, want %d", name, i, len(r), len(tab.Columns))
+			}
+			for j, v := range r {
+				if v.Null {
+					continue
+				}
+				want := tab.Columns[j].Type
+				if v.Kind != want && !(v.Kind.IsNumeric() && want.IsNumeric()) {
+					t.Fatalf("%s row %d col %s: kind %v, want %v", name, i, tab.Columns[j].Name, v.Kind, want)
+				}
+			}
+			if i > 50 {
+				break // sampling is enough
+			}
+		}
+	}
+}
+
+func TestNewLoadedStore(t *testing.T) {
+	st, err := NewLoadedStore(0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Data("store_sales") == nil || st.Data("store_sales").NumRows() == 0 {
+		t.Error("store_sales not loaded")
+	}
+	if st.Data("store_sales").Table.Stats.Partitions < 100 {
+		t.Errorf("expected hundreds of date partitions, got %d", st.Data("store_sales").Table.Stats.Partitions)
+	}
+}
+
+func TestQueriesWellFormed(t *testing.T) {
+	all := Queries()
+	if len(all) != 40 {
+		t.Errorf("workload size = %d, want 40", len(all))
+	}
+	affected := AffectedQueries()
+	if len(affected) != 8 {
+		t.Errorf("affected = %d, want 8", len(affected))
+	}
+	names := map[string]bool{}
+	for _, q := range all {
+		if names[q.Name] {
+			t.Errorf("duplicate query name %s", q.Name)
+		}
+		names[q.Name] = true
+		if q.SQL == "" {
+			t.Errorf("%s has no SQL", q.Name)
+		}
+		if q.Affected && len(q.Rules) == 0 {
+			t.Errorf("%s is affected but lists no rules", q.Name)
+		}
+	}
+	for _, want := range []string{"q01", "q09", "q23", "q28", "q30", "q65", "q88", "q95"} {
+		if _, ok := Get(want); !ok {
+			t.Errorf("missing paper query %s", want)
+		}
+	}
+	if _, ok := Get("zzz"); ok {
+		t.Error("Get should fail for unknown query")
+	}
+	if len(FillerQueries()) != 32 {
+		t.Errorf("filler = %d, want 32", len(FillerQueries()))
+	}
+}
+
+func TestRound2(t *testing.T) {
+	if round2(1.005) != 1.01 && round2(1.005) != 1.0 {
+		// Floating point: just check it's within a cent.
+		t.Errorf("round2(1.005) = %v", round2(1.005))
+	}
+	if round2(2.344) != 2.34 {
+		t.Errorf("round2(2.344) = %v", round2(2.344))
+	}
+	_ = types.Int(0)
+}

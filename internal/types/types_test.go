@@ -1,0 +1,170 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindBool:    "BOOLEAN",
+		KindInt64:   "BIGINT",
+		KindFloat64: "DOUBLE",
+		KindString:  "VARCHAR",
+		KindDate:    "DATE",
+		KindUnknown: "UNKNOWN",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Int(42), "42"},
+		{Int(-7), "-7"},
+		{Float(1.5), "1.5"},
+		{String("abc"), "'abc'"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{NullOf(KindInt64), "NULL"},
+		{Date(0), "1970-01-01"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestDateFromString(t *testing.T) {
+	v, err := DateFromString("2000-01-02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind != KindDate {
+		t.Fatalf("kind = %v", v.Kind)
+	}
+	if got := v.String(); got != "2000-01-02" {
+		t.Errorf("round trip = %q", got)
+	}
+	if _, err := DateFromString("not-a-date"); err == nil {
+		t.Error("expected error for invalid date")
+	}
+}
+
+func TestIsTrue(t *testing.T) {
+	if !Bool(true).IsTrue() {
+		t.Error("true should be true")
+	}
+	if Bool(false).IsTrue() {
+		t.Error("false should not be true")
+	}
+	if NullOf(KindBool).IsTrue() {
+		t.Error("NULL should not be true")
+	}
+	if Int(1).IsTrue() {
+		t.Error("non-boolean should not be true")
+	}
+}
+
+func TestCompareNumericPromotion(t *testing.T) {
+	if Compare(Int(2), Float(2.5)) != -1 {
+		t.Error("2 < 2.5 failed")
+	}
+	if Compare(Float(3.0), Int(3)) != 0 {
+		t.Error("3.0 == 3 failed")
+	}
+	if Compare(Int(5), Int(4)) != 1 {
+		t.Error("5 > 4 failed")
+	}
+	if Compare(String("a"), String("b")) != -1 {
+		t.Error("'a' < 'b' failed")
+	}
+}
+
+func TestComparePanicsOnIncomparable(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic comparing string and int")
+		}
+	}()
+	Compare(String("a"), Int(1))
+}
+
+func TestEqual(t *testing.T) {
+	if !Int(1).Equal(Int(1)) {
+		t.Error("1 == 1")
+	}
+	if Int(1).Equal(Float(1)) {
+		t.Error("Equal must distinguish kinds")
+	}
+	if !NullOf(KindInt64).Equal(NullOf(KindInt64)) {
+		t.Error("NULLs of same kind are Equal")
+	}
+	if NullOf(KindInt64).Equal(Int(0)) {
+		t.Error("NULL != 0")
+	}
+}
+
+func TestByteSize(t *testing.T) {
+	if got := Int(1).ByteSize(); got != 8 {
+		t.Errorf("int size = %d", got)
+	}
+	if got := String("abcd").ByteSize(); got != 4 {
+		t.Errorf("string size = %d", got)
+	}
+	if got := Date(1).ByteSize(); got != 4 {
+		t.Errorf("date size = %d", got)
+	}
+	if got := Bool(true).ByteSize(); got != 1 {
+		t.Errorf("bool size = %d", got)
+	}
+}
+
+// Property: Compare is antisymmetric and reflexive over int values.
+func TestCompareProperties(t *testing.T) {
+	anti := func(a, b int64) bool {
+		return Compare(Int(a), Int(b)) == -Compare(Int(b), Int(a))
+	}
+	if err := quick.Check(anti, nil); err != nil {
+		t.Error(err)
+	}
+	refl := func(a int64) bool { return Compare(Int(a), Int(a)) == 0 }
+	if err := quick.Check(refl, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: int/float comparison agrees with native float ordering.
+func TestComparePromotionProperty(t *testing.T) {
+	f := func(a int32, b float32) bool {
+		got := Compare(Int(int64(a)), Float(float64(b)))
+		af, bf := float64(a), float64(b)
+		switch {
+		case af < bf:
+			return got == -1
+		case af > bf:
+			return got == 1
+		default:
+			return got == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumericResult(t *testing.T) {
+	if NumericResult(KindInt64, KindInt64) != KindInt64 {
+		t.Error("int+int should be int")
+	}
+	if NumericResult(KindInt64, KindFloat64) != KindFloat64 {
+		t.Error("int+float should be float")
+	}
+}
