@@ -9,6 +9,7 @@
 //	benchrunner -figure 1            # just Figure 1
 //	benchrunner -q q65,q09           # specific queries
 //	benchrunner -scale 0.5 -iters 5  # bigger data, steadier timings
+//	benchrunner -exec BENCH_exec.json  # row-at-a-time vs vectorized comparison
 package main
 
 import (
@@ -27,8 +28,21 @@ func main() {
 		iters  = flag.Int("iters", 3, "timing iterations per query per engine")
 		figure = flag.Int("figure", 0, "render only figure 1 or 2 (0 = everything)")
 		qlist  = flag.String("q", "", "comma-separated query names (default: whole workload)")
+
+		execOut     = flag.String("exec", "", "write a row-at-a-time vs vectorized execution comparison to this JSON file and exit")
+		parallelism = flag.Int("parallelism", 4, "scan workers for the vectorized side of -exec")
+		batchSize   = flag.Int("batch", 1024, "rows per batch for the vectorized side of -exec")
 	)
 	flag.Parse()
+
+	if *execOut != "" {
+		runExecComparison(*execOut, bench.ExecOptions{
+			Scale: *scale, Seed: *seed, Iterations: *iters,
+			Parallelism: *parallelism, BatchSize: *batchSize,
+			Queries: splitList(*qlist),
+		})
+		return
+	}
 
 	opts := bench.Options{Scale: *scale, Seed: *seed, Iterations: *iters}
 	if *qlist != "" {
@@ -59,6 +73,34 @@ func main() {
 		fmt.Println()
 		report.WriteSummary(os.Stdout)
 	}
+}
+
+func runExecComparison(path string, opts bench.ExecOptions) {
+	fmt.Fprintf(os.Stderr, "generating TPC-DS data at scale %.2f and comparing execution models on %s...\n",
+		opts.Scale, queriesLabel(opts.Queries))
+	cmp, err := bench.RunExecComparison(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := cmp.WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	cmp.WriteTable(os.Stdout)
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ",")
 }
 
 func queriesLabel(qs []string) string {

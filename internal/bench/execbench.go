@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/engine"
+	"repro/internal/tpcds"
+)
+
+// ExecOptions configures the execution-model comparison: the same workload,
+// same store, same (fused) plans, run once with the degenerate row-at-a-time
+// configuration (Parallelism=1, BatchSize=1) and once vectorized with
+// morsel-parallel scans.
+type ExecOptions struct {
+	Scale       float64
+	Seed        int64
+	Iterations  int
+	Parallelism int
+	BatchSize   int
+	Queries     []string
+}
+
+// DefaultExecOptions exercises the whole workload at a scale where scans
+// dominate and parallelism has partitions to chew on.
+func DefaultExecOptions() ExecOptions {
+	return ExecOptions{Scale: 1.0, Seed: 42, Iterations: 3, Parallelism: 4, BatchSize: 1024}
+}
+
+// ExecQueryReport compares one query across execution models.
+type ExecQueryReport struct {
+	Name    string `json:"name"`
+	Pattern string `json:"pattern"`
+	// Latencies are the minimum over the run's iterations, in milliseconds.
+	RowAtATimeMS float64 `json:"row_at_a_time_ms"`
+	VectorizedMS float64 `json:"vectorized_ms"`
+	Speedup      float64 `json:"speedup"`
+	// Identical is true when both configurations returned byte-identical
+	// rows in identical order — the refactor's correctness contract.
+	Identical bool `json:"identical_results"`
+	// BytesScanned must be the same for both configurations (scan
+	// accounting is independent of the execution model).
+	BytesScanned     int64 `json:"bytes_scanned"`
+	BytesScannedSame bool  `json:"bytes_scanned_same"`
+}
+
+// ExecComparison is the BENCH_exec.json payload.
+type ExecComparison struct {
+	Scale          float64           `json:"scale"`
+	Parallelism    int               `json:"parallelism"`
+	BatchSize      int               `json:"batch_size"`
+	Iterations     int               `json:"iterations"`
+	Queries        []ExecQueryReport `json:"queries"`
+	OverallSpeedup float64           `json:"overall_speedup"`
+	MaxSpeedup     float64           `json:"max_speedup"`
+	AllIdentical   bool              `json:"all_identical"`
+}
+
+// RunExecComparison measures row-at-a-time vs vectorized-parallel execution
+// over one shared store with fusion enabled on both sides, so the only
+// difference between the two measurements is the execution model.
+func RunExecComparison(opts ExecOptions) (*ExecComparison, error) {
+	if opts.Iterations <= 0 {
+		opts.Iterations = 1
+	}
+	if opts.Scale <= 0 {
+		opts.Scale = 1.0
+	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = 4
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 1024
+	}
+	st, err := tpcds.NewLoadedStore(opts.Scale, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	row := engine.OpenWithStore(st, engine.Config{EnableFusion: true, Parallelism: 1, BatchSize: 1})
+	vec := engine.OpenWithStore(st, engine.Config{
+		EnableFusion: true, Parallelism: opts.Parallelism, BatchSize: opts.BatchSize,
+	})
+
+	var queries []tpcds.Query
+	if len(opts.Queries) == 0 {
+		queries = tpcds.Queries()
+	} else {
+		for _, name := range opts.Queries {
+			q, ok := tpcds.Get(name)
+			if !ok {
+				return nil, fmt.Errorf("bench: unknown query %q", name)
+			}
+			queries = append(queries, q)
+		}
+	}
+
+	cmp := &ExecComparison{
+		Scale: opts.Scale, Parallelism: opts.Parallelism,
+		BatchSize: opts.BatchSize, Iterations: opts.Iterations,
+		AllIdentical: true,
+	}
+	var rowTotal, vecTotal time.Duration
+	for _, q := range queries {
+		qr := ExecQueryReport{Name: q.Name, Pattern: q.Pattern}
+		var rowRows, vecRows string
+		var rowBytes, vecBytes int64
+		var rowLat, vecLat time.Duration
+		for i := 0; i < opts.Iterations; i++ {
+			res, err := row.Query(q.SQL)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s (row-at-a-time): %w", q.Name, err)
+			}
+			if i == 0 || res.Metrics.Elapsed < rowLat {
+				rowLat = res.Metrics.Elapsed
+			}
+			rowRows = renderRows(res.Rows)
+			rowBytes = res.Metrics.Storage.BytesScanned
+		}
+		for i := 0; i < opts.Iterations; i++ {
+			res, err := vec.Query(q.SQL)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s (vectorized): %w", q.Name, err)
+			}
+			if i == 0 || res.Metrics.Elapsed < vecLat {
+				vecLat = res.Metrics.Elapsed
+			}
+			vecRows = renderRows(res.Rows)
+			vecBytes = res.Metrics.Storage.BytesScanned
+		}
+		qr.RowAtATimeMS = float64(rowLat) / float64(time.Millisecond)
+		qr.VectorizedMS = float64(vecLat) / float64(time.Millisecond)
+		if vecLat > 0 {
+			qr.Speedup = float64(rowLat) / float64(vecLat)
+		}
+		qr.Identical = rowRows == vecRows
+		qr.BytesScanned = rowBytes
+		qr.BytesScannedSame = rowBytes == vecBytes
+		if !qr.Identical || !qr.BytesScannedSame {
+			cmp.AllIdentical = false
+		}
+		if qr.Speedup > cmp.MaxSpeedup {
+			cmp.MaxSpeedup = qr.Speedup
+		}
+		rowTotal += rowLat
+		vecTotal += vecLat
+		cmp.Queries = append(cmp.Queries, qr)
+	}
+	if vecTotal > 0 {
+		cmp.OverallSpeedup = float64(rowTotal) / float64(vecTotal)
+	}
+	return cmp, nil
+}
+
+// WriteJSON emits the comparison as indented JSON (the BENCH_exec.json
+// artifact).
+func (c *ExecComparison) WriteJSON(out io.Writer) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// WriteTable renders a human-readable view of the comparison.
+func (c *ExecComparison) WriteTable(out io.Writer) {
+	fmt.Fprintf(out, "Execution model comparison (scale=%.2f, parallelism=%d, batch=%d)\n",
+		c.Scale, c.Parallelism, c.BatchSize)
+	fmt.Fprintln(out, "query | row-at-a-time | vectorized | speedup | identical")
+	fmt.Fprintln(out, "------+---------------+------------+---------+----------")
+	for _, q := range c.Queries {
+		fmt.Fprintf(out, "%-5s | %11.2fms | %8.2fms | %6.2fx | %v\n",
+			q.Name, q.RowAtATimeMS, q.VectorizedMS, q.Speedup, q.Identical && q.BytesScannedSame)
+	}
+	fmt.Fprintf(out, "overall speedup: %.2fx, max: %.2fx, all results identical: %v\n",
+		c.OverallSpeedup, c.MaxSpeedup, c.AllIdentical)
+}
+
+// renderRows renders result rows order-sensitively for exact comparison.
+func renderRows(rows [][]engine.Value) string {
+	var b strings.Builder
+	for _, r := range rows {
+		for j, v := range r {
+			if j > 0 {
+				b.WriteByte('|')
+			}
+			b.WriteString(v.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/logical"
 	"repro/internal/types"
+	"repro/internal/vec"
 )
 
 // aggState accumulates one aggregate function's value.
@@ -157,7 +158,7 @@ func feed(states []aggState, ca *compiledAggs, row Row) {
 	}
 }
 
-func (ex *executor) buildGroupBy(g *logical.GroupBy) (Iterator, error) {
+func (ex *executor) buildGroupBy(g *logical.GroupBy) (BatchIterator, error) {
 	in, err := ex.build(g.Input)
 	if err != nil {
 		return nil, err
@@ -175,7 +176,24 @@ func (ex *executor) buildGroupBy(g *logical.GroupBy) (Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &groupByIter{in: in, keyIdx: keyIdx, aggs: aggs, scalar: len(g.Keys) == 0, m: ex.metrics}, nil
+	// The consume loop is vector-driven: masks and aggregate arguments are
+	// evaluated once per batch, and only key values are touched per row.
+	maskEvs := make([]*batchEvaluator, len(aggs.maskAst))
+	for i, ast := range aggs.maskAst {
+		if maskEvs[i], err = newBatchEvaluator(ast, layout); err != nil {
+			return nil, err
+		}
+	}
+	argEvs := make([]*batchEvaluator, len(g.Aggs))
+	for i, a := range g.Aggs {
+		if argEvs[i], err = newBatchEvaluator(a.Agg.Arg, layout); err != nil {
+			return nil, err
+		}
+	}
+	return &groupByIter{
+		in: in, keyIdx: keyIdx, aggs: aggs, maskEvs: maskEvs, argEvs: argEvs,
+		scalar: len(g.Keys) == 0, batchSize: ex.opts.BatchSize, m: ex.metrics,
+	}, nil
 }
 
 func errUnbound(c *expr.Column) error {
@@ -189,14 +207,18 @@ func (e *unboundError) Error() string {
 }
 
 // groupByIter is a blocking hash aggregation with per-aggregate masks
-// (§III.E). Group keys are compared SQL-DISTINCT-style: NULLs group
+// (§III.E). Input batches are consumed row-group-wise through a gathered
+// scratch row; group keys are compared SQL-DISTINCT-style: NULLs group
 // together.
 type groupByIter struct {
-	in     Iterator
-	keyIdx []int
-	aggs   *compiledAggs
-	scalar bool
-	m      *Metrics
+	in        BatchIterator
+	keyIdx    []int
+	aggs      *compiledAggs
+	maskEvs   []*batchEvaluator
+	argEvs    []*batchEvaluator
+	scalar    bool
+	batchSize int
+	m         *Metrics
 
 	built  bool
 	keys   []string // insertion order for deterministic output
@@ -210,7 +232,7 @@ type group struct {
 	states  []aggState
 }
 
-func (it *groupByIter) Next() (Row, error) {
+func (it *groupByIter) NextBatch() (*vec.Batch, error) {
 	if !it.built {
 		if err := it.consume(); err != nil {
 			return nil, err
@@ -219,41 +241,134 @@ func (it *groupByIter) Next() (Row, error) {
 	if it.emit >= len(it.keys) {
 		return nil, nil
 	}
-	g := it.groups[it.keys[it.emit]]
-	it.emit++
-	out := make(Row, len(it.keyIdx)+len(it.aggs.aggs))
-	copy(out, g.keyVals)
-	for i := range it.aggs.aggs {
-		out[len(it.keyIdx)+i] = g.states[i].result(it.aggs.aggs[i].agg)
+	width := len(it.keyIdx) + len(it.aggs.aggs)
+	bl := vec.NewBuilder(width, it.batchSize)
+	out := make(Row, width)
+	for it.emit < len(it.keys) && !bl.Full() {
+		g := it.groups[it.keys[it.emit]]
+		it.emit++
+		copy(out, g.keyVals)
+		for i := range it.aggs.aggs {
+			out[len(it.keyIdx)+i] = g.states[i].result(it.aggs.aggs[i].agg)
+		}
+		bl.Append(out)
 	}
-	return out, nil
+	return bl.Flush(), nil
 }
 
 func (it *groupByIter) consume() error {
 	it.groups = make(map[string]*group)
 	kv := make([]types.Value, len(it.keyIdx))
+	var scalarGroup *group
+	var groupRow []*group
+	// Per mask, the logical positions that pass and the sub-batch holding
+	// exactly those rows (so masked aggregate arguments are evaluated only
+	// where the old row engine would have evaluated them).
+	maskLog := make([][]int, len(it.maskEvs))
+	maskSub := make([]*vec.Batch, len(it.maskEvs))
 	for {
-		row, err := it.in.Next()
+		b, err := it.in.NextBatch()
 		if err != nil {
 			return err
 		}
-		if row == nil {
+		if b == nil {
 			break
 		}
-		it.m.addProcessed(1)
-		for i, idx := range it.keyIdx {
-			kv[i] = row[idx]
+		n := b.Len()
+		if n == 0 {
+			continue
 		}
-		k := encodeKey(&it.keyBuf, kv)
-		g, ok := it.groups[k]
-		if !ok {
-			g = &group{keyVals: append([]types.Value{}, kv...), states: make([]aggState, len(it.aggs.aggs))}
-			it.groups[k] = g
-			it.keys = append(it.keys, k)
-			it.m.addHashRows(1)
+		it.m.addProcessed(int64(n))
+
+		// Group assignment per row (accumulation order below stays row-major
+		// per group, so float sums match the row engine bit-for-bit).
+		newGroups := 0
+		if it.scalar {
+			if scalarGroup == nil {
+				scalarGroup = &group{states: make([]aggState, len(it.aggs.aggs))}
+				it.groups[""] = scalarGroup
+				it.keys = append(it.keys, "")
+				newGroups++
+			}
+		} else {
+			if cap(groupRow) < n {
+				groupRow = make([]*group, n)
+			}
+			groupRow = groupRow[:n]
+			for i := 0; i < n; i++ {
+				for k, idx := range it.keyIdx {
+					kv[k] = b.Value(idx, i)
+				}
+				key := encodeKey(&it.keyBuf, kv)
+				g, ok := it.groups[key]
+				if !ok {
+					g = &group{keyVals: append([]types.Value{}, kv...), states: make([]aggState, len(it.aggs.aggs))}
+					it.groups[key] = g
+					it.keys = append(it.keys, key)
+					newGroups++
+				}
+				groupRow[i] = g
+			}
 		}
-		it.aggs.evalMasks(row)
-		feed(g.states, it.aggs, row)
+		it.m.addHashRows(int64(newGroups))
+
+		// Masks become selection vectors, shared by every aggregate that
+		// carries the same FILTER expression.
+		for mi, ev := range it.maskEvs {
+			vals := ev.eval(b)
+			log := maskLog[mi][:0]
+			var phys []int
+			for i := 0; i < n; i++ {
+				if vals[i].IsTrue() {
+					log = append(log, i)
+					phys = append(phys, b.RowIdx(i))
+				}
+			}
+			maskLog[mi] = log
+			maskSub[mi] = b.WithSel(phys)
+		}
+
+		// Tight accumulation loop per aggregate.
+		for ai := range it.aggs.aggs {
+			a := &it.aggs.aggs[ai]
+			sub, log := b, []int(nil)
+			if a.maskIdx >= 0 {
+				sub, log = maskSub[a.maskIdx], maskLog[a.maskIdx]
+				if len(log) == 0 {
+					continue
+				}
+			}
+			count := sub.Len()
+			var vals []types.Value
+			if it.argEvs[ai] != nil {
+				vals = it.argEvs[ai].eval(sub)
+			}
+			fn := a.agg.Fn
+			if it.scalar {
+				st := &scalarGroup.states[ai]
+				if vals == nil {
+					for j := 0; j < count; j++ {
+						st.add(fn, types.Value{})
+					}
+				} else {
+					for j := range vals {
+						st.add(fn, vals[j])
+					}
+				}
+			} else {
+				for j := 0; j < count; j++ {
+					li := j
+					if log != nil {
+						li = log[j]
+					}
+					var v types.Value
+					if vals != nil {
+						v = vals[j]
+					}
+					groupRow[li].states[ai].add(fn, v)
+				}
+			}
+		}
 	}
 	// A scalar aggregate over empty input still produces one default row.
 	if it.scalar && len(it.keys) == 0 {
@@ -267,8 +382,8 @@ func (it *groupByIter) consume() error {
 // buildMarkDistinct merges a chain of adjacent MarkDistinct operators into
 // one physical operator (the paper's §III.F "processing a chain of
 // MarkDistinct operators holistically" optimization): one input pass, one
-// output row allocation, k distinct sets.
-func (ex *executor) buildMarkDistinct(md *logical.MarkDistinct) (Iterator, error) {
+// output batch per input batch, k distinct sets.
+func (ex *executor) buildMarkDistinct(md *logical.MarkDistinct) (BatchIterator, error) {
 	// Collect the chain innermost-last.
 	var chain []*logical.MarkDistinct
 	cur := md
@@ -302,7 +417,7 @@ func (ex *executor) buildMarkDistinct(md *logical.MarkDistinct) (Iterator, error
 			spec.onIdx[k] = idx
 		}
 		if node.Mask != nil {
-			ev, err := newEvaluator(node.Mask, layout)
+			ev, err := newBatchEvaluator(node.Mask, layout)
 			if err != nil {
 				return nil, err
 			}
@@ -312,12 +427,12 @@ func (ex *executor) buildMarkDistinct(md *logical.MarkDistinct) (Iterator, error
 		// Later (outer) masks may reference earlier mark columns.
 		layout[node.MarkCol.ID] = baseWidth + i
 	}
-	return &markDistinctIter{in: in, marks: marks, m: ex.metrics}, nil
+	return &markDistinctIter{in: in, baseWidth: baseWidth, marks: marks, m: ex.metrics}, nil
 }
 
 type markSpec struct {
 	onIdx []int
-	mask  *evaluator
+	mask  *batchEvaluator
 	seen  map[string]bool
 }
 
@@ -325,46 +440,82 @@ type markSpec struct {
 // boolean column per mark that is TRUE on the first occurrence of each
 // combination of the On columns among rows satisfying the mask (NULLs
 // compare as a single distinct value, matching SQL DISTINCT semantics).
+// Each input batch becomes one dense output batch extended with the mark
+// columns. Marks are computed column-at-a-time: masks are batch-evaluated
+// over the progressively extended batch (a mask may reference earlier mark
+// columns, never later ones), and the seen-hash is only consulted for rows
+// the mask admits.
 type markDistinctIter struct {
-	in     Iterator
-	marks  []markSpec
-	keyBuf strings.Builder
-	kv     []types.Value
-	m      *Metrics
+	in        BatchIterator
+	baseWidth int
+	marks     []markSpec
+	keyBuf    strings.Builder
+	kv        []types.Value
+	m         *Metrics
 }
 
-func (it *markDistinctIter) Next() (Row, error) {
-	row, err := it.in.Next()
-	if row == nil || err != nil {
+func (it *markDistinctIter) NextBatch() (*vec.Batch, error) {
+	b, err := it.in.NextBatch()
+	if b == nil || err != nil {
 		return nil, err
 	}
-	it.m.addProcessed(1)
-	out := make(Row, len(row)+len(it.marks))
-	copy(out, row)
+	n := b.Len()
+	it.m.addProcessed(int64(n))
+	width := it.baseWidth + len(it.marks)
+	ext := make([][]types.Value, width)
+	for c := 0; c < it.baseWidth; c++ {
+		if b.Sel == nil {
+			ext[c] = b.Cols[c][:n]
+		} else {
+			col := make([]types.Value, n)
+			src := b.Cols[c]
+			for i, r := range b.Sel {
+				col[i] = src[r]
+			}
+			ext[c] = col
+		}
+	}
+	// Mark columns are allocated up front so the extended batch is always
+	// fully materialized; positions for not-yet-computed marks are
+	// don't-cares (masks only look backwards).
+	for mi := range it.marks {
+		ext[it.baseWidth+mi] = make([]types.Value, n)
+	}
+	out := &vec.Batch{Cols: ext, N: n}
+
+	firsts := 0
 	for mi := range it.marks {
 		spec := &it.marks[mi]
-		first := false
-		if spec.mask == nil || spec.mask.eval(out).IsTrue() {
-			if cap(it.kv) < len(spec.onIdx) {
-				it.kv = make([]types.Value, len(spec.onIdx))
-			}
-			kv := it.kv[:len(spec.onIdx)]
-			for i, idx := range spec.onIdx {
-				kv[i] = out[idx]
-			}
-			k := encodeKey(&it.keyBuf, kv)
-			if !spec.seen[k] {
-				spec.seen[k] = true
-				first = true
-				it.m.addHashRows(1)
-			}
+		var maskVals []types.Value
+		if spec.mask != nil {
+			maskVals = spec.mask.eval(out)
 		}
-		out[len(row)+mi] = types.Bool(first)
+		if cap(it.kv) < len(spec.onIdx) {
+			it.kv = make([]types.Value, len(spec.onIdx))
+		}
+		kv := it.kv[:len(spec.onIdx)]
+		markCol := ext[it.baseWidth+mi]
+		for i := 0; i < n; i++ {
+			first := false
+			if maskVals == nil || maskVals[i].IsTrue() {
+				for k, idx := range spec.onIdx {
+					kv[k] = ext[idx][i]
+				}
+				key := encodeKey(&it.keyBuf, kv)
+				if !spec.seen[key] {
+					spec.seen[key] = true
+					first = true
+					firsts++
+				}
+			}
+			markCol[i] = types.Bool(first)
+		}
 	}
+	it.m.addHashRows(int64(firsts))
 	return out, nil
 }
 
-func (ex *executor) buildWindow(w *logical.Window) (Iterator, error) {
+func (ex *executor) buildWindow(w *logical.Window) (BatchIterator, error) {
 	in, err := ex.build(w.Input)
 	if err != nil {
 		return nil, err
@@ -386,7 +537,10 @@ func (ex *executor) buildWindow(w *logical.Window) (Iterator, error) {
 		}
 		funcs[i] = windowFunc{agg: ca, partIdx: partIdx}
 	}
-	return &windowIter{in: in, funcs: funcs, m: ex.metrics}, nil
+	return &windowIter{
+		in: in, funcs: funcs, inWidth: len(w.Input.Schema()),
+		batchSize: ex.opts.BatchSize, m: ex.metrics,
+	}, nil
 }
 
 type windowFunc struct {
@@ -400,9 +554,11 @@ type windowFunc struct {
 // the cost the paper observes making Q01-class latency gains modest even as
 // bytes scanned drop.
 type windowIter struct {
-	in    Iterator
-	funcs []windowFunc
-	m     *Metrics
+	in        BatchIterator
+	funcs     []windowFunc
+	inWidth   int
+	batchSize int
+	m         *Metrics
 
 	built  bool
 	rows   []Row
@@ -412,7 +568,7 @@ type windowIter struct {
 	keyBuf strings.Builder
 }
 
-func (it *windowIter) Next() (Row, error) {
+func (it *windowIter) NextBatch() (*vec.Batch, error) {
 	if !it.built {
 		if err := it.consume(); err != nil {
 			return nil, err
@@ -421,29 +577,28 @@ func (it *windowIter) Next() (Row, error) {
 	if it.outIdx >= len(it.rows) {
 		return nil, nil
 	}
-	row := it.rows[it.outIdx]
-	out := make(Row, len(row)+len(it.funcs))
-	copy(out, row)
-	for i := range it.funcs {
-		out[len(row)+i] = it.states[i][it.outIdx].result(it.funcs[i].agg.aggs[0].agg)
+	width := it.inWidth + len(it.funcs)
+	bl := vec.NewBuilder(width, it.batchSize)
+	out := make(Row, width)
+	for it.outIdx < len(it.rows) && !bl.Full() {
+		row := it.rows[it.outIdx]
+		copy(out, row)
+		for i := range it.funcs {
+			out[it.inWidth+i] = it.states[i][it.outIdx].result(it.funcs[i].agg.aggs[0].agg)
+		}
+		it.outIdx++
+		bl.Append(out)
 	}
-	it.outIdx++
-	return out, nil
+	return bl.Flush(), nil
 }
 
 func (it *windowIter) consume() error {
-	for {
-		row, err := it.in.Next()
-		if err != nil {
-			return err
-		}
-		if row == nil {
-			break
-		}
-		it.m.addProcessed(1)
-		it.m.addHashRows(1)
-		it.rows = append(it.rows, row)
+	rows, err := drainRows(it.in, it.inWidth, it.m)
+	if err != nil {
+		return err
 	}
+	it.rows = rows
+	it.m.addHashRows(int64(len(rows)))
 	it.states = make([][]*aggState, len(it.funcs))
 	for fi, f := range it.funcs {
 		partitions := make(map[string]*aggState)
@@ -477,8 +632,8 @@ func (it *windowIter) consume() error {
 	return nil
 }
 
-func (ex *executor) buildUnion(u *logical.UnionAll) (Iterator, error) {
-	inputs := make([]Iterator, len(u.Inputs))
+func (ex *executor) buildUnion(u *logical.UnionAll) (BatchIterator, error) {
+	inputs := make([]BatchIterator, len(u.Inputs))
 	remaps := make([][]int, len(u.Inputs))
 	for i, in := range u.Inputs {
 		it, err := ex.build(in)
@@ -500,35 +655,38 @@ func (ex *executor) buildUnion(u *logical.UnionAll) (Iterator, error) {
 	return &unionIter{inputs: inputs, remaps: remaps, m: ex.metrics}, nil
 }
 
+// unionIter concatenates its inputs, remapping each input's columns to the
+// union's output order. The remap is a column-pointer shuffle — no values
+// are copied.
 type unionIter struct {
-	inputs []Iterator
+	inputs []BatchIterator
 	remaps [][]int
 	cur    int
 	m      *Metrics
 }
 
-func (it *unionIter) Next() (Row, error) {
+func (it *unionIter) NextBatch() (*vec.Batch, error) {
 	for it.cur < len(it.inputs) {
-		row, err := it.inputs[it.cur].Next()
+		b, err := it.inputs[it.cur].NextBatch()
 		if err != nil {
 			return nil, err
 		}
-		if row == nil {
+		if b == nil {
 			it.cur++
 			continue
 		}
-		it.m.addProcessed(1)
+		it.m.addProcessed(int64(b.Len()))
 		remap := it.remaps[it.cur]
-		out := make(Row, len(remap))
+		cols := make([][]types.Value, len(remap))
 		for j, idx := range remap {
-			out[j] = row[idx]
+			cols[j] = b.Cols[idx]
 		}
-		return out, nil
+		return &vec.Batch{Cols: cols, Sel: b.Sel, N: b.N}, nil
 	}
 	return nil, nil
 }
 
-func (ex *executor) buildSort(s *logical.Sort) (Iterator, error) {
+func (ex *executor) buildSort(s *logical.Sort) (BatchIterator, error) {
 	in, err := ex.build(s.Input)
 	if err != nil {
 		return nil, err
@@ -542,47 +700,46 @@ func (ex *executor) buildSort(s *logical.Sort) (Iterator, error) {
 		}
 		evs[i] = ev
 	}
-	return &sortIter{in: in, evs: evs, keys: s.Keys, m: ex.metrics}, nil
+	return &sortIter{
+		in: in, evs: evs, keys: s.Keys,
+		width: len(s.Input.Schema()), batchSize: ex.opts.BatchSize, m: ex.metrics,
+	}, nil
 }
 
 // sortIter is a blocking full sort. NULLs order last ascending, first
 // descending.
 type sortIter struct {
-	in   Iterator
-	evs  []*evaluator
-	keys []logical.SortKey
-	m    *Metrics
+	in        BatchIterator
+	evs       []*evaluator
+	keys      []logical.SortKey
+	width     int
+	batchSize int
+	m         *Metrics
 
 	built bool
-	rows  []Row
-	vals  [][]types.Value
-	idx   int
+	out   rowsBatcher
 }
 
-func (it *sortIter) Next() (Row, error) {
+func (it *sortIter) NextBatch() (*vec.Batch, error) {
 	if !it.built {
-		for {
-			row, err := it.in.Next()
-			if err != nil {
-				return nil, err
-			}
-			if row == nil {
-				break
-			}
-			it.m.addProcessed(1)
-			it.rows = append(it.rows, row)
-			kv := make([]types.Value, len(it.evs))
-			for i, ev := range it.evs {
-				kv[i] = ev.eval(row)
-			}
-			it.vals = append(it.vals, kv)
+		rows, err := drainRows(it.in, it.width, it.m)
+		if err != nil {
+			return nil, err
 		}
-		order := make([]int, len(it.rows))
+		vals := make([][]types.Value, len(rows))
+		for i, row := range rows {
+			kv := make([]types.Value, len(it.evs))
+			for k, ev := range it.evs {
+				kv[k] = ev.eval(row)
+			}
+			vals[i] = kv
+		}
+		order := make([]int, len(rows))
 		for i := range order {
 			order[i] = i
 		}
 		sort.SliceStable(order, func(a, b int) bool {
-			va, vb := it.vals[order[a]], it.vals[order[b]]
+			va, vb := vals[order[a]], vals[order[b]]
 			for k := range it.keys {
 				c := compareForSort(va[k], vb[k])
 				if c == 0 {
@@ -597,17 +754,12 @@ func (it *sortIter) Next() (Row, error) {
 		})
 		sorted := make([]Row, len(order))
 		for i, o := range order {
-			sorted[i] = it.rows[o]
+			sorted[i] = rows[o]
 		}
-		it.rows = sorted
+		it.out = rowsBatcher{rows: sorted, width: it.width, batchSize: it.batchSize}
 		it.built = true
 	}
-	if it.idx >= len(it.rows) {
-		return nil, nil
-	}
-	r := it.rows[it.idx]
-	it.idx++
-	return r, nil
+	return it.out.NextBatch()
 }
 
 // compareForSort orders NULLs after every value.

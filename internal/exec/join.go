@@ -7,6 +7,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/logical"
 	"repro/internal/types"
+	"repro/internal/vec"
 )
 
 // keyBuf encodes a tuple of values into a hashable string key with type
@@ -45,7 +46,7 @@ func hasNull(vals []types.Value) bool {
 	return false
 }
 
-func (ex *executor) buildJoin(j *logical.Join) (Iterator, error) {
+func (ex *executor) buildJoin(j *logical.Join) (BatchIterator, error) {
 	left, err := ex.build(j.Left)
 	if err != nil {
 		return nil, err
@@ -62,7 +63,7 @@ func (ex *executor) buildJoin(j *logical.Join) (Iterator, error) {
 	// equality evaluates over a single input (this is what keeps the
 	// CASE-dispatched keys produced by the UnionAllOnJoin rewrite
 	// hash-joinable).
-	var leftKeys, rightKeys []*evaluator
+	var leftKeys, rightKeys []*batchEvaluator
 	var residual []expr.Expr
 	leftSet := logical.OutputSet(j.Left)
 	rightSet := logical.OutputSet(j.Right)
@@ -74,8 +75,8 @@ func (ex *executor) buildJoin(j *logical.Join) (Iterator, error) {
 			}
 			if expr.RefersOnly(le, leftSet) && expr.RefersOnly(re, rightSet) &&
 				types.Comparable(le.Type(), re.Type()) {
-				lev, lerr := newEvaluator(le, leftLayout)
-				rev, rerr := newEvaluator(re, rightLayout)
+				lev, lerr := newBatchEvaluator(le, leftLayout)
+				rev, rerr := newBatchEvaluator(re, rightLayout)
 				if lerr == nil && rerr == nil {
 					leftKeys = append(leftKeys, lev)
 					rightKeys = append(rightKeys, rev)
@@ -86,8 +87,9 @@ func (ex *executor) buildJoin(j *logical.Join) (Iterator, error) {
 		residual = append(residual, c)
 	}
 
-	// The residual (and any non-equi condition) evaluates over the combined
-	// left+right layout.
+	// The residual (and any non-equi condition) evaluates row-at-a-time
+	// over the combined left+right row, which only exists transiently
+	// during probing.
 	combined := make(map[expr.ColumnID]int, len(leftSet)+len(rightSet))
 	for id, idx := range leftLayout {
 		combined[id] = idx
@@ -108,26 +110,29 @@ func (ex *executor) buildJoin(j *logical.Join) (Iterator, error) {
 		return &nestedLoopIter{
 			kind: j.Kind, left: left, right: right,
 			leftWidth: width, rightWidth: len(j.Right.Schema()),
-			cond: resEv, m: ex.metrics,
+			cond: resEv, batchSize: ex.opts.BatchSize, m: ex.metrics,
 		}, nil
 	}
 	return &hashJoinIter{
 		kind: j.Kind, left: left, right: right,
 		leftKeys: leftKeys, rightKeys: rightKeys,
 		leftWidth: width, rightWidth: len(j.Right.Schema()),
-		residual: resEv, m: ex.metrics,
+		residual: resEv, batchSize: ex.opts.BatchSize, m: ex.metrics,
 	}, nil
 }
 
 // hashJoinIter builds a hash table over the right input and streams the
-// left (probe) input — the engine's only buffered state, matching a
-// streaming engine's memory profile.
+// left (probe) input batch-at-a-time — the engine's only buffered state,
+// matching a streaming engine's memory profile. Probe keys are evaluated
+// vector-wise per batch; matches accumulate into an output builder until a
+// full batch is ready.
 type hashJoinIter struct {
 	kind                  logical.JoinKind
-	left, right           Iterator
-	leftKeys, rightKeys   []*evaluator
+	left, right           BatchIterator
+	leftKeys, rightKeys   []*batchEvaluator
 	leftWidth, rightWidth int
 	residual              *evaluator
+	batchSize             int
 	m                     *Metrics
 
 	built   bool
@@ -136,102 +141,145 @@ type hashJoinIter struct {
 	keyVals []types.Value
 
 	// probe state
+	leftBatch      *vec.Batch
+	leftKeyCols    [][]types.Value
+	leftRowIdx     int
 	curLeft        Row
+	curLeftActive  bool
 	curLeftMatched bool
 	curMatches     []Row
 	matchIdx       int
+	combined       Row
+}
+
+func (it *hashJoinIter) outWidth() int {
+	if it.kind == logical.SemiJoin {
+		return it.leftWidth
+	}
+	return it.leftWidth + it.rightWidth
 }
 
 func (it *hashJoinIter) buildTable() error {
 	it.table = make(map[string][]Row)
 	it.keyVals = make([]types.Value, len(it.rightKeys))
 	for {
-		row, err := it.right.Next()
+		b, err := it.right.NextBatch()
 		if err != nil {
 			return err
 		}
-		if row == nil {
+		if b == nil {
 			break
 		}
-		it.m.addProcessed(1)
-		for i, ev := range it.rightKeys {
-			it.keyVals[i] = ev.eval(row)
+		n := b.Len()
+		it.m.addProcessed(int64(n))
+		keyCols := make([][]types.Value, len(it.rightKeys))
+		for k, ev := range it.rightKeys {
+			keyCols[k] = ev.eval(b)
 		}
-		if hasNull(it.keyVals) {
-			continue // NULL keys never match in equi-joins
+		inserted := 0
+		for i := 0; i < n; i++ {
+			for k := range keyCols {
+				it.keyVals[k] = keyCols[k][i]
+			}
+			if hasNull(it.keyVals) {
+				continue // NULL keys never match in equi-joins
+			}
+			row := make(Row, it.rightWidth)
+			b.Gather(i, row)
+			k := encodeKey(&it.keyBuf, it.keyVals)
+			it.table[k] = append(it.table[k], row)
+			inserted++
 		}
-		k := encodeKey(&it.keyBuf, it.keyVals)
-		it.table[k] = append(it.table[k], row)
-		it.m.addHashRows(1)
+		it.m.addHashRows(int64(inserted))
 	}
 	it.built = true
 	return nil
 }
 
-func (it *hashJoinIter) Next() (Row, error) {
+func (it *hashJoinIter) NextBatch() (*vec.Batch, error) {
 	if !it.built {
 		if err := it.buildTable(); err != nil {
 			return nil, err
 		}
+		it.curLeft = make(Row, it.leftWidth)
+		it.combined = make(Row, it.leftWidth+it.rightWidth)
 	}
+	bl := vec.NewBuilder(it.outWidth(), it.batchSize)
 	for {
 		// Emit pending matches for the current probe row.
-		for it.curLeft != nil && it.matchIdx < len(it.curMatches) {
+		for it.curLeftActive && it.matchIdx < len(it.curMatches) {
 			r := it.curMatches[it.matchIdx]
 			it.matchIdx++
-			out := make(Row, it.leftWidth+it.rightWidth)
-			copy(out, it.curLeft)
-			copy(out[it.leftWidth:], r)
-			if it.residual != nil && !it.residual.eval(out).IsTrue() {
+			copy(it.combined, it.curLeft)
+			copy(it.combined[it.leftWidth:], r)
+			if it.residual != nil && !it.residual.eval(it.combined).IsTrue() {
 				continue
 			}
 			switch it.kind {
 			case logical.SemiJoin:
 				// First surviving match emits the probe row once.
-				it.curMatches = nil
-				return it.curLeft, nil
+				bl.Append(it.curLeft)
+				it.curLeftActive = false
 			case logical.LeftJoin, logical.InnerJoin:
 				it.curLeftMatched = true
-				return out, nil
+				bl.Append(it.combined)
+			}
+			if bl.Full() {
+				return bl.Flush(), nil
 			}
 		}
-		// Left join: emit NULL-extended row when nothing matched.
-		if it.curLeft != nil && it.kind == logical.LeftJoin && !it.curLeftMatched {
-			out := make(Row, it.leftWidth+it.rightWidth)
-			copy(out, it.curLeft)
-			for i := it.leftWidth; i < len(out); i++ {
-				out[i] = types.Unknown()
+		if it.curLeftActive {
+			// Left join: emit NULL-extended row when nothing matched.
+			if it.kind == logical.LeftJoin && !it.curLeftMatched {
+				copy(it.combined, it.curLeft)
+				for i := it.leftWidth; i < len(it.combined); i++ {
+					it.combined[i] = types.Unknown()
+				}
+				bl.Append(it.combined)
+				it.curLeftActive = false
+				if bl.Full() {
+					return bl.Flush(), nil
+				}
 			}
-			it.curLeft = nil
-			return out, nil
+			it.curLeftActive = false
 		}
-		// Advance to the next probe row.
-		row, err := it.left.Next()
-		if err != nil {
-			return nil, err
-		}
-		if row == nil {
-			return nil, nil
-		}
-		it.m.addProcessed(1)
-		it.curLeft = row
-		it.curLeftMatched = false
-		it.matchIdx = 0
-		kv := make([]types.Value, len(it.leftKeys))
-		for i, ev := range it.leftKeys {
-			kv[i] = ev.eval(row)
-		}
-		if hasNull(kv) {
-			it.curMatches = nil
-			if it.kind != logical.LeftJoin {
-				it.curLeft = nil
+		// Advance to the next probe row, pulling a new batch as needed.
+		if it.leftBatch == nil || it.leftRowIdx >= it.leftBatch.Len() {
+			b, err := it.left.NextBatch()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				return bl.Flush(), nil // nil when empty: EOF
+			}
+			it.m.addProcessed(int64(b.Len()))
+			it.leftBatch, it.leftRowIdx = b, 0
+			if cap(it.leftKeyCols) < len(it.leftKeys) {
+				it.leftKeyCols = make([][]types.Value, len(it.leftKeys))
+			}
+			it.leftKeyCols = it.leftKeyCols[:len(it.leftKeys)]
+			for k, ev := range it.leftKeys {
+				it.leftKeyCols[k] = ev.eval(b)
 			}
 			continue
 		}
-		it.curMatches = it.table[encodeKey(&it.keyBuf, kv)]
-		if len(it.curMatches) == 0 && it.kind != logical.LeftJoin {
-			it.curLeft = nil
+		i := it.leftRowIdx
+		it.leftRowIdx++
+		it.leftBatch.Gather(i, it.curLeft)
+		kv := it.keyVals[:0]
+		for k := range it.leftKeyCols {
+			kv = append(kv, it.leftKeyCols[k][i])
 		}
+		it.curLeftMatched = false
+		it.matchIdx = 0
+		if hasNull(kv) {
+			// NULL probe keys: no matches; LEFT JOIN still NULL-extends.
+			it.curMatches = nil
+			it.curLeftActive = it.kind == logical.LeftJoin
+			continue
+		}
+		it.curMatches = it.table[encodeKey(&it.keyBuf, kv)]
+		it.curLeftActive = len(it.curMatches) > 0 || it.kind == logical.LeftJoin
 	}
 }
 
@@ -239,76 +287,99 @@ func (it *hashJoinIter) Next() (Row, error) {
 // right side is fully materialized.
 type nestedLoopIter struct {
 	kind                  logical.JoinKind
-	left, right           Iterator
+	left, right           BatchIterator
 	leftWidth, rightWidth int
 	cond                  *evaluator
+	batchSize             int
 	m                     *Metrics
 
 	built     bool
 	rightRows []Row
-	curLeft   Row
-	matched   bool
-	rightIdx  int
+
+	leftBatch     *vec.Batch
+	leftRowIdx    int
+	curLeft       Row
+	curLeftActive bool
+	matched       bool
+	rightIdx      int
+	combined      Row
 }
 
-func (it *nestedLoopIter) Next() (Row, error) {
+func (it *nestedLoopIter) outWidth() int {
+	if it.kind == logical.SemiJoin {
+		return it.leftWidth
+	}
+	return it.leftWidth + it.rightWidth
+}
+
+func (it *nestedLoopIter) NextBatch() (*vec.Batch, error) {
 	if !it.built {
-		for {
-			row, err := it.right.Next()
-			if err != nil {
-				return nil, err
-			}
-			if row == nil {
-				break
-			}
-			it.m.addProcessed(1)
-			it.m.addHashRows(1)
-			it.rightRows = append(it.rightRows, row)
+		rows, err := drainRows(it.right, it.rightWidth, it.m)
+		if err != nil {
+			return nil, err
 		}
+		it.rightRows = rows
+		it.m.addHashRows(int64(len(rows)))
+		it.curLeft = make(Row, it.leftWidth)
+		it.combined = make(Row, it.leftWidth+it.rightWidth)
 		it.built = true
 	}
+	bl := vec.NewBuilder(it.outWidth(), it.batchSize)
 	for {
-		if it.curLeft == nil {
-			row, err := it.left.Next()
+		if it.curLeftActive {
+			for it.rightIdx < len(it.rightRows) {
+				r := it.rightRows[it.rightIdx]
+				it.rightIdx++
+				copy(it.combined, it.curLeft)
+				copy(it.combined[it.leftWidth:], r)
+				if it.cond != nil && !it.cond.eval(it.combined).IsTrue() {
+					continue
+				}
+				if it.kind == logical.SemiJoin {
+					bl.Append(it.curLeft)
+					it.curLeftActive = false
+				} else {
+					it.matched = true
+					bl.Append(it.combined)
+				}
+				if bl.Full() {
+					return bl.Flush(), nil
+				}
+				if !it.curLeftActive {
+					break
+				}
+			}
+			if it.curLeftActive {
+				if it.kind == logical.LeftJoin && !it.matched {
+					copy(it.combined, it.curLeft)
+					for i := it.leftWidth; i < len(it.combined); i++ {
+						it.combined[i] = types.Unknown()
+					}
+					bl.Append(it.combined)
+					if bl.Full() {
+						it.curLeftActive = false
+						return bl.Flush(), nil
+					}
+				}
+				it.curLeftActive = false
+			}
+		}
+		if it.leftBatch == nil || it.leftRowIdx >= it.leftBatch.Len() {
+			b, err := it.left.NextBatch()
 			if err != nil {
 				return nil, err
 			}
-			if row == nil {
-				return nil, nil
+			if b == nil {
+				return bl.Flush(), nil
 			}
-			it.m.addProcessed(1)
-			it.curLeft = row
-			it.matched = false
-			it.rightIdx = 0
+			it.m.addProcessed(int64(b.Len()))
+			it.leftBatch, it.leftRowIdx = b, 0
+			continue
 		}
-		for it.rightIdx < len(it.rightRows) {
-			r := it.rightRows[it.rightIdx]
-			it.rightIdx++
-			out := make(Row, it.leftWidth+it.rightWidth)
-			copy(out, it.curLeft)
-			copy(out[it.leftWidth:], r)
-			if it.cond != nil && !it.cond.eval(out).IsTrue() {
-				continue
-			}
-			switch it.kind {
-			case logical.SemiJoin:
-				left := it.curLeft
-				it.curLeft = nil
-				return left, nil
-			default:
-				it.matched = true
-				return out, nil
-			}
-		}
-		if it.kind == logical.LeftJoin && !it.matched {
-			out := make(Row, it.leftWidth+it.rightWidth)
-			copy(out, it.curLeft)
-			for i := it.leftWidth; i < len(out); i++ {
-				out[i] = types.Unknown()
-			}
-			it.curLeft = nil
-			return out, nil
-		}
-		it.curLeft = nil
+		it.leftBatch.Gather(it.leftRowIdx, it.curLeft)
+		it.leftRowIdx++
+		it.curLeftActive = true
+		it.matched = false
+		it.rightIdx = 0
 	}
 }

@@ -1,0 +1,190 @@
+package exec
+
+import (
+	"sync/atomic"
+
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/vec"
+)
+
+// A morsel is the unit of parallel scan work: a run of consecutive
+// partitions totalling roughly morselTarget rows. Workers claim morsels
+// from a shared counter (morsel-driven scheduling), decode their column
+// chunks into batches, and hand them to the consumer through per-morsel
+// slots so the output order — and therefore every downstream result — is
+// identical to the serial scan's partition order.
+type morsel struct {
+	parts []*storage.Partition
+}
+
+// buildMorsels groups consecutive partitions until each group holds at
+// least target rows. Grouping keeps per-morsel scheduling overhead amortized
+// when tables have many small partitions (date-partitioned facts).
+func buildMorsels(parts []*storage.Partition, target int) []morsel {
+	var out []morsel
+	var cur []*storage.Partition
+	rows := 0
+	for _, p := range parts {
+		cur = append(cur, p)
+		rows += p.NumRows
+		if rows >= target {
+			out = append(out, morsel{parts: cur})
+			cur, rows = nil, 0
+		}
+	}
+	if len(cur) > 0 {
+		out = append(out, morsel{parts: cur})
+	}
+	return out
+}
+
+// morselTarget picks the morsel size: large enough to amortize channel and
+// decode-setup overhead (at least one batch), small enough to keep every
+// worker busy (~4 morsels per worker when the table is large).
+func morselTarget(parts []*storage.Partition, batchSize, parallelism int) int {
+	total := 0
+	for _, p := range parts {
+		total += p.NumRows
+	}
+	target := total / (parallelism * 4)
+	if target < batchSize {
+		target = batchSize
+	}
+	return target
+}
+
+// partitionBatches decodes one partition's columns in a single pass each
+// and slices the vectors into dense batches (zero-copy subslices).
+func partitionBatches(p *storage.Partition, cols []string, batchSize int, dst []*vec.Batch) ([]*vec.Batch, error) {
+	decoded, err := p.DecodeColumns(cols)
+	if err != nil {
+		return nil, err
+	}
+	for lo := 0; lo < p.NumRows; lo += batchSize {
+		hi := lo + batchSize
+		if hi > p.NumRows {
+			hi = p.NumRows
+		}
+		bcols := make([][]types.Value, len(decoded))
+		for c := range decoded {
+			bcols[c] = decoded[c][lo:hi]
+		}
+		dst = append(dst, vec.NewDense(bcols, hi-lo))
+	}
+	return dst, nil
+}
+
+type morselResult struct {
+	batches []*vec.Batch
+	err     error
+}
+
+// parallelScanIter is the morsel-parallel scan leaf. Workers race down the
+// morsel list; each morsel's batches are delivered through a dedicated
+// 1-slot channel and consumed strictly in morsel order. A token semaphore
+// bounds decoded-but-unconsumed morsels so a fast scan cannot buffer the
+// whole table, and close() releases the pool even when the consumer stops
+// early (LIMIT) or the query errors.
+type parallelScanIter struct {
+	cols      []string
+	morsels   []morsel
+	batchSize int
+	workers   int
+	m         *Metrics
+
+	started bool
+	next    int64
+	stop    chan struct{}
+	tokens  chan struct{}
+	results []chan morselResult
+
+	mi     int
+	cur    []*vec.Batch
+	curIdx int
+}
+
+func newParallelScan(cols []string, morsels []morsel, batchSize, workers int, m *Metrics) *parallelScanIter {
+	if workers > len(morsels) {
+		workers = len(morsels)
+	}
+	it := &parallelScanIter{
+		cols:      cols,
+		morsels:   morsels,
+		batchSize: batchSize,
+		workers:   workers,
+		m:         m,
+		stop:      make(chan struct{}),
+		tokens:    make(chan struct{}, 2*workers),
+		results:   make([]chan morselResult, len(morsels)),
+	}
+	for i := range it.results {
+		it.results[i] = make(chan morselResult, 1)
+	}
+	return it
+}
+
+func (it *parallelScanIter) start() {
+	it.started = true
+	for w := 0; w < it.workers; w++ {
+		go it.worker()
+	}
+}
+
+func (it *parallelScanIter) worker() {
+	for {
+		select {
+		case <-it.stop:
+			return
+		case it.tokens <- struct{}{}:
+		}
+		i := int(atomic.AddInt64(&it.next, 1)) - 1
+		if i >= len(it.morsels) {
+			<-it.tokens
+			return
+		}
+		var batches []*vec.Batch
+		var err error
+		for _, p := range it.morsels[i].parts {
+			if batches, err = partitionBatches(p, it.cols, it.batchSize, batches); err != nil {
+				break
+			}
+		}
+		// Capacity-1 channel: the send never blocks, so a worker always
+		// finishes its claimed morsel even if the consumer has gone away.
+		it.results[i] <- morselResult{batches: batches, err: err}
+	}
+}
+
+func (it *parallelScanIter) NextBatch() (*vec.Batch, error) {
+	if !it.started {
+		it.start()
+	}
+	for {
+		if it.curIdx < len(it.cur) {
+			b := it.cur[it.curIdx]
+			it.curIdx++
+			it.m.addProcessed(int64(b.Len()))
+			return b, nil
+		}
+		if it.mi >= len(it.morsels) {
+			return nil, nil
+		}
+		res := <-it.results[it.mi]
+		it.mi++
+		<-it.tokens
+		if res.err != nil {
+			return nil, res.err
+		}
+		it.cur, it.curIdx = res.batches, 0
+	}
+}
+
+// close signals the worker pool to drain; safe to call before the first
+// NextBatch and more than once via sync guard in the executor (closers run
+// exactly once per Run).
+func (it *parallelScanIter) close() {
+	if it.started {
+		close(it.stop)
+	}
+}

@@ -5,13 +5,14 @@ import (
 	"repro/internal/logical"
 	"repro/internal/storage"
 	"repro/internal/types"
+	"repro/internal/vec"
 )
 
 // buildFilter builds a filter; when the input is a scan of a partitioned
 // table, conjuncts referencing only the partition column are peeled off
 // into a partition pruner (the engine's analogue of Athena skipping S3
 // prefixes), and the rest stay as the residual predicate.
-func (ex *executor) buildFilter(f *logical.Filter) (Iterator, error) {
+func (ex *executor) buildFilter(f *logical.Filter) (BatchIterator, error) {
 	if scan, ok := f.Input.(*logical.Scan); ok && scan.Table.PartitionColumn != "" {
 		partCol := scan.ColumnFor(scan.Table.PartitionColumn)
 		if partCol != nil {
@@ -38,7 +39,7 @@ func (ex *executor) buildFilter(f *logical.Filter) (Iterator, error) {
 				if len(residual) == 0 {
 					return in, nil
 				}
-				ev, err := newEvaluator(expr.And(residual...), layoutOf(scan))
+				ev, err := newBatchEvaluator(expr.And(residual...), layoutOf(scan))
 				if err != nil {
 					return nil, err
 				}
@@ -50,179 +51,239 @@ func (ex *executor) buildFilter(f *logical.Filter) (Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	ev, err := newEvaluator(f.Cond, layoutOf(f.Input))
+	ev, err := newBatchEvaluator(f.Cond, layoutOf(f.Input))
 	if err != nil {
 		return nil, err
 	}
 	return &filterIter{in: in, cond: ev, m: ex.metrics}, nil
 }
 
-func (ex *executor) buildScan(s *logical.Scan, prune storage.Pruner) (Iterator, error) {
+func (ex *executor) buildScan(s *logical.Scan, prune storage.Pruner) (BatchIterator, error) {
 	parts, err := ex.store.ScanPartitions(s.Table.Name, s.ColNames, prune, &ex.metrics.Storage)
 	if err != nil {
 		return nil, err
 	}
-	return &scanIter{scan: s, parts: parts, m: ex.metrics}, nil
+	if ex.opts.Parallelism > 1 {
+		morsels := buildMorsels(parts, morselTarget(parts, ex.opts.BatchSize, ex.opts.Parallelism))
+		if len(morsels) > 1 {
+			it := newParallelScan(s.ColNames, morsels, ex.opts.BatchSize, ex.opts.Parallelism, ex.metrics)
+			ex.closers = append(ex.closers, it.close)
+			return it, nil
+		}
+	}
+	return &scanIter{cols: s.ColNames, parts: parts, batchSize: ex.opts.BatchSize, m: ex.metrics}, nil
 }
 
-// scanIter streams rows out of the selected partitions' column chunks,
-// decoding each value from the encoded chunk format (the engine's analogue
-// of Parquet decode work).
+// scanIter is the serial scan leaf: it decodes each partition's column
+// chunks in one pass (the batch analogue of Parquet decode work) and emits
+// zero-copy batch-sized windows over the decoded vectors.
 type scanIter struct {
-	scan  *logical.Scan
-	parts []*storage.Partition
-	m     *Metrics
+	cols      []string
+	parts     []*storage.Partition
+	batchSize int
+	m         *Metrics
 
 	part    int
-	rowIdx  int
-	readers []storage.ChunkReader
+	decoded [][]types.Value
+	rows    int
+	off     int
 }
 
-func (it *scanIter) Next() (Row, error) {
+func (it *scanIter) NextBatch() (*vec.Batch, error) {
 	for {
-		if it.part >= len(it.parts) {
-			return nil, nil
-		}
-		p := it.parts[it.part]
-		if it.readers == nil {
-			it.readers = make([]storage.ChunkReader, len(it.scan.ColNames))
-			for i, name := range it.scan.ColNames {
-				it.readers[i] = p.Chunk(name).NewReader()
+		if it.decoded == nil {
+			if it.part >= len(it.parts) {
+				return nil, nil
 			}
+			p := it.parts[it.part]
+			d, err := p.DecodeColumns(it.cols)
+			if err != nil {
+				return nil, err
+			}
+			it.decoded, it.rows, it.off = d, p.NumRows, 0
 		}
-		if it.rowIdx >= p.NumRows {
+		if it.off >= it.rows {
+			it.decoded = nil
 			it.part++
-			it.rowIdx = 0
-			it.readers = nil
 			continue
 		}
-		row := make(Row, len(it.readers))
-		for i := range it.readers {
-			row[i] = it.readers[i].Next()
+		hi := it.off + it.batchSize
+		if hi > it.rows {
+			hi = it.rows
 		}
-		it.rowIdx++
-		it.m.addProcessed(1)
-		return row, nil
+		cols := make([][]types.Value, len(it.decoded))
+		for c := range it.decoded {
+			cols[c] = it.decoded[c][it.off:hi]
+		}
+		n := hi - it.off
+		it.off = hi
+		it.m.addProcessed(int64(n))
+		return vec.NewDense(cols, n), nil
 	}
 }
 
+// filterIter qualifies rows by building a selection vector over its input
+// batches — survivors are never materialized here, only marked.
 type filterIter struct {
-	in   Iterator
-	cond *evaluator
+	in   BatchIterator
+	cond *batchEvaluator
 	m    *Metrics
 }
 
-func (it *filterIter) Next() (Row, error) {
+func (it *filterIter) NextBatch() (*vec.Batch, error) {
 	for {
-		row, err := it.in.Next()
-		if row == nil || err != nil {
+		b, err := it.in.NextBatch()
+		if b == nil || err != nil {
 			return nil, err
 		}
-		it.m.addProcessed(1)
-		if it.cond.eval(row).IsTrue() {
-			return row, nil
+		n := b.Len()
+		it.m.addProcessed(int64(n))
+		vals := it.cond.eval(b)
+		sel := make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			if vals[i].IsTrue() {
+				sel = append(sel, b.RowIdx(i))
+			}
+		}
+		switch {
+		case len(sel) == 0:
+			continue
+		case len(sel) == n && b.Sel == nil:
+			return b, nil
+		default:
+			return b.WithSel(sel), nil
 		}
 	}
 }
 
-func (ex *executor) buildProject(p *logical.Project) (Iterator, error) {
+func (ex *executor) buildProject(p *logical.Project) (BatchIterator, error) {
 	in, err := ex.build(p.Input)
 	if err != nil {
 		return nil, err
 	}
 	layout := layoutOf(p.Input)
-	evs := make([]*evaluator, len(p.Cols))
+	evs := make([]batchFn, len(p.Cols))
 	for i, a := range p.Cols {
-		ev, err := newEvaluator(a.E, layout)
+		fn, err := compileBatchExpr(a.E, layout)
 		if err != nil {
 			return nil, err
 		}
-		evs[i] = ev
+		evs[i] = fn
 	}
 	return &projectIter{in: in, evs: evs, m: ex.metrics}, nil
 }
 
+// projectIter evaluates each output expression vector-wise over the active
+// rows, producing a dense batch (projection is the materialization point
+// where upstream selections compact away).
 type projectIter struct {
-	in  Iterator
-	evs []*evaluator
+	in  BatchIterator
+	evs []batchFn
 	m   *Metrics
 }
 
-func (it *projectIter) Next() (Row, error) {
-	row, err := it.in.Next()
-	if row == nil || err != nil {
+func (it *projectIter) NextBatch() (*vec.Batch, error) {
+	b, err := it.in.NextBatch()
+	if b == nil || err != nil {
 		return nil, err
 	}
-	it.m.addProcessed(1)
-	out := make(Row, len(it.evs))
-	for i, ev := range it.evs {
-		out[i] = ev.eval(row)
+	n := b.Len()
+	it.m.addProcessed(int64(n))
+	cols := make([][]types.Value, len(it.evs))
+	for i, fn := range it.evs {
+		out := make([]types.Value, n)
+		fn(b, out)
+		cols[i] = out
 	}
-	return out, nil
+	return vec.NewDense(cols, n), nil
 }
 
 type valuesIter struct {
-	rows [][]types.Value
-	idx  int
+	rows      [][]types.Value
+	width     int
+	batchSize int
+	idx       int
 }
 
-func (it *valuesIter) Next() (Row, error) {
+func (it *valuesIter) NextBatch() (*vec.Batch, error) {
 	if it.idx >= len(it.rows) {
 		return nil, nil
 	}
-	r := it.rows[it.idx]
-	it.idx++
-	return r, nil
+	bl := vec.NewBuilder(it.width, it.batchSize)
+	for it.idx < len(it.rows) && !bl.Full() {
+		bl.Append(it.rows[it.idx])
+		it.idx++
+	}
+	return bl.Flush(), nil
 }
 
 type limitIter struct {
-	in        Iterator
+	in        BatchIterator
 	remaining int64
 }
 
-func (it *limitIter) Next() (Row, error) {
+func (it *limitIter) NextBatch() (*vec.Batch, error) {
 	if it.remaining <= 0 {
 		return nil, nil
 	}
-	row, err := it.in.Next()
-	if row == nil || err != nil {
+	b, err := it.in.NextBatch()
+	if b == nil || err != nil {
 		return nil, err
 	}
-	it.remaining--
-	return row, nil
+	n := int64(b.Len())
+	if n <= it.remaining {
+		it.remaining -= n
+		return b, nil
+	}
+	// Trim the batch to the first remaining active rows.
+	sel := make([]int, it.remaining)
+	for i := range sel {
+		sel[i] = b.RowIdx(i)
+	}
+	it.remaining = 0
+	return b.WithSel(sel), nil
 }
 
 // esrIter enforces the single-row contract of scalar subqueries: exactly
 // one output row, NULL-extended when the input is empty, an error when the
 // input has more than one row.
 type esrIter struct {
-	in    Iterator
+	in    BatchIterator
 	width int
 	done  bool
 }
 
-func (it *esrIter) Next() (Row, error) {
+func (it *esrIter) NextBatch() (*vec.Batch, error) {
 	if it.done {
 		return nil, nil
 	}
 	it.done = true
-	first, err := it.in.Next()
-	if err != nil {
-		return nil, err
+	var first Row
+	for {
+		b, err := it.in.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		n := b.Len()
+		if n == 0 {
+			continue
+		}
+		if first != nil || n > 1 {
+			return nil, errTooManyRows
+		}
+		first = make(Row, it.width)
+		b.Gather(0, first)
 	}
 	if first == nil {
-		row := make(Row, it.width)
-		for i := range row {
-			row[i] = types.Unknown()
+		first = make(Row, it.width)
+		for i := range first {
+			first[i] = types.Unknown()
 		}
-		return row, nil
 	}
-	second, err := it.in.Next()
-	if err != nil {
-		return nil, err
-	}
-	if second != nil {
-		return nil, errTooManyRows
-	}
-	return first, nil
+	bl := vec.NewBuilder(it.width, 1)
+	bl.Append(first)
+	return bl.Flush(), nil
 }

@@ -6,19 +6,20 @@ import (
 	"repro/internal/logical"
 	"repro/internal/storage"
 	"repro/internal/types"
+	"repro/internal/vec"
 )
 
 // spoolState is the shared materialization of one spool group: the
 // producer's rows encoded into a RowBuffer (write cost paid once), replayed
 // by every consumer (read cost paid per consumer).
 type spoolState struct {
-	producer Iterator
+	producer BatchIterator
 	kinds    []types.Kind
 	buf      *storage.RowBuffer
 	done     bool
 }
 
-func (ex *executor) buildSpool(s *logical.Spool) (Iterator, error) {
+func (ex *executor) buildSpool(s *logical.Spool) (BatchIterator, error) {
 	if ex.spools == nil {
 		ex.spools = map[int]*spoolState{}
 	}
@@ -33,26 +34,31 @@ func (ex *executor) buildSpool(s *logical.Spool) (Iterator, error) {
 		}
 		ex.spools[s.ID] = &spoolState{producer: in, kinds: kinds}
 	}
-	return &spoolIter{ex: ex, id: s.ID}, nil
+	return &spoolIter{ex: ex, id: s.ID, width: len(s.Cols), batchSize: ex.opts.BatchSize}, nil
 }
 
-// materialize drains the producer into the encoded buffer.
+// materialize drains the producer into the encoded buffer batch-at-a-time.
 func (st *spoolState) materialize(m *Metrics) error {
 	if st.done {
 		return nil
 	}
 	st.buf = storage.NewRowBuffer(st.kinds)
+	row := make(Row, len(st.kinds))
 	for {
-		row, err := st.producer.Next()
+		b, err := st.producer.NextBatch()
 		if err != nil {
 			return err
 		}
-		if row == nil {
+		if b == nil {
 			break
 		}
-		m.addProcessed(1)
-		m.addHashRows(1) // materialized state is held in memory/disk
-		st.buf.Append(row)
+		n := b.Len()
+		m.addProcessed(int64(n))
+		m.addHashRows(int64(n)) // materialized state is held in memory/disk
+		for i := 0; i < n; i++ {
+			b.Gather(i, row)
+			st.buf.Append(row)
+		}
 	}
 	st.buf.Seal()
 	m.addSpoolWritten(st.buf.Bytes())
@@ -60,15 +66,17 @@ func (st *spoolState) materialize(m *Metrics) error {
 	return nil
 }
 
-// spoolIter replays a spool group's materialized rows. The first Next()
-// call of the first consumer triggers materialization.
+// spoolIter replays a spool group's materialized rows in batches. The first
+// NextBatch() call of the first consumer triggers materialization.
 type spoolIter struct {
-	ex     *executor
-	id     int
-	reader *storage.RowReader
+	ex        *executor
+	id        int
+	width     int
+	batchSize int
+	reader    *storage.RowReader
 }
 
-func (it *spoolIter) Next() (Row, error) {
+func (it *spoolIter) NextBatch() (*vec.Batch, error) {
 	if it.reader == nil {
 		st := it.ex.spools[it.id]
 		if st == nil {
@@ -80,10 +88,16 @@ func (it *spoolIter) Next() (Row, error) {
 		it.ex.metrics.addSpoolRead(st.buf.Bytes())
 		it.reader = st.buf.NewReader()
 	}
-	row := it.reader.Next()
-	if row == nil {
-		return nil, nil
+	bl := vec.NewBuilder(it.width, it.batchSize)
+	for !bl.Full() {
+		row := it.reader.Next()
+		if row == nil {
+			break
+		}
+		bl.Append(row)
 	}
-	it.ex.metrics.addProcessed(1)
-	return row, nil
+	if n := bl.Len(); n > 0 {
+		it.ex.metrics.addProcessed(int64(n))
+	}
+	return bl.Flush(), nil
 }

@@ -1,0 +1,76 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// DecodeAll must produce exactly the sequence the streaming reader yields.
+func TestDecodeAllMatchesReader(t *testing.T) {
+	vals := []types.Value{
+		types.Int(1), types.Int(-7), types.NullOf(types.KindInt64),
+		types.Int(1 << 40), types.Int(0),
+	}
+	chunk := &ColumnChunk{Kind: types.KindInt64, Count: len(vals)}
+	for _, v := range vals {
+		chunk.Data = appendValue(chunk.Data, v)
+	}
+	chunk.Data = transform(chunk.Data)
+
+	got := chunk.DecodeAll(nil)
+	if len(got) != len(vals) {
+		t.Fatalf("decoded %d values, want %d", len(got), len(vals))
+	}
+	r := chunk.NewReader()
+	for i := range vals {
+		want := r.Next()
+		if !got[i].Equal(want) {
+			t.Errorf("value %d: DecodeAll=%v reader=%v", i, got[i], want)
+		}
+	}
+
+	// Appending into a partially-filled destination keeps the prefix.
+	pre := []types.Value{types.String("sentinel")}
+	combined := chunk.DecodeAll(pre)
+	if len(combined) != 1+len(vals) || combined[0].S != "sentinel" {
+		t.Fatalf("DecodeAll clobbered destination prefix: %v", combined)
+	}
+}
+
+func TestDecodeColumns(t *testing.T) {
+	st := NewStore(testCatalog())
+	rows := [][]types.Value{
+		{types.Int(1), types.String("one"), types.Int(10)},
+		{types.Int(2), types.String("two"), types.Int(10)},
+		{types.Int(3), types.String("three"), types.Int(10)},
+	}
+	if err := st.Load("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	parts, err := st.ScanPartitions("t", []string{"b", "a"}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 1 {
+		t.Fatalf("partitions = %d", len(parts))
+	}
+	cols, err := parts[0].DecodeColumns([]string{"b", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 || len(cols[0]) != 3 || len(cols[1]) != 3 {
+		t.Fatalf("unexpected shape: %d cols", len(cols))
+	}
+	for i, want := range []string{"one", "two", "three"} {
+		if cols[0][i].S != want {
+			t.Errorf("b[%d] = %v, want %s", i, cols[0][i], want)
+		}
+		if cols[1][i].I != int64(i+1) {
+			t.Errorf("a[%d] = %v", i, cols[1][i])
+		}
+	}
+	if _, err := parts[0].DecodeColumns([]string{"zzz"}); err == nil {
+		t.Error("unknown column accepted")
+	}
+}

@@ -59,6 +59,24 @@ func transform(data []byte) []byte {
 	return out
 }
 
+// DecodeAll reverses the storage transform once and decodes every value of
+// the chunk in a single tight pass, appending onto dst (which may be nil).
+// This is the batch analogue of NewReader+Next: the transform and the
+// decode loop each touch the chunk exactly once, instead of paying reader
+// dispatch per value.
+func (c *ColumnChunk) DecodeAll(dst []types.Value) []types.Value {
+	if cap(dst)-len(dst) < c.Count {
+		grown := make([]types.Value, len(dst), len(dst)+c.Count)
+		copy(grown, dst)
+		dst = grown
+	}
+	r := ChunkReader{kind: c.Kind, data: transform(c.Data)}
+	for i := 0; i < c.Count; i++ {
+		dst = append(dst, r.Next())
+	}
+	return dst
+}
+
 // ChunkReader sequentially decodes a column chunk.
 type ChunkReader struct {
 	kind types.Kind

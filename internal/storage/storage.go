@@ -41,6 +41,21 @@ type Partition struct {
 // Chunk returns the named column's chunk.
 func (p *Partition) Chunk(col string) *ColumnChunk { return p.chunks[col] }
 
+// DecodeColumns decodes the named column chunks of the partition, one
+// one-pass DecodeAll per chunk, returning column vectors of NumRows values.
+// It is the unit of work a morsel-scan worker performs per partition.
+func (p *Partition) DecodeColumns(cols []string) ([][]types.Value, error) {
+	out := make([][]types.Value, len(cols))
+	for i, name := range cols {
+		chunk := p.chunks[name]
+		if chunk == nil {
+			return nil, fmt.Errorf("storage: partition has no column %q", name)
+		}
+		out[i] = chunk.DecodeAll(make([]types.Value, 0, chunk.Count))
+	}
+	return out, nil
+}
+
 // TableData is the stored form of one table.
 type TableData struct {
 	Table      *catalog.Table

@@ -1,0 +1,121 @@
+// Package vec defines the columnar batch representation shared by the
+// storage layer and the vectorized executor. A Batch is a set of column
+// vectors plus an optional selection vector: filters qualify rows by
+// shrinking the selection instead of materializing survivors, so a
+// predicate's cost is one pass over a column, not one virtual call per row
+// (the push/pull fusion literature's argument against tuple-at-a-time
+// interpretation, applied to this engine).
+package vec
+
+import "repro/internal/types"
+
+// Batch is a columnar slice of rows. Cols[c][r] is the value of column c at
+// physical row r; N is the physical row count. Sel, when non-nil, lists the
+// physical indices of the active rows in output order — rows outside Sel
+// are dead (filtered out) but not compacted away.
+type Batch struct {
+	Cols [][]types.Value
+	Sel  []int
+	N    int
+}
+
+// NewDense wraps column vectors of n rows into a batch with all rows active.
+func NewDense(cols [][]types.Value, n int) *Batch {
+	return &Batch{Cols: cols, N: n}
+}
+
+// Len returns the number of active rows.
+func (b *Batch) Len() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.N
+}
+
+// Width returns the number of columns.
+func (b *Batch) Width() int { return len(b.Cols) }
+
+// RowIdx maps the i-th active row to its physical index.
+func (b *Batch) RowIdx(i int) int {
+	if b.Sel != nil {
+		return b.Sel[i]
+	}
+	return i
+}
+
+// Value returns column c at active row i.
+func (b *Batch) Value(c, i int) types.Value {
+	return b.Cols[c][b.RowIdx(i)]
+}
+
+// Gather copies active row i into dst, which must have at least Width
+// values.
+func (b *Batch) Gather(i int, dst []types.Value) {
+	r := b.RowIdx(i)
+	for c := range b.Cols {
+		dst[c] = b.Cols[c][r]
+	}
+}
+
+// WithSel returns a batch sharing this batch's columns but with the given
+// selection (physical row indices, in output order).
+func (b *Batch) WithSel(sel []int) *Batch {
+	return &Batch{Cols: b.Cols, Sel: sel, N: b.N}
+}
+
+// Builder accumulates row-major appends into columnar batches of a target
+// size. Operators that inherently produce rows (join outputs, group
+// results) use it to re-columnarize without a second copy.
+type Builder struct {
+	width  int
+	target int
+	n      int
+	cols   [][]types.Value
+}
+
+// NewBuilder creates a builder for rows of the given width; Flush returns
+// batches and Full reports when target rows have accumulated.
+func NewBuilder(width, target int) *Builder {
+	if target <= 0 {
+		target = 1
+	}
+	return &Builder{width: width, target: target}
+}
+
+func (bl *Builder) ensure() {
+	if bl.cols == nil {
+		bl.cols = make([][]types.Value, bl.width)
+		for c := range bl.cols {
+			bl.cols[c] = make([]types.Value, 0, bl.target)
+		}
+	}
+}
+
+// Append copies one row into the builder.
+func (bl *Builder) Append(row []types.Value) {
+	bl.ensure()
+	for c := range bl.cols {
+		bl.cols[c] = append(bl.cols[c], row[c])
+	}
+	bl.n++
+}
+
+// Len returns the number of buffered rows.
+func (bl *Builder) Len() int { return bl.n }
+
+// Full reports whether the builder holds at least the target row count.
+func (bl *Builder) Full() bool { return bl.Len() >= bl.target }
+
+// Flush returns the buffered rows as a dense batch (nil when empty) and
+// resets the builder.
+func (bl *Builder) Flush() *Batch {
+	n := bl.Len()
+	if n == 0 {
+		return nil
+	}
+	bl.ensure() // width-0 rows still need a non-nil column set
+	b := NewDense(bl.cols, n)
+	bl.cols = nil
+	bl.n = 0
+	return b
+}

@@ -1,0 +1,81 @@
+package vec
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func col(vals ...int64) []types.Value {
+	out := make([]types.Value, len(vals))
+	for i, v := range vals {
+		out[i] = types.Int(v)
+	}
+	return out
+}
+
+func TestBatchSelection(t *testing.T) {
+	b := NewDense([][]types.Value{col(10, 20, 30, 40), col(1, 2, 3, 4)}, 4)
+	if b.Len() != 4 || b.Width() != 2 {
+		t.Fatalf("dense batch: len=%d width=%d", b.Len(), b.Width())
+	}
+	if b.Value(0, 2).I != 30 {
+		t.Errorf("Value(0,2) = %v", b.Value(0, 2))
+	}
+
+	s := b.WithSel([]int{1, 3})
+	if s.Len() != 2 {
+		t.Fatalf("selected len = %d", s.Len())
+	}
+	if s.RowIdx(0) != 1 || s.RowIdx(1) != 3 {
+		t.Errorf("RowIdx: %d, %d", s.RowIdx(0), s.RowIdx(1))
+	}
+	if s.Value(0, 0).I != 20 || s.Value(0, 1).I != 40 {
+		t.Errorf("selected values: %v, %v", s.Value(0, 0), s.Value(0, 1))
+	}
+	row := make([]types.Value, 2)
+	s.Gather(1, row)
+	if row[0].I != 40 || row[1].I != 4 {
+		t.Errorf("gathered row: %v", row)
+	}
+	// The original batch is unchanged.
+	if b.Sel != nil || b.Len() != 4 {
+		t.Error("WithSel mutated the source batch")
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	bl := NewBuilder(1, 2)
+	if bl.Flush() != nil {
+		t.Error("empty builder should flush nil")
+	}
+	src := []types.Value{types.Int(7)}
+	bl.Append(src)
+	src[0] = types.Int(99) // Append must copy
+	bl.Append([]types.Value{types.Int(8)})
+	if !bl.Full() {
+		t.Error("builder should be full at target")
+	}
+	b := bl.Flush()
+	if b == nil || b.Len() != 2 {
+		t.Fatalf("flushed batch: %+v", b)
+	}
+	if b.Value(0, 0).I != 7 || b.Value(0, 1).I != 8 {
+		t.Errorf("values: %v, %v", b.Value(0, 0), b.Value(0, 1))
+	}
+	// Builder is reusable after Flush.
+	if bl.Len() != 0 || bl.Full() {
+		t.Error("Flush did not reset builder")
+	}
+}
+
+// Zero-width rows (e.g. COUNT(*) over a pruned-away schema) still count.
+func TestBuilderZeroWidth(t *testing.T) {
+	bl := NewBuilder(0, 4)
+	bl.Append(nil)
+	bl.Append(nil)
+	b := bl.Flush()
+	if b == nil || b.Len() != 2 || b.Width() != 0 {
+		t.Fatalf("zero-width batch: %+v", b)
+	}
+}
