@@ -30,13 +30,22 @@ func main() {
 		qlist  = flag.String("q", "", "comma-separated query names (default: whole workload)")
 
 		execOut     = flag.String("exec", "", "write a row-at-a-time vs vectorized execution comparison to this JSON file and exit")
-		parallelism = flag.Int("parallelism", 4, "scan workers for the vectorized side of -exec")
-		batchSize   = flag.Int("batch", 1024, "rows per batch for the vectorized side of -exec")
+		aggOut      = flag.String("agg", "", "write a serial vs partition-wise parallel aggregation comparison to this JSON file and exit")
+		parallelism = flag.Int("parallelism", 4, "workers for the parallel side of -exec/-agg")
+		batchSize   = flag.Int("batch", 1024, "rows per batch for the parallel side of -exec/-agg")
 	)
 	flag.Parse()
 
 	if *execOut != "" {
 		runExecComparison(*execOut, bench.ExecOptions{
+			Scale: *scale, Seed: *seed, Iterations: *iters,
+			Parallelism: *parallelism, BatchSize: *batchSize,
+			Queries: splitList(*qlist),
+		})
+		return
+	}
+	if *aggOut != "" {
+		runAggComparison(*aggOut, bench.AggOptions{
 			Scale: *scale, Seed: *seed, Iterations: *iters,
 			Parallelism: *parallelism, BatchSize: *batchSize,
 			Queries: splitList(*qlist),
@@ -79,6 +88,30 @@ func runExecComparison(path string, opts bench.ExecOptions) {
 	fmt.Fprintf(os.Stderr, "generating TPC-DS data at scale %.2f and comparing execution models on %s...\n",
 		opts.Scale, queriesLabel(opts.Queries))
 	cmp, err := bench.RunExecComparison(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := cmp.WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	cmp.WriteTable(os.Stdout)
+}
+
+func runAggComparison(path string, opts bench.AggOptions) {
+	if len(opts.Queries) == 0 {
+		opts.Queries = bench.DefaultAggQueries
+	}
+	fmt.Fprintf(os.Stderr, "generating TPC-DS data at scale %.2f and comparing aggregation parallelism on %s...\n",
+		opts.Scale, queriesLabel(opts.Queries))
+	cmp, err := bench.RunAggComparison(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)

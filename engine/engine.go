@@ -80,10 +80,13 @@ type Config struct {
 	// whatever duplication the fusion rules could not remove — the paper's
 	// stated roadmap.
 	EnableSpooling bool
-	// Parallelism is the number of workers used by morsel-parallel scan
-	// leaves. <= 0 means GOMAXPROCS; 1 forces serial scans. Results are
-	// bit-for-bit identical at every setting — morsels are delivered to the
-	// rest of the plan in partition order.
+	// Parallelism is the number of workers shared by every parallel
+	// execution stage: morsel-parallel scan leaves, partition-wise parallel
+	// aggregation, and parallel hash-join builds all draw slots from one
+	// bounded pool of this size. <= 0 means GOMAXPROCS; 1 forces fully
+	// serial execution. Results are bit-for-bit identical at every setting:
+	// morsels are delivered in partition order, and partitioned operators
+	// merge their per-worker state back in the serial engine's order.
 	Parallelism int
 	// BatchSize is the number of rows per execution batch. <= 0 means the
 	// default (1024); 1 degenerates to row-at-a-time execution, which is

@@ -66,19 +66,28 @@ func TestVectorizedRowAtATimeEquivalence(t *testing.T) {
 	}
 }
 
-// TestConcurrentVectorizedQueries stresses the parallel scan path: many
-// goroutines share one store through separate fused engines, each running
-// morsel-parallel scans, and every result must match the serial answer
-// (run under -race on CI).
+// TestConcurrentVectorizedQueries stresses the parallel execution paths:
+// many goroutines share one store through separate fused engines — with
+// different parallelism and batch-size settings, so morsel-parallel scans,
+// partition-wise parallel aggregation and parallel join builds all run at
+// once — and every result must match the serial answer (run under -race on
+// CI).
 func TestConcurrentVectorizedQueries(t *testing.T) {
 	st, err := tpcds.NewLoadedStore(0.02, 42)
 	if err != nil {
 		t.Fatal(err)
 	}
 	serial := OpenWithStore(st, Config{EnableFusion: true, Parallelism: 1, BatchSize: 1})
-	parallel := OpenWithStore(st, Config{EnableFusion: true, Parallelism: 4})
+	engines := []*Engine{
+		OpenWithStore(st, Config{EnableFusion: true, Parallelism: 4}),
+		OpenWithStore(st, Config{EnableFusion: true, Parallelism: 8, BatchSize: 64}),
+		OpenWithStore(st, Config{EnableFusion: true, Parallelism: 3, BatchSize: 7}),
+	}
 
-	queries := []string{"q65", "q09", "q28"}
+	// Scan-heavy (q09, q28), join+agg (q65, f18), multi-key aggregation with
+	// HAVING (f26) and COUNT(DISTINCT) (f11) — the operators that now run
+	// partitioned in parallel.
+	queries := []string{"q65", "q09", "q28", "f18", "f26", "f11"}
 	want := make(map[string]string, len(queries))
 	for _, name := range queries {
 		q, ok := tpcds.Get(name)
@@ -92,14 +101,15 @@ func TestConcurrentVectorizedQueries(t *testing.T) {
 		want[name] = exactRows(res.Rows)
 	}
 
-	const workers = 8
+	const workers = 12
 	errs := make(chan error, workers)
 	for w := 0; w < workers; w++ {
 		w := w
 		go func() {
 			name := queries[w%len(queries)]
+			eng := engines[w%len(engines)]
 			q, _ := tpcds.Get(name)
-			res, err := parallel.Query(q.SQL)
+			res, err := eng.Query(q.SQL)
 			if err != nil {
 				errs <- fmt.Errorf("%s: %w", name, err)
 				return

@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/engine"
+	"repro/internal/tpcds"
+)
+
+// AggOptions configures the aggregation-parallelism comparison: an
+// aggregation- and join-heavy slice of the workload run once serially
+// ({Parallelism:1, BatchSize:1}) and once with the partition-wise parallel
+// aggregation and parallel join build enabled.
+type AggOptions struct {
+	Scale       float64
+	Seed        int64
+	Iterations  int
+	Parallelism int
+	BatchSize   int
+	Queries     []string
+}
+
+// DefaultAggQueries is the aggregation-heavy slice of the workload: scalar
+// statistics, keyed and multi-key rollups, COUNT(DISTINCT), and join+agg
+// shapes — the operators the partition-wise parallel paths accelerate.
+var DefaultAggQueries = []string{
+	"q09", "q23", "q28", "q65", "f01", "f11", "f14", "f17", "f22", "f26",
+}
+
+// DefaultAggOptions mirrors DefaultExecOptions but targets the aggregation
+// slice with the full parallel configuration.
+func DefaultAggOptions() AggOptions {
+	return AggOptions{
+		Scale: 1.0, Seed: 42, Iterations: 3,
+		Parallelism: 8, BatchSize: 1024,
+		Queries: DefaultAggQueries,
+	}
+}
+
+// AggQueryReport compares one query between serial and parallel execution.
+type AggQueryReport struct {
+	Name    string `json:"name"`
+	Pattern string `json:"pattern"`
+	// Latencies are the minimum over the run's iterations, in milliseconds.
+	SerialMS   float64 `json:"serial_ms"`
+	ParallelMS float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+	// Identical is true when both configurations returned byte-identical
+	// rows in identical order.
+	Identical bool `json:"identical_results"`
+	// BytesScanned and RowsProcessed must match between configurations:
+	// the parallel partitioning must not change what work is accounted.
+	BytesScanned      int64 `json:"bytes_scanned"`
+	BytesScannedSame  bool  `json:"bytes_scanned_same"`
+	RowsProcessed     int64 `json:"rows_processed"`
+	RowsProcessedSame bool  `json:"rows_processed_same"`
+}
+
+// AggComparison is the BENCH_agg.json payload.
+type AggComparison struct {
+	Scale          float64          `json:"scale"`
+	Parallelism    int              `json:"parallelism"`
+	BatchSize      int              `json:"batch_size"`
+	Iterations     int              `json:"iterations"`
+	Queries        []AggQueryReport `json:"queries"`
+	OverallSpeedup float64          `json:"overall_speedup"`
+	MaxSpeedup     float64          `json:"max_speedup"`
+	AllIdentical   bool             `json:"all_identical"`
+}
+
+// RunAggComparison measures serial vs partition-wise parallel execution of
+// aggregation-heavy queries over one shared store with fusion enabled on
+// both sides, so the only difference between the two measurements is the
+// execution configuration the result contract says must be unobservable.
+func RunAggComparison(opts AggOptions) (*AggComparison, error) {
+	if opts.Iterations <= 0 {
+		opts.Iterations = 1
+	}
+	if opts.Scale <= 0 {
+		opts.Scale = 1.0
+	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = 8
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 1024
+	}
+	if len(opts.Queries) == 0 {
+		opts.Queries = DefaultAggQueries
+	}
+	st, err := tpcds.NewLoadedStore(opts.Scale, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	serial := engine.OpenWithStore(st, engine.Config{EnableFusion: true, Parallelism: 1, BatchSize: 1})
+	par := engine.OpenWithStore(st, engine.Config{
+		EnableFusion: true, Parallelism: opts.Parallelism, BatchSize: opts.BatchSize,
+	})
+
+	cmp := &AggComparison{
+		Scale: opts.Scale, Parallelism: opts.Parallelism,
+		BatchSize: opts.BatchSize, Iterations: opts.Iterations,
+		AllIdentical: true,
+	}
+	var serTotal, parTotal time.Duration
+	for _, name := range opts.Queries {
+		q, ok := tpcds.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown query %q", name)
+		}
+		qr := AggQueryReport{Name: q.Name, Pattern: q.Pattern}
+		var serRows, parRows string
+		var serBytes, parBytes, serProcessed, parProcessed int64
+		var serLat, parLat time.Duration
+		for i := 0; i < opts.Iterations; i++ {
+			res, err := serial.Query(q.SQL)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s (serial): %w", q.Name, err)
+			}
+			if i == 0 || res.Metrics.Elapsed < serLat {
+				serLat = res.Metrics.Elapsed
+			}
+			serRows = renderRows(res.Rows)
+			serBytes = res.Metrics.Storage.BytesScanned
+			serProcessed = res.Metrics.RowsProcessed
+		}
+		for i := 0; i < opts.Iterations; i++ {
+			res, err := par.Query(q.SQL)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s (parallel): %w", q.Name, err)
+			}
+			if i == 0 || res.Metrics.Elapsed < parLat {
+				parLat = res.Metrics.Elapsed
+			}
+			parRows = renderRows(res.Rows)
+			parBytes = res.Metrics.Storage.BytesScanned
+			parProcessed = res.Metrics.RowsProcessed
+		}
+		qr.SerialMS = float64(serLat) / float64(time.Millisecond)
+		qr.ParallelMS = float64(parLat) / float64(time.Millisecond)
+		if parLat > 0 {
+			qr.Speedup = float64(serLat) / float64(parLat)
+		}
+		qr.Identical = serRows == parRows
+		qr.BytesScanned = serBytes
+		qr.BytesScannedSame = serBytes == parBytes
+		qr.RowsProcessed = serProcessed
+		qr.RowsProcessedSame = serProcessed == parProcessed
+		if !qr.Identical || !qr.BytesScannedSame || !qr.RowsProcessedSame {
+			cmp.AllIdentical = false
+		}
+		if qr.Speedup > cmp.MaxSpeedup {
+			cmp.MaxSpeedup = qr.Speedup
+		}
+		serTotal += serLat
+		parTotal += parLat
+		cmp.Queries = append(cmp.Queries, qr)
+	}
+	if parTotal > 0 {
+		cmp.OverallSpeedup = float64(serTotal) / float64(parTotal)
+	}
+	return cmp, nil
+}
+
+// WriteJSON emits the comparison as indented JSON (the BENCH_agg.json
+// artifact).
+func (c *AggComparison) WriteJSON(out io.Writer) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// WriteTable renders a human-readable view of the comparison.
+func (c *AggComparison) WriteTable(out io.Writer) {
+	fmt.Fprintf(out, "Aggregation parallelism comparison (scale=%.2f, parallelism=%d, batch=%d)\n",
+		c.Scale, c.Parallelism, c.BatchSize)
+	fmt.Fprintln(out, "query | serial        | parallel   | speedup | identical")
+	fmt.Fprintln(out, "------+---------------+------------+---------+----------")
+	for _, q := range c.Queries {
+		fmt.Fprintf(out, "%-5s | %11.2fms | %8.2fms | %6.2fx | %v\n",
+			q.Name, q.SerialMS, q.ParallelMS, q.Speedup,
+			q.Identical && q.BytesScannedSame && q.RowsProcessedSame)
+	}
+	fmt.Fprintf(out, "overall speedup: %.2fx, max: %.2fx, all results identical: %v\n",
+		c.OverallSpeedup, c.MaxSpeedup, c.AllIdentical)
+}

@@ -3,6 +3,7 @@ package exec
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/expr"
 	"repro/internal/logical"
@@ -142,22 +143,6 @@ func (ca *compiledAggs) evalMasks(row Row) {
 	}
 }
 
-// feed accumulates one input row into the group's states, honouring masks
-// (evalMasks must have been called for the row).
-func feed(states []aggState, ca *compiledAggs, row Row) {
-	for i := range ca.aggs {
-		a := &ca.aggs[i]
-		if a.maskIdx >= 0 && !ca.results[a.maskIdx] {
-			continue
-		}
-		var v types.Value
-		if a.arg != nil {
-			v = a.arg.eval(row)
-		}
-		states[i].add(a.agg.Fn, v)
-	}
-}
-
 func (ex *executor) buildGroupBy(g *logical.GroupBy) (BatchIterator, error) {
 	in, err := ex.build(g.Input)
 	if err != nil {
@@ -172,6 +157,79 @@ func (ex *executor) buildGroupBy(g *logical.GroupBy) (BatchIterator, error) {
 		}
 		keyIdx[i] = idx
 	}
+	scalar := len(g.Keys) == 0
+	// Keyed aggregations partition across the worker pool: every group lives
+	// entirely in the shard its key hashes to, so shards need no
+	// coordination and the merged output is byte-identical to the serial
+	// order. Scalar aggregation stays serial — one group means one float
+	// accumulation order, which parallel partial sums would change.
+	if !scalar && ex.opts.Parallelism > 1 {
+		accs := make([]*groupAccumulator, ex.opts.Parallelism)
+		for p := range accs {
+			if accs[p], err = newGroupAccumulator(g, layout, keyIdx); err != nil {
+				return nil, err
+			}
+		}
+		return &parallelGroupByIter{
+			in: in, keyIdx: keyIdx, accs: accs, pool: ex.pool,
+			batchSize: ex.opts.BatchSize, m: ex.metrics,
+		}, nil
+	}
+	acc, err := newGroupAccumulator(g, layout, keyIdx)
+	if err != nil {
+		return nil, err
+	}
+	return &groupByIter{
+		in: in, acc: acc, scalar: scalar, batchSize: ex.opts.BatchSize, m: ex.metrics,
+	}, nil
+}
+
+func errUnbound(c *expr.Column) error {
+	return &unboundError{col: c}
+}
+
+type unboundError struct{ col *expr.Column }
+
+func (e *unboundError) Error() string {
+	return "exec: column " + e.col.String() + " not produced by input"
+}
+
+type group struct {
+	keyVals []types.Value
+	states  []aggState
+	// firstIdx is the global input row index of the group's first row. The
+	// serial accumulator discovers groups in ascending firstIdx order by
+	// construction; the parallel merge sorts shards back into that exact
+	// order, which is what keeps parallel output byte-identical.
+	firstIdx int64
+}
+
+// groupAccumulator is one hash-aggregation shard: a group table plus its own
+// compiled mask/argument evaluators (batch evaluators own scratch buffers
+// and must not be shared across goroutines). The serial aggregation uses a
+// single accumulator over every row; the parallel aggregation gives each
+// worker one accumulator and routes rows by key hash, so a given group's
+// rows always land in the same shard in global input order — per-group
+// accumulation (including float sums) is order-identical to serial.
+type groupAccumulator struct {
+	keyIdx  []int
+	aggs    *compiledAggs
+	maskEvs []*batchEvaluator
+	argEvs  []*batchEvaluator
+
+	groups map[string]*group
+	order  []*group // discovery order; ascending firstIdx within one shard
+	keyBuf strings.Builder
+	kv     []types.Value
+
+	// per-batch scratch
+	groupRow []*group
+	maskLog  [][]int
+	maskSub  []*vec.Batch
+	scalarG  *group
+}
+
+func newGroupAccumulator(g *logical.GroupBy, layout map[expr.ColumnID]int, keyIdx []int) (*groupAccumulator, error) {
 	aggs, err := compileAggs(g.Aggs, layout)
 	if err != nil {
 		return nil, err
@@ -190,46 +248,153 @@ func (ex *executor) buildGroupBy(g *logical.GroupBy) (BatchIterator, error) {
 			return nil, err
 		}
 	}
-	return &groupByIter{
-		in: in, keyIdx: keyIdx, aggs: aggs, maskEvs: maskEvs, argEvs: argEvs,
-		scalar: len(g.Keys) == 0, batchSize: ex.opts.BatchSize, m: ex.metrics,
+	return &groupAccumulator{
+		keyIdx: keyIdx, aggs: aggs, maskEvs: maskEvs, argEvs: argEvs,
+		groups:  make(map[string]*group),
+		kv:      make([]types.Value, len(keyIdx)),
+		maskLog: make([][]int, len(maskEvs)),
+		maskSub: make([]*vec.Batch, len(maskEvs)),
 	}, nil
 }
 
-func errUnbound(c *expr.Column) error {
-	return &unboundError{col: c}
+// consumeBatch accumulates one batch into the shard. base+log[i] is the
+// global input row index of the batch's i-th active row (log nil means the
+// identity mapping, i.e. the batch holds consecutive input rows starting at
+// base); it pins each new group's firstIdx for the deterministic merge.
+func (ga *groupAccumulator) consumeBatch(b *vec.Batch, base int64, log []int) {
+	n := b.Len()
+	if n == 0 {
+		return
+	}
+	// Group assignment per row (accumulation order below stays row-major
+	// per group, so float sums match the row engine bit-for-bit).
+	scalar := len(ga.keyIdx) == 0
+	if cap(ga.groupRow) < n {
+		ga.groupRow = make([]*group, n)
+	}
+	groupRow := ga.groupRow[:n]
+	if scalar {
+		if ga.scalarG == nil {
+			ga.scalarG = &group{states: make([]aggState, len(ga.aggs.aggs))}
+			ga.groups[""] = ga.scalarG
+			ga.order = append(ga.order, ga.scalarG)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			for k, idx := range ga.keyIdx {
+				ga.kv[k] = b.Value(idx, i)
+			}
+			key := encodeKey(&ga.keyBuf, ga.kv)
+			g, ok := ga.groups[key]
+			if !ok {
+				idx := int64(i)
+				if log != nil {
+					idx = int64(log[i])
+				}
+				g = &group{
+					keyVals:  append([]types.Value{}, ga.kv...),
+					states:   make([]aggState, len(ga.aggs.aggs)),
+					firstIdx: base + idx,
+				}
+				ga.groups[key] = g
+				ga.order = append(ga.order, g)
+			}
+			groupRow[i] = g
+		}
+	}
+
+	// Masks become selection vectors, shared by every aggregate that
+	// carries the same FILTER expression.
+	for mi, ev := range ga.maskEvs {
+		vals := ev.eval(b)
+		mlog := ga.maskLog[mi][:0]
+		var phys []int
+		for i := 0; i < n; i++ {
+			if vals[i].IsTrue() {
+				mlog = append(mlog, i)
+				phys = append(phys, b.RowIdx(i))
+			}
+		}
+		ga.maskLog[mi] = mlog
+		ga.maskSub[mi] = b.WithSel(phys)
+	}
+
+	// Tight accumulation loop per aggregate.
+	for ai := range ga.aggs.aggs {
+		a := &ga.aggs.aggs[ai]
+		sub, mlog := b, []int(nil)
+		if a.maskIdx >= 0 {
+			sub, mlog = ga.maskSub[a.maskIdx], ga.maskLog[a.maskIdx]
+			if len(mlog) == 0 {
+				continue
+			}
+		}
+		count := sub.Len()
+		var vals []types.Value
+		if ga.argEvs[ai] != nil {
+			vals = ga.argEvs[ai].eval(sub)
+		}
+		fn := a.agg.Fn
+		if scalar {
+			st := &ga.scalarG.states[ai]
+			if vals == nil {
+				for j := 0; j < count; j++ {
+					st.add(fn, types.Value{})
+				}
+			} else {
+				for j := range vals {
+					st.add(fn, vals[j])
+				}
+			}
+		} else {
+			for j := 0; j < count; j++ {
+				li := j
+				if mlog != nil {
+					li = mlog[j]
+				}
+				var v types.Value
+				if vals != nil {
+					v = vals[j]
+				}
+				groupRow[li].states[ai].add(fn, v)
+			}
+		}
+	}
 }
 
-type unboundError struct{ col *expr.Column }
-
-func (e *unboundError) Error() string {
-	return "exec: column " + e.col.String() + " not produced by input"
+// emitGroups renders groups into output batches; shared by the serial and
+// parallel aggregation iterators so both produce identical batch shapes.
+func emitGroups(groups []*group, emit *int, keyWidth int, aggs []compiledAgg, batchSize int) *vec.Batch {
+	if *emit >= len(groups) {
+		return nil
+	}
+	width := keyWidth + len(aggs)
+	bl := vec.NewBuilder(width, batchSize)
+	out := make(Row, width)
+	for *emit < len(groups) && !bl.Full() {
+		g := groups[*emit]
+		*emit++
+		copy(out, g.keyVals)
+		for i := range aggs {
+			out[keyWidth+i] = g.states[i].result(aggs[i].agg)
+		}
+		bl.Append(out)
+	}
+	return bl.Flush()
 }
 
 // groupByIter is a blocking hash aggregation with per-aggregate masks
-// (§III.E). Input batches are consumed row-group-wise through a gathered
-// scratch row; group keys are compared SQL-DISTINCT-style: NULLs group
-// together.
+// (§III.E), run serially through a single accumulator. Group keys are
+// compared SQL-DISTINCT-style: NULLs group together.
 type groupByIter struct {
 	in        BatchIterator
-	keyIdx    []int
-	aggs      *compiledAggs
-	maskEvs   []*batchEvaluator
-	argEvs    []*batchEvaluator
+	acc       *groupAccumulator
 	scalar    bool
 	batchSize int
 	m         *Metrics
 
-	built  bool
-	keys   []string // insertion order for deterministic output
-	groups map[string]*group
-	emit   int
-	keyBuf strings.Builder
-}
-
-type group struct {
-	keyVals []types.Value
-	states  []aggState
+	built bool
+	emit  int
 }
 
 func (it *groupByIter) NextBatch() (*vec.Batch, error) {
@@ -238,34 +403,11 @@ func (it *groupByIter) NextBatch() (*vec.Batch, error) {
 			return nil, err
 		}
 	}
-	if it.emit >= len(it.keys) {
-		return nil, nil
-	}
-	width := len(it.keyIdx) + len(it.aggs.aggs)
-	bl := vec.NewBuilder(width, it.batchSize)
-	out := make(Row, width)
-	for it.emit < len(it.keys) && !bl.Full() {
-		g := it.groups[it.keys[it.emit]]
-		it.emit++
-		copy(out, g.keyVals)
-		for i := range it.aggs.aggs {
-			out[len(it.keyIdx)+i] = g.states[i].result(it.aggs.aggs[i].agg)
-		}
-		bl.Append(out)
-	}
-	return bl.Flush(), nil
+	return emitGroups(it.acc.order, &it.emit, len(it.acc.keyIdx), it.acc.aggs.aggs, it.batchSize), nil
 }
 
 func (it *groupByIter) consume() error {
-	it.groups = make(map[string]*group)
-	kv := make([]types.Value, len(it.keyIdx))
-	var scalarGroup *group
-	var groupRow []*group
-	// Per mask, the logical positions that pass and the sub-batch holding
-	// exactly those rows (so masked aggregate arguments are evaluated only
-	// where the old row engine would have evaluated them).
-	maskLog := make([][]int, len(it.maskEvs))
-	maskSub := make([]*vec.Batch, len(it.maskEvs))
+	var base int64
 	for {
 		b, err := it.in.NextBatch()
 		if err != nil {
@@ -279,102 +421,130 @@ func (it *groupByIter) consume() error {
 			continue
 		}
 		it.m.addProcessed(int64(n))
-
-		// Group assignment per row (accumulation order below stays row-major
-		// per group, so float sums match the row engine bit-for-bit).
-		newGroups := 0
-		if it.scalar {
-			if scalarGroup == nil {
-				scalarGroup = &group{states: make([]aggState, len(it.aggs.aggs))}
-				it.groups[""] = scalarGroup
-				it.keys = append(it.keys, "")
-				newGroups++
-			}
-		} else {
-			if cap(groupRow) < n {
-				groupRow = make([]*group, n)
-			}
-			groupRow = groupRow[:n]
-			for i := 0; i < n; i++ {
-				for k, idx := range it.keyIdx {
-					kv[k] = b.Value(idx, i)
-				}
-				key := encodeKey(&it.keyBuf, kv)
-				g, ok := it.groups[key]
-				if !ok {
-					g = &group{keyVals: append([]types.Value{}, kv...), states: make([]aggState, len(it.aggs.aggs))}
-					it.groups[key] = g
-					it.keys = append(it.keys, key)
-					newGroups++
-				}
-				groupRow[i] = g
-			}
-		}
-		it.m.addHashRows(int64(newGroups))
-
-		// Masks become selection vectors, shared by every aggregate that
-		// carries the same FILTER expression.
-		for mi, ev := range it.maskEvs {
-			vals := ev.eval(b)
-			log := maskLog[mi][:0]
-			var phys []int
-			for i := 0; i < n; i++ {
-				if vals[i].IsTrue() {
-					log = append(log, i)
-					phys = append(phys, b.RowIdx(i))
-				}
-			}
-			maskLog[mi] = log
-			maskSub[mi] = b.WithSel(phys)
-		}
-
-		// Tight accumulation loop per aggregate.
-		for ai := range it.aggs.aggs {
-			a := &it.aggs.aggs[ai]
-			sub, log := b, []int(nil)
-			if a.maskIdx >= 0 {
-				sub, log = maskSub[a.maskIdx], maskLog[a.maskIdx]
-				if len(log) == 0 {
-					continue
-				}
-			}
-			count := sub.Len()
-			var vals []types.Value
-			if it.argEvs[ai] != nil {
-				vals = it.argEvs[ai].eval(sub)
-			}
-			fn := a.agg.Fn
-			if it.scalar {
-				st := &scalarGroup.states[ai]
-				if vals == nil {
-					for j := 0; j < count; j++ {
-						st.add(fn, types.Value{})
-					}
-				} else {
-					for j := range vals {
-						st.add(fn, vals[j])
-					}
-				}
-			} else {
-				for j := 0; j < count; j++ {
-					li := j
-					if log != nil {
-						li = log[j]
-					}
-					var v types.Value
-					if vals != nil {
-						v = vals[j]
-					}
-					groupRow[li].states[ai].add(fn, v)
-				}
-			}
-		}
+		it.acc.consumeBatch(b, base, nil)
+		base += int64(n)
 	}
+	it.m.addHashRows(int64(len(it.acc.order)))
 	// A scalar aggregate over empty input still produces one default row.
-	if it.scalar && len(it.keys) == 0 {
-		it.keys = append(it.keys, "")
-		it.groups[""] = &group{states: make([]aggState, len(it.aggs.aggs))}
+	if it.scalar && len(it.acc.order) == 0 {
+		it.acc.order = append(it.acc.order, &group{states: make([]aggState, len(it.acc.aggs.aggs))})
 	}
+	it.built = true
+	return nil
+}
+
+// parallelGroupByIter is the partition-wise parallel aggregation: a reader
+// pulls input batches in order, hashes each row's group key with the vec
+// kernel, and broadcasts the batch to one worker per shard. Worker p
+// accumulates exactly the rows whose key hash maps to shard p, in global
+// input order, into its own accumulator. Because a group's rows all carry
+// the same key hash, each group is built by exactly one shard with the same
+// per-group accumulation order as the serial path; the final merge sorts
+// groups by first-occurrence index, reproducing serial output bytes.
+type parallelGroupByIter struct {
+	in        BatchIterator
+	keyIdx    []int
+	accs      []*groupAccumulator
+	pool      *workerPool
+	batchSize int
+	m         *Metrics
+
+	built  bool
+	merged []*group
+	emit   int
+}
+
+// aggTask is one input batch broadcast to every shard worker. hashes[i] is
+// the group-key hash of the batch's i-th active row; base is the global
+// input row index of the batch's first active row.
+type aggTask struct {
+	b      *vec.Batch
+	hashes []uint64
+	base   int64
+}
+
+func (it *parallelGroupByIter) NextBatch() (*vec.Batch, error) {
+	if !it.built {
+		if err := it.consume(); err != nil {
+			return nil, err
+		}
+	}
+	return emitGroups(it.merged, &it.emit, len(it.keyIdx), it.accs[0].aggs.aggs, it.batchSize), nil
+}
+
+func (it *parallelGroupByIter) consume() error {
+	shards := len(it.accs)
+	chans := make([]chan aggTask, shards)
+	var wg sync.WaitGroup
+	for p := 0; p < shards; p++ {
+		chans[p] = make(chan aggTask, 2)
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			acc := it.accs[p]
+			var log, phys []int
+			for task := range chans[p] {
+				// CPU work runs under a shared pool slot; the slot is never
+				// held while waiting on the channel, so stacked parallel
+				// operators cannot starve each other into deadlock.
+				it.pool.acquire()
+				n := task.b.Len()
+				log, phys = log[:0], phys[:0]
+				for i := 0; i < n; i++ {
+					if int(task.hashes[i]%uint64(shards)) == p {
+						log = append(log, i)
+						phys = append(phys, task.b.RowIdx(i))
+					}
+				}
+				if len(log) > 0 {
+					acc.consumeBatch(task.b.WithSel(phys), task.base, log)
+				}
+				it.pool.release()
+			}
+		}(p)
+	}
+	var base int64
+	var readErr error
+	for {
+		b, err := it.in.NextBatch()
+		if err != nil {
+			readErr = err
+			break
+		}
+		if b == nil {
+			break
+		}
+		n := b.Len()
+		if n == 0 {
+			continue
+		}
+		it.m.addProcessed(int64(n))
+		hashes := make([]uint64, n)
+		b.HashColumns(it.keyIdx, hashes)
+		task := aggTask{b: b, hashes: hashes, base: base}
+		base += int64(n)
+		for p := range chans {
+			chans[p] <- task
+		}
+	}
+	for p := range chans {
+		close(chans[p])
+	}
+	wg.Wait()
+	if readErr != nil {
+		return readErr
+	}
+	total := 0
+	for _, acc := range it.accs {
+		total += len(acc.order)
+	}
+	merged := make([]*group, 0, total)
+	for _, acc := range it.accs {
+		merged = append(merged, acc.order...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].firstIdx < merged[j].firstIdx })
+	it.m.addHashRows(int64(total))
+	it.merged = merged
 	it.built = true
 	return nil
 }

@@ -46,8 +46,10 @@ const DefaultBatchSize = 1024
 
 // Options tunes the physical execution of a plan.
 type Options struct {
-	// Parallelism is the maximum number of concurrent morsel-scan workers
-	// per scan leaf. 0 means GOMAXPROCS; 1 disables parallel scans.
+	// Parallelism bounds the concurrent CPU work of one run: morsel-scan
+	// workers, hash-join build partitions and aggregation partitions all
+	// share one pool of this many slots. 0 means GOMAXPROCS; 1 disables
+	// every parallel path.
 	Parallelism int
 	// BatchSize is the number of rows per execution batch. 0 means
 	// DefaultBatchSize; 1 degenerates to row-at-a-time execution (the
@@ -101,7 +103,8 @@ func Run(plan logical.Operator, store *storage.Store) (*Result, error) {
 // RunWith builds and drains the physical plan for a logical plan under the
 // given execution options.
 func RunWith(plan logical.Operator, store *storage.Store, opts Options) (*Result, error) {
-	ex := &executor{store: store, metrics: &Metrics{}, opts: opts.withDefaults()}
+	opts = opts.withDefaults()
+	ex := &executor{store: store, metrics: &Metrics{}, opts: opts, pool: newWorkerPool(opts.Parallelism)}
 	defer ex.close()
 	start := time.Now()
 	it, err := ex.build(plan)
@@ -125,6 +128,10 @@ func RunWith(plan logical.Operator, store *storage.Store, opts Options) (*Result
 			rows = append(rows, row)
 		}
 	}
+	// Stop and drain every worker before snapshotting: an abandoned scan
+	// (LIMIT) may still have a worker decoding, and its storage-metric adds
+	// must happen-before the copy below.
+	ex.close()
 	ex.metrics.Elapsed = time.Since(start)
 	return &Result{Columns: plan.Schema(), Rows: rows, Metrics: *ex.metrics}, nil
 }
@@ -133,13 +140,20 @@ type executor struct {
 	store   *storage.Store
 	metrics *Metrics
 	opts    Options
+	pool    *workerPool
 	spools  map[int]*spoolState
-	// closers stop morsel-scan worker pools; Run invokes them on exit so an
-	// abandoned scan (LIMIT, error) never leaks goroutines.
+	// closers stop morsel-scan worker pools and wait for them to drain; Run
+	// invokes them on exit so an abandoned scan (LIMIT, error) never leaks
+	// goroutines or races the final metrics snapshot.
 	closers []func()
+	closed  bool
 }
 
 func (ex *executor) close() {
+	if ex.closed {
+		return
+	}
+	ex.closed = true
 	for _, c := range ex.closers {
 		c()
 	}

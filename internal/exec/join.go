@@ -3,6 +3,7 @@ package exec
 import (
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/expr"
 	"repro/internal/logical"
@@ -118,14 +119,19 @@ func (ex *executor) buildJoin(j *logical.Join) (BatchIterator, error) {
 		leftKeys: leftKeys, rightKeys: rightKeys,
 		leftWidth: width, rightWidth: len(j.Right.Schema()),
 		residual: resEv, batchSize: ex.opts.BatchSize, m: ex.metrics,
+		workers: ex.opts.Parallelism, pool: ex.pool,
 	}, nil
 }
 
 // hashJoinIter builds a hash table over the right input and streams the
 // left (probe) input batch-at-a-time — the engine's only buffered state,
-// matching a streaming engine's memory profile. Probe keys are evaluated
-// vector-wise per batch; matches accumulate into an output builder until a
-// full batch is ready.
+// matching a streaming engine's memory profile. With Parallelism > 1 the
+// build is partition-wise parallel: a reader evaluates key expressions and
+// hashes them batch-at-a-time, and one worker per partition inserts exactly
+// the rows whose key hash maps to its shard, in global input order, so each
+// bucket's row order is identical to the serial build. Probe keys are
+// evaluated vector-wise per batch; matches accumulate into an output
+// builder until a full batch is ready.
 type hashJoinIter struct {
 	kind                  logical.JoinKind
 	left, right           BatchIterator
@@ -134,9 +140,11 @@ type hashJoinIter struct {
 	residual              *evaluator
 	batchSize             int
 	m                     *Metrics
+	workers               int
+	pool                  *workerPool
 
 	built   bool
-	table   map[string][]Row
+	tables  []map[string][]Row // hash-partitioned shards; len 1 when serial
 	keyBuf  strings.Builder
 	keyVals []types.Value
 
@@ -160,8 +168,16 @@ func (it *hashJoinIter) outWidth() int {
 }
 
 func (it *hashJoinIter) buildTable() error {
-	it.table = make(map[string][]Row)
 	it.keyVals = make([]types.Value, len(it.rightKeys))
+	if it.workers > 1 {
+		if err := it.buildTableParallel(); err != nil {
+			return err
+		}
+		it.built = true
+		return nil
+	}
+	table := make(map[string][]Row)
+	it.tables = []map[string][]Row{table}
 	for {
 		b, err := it.right.NextBatch()
 		if err != nil {
@@ -187,13 +203,114 @@ func (it *hashJoinIter) buildTable() error {
 			row := make(Row, it.rightWidth)
 			b.Gather(i, row)
 			k := encodeKey(&it.keyBuf, it.keyVals)
-			it.table[k] = append(it.table[k], row)
+			table[k] = append(table[k], row)
 			inserted++
 		}
 		it.m.addHashRows(int64(inserted))
 	}
 	it.built = true
 	return nil
+}
+
+// buildTask carries one build-side batch to the partition workers: the key
+// expression vectors (copied out of the reader's reusable evaluator
+// buffers) and one hash per active row.
+type buildTask struct {
+	b       *vec.Batch
+	keyCols [][]types.Value
+	hashes  []uint64
+}
+
+// buildTableParallel partitions the build rows by key hash across the
+// worker pool. Each shard worker owns one map, visits batches in input
+// order, and inserts only its rows, so every bucket's slice is identical to
+// what the serial build produces; the probe side routes each lookup to the
+// shard its key hashes to.
+func (it *hashJoinIter) buildTableParallel() error {
+	shards := it.workers
+	it.tables = make([]map[string][]Row, shards)
+	chans := make([]chan buildTask, shards)
+	var wg sync.WaitGroup
+	for p := 0; p < shards; p++ {
+		chans[p] = make(chan buildTask, 2)
+		it.tables[p] = make(map[string][]Row)
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			table := it.tables[p]
+			var keyBuf strings.Builder
+			kv := make([]types.Value, len(it.rightKeys))
+			for task := range chans[p] {
+				it.pool.acquire()
+				n := task.b.Len()
+				inserted := 0
+				for i := 0; i < n; i++ {
+					if int(task.hashes[i]%uint64(shards)) != p {
+						continue
+					}
+					for k := range task.keyCols {
+						kv[k] = task.keyCols[k][i]
+					}
+					if hasNull(kv) {
+						continue // NULL keys never match in equi-joins
+					}
+					row := make(Row, it.rightWidth)
+					task.b.Gather(i, row)
+					key := encodeKey(&keyBuf, kv)
+					table[key] = append(table[key], row)
+					inserted++
+				}
+				it.m.addHashRows(int64(inserted))
+				it.pool.release()
+			}
+		}(p)
+	}
+	var readErr error
+	for {
+		b, err := it.right.NextBatch()
+		if err != nil {
+			readErr = err
+			break
+		}
+		if b == nil {
+			break
+		}
+		n := b.Len()
+		it.m.addProcessed(int64(n))
+		if n == 0 {
+			continue
+		}
+		keyCols := make([][]types.Value, len(it.rightKeys))
+		for k, ev := range it.rightKeys {
+			vals := ev.eval(b)
+			cp := make([]types.Value, n)
+			copy(cp, vals)
+			keyCols[k] = cp
+		}
+		hashes := make([]uint64, n)
+		vec.HashRows(keyCols, hashes)
+		task := buildTask{b: b, keyCols: keyCols, hashes: hashes}
+		for p := range chans {
+			chans[p] <- task
+		}
+	}
+	for p := range chans {
+		close(chans[p])
+	}
+	wg.Wait()
+	return readErr
+}
+
+// lookup returns the bucket for a non-NULL probe key. Partitioned tables
+// route by the same hash the build used; equal encoded keys always hash
+// equal, so a matching build row is found exactly when the serial single
+// table would find it.
+func (it *hashJoinIter) lookup(kv []types.Value) []Row {
+	if len(it.tables) == 1 {
+		return it.tables[0][encodeKey(&it.keyBuf, kv)]
+	}
+	shard := vec.HashKey(kv) % uint64(len(it.tables))
+	return it.tables[shard][encodeKey(&it.keyBuf, kv)]
 }
 
 func (it *hashJoinIter) NextBatch() (*vec.Batch, error) {
@@ -278,7 +395,7 @@ func (it *hashJoinIter) NextBatch() (*vec.Batch, error) {
 			it.curLeftActive = it.kind == logical.LeftJoin
 			continue
 		}
-		it.curMatches = it.table[encodeKey(&it.keyBuf, kv)]
+		it.curMatches = it.lookup(kv)
 		it.curLeftActive = len(it.curMatches) > 0 || it.kind == logical.LeftJoin
 	}
 }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/storage"
@@ -92,19 +93,21 @@ type parallelScanIter struct {
 	batchSize int
 	workers   int
 	m         *Metrics
+	pool      *workerPool
 
 	started bool
 	next    int64
 	stop    chan struct{}
 	tokens  chan struct{}
 	results []chan morselResult
+	wg      sync.WaitGroup
 
 	mi     int
 	cur    []*vec.Batch
 	curIdx int
 }
 
-func newParallelScan(cols []string, morsels []morsel, batchSize, workers int, m *Metrics) *parallelScanIter {
+func newParallelScan(cols []string, morsels []morsel, batchSize, workers int, m *Metrics, pool *workerPool) *parallelScanIter {
 	if workers > len(morsels) {
 		workers = len(morsels)
 	}
@@ -114,6 +117,7 @@ func newParallelScan(cols []string, morsels []morsel, batchSize, workers int, m 
 		batchSize: batchSize,
 		workers:   workers,
 		m:         m,
+		pool:      pool,
 		stop:      make(chan struct{}),
 		tokens:    make(chan struct{}, 2*workers),
 		results:   make([]chan morselResult, len(morsels)),
@@ -126,12 +130,14 @@ func newParallelScan(cols []string, morsels []morsel, batchSize, workers int, m 
 
 func (it *parallelScanIter) start() {
 	it.started = true
+	it.wg.Add(it.workers)
 	for w := 0; w < it.workers; w++ {
 		go it.worker()
 	}
 }
 
 func (it *parallelScanIter) worker() {
+	defer it.wg.Done()
 	for {
 		select {
 		case <-it.stop:
@@ -143,6 +149,10 @@ func (it *parallelScanIter) worker() {
 			<-it.tokens
 			return
 		}
+		// The decode is the CPU work; it runs under a shared pool slot so
+		// scan leaves and the blocking operators above them together never
+		// exceed Parallelism concurrent workers.
+		it.pool.acquire()
 		var batches []*vec.Batch
 		var err error
 		for _, p := range it.morsels[i].parts {
@@ -150,6 +160,7 @@ func (it *parallelScanIter) worker() {
 				break
 			}
 		}
+		it.pool.release()
 		// Capacity-1 channel: the send never blocks, so a worker always
 		// finishes its claimed morsel even if the consumer has gone away.
 		it.results[i] <- morselResult{batches: batches, err: err}
@@ -180,11 +191,13 @@ func (it *parallelScanIter) NextBatch() (*vec.Batch, error) {
 	}
 }
 
-// close signals the worker pool to drain; safe to call before the first
-// NextBatch and more than once via sync guard in the executor (closers run
-// exactly once per Run).
+// close signals the workers to drain and waits for in-flight decodes to
+// finish, so no worker touches storage metrics after close returns. Safe to
+// call before the first NextBatch; the executor's close guard ensures it
+// runs exactly once per Run.
 func (it *parallelScanIter) close() {
 	if it.started {
 		close(it.stop)
+		it.wg.Wait()
 	}
 }

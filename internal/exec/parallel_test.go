@@ -1,0 +1,269 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// parallelFixture builds a store shaped to stress the partition/merge
+// paths: 400 fact rows over 5 storage partitions with a constant column
+// (shard skew), a unique column (group cardinality beyond any batch size),
+// a NULL-bearing key, and a small build-side table with NULL and duplicate
+// join keys.
+func parallelFixture(t *testing.T) *storage.Store {
+	t.Helper()
+	cat := catalog.New()
+	cat.MustAdd(&catalog.Table{
+		Name: "f",
+		Columns: []catalog.Column{
+			{Name: "one", Type: types.KindInt64},   // constant: single group / one shard
+			{Name: "uniq", Type: types.KindInt64},  // distinct per row: cardinality > batch
+			{Name: "nk", Type: types.KindInt64},    // NULL every 7th row
+			{Name: "val", Type: types.KindFloat64}, // float accumulation order matters
+			{Name: "part", Type: types.KindInt64},  // storage partition
+			{Name: "small", Type: types.KindInt64}, // 3 groups
+		},
+		PartitionColumn: "part",
+	})
+	cat.MustAdd(&catalog.Table{
+		Name: "b",
+		Columns: []catalog.Column{
+			{Name: "bk", Type: types.KindInt64},
+			{Name: "bv", Type: types.KindString},
+		},
+	})
+	st := storage.NewStore(cat)
+	var rows [][]types.Value
+	for i := 0; i < 400; i++ {
+		nk := types.Int(int64(i % 11))
+		if i%7 == 0 {
+			nk = types.NullOf(types.KindInt64)
+		}
+		rows = append(rows, []types.Value{
+			types.Int(1),
+			types.Int(int64(i)),
+			nk,
+			types.Float(float64(i) * 0.37),
+			types.Int(int64(i % 5)),
+			types.Int(int64(i % 3)),
+		})
+	}
+	if err := st.Load("f", rows); err != nil {
+		t.Fatal(err)
+	}
+	bRows := [][]types.Value{
+		{types.Int(0), types.String("zero")},
+		{types.Int(0), types.String("zero-dup")},
+		{types.Int(1), types.String("one")},
+		{types.NullOf(types.KindInt64), types.String("null-key")},
+		{types.Int(2), types.String("two")},
+	}
+	if err := st.Load("b", bRows); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// diffOptions is the configuration matrix each case runs under; the first
+// entry is the row-at-a-time reference every other entry must match
+// byte-for-byte (rows, order, BytesScanned, RowsProcessed).
+var diffOptions = []Options{
+	{Parallelism: 1, BatchSize: 1},
+	{Parallelism: 8, BatchSize: 1024},
+	{Parallelism: 4, BatchSize: 16},
+	{Parallelism: 3, BatchSize: 7},
+}
+
+func renderResult(res *Result) string {
+	var b strings.Builder
+	for _, r := range res.Rows {
+		for j, v := range r {
+			if j > 0 {
+				b.WriteByte('|')
+			}
+			b.WriteString(v.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func assertConfigInvariant(t *testing.T, st *storage.Store, plan logical.Operator, wantRows int) {
+	t.Helper()
+	if err := logical.Validate(plan); err != nil {
+		t.Fatalf("invalid plan: %v\n%s", err, logical.Format(plan))
+	}
+	var want string
+	var wantBytes, wantProcessed int64
+	for i, opts := range diffOptions {
+		res, err := RunWith(plan, st, opts)
+		if err != nil {
+			t.Fatalf("opts %+v: %v", opts, err)
+		}
+		if wantRows >= 0 && len(res.Rows) != wantRows {
+			t.Fatalf("opts %+v: %d rows, want %d", opts, len(res.Rows), wantRows)
+		}
+		got := renderResult(res)
+		if i == 0 {
+			want = got
+			wantBytes = res.Metrics.Storage.BytesScanned
+			wantProcessed = res.Metrics.RowsProcessed
+			continue
+		}
+		if got != want {
+			t.Fatalf("opts %+v: rows differ from row-at-a-time reference\ngot:\n%s\nwant:\n%s", opts, got, want)
+		}
+		if res.Metrics.Storage.BytesScanned != wantBytes {
+			t.Errorf("opts %+v: bytes scanned %d != %d", opts, res.Metrics.Storage.BytesScanned, wantBytes)
+		}
+		if res.Metrics.RowsProcessed != wantProcessed {
+			t.Errorf("opts %+v: rows processed %d != %d", opts, res.Metrics.RowsProcessed, wantProcessed)
+		}
+	}
+}
+
+func sumAgg(s *logical.Scan, col string) logical.AggAssign {
+	return logical.AggAssign{
+		Col: expr.NewColumn("s_"+col, types.KindFloat64),
+		Agg: expr.AggCall{Fn: expr.AggSum, Arg: expr.Ref(s.ColumnFor(col))},
+	}
+}
+
+func countStar() logical.AggAssign {
+	return logical.AggAssign{
+		Col: expr.NewColumn("cnt", types.KindInt64),
+		Agg: expr.AggCall{Fn: expr.AggCountStar},
+	}
+}
+
+// TestParallelGroupByPartitionMerge drives the partition-wise aggregation
+// through its edge cases; every configuration must reproduce the
+// row-at-a-time reference exactly.
+func TestParallelGroupByPartitionMerge(t *testing.T) {
+	st := parallelFixture(t)
+	cases := []struct {
+		name     string
+		key      string
+		empty    bool
+		wantRows int
+	}{
+		{name: "empty_input", key: "small", empty: true, wantRows: 0},
+		{name: "single_group", key: "one", wantRows: 1},
+		{name: "skew_all_rows_one_shard", key: "one", wantRows: 1},
+		{name: "cardinality_exceeds_batch", key: "uniq", wantRows: 400},
+		{name: "null_group_keys", key: "nk", wantRows: 12}, // 11 non-null + NULL group
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			s := scanOf(t, st, "f")
+			var input logical.Operator = s
+			if tc.empty {
+				input = logical.NewFilter(s, expr.FalseExpr())
+			}
+			plan := &logical.GroupBy{
+				Input: input,
+				Keys:  []*expr.Column{s.ColumnFor(tc.key)},
+				Aggs: []logical.AggAssign{
+					countStar(),
+					sumAgg(s, "val"),
+					{Col: expr.NewColumn("masked", types.KindInt64),
+						Agg: expr.AggCall{Fn: expr.AggCountStar,
+							Mask: expr.NewBinary(expr.OpGt, expr.Ref(s.ColumnFor("uniq")), expr.Lit(types.Int(200)))}},
+				},
+			}
+			assertConfigInvariant(t, st, plan, tc.wantRows)
+		})
+	}
+}
+
+// TestParallelGroupByMultiKey covers composite keys with NULLs in one
+// component, where key hashing and key encoding must stay aligned.
+func TestParallelGroupByMultiKey(t *testing.T) {
+	st := parallelFixture(t)
+	s := scanOf(t, st, "f")
+	plan := &logical.GroupBy{
+		Input: s,
+		Keys:  []*expr.Column{s.ColumnFor("small"), s.ColumnFor("nk")},
+		Aggs:  []logical.AggAssign{countStar(), sumAgg(s, "val")},
+	}
+	assertConfigInvariant(t, st, plan, -1)
+}
+
+// TestParallelJoinBuildPartition drives the partitioned parallel hash-join
+// build: empty build side, NULL build and probe keys, duplicate build keys
+// (bucket order must be preserved) and LEFT JOIN NULL extension.
+func TestParallelJoinBuildPartition(t *testing.T) {
+	st := parallelFixture(t)
+	cases := []struct {
+		name       string
+		kind       logical.JoinKind
+		emptyBuild bool
+	}{
+		{name: "inner", kind: logical.InnerJoin},
+		{name: "left_null_extend", kind: logical.LeftJoin},
+		{name: "empty_build_side", kind: logical.InnerJoin, emptyBuild: true},
+		{name: "left_empty_build", kind: logical.LeftJoin, emptyBuild: true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			f := scanOf(t, st, "f")
+			b := scanOf(t, st, "b")
+			var right logical.Operator = b
+			if tc.emptyBuild {
+				right = logical.NewFilter(b, expr.FalseExpr())
+			}
+			// Join on nk = bk: NULLs on both sides, duplicates in the build
+			// (bk=0 twice), probe keys 0..10 vs build keys 0..2.
+			plan := &logical.Join{
+				Kind:  tc.kind,
+				Left:  f,
+				Right: right,
+				Cond:  expr.Eq(expr.Ref(f.ColumnFor("nk")), expr.Ref(b.ColumnFor("bk"))),
+			}
+			assertConfigInvariant(t, st, plan, -1)
+		})
+	}
+}
+
+// TestParallelJoinAboveParallelAgg stacks the two new parallel operators —
+// aggregation feeding a join build — to confirm pool sharing composes.
+func TestParallelJoinAboveParallelAgg(t *testing.T) {
+	st := parallelFixture(t)
+	f := scanOf(t, st, "f")
+	b := scanOf(t, st, "b")
+	gb := &logical.GroupBy{
+		Input: f,
+		Keys:  []*expr.Column{f.ColumnFor("nk")},
+		Aggs:  []logical.AggAssign{countStar(), sumAgg(f, "val")},
+	}
+	plan := &logical.Join{
+		Kind:  logical.InnerJoin,
+		Left:  gb,
+		Right: b,
+		Cond:  expr.Eq(expr.Ref(f.ColumnFor("nk")), expr.Ref(b.ColumnFor("bk"))),
+	}
+	assertConfigInvariant(t, st, plan, -1)
+}
+
+// TestMorselTargetStable pins the scan morsel sizing used by the shared
+// pool so parallel and serial scans keep charging identical storage bytes.
+func TestMorselTargetStable(t *testing.T) {
+	st := parallelFixture(t)
+	for _, opts := range diffOptions {
+		res, err := RunWith(scanOf(t, st, "f"), st, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 400 {
+			t.Fatalf("opts %+v: %d rows", opts, len(res.Rows))
+		}
+	}
+}

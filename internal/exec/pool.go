@@ -1,0 +1,25 @@
+package exec
+
+// workerPool bounds concurrent CPU work across every parallel operator in
+// one query run: scan-leaf morsel decodes, hash-join build partitions and
+// aggregation partitions all draw from the same Parallelism slots instead
+// of spawning independent pools per operator.
+//
+// Slots are acquired per unit of work (one morsel decode, one batch of
+// build or aggregation input) and never held while blocked on a channel.
+// Operators stacked in one plan therefore cannot deadlock the pool: every
+// slot hold is a finite piece of CPU work, so some holder always finishes
+// and releases.
+type workerPool struct {
+	slots chan struct{}
+}
+
+func newWorkerPool(n int) *workerPool {
+	if n < 1 {
+		n = 1
+	}
+	return &workerPool{slots: make(chan struct{}, n)}
+}
+
+func (p *workerPool) acquire() { p.slots <- struct{}{} }
+func (p *workerPool) release() { <-p.slots }

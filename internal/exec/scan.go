@@ -66,7 +66,7 @@ func (ex *executor) buildScan(s *logical.Scan, prune storage.Pruner) (BatchItera
 	if ex.opts.Parallelism > 1 {
 		morsels := buildMorsels(parts, morselTarget(parts, ex.opts.BatchSize, ex.opts.Parallelism))
 		if len(morsels) > 1 {
-			it := newParallelScan(s.ColNames, morsels, ex.opts.BatchSize, ex.opts.Parallelism, ex.metrics)
+			it := newParallelScan(s.ColNames, morsels, ex.opts.BatchSize, ex.opts.Parallelism, ex.metrics, ex.pool)
 			ex.closers = append(ex.closers, it.close)
 			return it, nil
 		}

@@ -1,0 +1,200 @@
+// Package testgen generates deterministic random SQL queries and small
+// synthetic catalogs for the engine's differential test harness. Every
+// query it emits is valid over the catalog NewStore builds, and the
+// generator leans on the operators whose execution is configuration
+// dependent — GROUP BY aggregation (masked, scalar and keyed), hash and
+// LEFT joins, DISTINCT — so that running the same query under different
+// {Parallelism, BatchSize, fusion} settings exercises the engine's
+// bit-for-bit result contract where it is hardest to keep.
+package testgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// NewStore builds the harness catalog — a partitioned fact table and a
+// small dimension — and loads deterministic random rows (including NULLs in
+// group keys, aggregate arguments and join keys) derived from seed.
+func NewStore(seed int64, factRows int) (*storage.Store, error) {
+	cat := catalog.New()
+	cat.MustAdd(&catalog.Table{
+		Name: "fact",
+		Columns: []catalog.Column{
+			{Name: "f_k1", Type: types.KindInt64},
+			{Name: "f_k2", Type: types.KindInt64},
+			{Name: "f_qty", Type: types.KindInt64},
+			{Name: "f_price", Type: types.KindFloat64},
+			{Name: "f_tag", Type: types.KindString},
+			{Name: "f_part", Type: types.KindInt64},
+		},
+		PartitionColumn: "f_part",
+	})
+	cat.MustAdd(&catalog.Table{
+		Name: "dim",
+		Columns: []catalog.Column{
+			{Name: "d_k", Type: types.KindInt64},
+			{Name: "d_name", Type: types.KindString},
+			{Name: "d_grp", Type: types.KindInt64},
+		},
+		Keys: [][]string{{"d_k"}},
+	})
+	st := storage.NewStore(cat)
+
+	rng := rand.New(rand.NewSource(seed))
+	tags := []string{"alpha", "beta", "gamma", "delta", "", "aleph"}
+	rows := make([][]types.Value, 0, factRows)
+	for i := 0; i < factRows; i++ {
+		k1 := types.Int(int64(rng.Intn(8)))
+		if rng.Intn(10) < 3 {
+			k1 = types.Int(0) // skew: a hot key that concentrates one shard
+		}
+		k2 := types.Int(int64(rng.Intn(50)))
+		if rng.Intn(12) == 0 {
+			k2 = types.NullOf(types.KindInt64) // NULL group/join keys
+		}
+		qty := types.Int(int64(rng.Intn(100)))
+		if rng.Intn(20) == 0 {
+			qty = types.NullOf(types.KindInt64)
+		}
+		price := types.Float(float64(rng.Intn(10000)) / 4)
+		if rng.Intn(20) == 0 {
+			price = types.NullOf(types.KindFloat64)
+		}
+		tag := types.String(tags[rng.Intn(len(tags))])
+		if rng.Intn(15) == 0 {
+			tag = types.NullOf(types.KindString)
+		}
+		part := types.Int(int64(rng.Intn(6)))
+		rows = append(rows, []types.Value{k1, k2, qty, price, tag, part})
+	}
+	if err := st.Load("fact", rows); err != nil {
+		return nil, err
+	}
+
+	var dimRows [][]types.Value
+	names := []string{"north", "south", "east", "west", "up", "down"}
+	for k := 0; k < 10; k++ { // keys 8,9 never match fact (probe misses)
+		grp := types.Int(int64(k % 4))
+		if k == 5 {
+			grp = types.NullOf(types.KindInt64)
+		}
+		dimRows = append(dimRows, []types.Value{
+			types.Int(int64(k)), types.String(names[k%len(names)]), grp,
+		})
+	}
+	if err := st.Load("dim", dimRows); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Gen is a deterministic random query generator.
+type Gen struct {
+	rng *rand.Rand
+}
+
+// New creates a generator; the same seed always yields the same query
+// sequence.
+func New(seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed))}
+}
+
+// predicate builds a random WHERE condition over the fact table, mixing
+// comparisons, BETWEEN, IN, LIKE, IS [NOT] NULL and AND/OR nesting, and —
+// sometimes — a partition-column conjunct so the partition pruner and the
+// morsel scheduler see varying partition sets.
+func (g *Gen) predicate() string {
+	var atoms []string
+	lo := g.rng.Intn(60)
+	atoms = append(atoms, fmt.Sprintf("f_qty BETWEEN %d AND %d", lo, lo+20+g.rng.Intn(40)))
+	atoms = append(atoms, fmt.Sprintf("f_price > %d", g.rng.Intn(2000)))
+	atoms = append(atoms, fmt.Sprintf("f_price < %d.5", 200+g.rng.Intn(2200)))
+	atoms = append(atoms, "f_tag LIKE '"+[]string{"a%", "%ta", "%e%", "d_lta"}[g.rng.Intn(4)]+"'")
+	atoms = append(atoms, "f_tag IN ('alpha', 'delta', '')")
+	atoms = append(atoms, "f_k2 IS NOT NULL")
+	atoms = append(atoms, "f_k2 IS NULL")
+	atoms = append(atoms, fmt.Sprintf("f_k2 > %d", g.rng.Intn(40)))
+	atoms = append(atoms, fmt.Sprintf("f_part <= %d", g.rng.Intn(6)))
+	atoms = append(atoms, fmt.Sprintf("f_part = %d", g.rng.Intn(6)))
+
+	pick := func() string { return atoms[g.rng.Intn(len(atoms))] }
+	switch g.rng.Intn(4) {
+	case 0:
+		return pick()
+	case 1:
+		return pick() + " AND " + pick()
+	case 2:
+		return "(" + pick() + " OR " + pick() + ")"
+	default:
+		return pick() + " AND (" + pick() + " OR " + pick() + ")"
+	}
+}
+
+// aggList builds a random list of aggregate expressions.
+func (g *Gen) aggList() string {
+	all := []string{
+		"COUNT(*) AS cnt",
+		"SUM(f_qty) AS sq",
+		"SUM(f_price) AS sp",
+		"AVG(f_price) AS ap",
+		"AVG(f_qty) AS aq",
+		"MIN(f_qty) AS mq",
+		"MAX(f_price) AS xp",
+		"COUNT(f_price) AS cp",
+		"MIN(f_tag) AS mt",
+	}
+	n := 2 + g.rng.Intn(4)
+	g.rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	return strings.Join(all[:n], ", ")
+}
+
+// Query emits one random query. Patterns cover keyed aggregation, scalar
+// aggregation, join+aggregation, LEFT JOIN projection, DISTINCT,
+// COUNT(DISTINCT), residual join conditions and UNION ALL reuse shapes.
+func (g *Gen) Query() string {
+	switch g.rng.Intn(8) {
+	case 0: // keyed aggregation, sometimes multi-key, sometimes HAVING
+		keys := "f_k1"
+		if g.rng.Intn(2) == 0 {
+			keys = "f_k1, f_k2"
+		}
+		q := fmt.Sprintf("SELECT %s, %s FROM fact WHERE %s GROUP BY %s",
+			keys, g.aggList(), g.predicate(), keys)
+		if g.rng.Intn(3) == 0 {
+			q += fmt.Sprintf(" HAVING COUNT(*) > %d", g.rng.Intn(4))
+		}
+		return q
+	case 1: // scalar aggregation
+		return fmt.Sprintf("SELECT %s FROM fact WHERE %s", g.aggList(), g.predicate())
+	case 2: // hash join + aggregation on a dimension attribute
+		return fmt.Sprintf(
+			"SELECT d_grp, %s FROM fact JOIN dim ON f_k1 = d_k WHERE %s GROUP BY d_grp",
+			g.aggList(), g.predicate())
+	case 3: // LEFT JOIN projection (NULL-extended probe rows)
+		return fmt.Sprintf(
+			"SELECT f_k1, f_qty, d_name, d_grp FROM fact LEFT JOIN dim ON f_k1 = d_k WHERE %s",
+			g.predicate())
+	case 4: // DISTINCT
+		return fmt.Sprintf("SELECT DISTINCT f_k1, f_k2 FROM fact WHERE %s", g.predicate())
+	case 5: // COUNT(DISTINCT) — MarkDistinct over grouped aggregation
+		return fmt.Sprintf(
+			"SELECT f_k1, COUNT(DISTINCT f_k2) AS dk, COUNT(*) AS cnt FROM fact WHERE %s GROUP BY f_k1",
+			g.predicate())
+	case 6: // join with residual (non-equi) condition
+		return fmt.Sprintf(
+			"SELECT f_k1, SUM(f_qty) AS sq, COUNT(*) AS cnt FROM fact JOIN dim ON f_k1 = d_k AND f_qty > d_grp * %d WHERE %s GROUP BY f_k1",
+			5+g.rng.Intn(20), g.predicate())
+	default: // UNION ALL over one aggregation (the paper's reuse shape)
+		t1, t2 := g.rng.Intn(200), g.rng.Intn(200)
+		return fmt.Sprintf(`WITH c AS (SELECT f_k1 AS k, SUM(f_price) AS v, COUNT(*) AS n FROM fact WHERE %s GROUP BY f_k1)
+SELECT k, v FROM c WHERE v > %d
+UNION ALL
+SELECT k, v FROM c WHERE n <= %d`, g.predicate(), t1, t2)
+	}
+}

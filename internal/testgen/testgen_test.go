@@ -1,0 +1,23 @@
+package testgen
+
+import "testing"
+
+func TestStoreAndGeneratorDeterministic(t *testing.T) {
+	s1, err := NewStore(7, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == nil {
+		t.Fatal("nil store")
+	}
+	g1, g2 := New(42), New(42)
+	for i := 0; i < 50; i++ {
+		q1, q2 := g1.Query(), g2.Query()
+		if q1 != q2 {
+			t.Fatalf("generator not deterministic at %d:\n%s\n%s", i, q1, q2)
+		}
+		if q1 == "" {
+			t.Fatal("empty query")
+		}
+	}
+}

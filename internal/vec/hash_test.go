@@ -1,0 +1,90 @@
+package vec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// The partition routing depends on one property: tuples the executor's key
+// encoding treats as equal must hash equal. Kind discrimination mirrors the
+// encoding (integer-payload kinds share a tag, strings and floats have
+// their own, NULL its own).
+func TestHashKeyConsistency(t *testing.T) {
+	equal := [][2][]types.Value{
+		// BIGINT, BOOLEAN and DATE share the integer payload tag, exactly
+		// like the executor's encoded keys.
+		{{types.Int(1)}, {types.Bool(true)}},
+		{{types.Int(5)}, {types.Date(5)}},
+		{{types.NullOf(types.KindInt64)}, {types.NullOf(types.KindString)}},
+		{{types.Float(math.NaN())}, {types.Float(-math.NaN())}},
+		{{types.String("ab"), types.Int(3)}, {types.String("ab"), types.Int(3)}},
+	}
+	for i, pair := range equal {
+		if HashKey(pair[0]) != HashKey(pair[1]) {
+			t.Errorf("case %d: keys %v and %v should hash equal", i, pair[0], pair[1])
+		}
+	}
+	distinct := [][]types.Value{
+		{types.Int(1)},
+		{types.Int(2)},
+		{types.Float(1)},
+		{types.Float(math.Copysign(0, -1))},
+		{types.Float(0)},
+		{types.String("1")},
+		{types.String("")},
+		{types.NullOf(types.KindInt64)},
+		{types.String("a"), types.String("bc")},
+		{types.String("ab"), types.String("c")},
+	}
+	seen := make(map[uint64][]types.Value)
+	for _, k := range distinct {
+		h := HashKey(k)
+		if prev, ok := seen[h]; ok {
+			t.Errorf("collision between %v and %v", prev, k)
+		}
+		seen[h] = k
+	}
+}
+
+func TestHashColumnsMatchesHashKey(t *testing.T) {
+	cols := [][]types.Value{
+		{types.Int(1), types.Int(2), types.Int(3), types.Int(4)},
+		{types.String("a"), types.String("b"), types.NullOf(types.KindString), types.String("d")},
+		{types.Float(0.5), types.Float(1.5), types.Float(2.5), types.Float(3.5)},
+	}
+	b := NewDense(cols, 4)
+	sel := b.WithSel([]int{3, 1})
+
+	for _, tc := range []struct {
+		name string
+		b    *Batch
+	}{{"dense", b}, {"selected", sel}} {
+		n := tc.b.Len()
+		out := make([]uint64, n)
+		tc.b.HashColumns([]int{0, 1, 2}, out)
+		kv := make([]types.Value, 3)
+		for i := 0; i < n; i++ {
+			tc.b.Gather(i, kv)
+			if want := HashKey(kv); out[i] != want {
+				t.Errorf("%s row %d: HashColumns=%d HashKey=%d", tc.name, i, out[i], want)
+			}
+		}
+	}
+}
+
+func TestHashRowsMatchesHashKey(t *testing.T) {
+	cols := [][]types.Value{
+		{types.Int(7), types.NullOf(types.KindInt64), types.Int(9)},
+		{types.Float(1.25), types.Float(2.5), types.Float(3.75)},
+	}
+	out := make([]uint64, 3)
+	HashRows(cols, out)
+	for i := range out {
+		kv := []types.Value{cols[0][i], cols[1][i]}
+		if want := HashKey(kv); out[i] != want {
+			t.Errorf("row %d: HashRows=%d HashKey=%d", i, out[i], want)
+		}
+	}
+}
