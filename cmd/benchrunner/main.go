@@ -31,8 +31,11 @@ func main() {
 
 		execOut     = flag.String("exec", "", "write a row-at-a-time vs vectorized execution comparison to this JSON file and exit")
 		aggOut      = flag.String("agg", "", "write a serial vs partition-wise parallel aggregation comparison to this JSON file and exit")
-		parallelism = flag.Int("parallelism", 4, "workers for the parallel side of -exec/-agg")
-		batchSize   = flag.Int("batch", 1024, "rows per batch for the parallel side of -exec/-agg")
+		sharedOut   = flag.String("shared", "", "write a concurrent shared-vs-unshared scan comparison to this JSON file and exit")
+		parallelism = flag.Int("parallelism", 4, "workers for the parallel side of -exec/-agg/-shared")
+		batchSize   = flag.Int("batch", 1024, "rows per batch for the parallel side of -exec/-agg/-shared")
+		concurrency = flag.Int("concurrency", 4, "concurrent query workers for -shared")
+		cacheBytes  = flag.Int64("scancache", 0, "decoded-chunk cache bound in bytes for -shared (0 = default)")
 	)
 	flag.Parse()
 
@@ -48,6 +51,15 @@ func main() {
 		runAggComparison(*aggOut, bench.AggOptions{
 			Scale: *scale, Seed: *seed, Iterations: *iters,
 			Parallelism: *parallelism, BatchSize: *batchSize,
+			Queries: splitList(*qlist),
+		})
+		return
+	}
+	if *sharedOut != "" {
+		runSharedComparison(*sharedOut, bench.SharedOptions{
+			Scale: *scale, Seed: *seed, Iterations: *iters,
+			Parallelism: *parallelism, BatchSize: *batchSize,
+			Concurrency: *concurrency, CacheBytes: *cacheBytes,
 			Queries: splitList(*qlist),
 		})
 		return
@@ -112,6 +124,30 @@ func runAggComparison(path string, opts bench.AggOptions) {
 	fmt.Fprintf(os.Stderr, "generating TPC-DS data at scale %.2f and comparing aggregation parallelism on %s...\n",
 		opts.Scale, queriesLabel(opts.Queries))
 	cmp, err := bench.RunAggComparison(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := cmp.WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	cmp.WriteTable(os.Stdout)
+}
+
+func runSharedComparison(path string, opts bench.SharedOptions) {
+	if len(opts.Queries) == 0 {
+		opts.Queries = bench.DefaultSharedQueries
+	}
+	fmt.Fprintf(os.Stderr, "generating TPC-DS data at scale %.2f and comparing %d concurrent workers with scan sharing off/on over %s...\n",
+		opts.Scale, opts.Concurrency, queriesLabel(opts.Queries))
+	cmp, err := bench.RunSharedComparison(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/storage"
 	"repro/internal/testgen"
@@ -94,6 +95,80 @@ func runDifferential(t *testing.T, seed int64) {
 			if b[i] != f[i] {
 				t.Fatalf("seed %d: fusion changed row %d\n  baseline: %s\n  fused:    %s\n%s",
 					seed, i, b[i], f[i], query)
+			}
+		}
+	}
+}
+
+// TestDifferentialSharedScans is the shared-vs-unshared differential mode:
+// one query set runs concurrently (staggered, with repeats, so queries
+// attach to each other's in-flight scans and hit the chunk cache) under
+// ShareScans off and on, across parallel configurations and fusion
+// settings. Every run must reproduce the serial unshared reference
+// byte-for-byte, with identical per-query row counts and BytesScanned —
+// scan sharing may only change physical decode work, never results or
+// logical scan accounting.
+func TestDifferentialSharedScans(t *testing.T) {
+	// A dedicated store: this test's ScanCacheBytes must be the one that
+	// initializes the store's share manager (first sharing run wins), and a
+	// small bound keeps eviction in play under the fuzz workload.
+	st, err := testgen.NewStore(99173, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := testgen.QuerySet(424242, 24)
+
+	type ref struct {
+		rows    string
+		scanned int64
+	}
+	for _, fusion := range []bool{false, true} {
+		serial := OpenWithStore(st, Config{EnableFusion: fusion, Parallelism: 1, BatchSize: 1})
+		refs := make([]ref, len(queries))
+		for i, q := range queries {
+			res, err := serial.Query(q)
+			if err != nil {
+				t.Fatalf("reference (fusion=%v) failed: %v\n%s", fusion, err, q)
+			}
+			refs[i] = ref{rows: exactRows(res.Rows), scanned: res.Metrics.Storage.BytesScanned}
+		}
+		for _, share := range []bool{false, true} {
+			engines := []*Engine{
+				OpenWithStore(st, Config{EnableFusion: fusion, Parallelism: 4, BatchSize: 256,
+					ShareScans: share, ScanCacheBytes: 1 << 20}),
+				OpenWithStore(st, Config{EnableFusion: fusion, Parallelism: 3, BatchSize: 7,
+					ShareScans: share, ScanCacheBytes: 1 << 20}),
+			}
+			const rounds = 2
+			var wg sync.WaitGroup
+			errs := make(chan error, rounds*len(queries))
+			for r := 0; r < rounds; r++ {
+				for i, q := range queries {
+					r, i, q := r, i, q
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						time.Sleep(time.Duration(i%5) * 100 * time.Microsecond)
+						res, err := engines[(r+i)%len(engines)].Query(q)
+						if err != nil {
+							errs <- fmt.Errorf("query %d (share=%v fusion=%v): %w\n%s", i, share, fusion, err, q)
+							return
+						}
+						if got := exactRows(res.Rows); got != refs[i].rows {
+							errs <- fmt.Errorf("query %d (share=%v fusion=%v): rows differ from serial unshared reference\n%s", i, share, fusion, q)
+							return
+						}
+						if got := res.Metrics.Storage.BytesScanned; got != refs[i].scanned {
+							errs <- fmt.Errorf("query %d (share=%v fusion=%v): BytesScanned %d != %d\n%s", i, share, fusion, got, refs[i].scanned, q)
+							return
+						}
+					}()
+				}
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
 			}
 		}
 	}

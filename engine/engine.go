@@ -92,6 +92,20 @@ type Config struct {
 	// default (1024); 1 degenerates to row-at-a-time execution, which is
 	// useful for benchmarking the vectorization gain in isolation.
 	BatchSize int
+	// ShareScans opts this engine's queries into cross-query scan sharing:
+	// concurrent queries over the same partitions of the same store share
+	// chunk-decode work (late arrivals attach to in-flight morsel streams)
+	// and misses are backed by a bounded decoded-chunk cache. Results and
+	// Metrics.Storage.BytesScanned are identical either way — only the
+	// physical work reported by Metrics.Share.BytesDecoded changes. Sharing
+	// spans every engine over the same store (see OpenWithStore), whatever
+	// their other settings.
+	ShareScans bool
+	// ScanCacheBytes bounds the shared decoded-chunk cache in estimated
+	// resident bytes; <= 0 means the 64 MiB default. The cache belongs to
+	// the store, so the first sharing query to run against a store fixes
+	// its size.
+	ScanCacheBytes int64
 }
 
 // Engine is an embeddable SQL engine instance.
@@ -177,8 +191,10 @@ func (p *Prepared) RulesFired() []string { return p.rulesFired }
 // Run executes the prepared plan.
 func (p *Prepared) Run() (*Result, error) {
 	res, err := exec.RunWith(p.plan, p.eng.store, exec.Options{
-		Parallelism: p.eng.config.Parallelism,
-		BatchSize:   p.eng.config.BatchSize,
+		Parallelism:    p.eng.config.Parallelism,
+		BatchSize:      p.eng.config.BatchSize,
+		ShareScans:     p.eng.config.ShareScans,
+		ScanCacheBytes: p.eng.config.ScanCacheBytes,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("engine: executing: %w", err)

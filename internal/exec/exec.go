@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/expr"
 	"repro/internal/logical"
+	"repro/internal/scanshare"
 	"repro/internal/storage"
 	"repro/internal/types"
 	"repro/internal/vec"
@@ -55,6 +56,16 @@ type Options struct {
 	// DefaultBatchSize; 1 degenerates to row-at-a-time execution (the
 	// equivalence baseline).
 	BatchSize int
+	// ShareScans attaches this run's scan leaves to the store's cross-query
+	// scan-share manager: chunk decodes are deduplicated against concurrent
+	// queries over the same partitions and backed by a bounded decoded-chunk
+	// cache. Results are identical either way; only physical decode work
+	// (Metrics.Share.BytesDecoded) changes.
+	ShareScans bool
+	// ScanCacheBytes bounds the shared decoded-chunk cache (estimated
+	// resident bytes; <= 0 means scanshare.DefaultCacheBytes). The first run
+	// to touch a store fixes its cache size.
+	ScanCacheBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -70,6 +81,11 @@ func (o Options) withDefaults() Options {
 // Metrics aggregates execution counters for one query run.
 type Metrics struct {
 	Storage storage.Metrics
+	// Share counts the run's physical decode work and scan-share activity.
+	// Storage.BytesScanned stays the query's logical scan volume (what the
+	// paper's bytes-scanned pricing bills) regardless of sharing;
+	// Share.BytesDecoded is the physical work this query actually performed.
+	Share scanshare.Counters
 	// RowsProcessed counts rows flowing through all operators (CPU proxy).
 	RowsProcessed int64
 	// HashRows counts rows retained in join/aggregate/window hash state
@@ -105,6 +121,9 @@ func Run(plan logical.Operator, store *storage.Store) (*Result, error) {
 func RunWith(plan logical.Operator, store *storage.Store, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	ex := &executor{store: store, metrics: &Metrics{}, opts: opts, pool: newWorkerPool(opts.Parallelism)}
+	if opts.ShareScans {
+		ex.share = scanshare.For(store, opts.ScanCacheBytes)
+	}
 	defer ex.close()
 	start := time.Now()
 	it, err := ex.build(plan)
@@ -142,6 +161,9 @@ type executor struct {
 	opts    Options
 	pool    *workerPool
 	spools  map[int]*spoolState
+	// share is the store's cross-query scan-share manager, nil when
+	// Options.ShareScans is off.
+	share *scanshare.Manager
 	// closers stop morsel-scan worker pools and wait for them to drain; Run
 	// invokes them on exit so an abandoned scan (LIMIT, error) never leaks
 	// goroutines or races the final metrics snapshot.

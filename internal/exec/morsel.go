@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/scanshare"
 	"repro/internal/storage"
 	"repro/internal/types"
 	"repro/internal/vec"
@@ -55,10 +56,12 @@ func morselTarget(parts []*storage.Partition, batchSize, parallelism int) int {
 	return target
 }
 
-// partitionBatches decodes one partition's columns in a single pass each
-// and slices the vectors into dense batches (zero-copy subslices).
-func partitionBatches(p *storage.Partition, cols []string, batchSize int, dst []*vec.Batch) ([]*vec.Batch, error) {
-	decoded, err := p.DecodeColumns(cols)
+// partitionBatches decodes one partition's columns in a single pass each —
+// through the scan-share session when one is open — and slices the vectors
+// into dense batches (zero-copy subslices). stop abandons waits on other
+// queries' in-flight decodes when this query goes away early.
+func partitionBatches(p *storage.Partition, cols []string, batchSize int, share *scanshare.Scan, stop <-chan struct{}, m *Metrics, dst []*vec.Batch) ([]*vec.Batch, error) {
+	decoded, err := decodePartition(p, cols, share, stop, m)
 	if err != nil {
 		return nil, err
 	}
@@ -94,6 +97,9 @@ type parallelScanIter struct {
 	workers   int
 	m         *Metrics
 	pool      *workerPool
+	// share, when non-nil, routes partition decodes through the cross-query
+	// scan-share session (set by buildScan before the first NextBatch).
+	share *scanshare.Scan
 
 	started bool
 	next    int64
@@ -156,7 +162,7 @@ func (it *parallelScanIter) worker() {
 		var batches []*vec.Batch
 		var err error
 		for _, p := range it.morsels[i].parts {
-			if batches, err = partitionBatches(p, it.cols, it.batchSize, batches); err != nil {
+			if batches, err = partitionBatches(p, it.cols, it.batchSize, it.share, it.stop, it.m, batches); err != nil {
 				break
 			}
 		}

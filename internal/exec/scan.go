@@ -3,6 +3,7 @@ package exec
 import (
 	"repro/internal/expr"
 	"repro/internal/logical"
+	"repro/internal/scanshare"
 	"repro/internal/storage"
 	"repro/internal/types"
 	"repro/internal/vec"
@@ -63,15 +64,49 @@ func (ex *executor) buildScan(s *logical.Scan, prune storage.Pruner) (BatchItera
 	if err != nil {
 		return nil, err
 	}
+	// With sharing on, each scan leaf opens a share session: it publishes
+	// its morsel stream for late arrivals and attaches to a compatible
+	// in-flight stream when one exists. The session closes after the leaf's
+	// workers drain (closers run in append order), so it must be appended
+	// after the iterator's own closer.
+	var share *scanshare.Scan
+	if ex.share != nil {
+		share = ex.share.Open(s.Table.Name, parts, s.ColNames, &ex.metrics.Share)
+	}
 	if ex.opts.Parallelism > 1 {
 		morsels := buildMorsels(parts, morselTarget(parts, ex.opts.BatchSize, ex.opts.Parallelism))
 		if len(morsels) > 1 {
 			it := newParallelScan(s.ColNames, morsels, ex.opts.BatchSize, ex.opts.Parallelism, ex.metrics, ex.pool)
+			it.share = share
 			ex.closers = append(ex.closers, it.close)
+			if share != nil {
+				ex.closers = append(ex.closers, share.Close)
+			}
 			return it, nil
 		}
 	}
-	return &scanIter{cols: s.ColNames, parts: parts, batchSize: ex.opts.BatchSize, m: ex.metrics}, nil
+	if share != nil {
+		ex.closers = append(ex.closers, share.Close)
+	}
+	return &scanIter{cols: s.ColNames, parts: parts, batchSize: ex.opts.BatchSize, m: ex.metrics, share: share}, nil
+}
+
+// decodePartition is the single decode entry point for both scan leaves:
+// through the scan-share session when sharing is on, directly otherwise.
+// Physical decode accounting (Metrics.Share) is charged either way, so
+// shared-vs-unshared BytesDecoded comparisons are meaningful.
+func decodePartition(p *storage.Partition, cols []string, share *scanshare.Scan, stop <-chan struct{}, m *Metrics) ([][]types.Value, error) {
+	if share != nil {
+		return share.Decode(p, stop)
+	}
+	decoded, err := p.DecodeColumns(cols)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cols {
+		m.Share.AddDecoded(p.Chunk(c).Bytes)
+	}
+	return decoded, nil
 }
 
 // scanIter is the serial scan leaf: it decodes each partition's column
@@ -82,6 +117,7 @@ type scanIter struct {
 	parts     []*storage.Partition
 	batchSize int
 	m         *Metrics
+	share     *scanshare.Scan
 
 	part    int
 	decoded [][]types.Value
@@ -96,7 +132,7 @@ func (it *scanIter) NextBatch() (*vec.Batch, error) {
 				return nil, nil
 			}
 			p := it.parts[it.part]
-			d, err := p.DecodeColumns(it.cols)
+			d, err := decodePartition(p, it.cols, it.share, nil, it.m)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,314 @@
+package scanshare
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// newTestParts loads a partitioned three-column table and returns its
+// partitions. Each partition gets rowsPerPart rows.
+func newTestParts(t testing.TB, parts, rowsPerPart int) []*storage.Partition {
+	t.Helper()
+	cat := catalog.New()
+	cat.MustAdd(&catalog.Table{
+		Name: "t",
+		Columns: []catalog.Column{
+			{Name: "a", Type: types.KindInt64},
+			{Name: "b", Type: types.KindString},
+			{Name: "p", Type: types.KindInt64},
+		},
+		PartitionColumn: "p",
+	})
+	st := storage.NewStore(cat)
+	var rows [][]types.Value
+	for p := 0; p < parts; p++ {
+		for r := 0; r < rowsPerPart; r++ {
+			rows = append(rows, []types.Value{
+				types.Int(int64(p*1000 + r)),
+				types.String(fmt.Sprintf("row-%d-%d", p, r)),
+				types.Int(int64(p)),
+			})
+		}
+	}
+	if err := st.Load("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	return st.Data("t").Partitions
+}
+
+var testCols = []string{"a", "b"}
+
+// wantDecoded is the reference decode, bypassing the share manager.
+func wantDecoded(t *testing.T, p *storage.Partition, cols []string) [][]types.Value {
+	t.Helper()
+	d, err := p.DecodeColumns(cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func decodeAll(t *testing.T, s *Scan, parts []*storage.Partition, cols []string) {
+	t.Helper()
+	for _, p := range parts {
+		got, err := s.Decode(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := wantDecoded(t, p, cols); !reflect.DeepEqual(got, want) {
+			t.Fatalf("shared decode differs from direct decode for partition %v", p.Key)
+		}
+	}
+}
+
+func chunkBytes(parts []*storage.Partition, cols []string) int64 {
+	var total int64
+	for _, p := range parts {
+		for _, c := range cols {
+			total += p.Chunk(c).Bytes
+		}
+	}
+	return total
+}
+
+// TestAttachMidFlight: a scan that opens while another is mid-stream gets
+// already-published partitions from the cache and subsequent ones from the
+// stream queue, decoding nothing itself.
+func TestAttachMidFlight(t *testing.T) {
+	parts := newTestParts(t, 4, 20)
+	mgr := NewManager(0)
+	var ca, cb Counters
+
+	a := mgr.Open("t", parts, testCols, &ca)
+	decodeAll(t, a, parts[:2], testCols) // A is mid-flight: 2 of 4 partitions done
+
+	b := mgr.Open("t", parts, testCols, &cb)
+	if b.sub == nil {
+		t.Fatal("B did not attach to A's in-flight stream")
+	}
+	// B replays partitions already published by A: cache hits.
+	decodeAll(t, b, parts[:2], testCols)
+	if cb.CacheHits != 4 {
+		t.Fatalf("CacheHits = %d, want 4 (2 partitions x 2 columns)", cb.CacheHits)
+	}
+	// A decodes the rest, publishing to B's queue; B consumes via the stream.
+	decodeAll(t, a, parts[2:], testCols)
+	decodeAll(t, b, parts[2:], testCols)
+	if cb.StreamHits != 4 {
+		t.Fatalf("StreamHits = %d, want 4 (2 partitions x 2 columns)", cb.StreamHits)
+	}
+	if cb.BytesDecoded != 0 || cb.ChunksDecoded != 0 {
+		t.Fatalf("attached scan decoded %d chunks (%d bytes) itself, want 0", cb.ChunksDecoded, cb.BytesDecoded)
+	}
+	if want := chunkBytes(parts, testCols); ca.BytesDecoded != want {
+		t.Fatalf("publisher BytesDecoded = %d, want %d", ca.BytesDecoded, want)
+	}
+	a.Close()
+	b.Close()
+}
+
+// TestAttachAfterCompleted: a scan arriving after the stream finished finds
+// no stream to attach to but is served entirely from the chunk cache.
+func TestAttachAfterCompleted(t *testing.T) {
+	parts := newTestParts(t, 3, 15)
+	mgr := NewManager(0)
+	var ca, cb Counters
+
+	a := mgr.Open("t", parts, testCols, &ca)
+	decodeAll(t, a, parts, testCols)
+	a.Close()
+
+	b := mgr.Open("t", parts, testCols, &cb)
+	if b.sub != nil {
+		t.Fatal("B attached to a finished stream")
+	}
+	decodeAll(t, b, parts, testCols)
+	b.Close()
+	if cb.BytesDecoded != 0 {
+		t.Fatalf("late scan decoded %d bytes, want 0 (cache path)", cb.BytesDecoded)
+	}
+	if want := int64(len(parts) * len(testCols)); cb.CacheHits != want {
+		t.Fatalf("CacheHits = %d, want %d", cb.CacheHits, want)
+	}
+}
+
+// TestSubscriberAbandonment: a subscriber that goes away early (LIMIT) must
+// not stall the publisher, and later scans still share normally.
+func TestSubscriberAbandonment(t *testing.T) {
+	parts := newTestParts(t, 5, 10)
+	mgr := NewManager(0)
+	var ca, cb, cc Counters
+
+	a := mgr.Open("t", parts, testCols, &ca)
+	decodeAll(t, a, parts[:1], testCols)
+	b := mgr.Open("t", parts, testCols, &cb)
+	decodeAll(t, b, parts[:1], testCols)
+	b.Close() // B hit its LIMIT and detached mid-stream
+
+	// A keeps going: publishing to zero subscribers must be a no-op, and
+	// well past B's queue bound.
+	decodeAll(t, a, parts[1:], testCols)
+	a.Close()
+
+	c := mgr.Open("t", parts, testCols, &cc)
+	decodeAll(t, c, parts, testCols)
+	c.Close()
+	if cc.BytesDecoded != 0 {
+		t.Fatalf("post-abandonment scan decoded %d bytes, want 0", cc.BytesDecoded)
+	}
+}
+
+// TestCacheEviction: under a tiny ScanCacheBytes bound the LRU must stay
+// within budget, and evicted chunks are decoded again on the next request.
+func TestCacheEviction(t *testing.T) {
+	parts := newTestParts(t, 6, 10)
+	intCols := []string{"a"}
+	// Room for roughly two decoded 10-row int chunks (10*48=480 each).
+	const capacity = 1000
+	mgr := NewManager(capacity)
+	var c Counters
+
+	s := mgr.Open("t", parts, intCols, &c)
+	decodeAll(t, s, parts, intCols)
+	if mgr.CacheBytes() > capacity {
+		t.Fatalf("cache holds %d bytes, bound is %d", mgr.CacheBytes(), capacity)
+	}
+	if got := mgr.CacheChunks(); got != 2 {
+		t.Fatalf("cache holds %d chunks, want 2 under bound %d", got, capacity)
+	}
+	// parts[0] was evicted long ago: decoding it again is physical work.
+	before := c.ChunksDecoded
+	decodeAll(t, s, parts[:1], intCols)
+	if c.ChunksDecoded != before+1 {
+		t.Fatalf("evicted chunk not re-decoded: ChunksDecoded %d -> %d", before, c.ChunksDecoded)
+	}
+	s.Close()
+
+	// A chunk larger than the whole cache is never admitted.
+	tiny := NewManager(1)
+	var ct Counters
+	st := tiny.Open("t", parts, intCols, &ct)
+	decodeAll(t, st, parts[:1], intCols)
+	st.Close()
+	if tiny.CacheChunks() != 0 || tiny.CacheBytes() != 0 {
+		t.Fatalf("oversized chunk admitted: %d chunks, %d bytes", tiny.CacheChunks(), tiny.CacheBytes())
+	}
+}
+
+// TestZeroPartitions: empty scans register nothing and close cleanly.
+func TestZeroPartitions(t *testing.T) {
+	mgr := NewManager(0)
+	var c1, c2 Counters
+	a := mgr.Open("empty", nil, testCols, &c1)
+	if a.pub != nil || a.sub != nil {
+		t.Fatal("zero-partition scan registered a stream")
+	}
+	b := mgr.Open("empty", nil, testCols, &c2)
+	a.Close()
+	a.Close() // double close is a no-op
+	b.Close()
+	if len(mgr.streams) != 0 {
+		t.Fatalf("stream registry not empty: %d entries", len(mgr.streams))
+	}
+}
+
+// TestColumnSubsetAttach: a scan needing a subset of an in-flight stream's
+// columns attaches; one needing more does not (but still shares chunks).
+func TestColumnSubsetAttach(t *testing.T) {
+	parts := newTestParts(t, 3, 10)
+	mgr := NewManager(0)
+	var ca, cb, cc Counters
+
+	a := mgr.Open("t", parts, []string{"a", "b"}, &ca)
+	sub := mgr.Open("t", parts, []string{"b"}, &cb)
+	if sub.sub == nil {
+		t.Fatal("column-subset scan did not attach")
+	}
+	wide := mgr.Open("t", parts, []string{"a", "b", "p"}, &cc)
+	if wide.sub != nil {
+		t.Fatal("superset scan attached to a narrower stream")
+	}
+	// The wide scan still shares the overlapping chunks once A decoded them.
+	decodeAll(t, a, parts, []string{"a", "b"})
+	decodeAll(t, wide, parts, []string{"a", "b", "p"})
+	if cc.CacheHits != int64(len(parts)*2) {
+		t.Fatalf("wide scan CacheHits = %d, want %d", cc.CacheHits, len(parts)*2)
+	}
+	if want := chunkBytes(parts, []string{"p"}); cc.BytesDecoded != want {
+		t.Fatalf("wide scan BytesDecoded = %d, want %d (only the extra column)", cc.BytesDecoded, want)
+	}
+	a.Close()
+	sub.Close()
+	wide.Close()
+}
+
+// TestMissingColumn: the error path mirrors storage.DecodeColumns.
+func TestMissingColumn(t *testing.T) {
+	parts := newTestParts(t, 1, 5)
+	mgr := NewManager(0)
+	var c Counters
+	s := mgr.Open("t", parts, []string{"nope"}, &c)
+	if _, err := s.Decode(parts[0], nil); err == nil {
+		t.Fatal("expected error for unknown column")
+	}
+	s.Close()
+}
+
+// TestStopBeforeFlightWait: a pre-closed stop channel only matters while
+// waiting on someone else's flight; a plain decode still succeeds.
+func TestStopBeforeFlightWait(t *testing.T) {
+	parts := newTestParts(t, 1, 5)
+	mgr := NewManager(0)
+	var c Counters
+	s := mgr.Open("t", parts, testCols, &c)
+	stop := make(chan struct{})
+	close(stop)
+	if _, err := s.Decode(parts[0], stop); err != nil {
+		t.Fatalf("decode with closed stop failed: %v", err)
+	}
+	s.Close()
+}
+
+// TestConcurrentIdenticalScans: N concurrent sessions over the same
+// partitions decode each chunk exactly once between them (run under -race).
+func TestConcurrentIdenticalScans(t *testing.T) {
+	parts := newTestParts(t, 8, 50)
+	mgr := NewManager(0)
+	const n = 8
+	ctrs := make([]Counters, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := mgr.Open("t", parts, testCols, &ctrs[i])
+			for _, p := range parts {
+				if _, err := s.Decode(p, nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			s.Close()
+		}()
+	}
+	wg.Wait()
+	chunks := int64(len(parts) * len(testCols))
+	var decoded, served int64
+	for i := range ctrs {
+		decoded += ctrs[i].ChunksDecoded
+		served += ctrs[i].ChunksDecoded + ctrs[i].SharedHits + ctrs[i].CacheHits + ctrs[i].StreamHits
+	}
+	if decoded != chunks {
+		t.Fatalf("chunks decoded across sessions = %d, want exactly %d", decoded, chunks)
+	}
+	if served != n*chunks {
+		t.Fatalf("chunks served = %d, want %d", served, n*chunks)
+	}
+}

@@ -1,0 +1,162 @@
+package scanshare
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+const (
+	// subQueueCap bounds each subscriber's queue in partitions: a publisher
+	// racing far ahead of a slow subscriber drops chunks instead of
+	// buffering the table or stalling. Dropped chunks are re-obtained from
+	// the cache or decoded by the subscriber itself.
+	subQueueCap = 8
+	// subStashCap bounds the chunks a subscriber parks between receiving
+	// them and reaching their partition in its own scan order.
+	subStashCap = 64
+)
+
+// streamKeyFor identifies a scan's partition set. Partition pointers are
+// load-unique, so two scans share a key exactly when pruning left them the
+// same partitions of the same table.
+func streamKeyFor(table string, parts []*storage.Partition) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		fmt.Fprintf(h, "%p,", p)
+	}
+	return fmt.Sprintf("%s/%d/%x", table, len(parts), h.Sum64())
+}
+
+// partChunk is one published unit: the decoded vectors of one partition's
+// columns.
+type partChunk struct {
+	part *storage.Partition
+	cols map[string][]types.Value
+}
+
+// stream is an in-flight scan's broadcast channel to late-arriving
+// compatible scans. Publishing never blocks; subscribers that cannot keep
+// up miss chunks rather than slowing the publisher down (fairness: a shared
+// scan can make a late query faster, never the publishing query slower).
+type stream struct {
+	key  string
+	cols map[string]bool
+
+	mu   sync.Mutex
+	subs []*subscription
+	done bool
+}
+
+func newStream(key string, cols []string) *stream {
+	set := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		set[c] = true
+	}
+	return &stream{key: key, cols: set}
+}
+
+// covers reports whether the stream publishes every column in cols (a scan
+// may attach to a stream decoding a superset of its columns).
+func (st *stream) covers(cols []string) bool {
+	for _, c := range cols {
+		if !st.cols[c] {
+			return false
+		}
+	}
+	return true
+}
+
+func (st *stream) attach(sub *subscription) {
+	st.mu.Lock()
+	if !st.done {
+		st.subs = append(st.subs, sub)
+	}
+	st.mu.Unlock()
+}
+
+func (st *stream) detach(sub *subscription) {
+	st.mu.Lock()
+	live := st.subs[:0]
+	for _, s := range st.subs {
+		if s != sub {
+			live = append(live, s)
+		}
+	}
+	st.subs = live
+	st.mu.Unlock()
+}
+
+func (st *stream) publish(pc partChunk) {
+	st.mu.Lock()
+	if st.done || len(st.subs) == 0 {
+		st.mu.Unlock()
+		return
+	}
+	subs := append([]*subscription(nil), st.subs...)
+	st.mu.Unlock()
+	for _, sub := range subs {
+		select {
+		case sub.ch <- pc:
+		default:
+			atomic.AddInt64(&sub.dropped, 1)
+		}
+	}
+}
+
+// finish marks the stream done and releases its subscribers; residual
+// queued chunks remain consumable. Called under the manager's mutex.
+func (st *stream) finish() {
+	st.mu.Lock()
+	st.done = true
+	st.subs = nil
+	st.mu.Unlock()
+}
+
+// subscription is one attached scan's bounded receive side.
+type subscription struct {
+	ch      chan partChunk
+	dropped int64
+
+	mu    sync.Mutex
+	stash map[chunkKey][]types.Value
+}
+
+func newSubscription() *subscription {
+	return &subscription{
+		ch:    make(chan partChunk, subQueueCap),
+		stash: make(map[chunkKey][]types.Value),
+	}
+}
+
+// take drains the queue into the stash and returns the chunk for key if the
+// stream delivered it. Consumed entries are removed (each chunk is read
+// once per scan).
+func (sub *subscription) take(key chunkKey) ([]types.Value, bool) {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+drain:
+	for {
+		select {
+		case pc := <-sub.ch:
+			for col, vals := range pc.cols {
+				if len(sub.stash) >= subStashCap {
+					atomic.AddInt64(&sub.dropped, 1)
+					break drain
+				}
+				sub.stash[chunkKey{part: pc.part, col: col}] = vals
+			}
+		default:
+			break drain
+		}
+	}
+	vals, ok := sub.stash[key]
+	if ok {
+		delete(sub.stash, key)
+	}
+	return vals, ok
+}

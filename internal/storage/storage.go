@@ -12,6 +12,7 @@ package storage
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/catalog"
@@ -100,6 +101,14 @@ func (m *Metrics) AddRows(n int64) { atomic.AddInt64(&m.RowsScanned, n) }
 type Store struct {
 	cat    *catalog.Catalog
 	tables map[string]*TableData
+
+	// shareState is lazily initialized cross-query scan-share state, owned
+	// by the scanshare layer but anchored here so every engine instance over
+	// the same data resolves the same manager (sharing is only meaningful —
+	// and only safe, since cache keys are partition pointers — within one
+	// store).
+	shareMu    sync.Mutex
+	shareState any
 }
 
 // NewStore creates an empty store over the catalog.
@@ -109,6 +118,18 @@ func NewStore(cat *catalog.Catalog) *Store {
 
 // Catalog returns the catalog this store serves.
 func (s *Store) Catalog() *catalog.Catalog { return s.cat }
+
+// SharedScanState returns the store's scan-share state, initializing it with
+// init on first use. The first caller wins; later callers receive the
+// existing state regardless of their own configuration.
+func (s *Store) SharedScanState(init func() any) any {
+	s.shareMu.Lock()
+	defer s.shareMu.Unlock()
+	if s.shareState == nil {
+		s.shareState = init()
+	}
+	return s.shareState
+}
 
 // Load ingests rows for a table, splitting them into partitions by the
 // table's partition column and building per-partition column chunks. Rows

@@ -154,6 +154,19 @@ func (g *Gen) aggList() string {
 	return strings.Join(all[:n], ", ")
 }
 
+// QuerySet emits n queries from one generator seed — the unit of the
+// shared-vs-unshared differential mode, where the same set runs
+// concurrently with scan sharing on and off. Every query targets the same
+// fact/dim tables, so a concurrent run overlaps scans by construction.
+func QuerySet(seed int64, n int) []string {
+	g := New(seed)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = g.Query()
+	}
+	return out
+}
+
 // Query emits one random query. Patterns cover keyed aggregation, scalar
 // aggregation, join+aggregation, LEFT JOIN projection, DISTINCT,
 // COUNT(DISTINCT), residual join conditions and UNION ALL reuse shapes.
