@@ -32,6 +32,7 @@ func main() {
 		execOut     = flag.String("exec", "", "write a row-at-a-time vs vectorized execution comparison to this JSON file and exit")
 		aggOut      = flag.String("agg", "", "write a serial vs partition-wise parallel aggregation comparison to this JSON file and exit")
 		sharedOut   = flag.String("shared", "", "write a concurrent shared-vs-unshared scan comparison to this JSON file and exit")
+		spillOut    = flag.String("spill", "", "write an unlimited-vs-memory-budget spill comparison to this JSON file and exit")
 		parallelism = flag.Int("parallelism", 4, "workers for the parallel side of -exec/-agg/-shared")
 		batchSize   = flag.Int("batch", 1024, "rows per batch for the parallel side of -exec/-agg/-shared")
 		concurrency = flag.Int("concurrency", 4, "concurrent query workers for -shared")
@@ -49,6 +50,14 @@ func main() {
 	}
 	if *aggOut != "" {
 		runAggComparison(*aggOut, bench.AggOptions{
+			Scale: *scale, Seed: *seed, Iterations: *iters,
+			Parallelism: *parallelism, BatchSize: *batchSize,
+			Queries: splitList(*qlist),
+		})
+		return
+	}
+	if *spillOut != "" {
+		runSpillComparison(*spillOut, bench.SpillOptions{
 			Scale: *scale, Seed: *seed, Iterations: *iters,
 			Parallelism: *parallelism, BatchSize: *batchSize,
 			Queries: splitList(*qlist),
@@ -148,6 +157,30 @@ func runSharedComparison(path string, opts bench.SharedOptions) {
 	fmt.Fprintf(os.Stderr, "generating TPC-DS data at scale %.2f and comparing %d concurrent workers with scan sharing off/on over %s...\n",
 		opts.Scale, opts.Concurrency, queriesLabel(opts.Queries))
 	cmp, err := bench.RunSharedComparison(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := cmp.WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	cmp.WriteTable(os.Stdout)
+}
+
+func runSpillComparison(path string, opts bench.SpillOptions) {
+	if len(opts.Queries) == 0 {
+		opts.Queries = bench.DefaultSpillQueries
+	}
+	fmt.Fprintf(os.Stderr, "generating TPC-DS data at scale %.2f and comparing unlimited vs budgeted memory on %s...\n",
+		opts.Scale, queriesLabel(opts.Queries))
+	cmp, err := bench.RunSpillComparison(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)

@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"os"
+	"runtime"
+
+	"repro/internal/exec"
+	"repro/internal/scanshare"
+)
+
+// Config controls engine behaviour.
+type Config struct {
+	// EnableFusion turns on the paper's computation-reuse rules
+	// (GroupByJoinToWindow, JoinOnKeys, UnionAllOnJoin, UnionAllFusion and
+	// the supporting distinct rules). Default false = baseline engine.
+	EnableFusion bool
+	// EnableSpooling turns on the paper's §I comparator: duplicated
+	// subtrees are materialized once and replayed per consumer instead of
+	// (or, when combined with EnableFusion, after) fusion. The spool pass
+	// runs on the optimized plan, so with both flags set, spooling handles
+	// whatever duplication the fusion rules could not remove — the paper's
+	// stated roadmap.
+	EnableSpooling bool
+	// Parallelism is the number of workers shared by every parallel
+	// execution stage: morsel-parallel scan leaves, partition-wise parallel
+	// aggregation, and parallel hash-join builds all draw slots from one
+	// bounded pool of this size. <= 0 means GOMAXPROCS; 1 forces fully
+	// serial execution. Results are bit-for-bit identical at every setting:
+	// morsels are delivered in partition order, and partitioned operators
+	// merge their per-worker state back in the serial engine's order.
+	Parallelism int
+	// BatchSize is the number of rows per execution batch. <= 0 means the
+	// default (1024); 1 degenerates to row-at-a-time execution, which is
+	// useful for benchmarking the vectorization gain in isolation.
+	BatchSize int
+	// ShareScans opts this engine's queries into cross-query scan sharing:
+	// concurrent queries over the same partitions of the same store share
+	// chunk-decode work (late arrivals attach to in-flight morsel streams)
+	// and misses are backed by a bounded decoded-chunk cache. Results and
+	// Metrics.Storage.BytesScanned are identical either way — only the
+	// physical work reported by Metrics.Share.BytesDecoded changes. Sharing
+	// spans every engine over the same store (see OpenWithStore), whatever
+	// their other settings.
+	ShareScans bool
+	// ScanCacheBytes bounds the shared decoded-chunk cache in estimated
+	// resident bytes; <= 0 means the 64 MiB default. The cache belongs to
+	// the store, so the first sharing query to run against a store fixes
+	// its size.
+	ScanCacheBytes int64
+	// MemoryLimitBytes bounds the tracked resident memory of all queries
+	// running on this engine instance combined: hash-join build tables,
+	// aggregation group state, sort buffers, window/spool materializations.
+	// Under pressure the pool spills aggregation and sort state to SpillDir
+	// (results stay bit-for-bit identical); state that cannot spill fails
+	// the query with memctl.ErrMemoryExceeded. <= 0 means unlimited —
+	// reservations are tracked for Metrics but never fail and never spill.
+	MemoryLimitBytes int64
+	// SpillDir is where spill files are written under memory pressure.
+	// Empty means os.TempDir(). Files are temp-named, crash-safe to leave
+	// behind, and removed when the owning query finishes or is abandoned.
+	SpillDir string
+}
+
+// normalize resolves every defaulted Config field to its effective value.
+// It is the single place engine-level defaults are decided; Open applies it
+// once so the rest of the engine (and exec.Options) sees only concrete
+// settings.
+func (c Config) normalize() Config {
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = exec.DefaultBatchSize
+	}
+	if c.ScanCacheBytes <= 0 {
+		c.ScanCacheBytes = scanshare.DefaultCacheBytes
+	}
+	if c.MemoryLimitBytes < 0 {
+		c.MemoryLimitBytes = 0 // unlimited
+	}
+	if c.SpillDir == "" {
+		c.SpillDir = os.TempDir()
+	}
+	return c
+}

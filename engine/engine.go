@@ -27,10 +27,17 @@ import (
 	"repro/internal/exec"
 	"repro/internal/expr"
 	"repro/internal/logical"
+	"repro/internal/memctl"
 	"repro/internal/optimizer"
 	"repro/internal/storage"
 	"repro/internal/types"
 )
+
+// ErrMemoryExceeded is returned (wrapped) when a query's unspillable state
+// cannot fit in Config.MemoryLimitBytes even after spilling everything that
+// can spill. Test with errors.Is; the full *memctl.MemoryExceededError
+// carries the query text, operator, and peak usage.
+var ErrMemoryExceeded = memctl.ErrMemoryExceeded
 
 // Re-exported building blocks so embedders need only this package.
 type (
@@ -67,67 +74,38 @@ var (
 // NewCatalog creates an empty catalog.
 func NewCatalog() *Catalog { return catalog.New() }
 
-// Config controls engine behaviour.
-type Config struct {
-	// EnableFusion turns on the paper's computation-reuse rules
-	// (GroupByJoinToWindow, JoinOnKeys, UnionAllOnJoin, UnionAllFusion and
-	// the supporting distinct rules). Default false = baseline engine.
-	EnableFusion bool
-	// EnableSpooling turns on the paper's §I comparator: duplicated
-	// subtrees are materialized once and replayed per consumer instead of
-	// (or, when combined with EnableFusion, after) fusion. The spool pass
-	// runs on the optimized plan, so with both flags set, spooling handles
-	// whatever duplication the fusion rules could not remove — the paper's
-	// stated roadmap.
-	EnableSpooling bool
-	// Parallelism is the number of workers shared by every parallel
-	// execution stage: morsel-parallel scan leaves, partition-wise parallel
-	// aggregation, and parallel hash-join builds all draw slots from one
-	// bounded pool of this size. <= 0 means GOMAXPROCS; 1 forces fully
-	// serial execution. Results are bit-for-bit identical at every setting:
-	// morsels are delivered in partition order, and partitioned operators
-	// merge their per-worker state back in the serial engine's order.
-	Parallelism int
-	// BatchSize is the number of rows per execution batch. <= 0 means the
-	// default (1024); 1 degenerates to row-at-a-time execution, which is
-	// useful for benchmarking the vectorization gain in isolation.
-	BatchSize int
-	// ShareScans opts this engine's queries into cross-query scan sharing:
-	// concurrent queries over the same partitions of the same store share
-	// chunk-decode work (late arrivals attach to in-flight morsel streams)
-	// and misses are backed by a bounded decoded-chunk cache. Results and
-	// Metrics.Storage.BytesScanned are identical either way — only the
-	// physical work reported by Metrics.Share.BytesDecoded changes. Sharing
-	// spans every engine over the same store (see OpenWithStore), whatever
-	// their other settings.
-	ShareScans bool
-	// ScanCacheBytes bounds the shared decoded-chunk cache in estimated
-	// resident bytes; <= 0 means the 64 MiB default. The cache belongs to
-	// the store, so the first sharing query to run against a store fixes
-	// its size.
-	ScanCacheBytes int64
-}
-
 // Engine is an embeddable SQL engine instance.
 type Engine struct {
 	store  *storage.Store
 	binder *binder.Binder
-	config Config
+	config Config // normalized (see Config.normalize)
+	// mempool is the engine-level memory budget shared by every query this
+	// instance runs; blocking operators reserve against it and spill to
+	// config.SpillDir under pressure.
+	mempool *memctl.Pool
 }
 
 // Open creates an engine over the catalog.
 func Open(cat *Catalog, cfg Config) *Engine {
+	cfg = cfg.normalize()
 	return &Engine{
-		store:  storage.NewStore(cat),
-		binder: binder.New(cat),
-		config: cfg,
+		store:   storage.NewStore(cat),
+		binder:  binder.New(cat),
+		config:  cfg,
+		mempool: memctl.NewPool(cfg.MemoryLimitBytes, cfg.SpillDir),
 	}
 }
 
 // OpenWithStore creates an engine over an existing loaded store (sharing
 // data between engine instances, e.g. a baseline and a fused engine).
 func OpenWithStore(st *storage.Store, cfg Config) *Engine {
-	return &Engine{store: st, binder: binder.New(st.Catalog()), config: cfg}
+	cfg = cfg.normalize()
+	return &Engine{
+		store:   st,
+		binder:  binder.New(st.Catalog()),
+		config:  cfg,
+		mempool: memctl.NewPool(cfg.MemoryLimitBytes, cfg.SpillDir),
+	}
 }
 
 // Store exposes the underlying store (for sharing via OpenWithStore).
@@ -171,6 +149,7 @@ type Prepared struct {
 	plan       logical.Operator
 	names      []string
 	rulesFired []string
+	sqlText    string
 }
 
 // Prepare parses, binds and optimizes a query without executing it.
@@ -179,7 +158,7 @@ func (e *Engine) Prepare(sqlText string) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{eng: e, plan: plan, names: names, rulesFired: trace.Fired}, nil
+	return &Prepared{eng: e, plan: plan, names: names, rulesFired: trace.Fired, sqlText: sqlText}, nil
 }
 
 // Plan returns the optimized logical plan text.
@@ -195,6 +174,8 @@ func (p *Prepared) Run() (*Result, error) {
 		BatchSize:      p.eng.config.BatchSize,
 		ShareScans:     p.eng.config.ShareScans,
 		ScanCacheBytes: p.eng.config.ScanCacheBytes,
+		MemPool:        p.eng.mempool,
+		QueryText:      p.sqlText,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("engine: executing: %w", err)

@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/engine"
+	"repro/internal/tpcds"
+)
+
+// SpillOptions configures the memory-governance comparison: spill-heavy
+// queries (high-cardinality aggregation, large sorts) run unlimited and
+// then under a ladder of shrinking memory budgets derived from each
+// query's own unlimited profile, measuring what graceful degradation to
+// disk costs in latency.
+type SpillOptions struct {
+	Scale       float64
+	Seed        int64
+	Iterations  int
+	Parallelism int
+	BatchSize   int
+	Queries     []string
+}
+
+// DefaultSpillQueries is the slice of the workload whose blocking state is
+// dominated by spillable operators — the aggregation-heavy queries plus
+// the sort-carrying join shapes.
+var DefaultSpillQueries = []string{
+	"q09", "q23", "q28", "q65", "f01", "f11", "f14", "f17", "f22", "f26",
+}
+
+// SpillRunReport is one query at one memory budget.
+type SpillRunReport struct {
+	// LimitBytes is the engine budget for this run; 0 means unlimited.
+	LimitBytes int64   `json:"limit_bytes"`
+	MS         float64 `json:"ms"`
+	// Slowdown is this run's latency over the unlimited run's.
+	Slowdown float64 `json:"slowdown"`
+	// PeakBytes is the query's peak tracked memory; under a budget it never
+	// exceeds LimitBytes.
+	PeakBytes    int64 `json:"peak_bytes"`
+	SpilledBytes int64 `json:"spilled_bytes"`
+	SpillFiles   int64 `json:"spill_files"`
+	// Identical is true when the run reproduced the unlimited run's rows
+	// byte-for-byte in identical order.
+	Identical bool `json:"identical_results"`
+}
+
+// SpillQueryReport is one query across the budget ladder.
+type SpillQueryReport struct {
+	Name    string           `json:"name"`
+	Pattern string           `json:"pattern"`
+	Runs    []SpillRunReport `json:"runs"`
+}
+
+// SpillComparison is the BENCH_spill.json payload.
+type SpillComparison struct {
+	Scale       float64            `json:"scale"`
+	Parallelism int                `json:"parallelism"`
+	BatchSize   int                `json:"batch_size"`
+	Iterations  int                `json:"iterations"`
+	Queries     []SpillQueryReport `json:"queries"`
+	// AllIdentical is true when every budgeted run matched its unlimited
+	// reference and stayed within its limit.
+	AllIdentical bool `json:"all_identical"`
+	// AnySpilled is true when at least one budgeted run actually shed bytes
+	// to disk — the comparison is vacuous otherwise.
+	AnySpilled bool `json:"any_spilled"`
+}
+
+// spillLimits derives the budget ladder for one query from its unlimited
+// profile: fractions of the spillable state above the unspillable floor
+// (join builds, window buffers, spools cannot shed), so every rung is
+// feasible and the lower rungs force progressively more spilling.
+func spillLimits(peak, floor int64) []int64 {
+	const headroom = 256 << 10
+	span := peak - floor
+	if span <= headroom {
+		return nil
+	}
+	var out []int64
+	for _, num := range []int64{3, 2, 1} {
+		l := floor + span*num/4
+		if l < floor+headroom {
+			l = floor + headroom
+		}
+		if len(out) == 0 || l < out[len(out)-1] {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// RunSpillComparison measures the latency cost of spilling: each query
+// runs unlimited, then at each budget rung, over one shared store with the
+// same parallel configuration throughout — the only variable is how much
+// memory the blocking operators may keep resident.
+func RunSpillComparison(opts SpillOptions) (*SpillComparison, error) {
+	if opts.Iterations <= 0 {
+		opts.Iterations = 1
+	}
+	if opts.Scale <= 0 {
+		opts.Scale = 1.0
+	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = 8
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 1024
+	}
+	if len(opts.Queries) == 0 {
+		opts.Queries = DefaultSpillQueries
+	}
+	st, err := tpcds.NewLoadedStore(opts.Scale, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	spillDir, err := os.MkdirTemp("", "benchspill")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(spillDir)
+
+	base := engine.Config{EnableFusion: true, Parallelism: opts.Parallelism, BatchSize: opts.BatchSize}
+	unlimited := engine.OpenWithStore(st, base)
+
+	cmp := &SpillComparison{
+		Scale: opts.Scale, Parallelism: opts.Parallelism,
+		BatchSize: opts.BatchSize, Iterations: opts.Iterations,
+		AllIdentical: true,
+	}
+	for _, name := range opts.Queries {
+		q, ok := tpcds.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown query %q", name)
+		}
+		qr := SpillQueryReport{Name: q.Name, Pattern: q.Pattern}
+
+		var want string
+		var refRun SpillRunReport
+		var refLat time.Duration
+		var floor int64
+		for i := 0; i < opts.Iterations; i++ {
+			res, err := unlimited.Query(q.SQL)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s (unlimited): %w", q.Name, err)
+			}
+			if i == 0 || res.Metrics.Elapsed < refLat {
+				refLat = res.Metrics.Elapsed
+			}
+			want = renderRows(res.Rows)
+			refRun = SpillRunReport{
+				PeakBytes: res.Metrics.PeakMemoryBytes, Slowdown: 1, Identical: true,
+			}
+			floor = 0
+			for op, s := range res.Metrics.MemOperators {
+				if op != "groupby" && op != "sort" {
+					floor += s.PeakBytes
+				}
+			}
+		}
+		refRun.MS = float64(refLat) / float64(time.Millisecond)
+		qr.Runs = append(qr.Runs, refRun)
+
+		for _, limit := range spillLimits(refRun.PeakBytes, floor) {
+			eng := engine.OpenWithStore(st, engine.Config{
+				EnableFusion: base.EnableFusion, Parallelism: base.Parallelism, BatchSize: base.BatchSize,
+				MemoryLimitBytes: limit, SpillDir: spillDir,
+			})
+			run := SpillRunReport{LimitBytes: limit, Identical: true}
+			var lat time.Duration
+			for i := 0; i < opts.Iterations; i++ {
+				res, err := eng.Query(q.SQL)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s (limit %d): %w", q.Name, limit, err)
+				}
+				if i == 0 || res.Metrics.Elapsed < lat {
+					lat = res.Metrics.Elapsed
+				}
+				run.PeakBytes = res.Metrics.PeakMemoryBytes
+				run.SpilledBytes = res.Metrics.SpilledBytes
+				run.SpillFiles = res.Metrics.SpillFiles
+				run.Identical = renderRows(res.Rows) == want
+			}
+			run.MS = float64(lat) / float64(time.Millisecond)
+			if refLat > 0 {
+				run.Slowdown = float64(lat) / float64(refLat)
+			}
+			if !run.Identical || run.PeakBytes > limit {
+				cmp.AllIdentical = false
+			}
+			if run.SpilledBytes > 0 {
+				cmp.AnySpilled = true
+			}
+			qr.Runs = append(qr.Runs, run)
+		}
+		cmp.Queries = append(cmp.Queries, qr)
+	}
+	return cmp, nil
+}
+
+// WriteJSON emits the comparison as indented JSON (the BENCH_spill.json
+// artifact).
+func (c *SpillComparison) WriteJSON(out io.Writer) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// WriteTable renders a human-readable view of the comparison.
+func (c *SpillComparison) WriteTable(out io.Writer) {
+	fmt.Fprintf(out, "Memory-budget spill comparison (scale=%.2f, parallelism=%d, batch=%d)\n",
+		c.Scale, c.Parallelism, c.BatchSize)
+	fmt.Fprintln(out, "query | limit      | latency     | slowdown | peak       | spilled    | identical")
+	fmt.Fprintln(out, "------+------------+-------------+----------+------------+------------+----------")
+	for _, q := range c.Queries {
+		for _, r := range q.Runs {
+			lim := "unlimited"
+			if r.LimitBytes > 0 {
+				lim = fmt.Sprintf("%dK", r.LimitBytes>>10)
+			}
+			fmt.Fprintf(out, "%-5s | %-10s | %9.2fms | %7.2fx | %9dK | %9dK | %v\n",
+				q.Name, lim, r.MS, r.Slowdown, r.PeakBytes>>10, r.SpilledBytes>>10, r.Identical)
+		}
+	}
+	fmt.Fprintf(out, "all results identical within limits: %v, any run spilled: %v\n",
+		c.AllIdentical, c.AnySpilled)
+}

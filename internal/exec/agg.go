@@ -1,12 +1,14 @@
 package exec
 
 import (
-	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/expr"
 	"repro/internal/logical"
+	"repro/internal/memctl"
+	"repro/internal/storage"
 	"repro/internal/types"
 	"repro/internal/vec"
 )
@@ -163,21 +165,28 @@ func (ex *executor) buildGroupBy(g *logical.GroupBy) (BatchIterator, error) {
 	// coordination and the merged output is byte-identical to the serial
 	// order. Scalar aggregation stays serial — one group means one float
 	// accumulation order, which parallel partial sums would change.
+	spillDir := ex.mempool.SpillDir()
 	if !scalar && ex.opts.Parallelism > 1 {
 		accs := make([]*groupAccumulator, ex.opts.Parallelism)
 		for p := range accs {
-			if accs[p], err = newGroupAccumulator(g, layout, keyIdx); err != nil {
+			if accs[p], err = newGroupAccumulator(g, layout, keyIdx, ex.tracker, spillDir); err != nil {
 				return nil, err
 			}
+			ex.tracker.Register(accs[p])
+			ex.onClose(accs[p].closeSpillFiles)
 		}
 		return &parallelGroupByIter{
 			in: in, keyIdx: keyIdx, accs: accs, pool: ex.pool,
 			batchSize: ex.opts.BatchSize, m: ex.metrics,
 		}, nil
 	}
-	acc, err := newGroupAccumulator(g, layout, keyIdx)
+	acc, err := newGroupAccumulator(g, layout, keyIdx, ex.tracker, spillDir)
 	if err != nil {
 		return nil, err
+	}
+	if !scalar {
+		ex.tracker.Register(acc)
+		ex.onClose(acc.closeSpillFiles)
 	}
 	return &groupByIter{
 		in: in, acc: acc, scalar: scalar, batchSize: ex.opts.BatchSize, m: ex.metrics,
@@ -199,9 +208,13 @@ type group struct {
 	states  []aggState
 	// firstIdx is the global input row index of the group's first row. The
 	// serial accumulator discovers groups in ascending firstIdx order by
-	// construction; the parallel merge sorts shards back into that exact
-	// order, which is what keeps parallel output byte-identical.
+	// construction; the parallel merge interleaves shards back into that
+	// exact order, which is what keeps parallel output byte-identical.
 	firstIdx int64
+	// part is the group's spill partition (-1 until spilling activates);
+	// reserved marks that the group's bytes are charged to the tracker.
+	part     int
+	reserved bool
 }
 
 // groupAccumulator is one hash-aggregation shard: a group table plus its own
@@ -227,9 +240,36 @@ type groupAccumulator struct {
 	maskLog  [][]int
 	maskSub  []*vec.Batch
 	scalarG  *group
+
+	// memctl integration. mu serializes batch consumption against Spill
+	// calls routed in by the pool; resident (atomic) is the reserved bytes
+	// a spill could free; clock drives the coldest-partition victim pick;
+	// sealed stops spills once emission starts. groupsCreated counts every
+	// group ever built (consume plus replay), which equals the no-spill
+	// group count — the HashRows metric stays config-independent.
+	tracker       *memctl.Tracker
+	spillDir      string
+	mu            sync.Mutex
+	resident      int64
+	clock         int64
+	spillActive   bool
+	sealed        bool
+	groupsCreated int64
+	parts         [numSpillParts]aggSpillPart
+	runs          []*storage.SpillFile
+
+	// per-batch spill scratch: rows routed to spilled partitions, their
+	// saved keys, per-mask booleans and per-aggregate argument values
+	// (copied before the sub-batch evaluations reuse evaluator scratch).
+	spillRows  []int
+	spillPart  []int
+	spillKeys  [][]types.Value
+	spillMaskB [][]bool
+	spillArgs  [][]types.Value
+	rowRec     []types.Value
 }
 
-func newGroupAccumulator(g *logical.GroupBy, layout map[expr.ColumnID]int, keyIdx []int) (*groupAccumulator, error) {
+func newGroupAccumulator(g *logical.GroupBy, layout map[expr.ColumnID]int, keyIdx []int, tracker *memctl.Tracker, spillDir string) (*groupAccumulator, error) {
 	aggs, err := compileAggs(g.Aggs, layout)
 	if err != nil {
 		return nil, err
@@ -250,10 +290,14 @@ func newGroupAccumulator(g *logical.GroupBy, layout map[expr.ColumnID]int, keyId
 	}
 	return &groupAccumulator{
 		keyIdx: keyIdx, aggs: aggs, maskEvs: maskEvs, argEvs: argEvs,
-		groups:  make(map[string]*group),
-		kv:      make([]types.Value, len(keyIdx)),
-		maskLog: make([][]int, len(maskEvs)),
-		maskSub: make([]*vec.Batch, len(maskEvs)),
+		groups:     make(map[string]*group),
+		kv:         make([]types.Value, len(keyIdx)),
+		maskLog:    make([][]int, len(maskEvs)),
+		maskSub:    make([]*vec.Batch, len(maskEvs)),
+		tracker:    tracker,
+		spillDir:   spillDir,
+		spillMaskB: make([][]bool, len(maskEvs)),
+		spillArgs:  make([][]types.Value, len(g.Aggs)),
 	}, nil
 }
 
@@ -261,10 +305,53 @@ func newGroupAccumulator(g *logical.GroupBy, layout map[expr.ColumnID]int, keyId
 // global input row index of the batch's i-th active row (log nil means the
 // identity mapping, i.e. the batch holds consecutive input rows starting at
 // base); it pins each new group's firstIdx for the deterministic merge.
-func (ga *groupAccumulator) consumeBatch(b *vec.Batch, base int64, log []int) {
+//
+// The batch is processed under ga.mu (excluding concurrent Spill calls),
+// then new groups' bytes are reserved with no lock held — the pool may pick
+// this very accumulator as the spill victim. Groups whose partition spilled
+// during that window are already on disk, so their share is refunded.
+func (ga *groupAccumulator) consumeBatch(b *vec.Batch, base int64, log []int) error {
+	ga.mu.Lock()
+	pending, newBytes, err := ga.consumeLocked(b, base, log)
+	ga.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if newBytes == 0 {
+		return nil
+	}
+	if err := ga.tracker.Reserve(opGroupBy, newBytes); err != nil {
+		return err
+	}
+	var refund int64
+	ga.mu.Lock()
+	for _, g := range pending {
+		gb := groupMemBytes(g.keyVals, len(ga.aggs.aggs))
+		if g.part >= 0 && ga.parts[g.part].spilled {
+			refund += gb
+		} else {
+			g.reserved = true
+			atomic.AddInt64(&ga.resident, gb)
+		}
+	}
+	ga.mu.Unlock()
+	if refund > 0 {
+		ga.tracker.Release(opGroupBy, refund)
+	}
+	return nil
+}
+
+func globalIdx(base int64, i int, log []int) int64 {
+	if log != nil {
+		return base + int64(log[i])
+	}
+	return base + int64(i)
+}
+
+func (ga *groupAccumulator) consumeLocked(b *vec.Batch, base int64, log []int) ([]*group, int64, error) {
 	n := b.Len()
 	if n == 0 {
-		return
+		return nil, 0, nil
 	}
 	// Group assignment per row (accumulation order below stays row-major
 	// per group, so float sums match the row engine bit-for-bit).
@@ -273,13 +360,20 @@ func (ga *groupAccumulator) consumeBatch(b *vec.Batch, base int64, log []int) {
 		ga.groupRow = make([]*group, n)
 	}
 	groupRow := ga.groupRow[:n]
+	var pending []*group
+	var newBytes int64
+	nSpill := 0
 	if scalar {
 		if ga.scalarG == nil {
-			ga.scalarG = &group{states: make([]aggState, len(ga.aggs.aggs))}
+			ga.scalarG = &group{states: make([]aggState, len(ga.aggs.aggs)), part: -1}
 			ga.groups[""] = ga.scalarG
 			ga.order = append(ga.order, ga.scalarG)
+			ga.groupsCreated++
 		}
 	} else {
+		ga.clock++
+		ga.spillRows = ga.spillRows[:0]
+		ga.spillPart = ga.spillPart[:0]
 		for i := 0; i < n; i++ {
 			for k, idx := range ga.keyIdx {
 				ga.kv[k] = b.Value(idx, i)
@@ -287,24 +381,50 @@ func (ga *groupAccumulator) consumeBatch(b *vec.Batch, base int64, log []int) {
 			key := encodeKey(&ga.keyBuf, ga.kv)
 			g, ok := ga.groups[key]
 			if !ok {
-				idx := int64(i)
-				if log != nil {
-					idx = int64(log[i])
+				part := -1
+				if ga.spillActive {
+					part = int(vec.HashKey(ga.kv) % numSpillParts)
+					if ga.parts[part].spilled {
+						// The row's group lives on disk: save its key for
+						// the raw-row record and skip accumulation.
+						if nSpill < len(ga.spillKeys) {
+							ga.spillKeys[nSpill] = append(ga.spillKeys[nSpill][:0], ga.kv...)
+						} else {
+							ga.spillKeys = append(ga.spillKeys, append([]types.Value{}, ga.kv...))
+						}
+						ga.spillRows = append(ga.spillRows, i)
+						ga.spillPart = append(ga.spillPart, part)
+						nSpill++
+						ga.parts[part].touch = ga.clock
+						groupRow[i] = nil
+						continue
+					}
 				}
 				g = &group{
 					keyVals:  append([]types.Value{}, ga.kv...),
 					states:   make([]aggState, len(ga.aggs.aggs)),
-					firstIdx: base + idx,
+					firstIdx: globalIdx(base, i, log),
+					part:     part,
 				}
 				ga.groups[key] = g
 				ga.order = append(ga.order, g)
+				ga.groupsCreated++
+				if part >= 0 {
+					ga.parts[part].groups = append(ga.parts[part].groups, g)
+				}
+				pending = append(pending, g)
+				newBytes += groupMemBytes(g.keyVals, len(ga.aggs.aggs))
 			}
 			groupRow[i] = g
+			if g.part >= 0 {
+				ga.parts[g.part].touch = ga.clock
+			}
 		}
 	}
 
 	// Masks become selection vectors, shared by every aggregate that
-	// carries the same FILTER expression.
+	// carries the same FILTER expression. Spilled rows additionally save
+	// their per-mask booleans for the raw-row record.
 	for mi, ev := range ga.maskEvs {
 		vals := ev.eval(b)
 		mlog := ga.maskLog[mi][:0]
@@ -317,6 +437,23 @@ func (ga *groupAccumulator) consumeBatch(b *vec.Batch, base int64, log []int) {
 		}
 		ga.maskLog[mi] = mlog
 		ga.maskSub[mi] = b.WithSel(phys)
+		if nSpill > 0 {
+			bm := ga.spillMaskB[mi]
+			if cap(bm) < nSpill {
+				bm = make([]bool, nSpill)
+			}
+			bm = bm[:nSpill]
+			for j, i := range ga.spillRows {
+				bm[j] = vals[i].IsTrue()
+			}
+			ga.spillMaskB[mi] = bm
+		}
+	}
+
+	if nSpill > 0 {
+		if err := ga.writeSpilledRows(b, base, log, nSpill); err != nil {
+			return pending, newBytes, err
+		}
 	}
 
 	// Tight accumulation loop per aggregate.
@@ -352,35 +489,69 @@ func (ga *groupAccumulator) consumeBatch(b *vec.Batch, base int64, log []int) {
 				if mlog != nil {
 					li = mlog[j]
 				}
+				g := groupRow[li]
+				if g == nil {
+					continue // row spilled to disk this batch
+				}
 				var v types.Value
 				if vals != nil {
 					v = vals[j]
 				}
-				groupRow[li].states[ai].add(fn, v)
+				g.states[ai].add(fn, v)
 			}
 		}
 	}
+	return pending, newBytes, nil
 }
 
-// emitGroups renders groups into output batches; shared by the serial and
-// parallel aggregation iterators so both produce identical batch shapes.
-func emitGroups(groups []*group, emit *int, keyWidth int, aggs []compiledAgg, batchSize int) *vec.Batch {
-	if *emit >= len(groups) {
-		return nil
-	}
-	width := keyWidth + len(aggs)
-	bl := vec.NewBuilder(width, batchSize)
-	out := make(Row, width)
-	for *emit < len(groups) && !bl.Full() {
-		g := groups[*emit]
-		*emit++
-		copy(out, g.keyVals)
-		for i := range aggs {
-			out[keyWidth+i] = g.states[i].result(aggs[i].agg)
+// writeSpilledRows appends this batch's rows bound for spilled partitions
+// to their partitions' raw-row files. Argument values are evaluated over
+// the full batch and copied out first: the per-aggregate batch evaluators
+// reuse scratch buffers, and the accumulation loop below re-evaluates them
+// over masked sub-batches.
+func (ga *groupAccumulator) writeSpilledRows(b *vec.Batch, base int64, log []int, nSpill int) error {
+	for ai, ev := range ga.argEvs {
+		if ev == nil {
+			continue
 		}
-		bl.Append(out)
+		vals := ev.eval(b)
+		av := ga.spillArgs[ai]
+		if cap(av) < nSpill {
+			av = make([]types.Value, nSpill)
+		}
+		av = av[:nSpill]
+		for j, i := range ga.spillRows {
+			av[j] = vals[i]
+		}
+		ga.spillArgs[ai] = av
 	}
-	return bl.Flush()
+	recW := ga.rowRecWidth()
+	if cap(ga.rowRec) < recW {
+		ga.rowRec = make([]types.Value, recW)
+	}
+	rec := ga.rowRec[:recW]
+	kw := len(ga.keyIdx)
+	for j := 0; j < nSpill; j++ {
+		i := ga.spillRows[j]
+		rec[0] = types.Int(globalIdx(base, i, log))
+		copy(rec[1:], ga.spillKeys[j])
+		off := 1 + kw
+		for mi := range ga.maskEvs {
+			rec[off+mi] = types.Bool(ga.spillMaskB[mi][j])
+		}
+		off += len(ga.maskEvs)
+		for ai := range ga.argEvs {
+			if ga.argEvs[ai] == nil {
+				rec[off+ai] = types.Value{}
+			} else {
+				rec[off+ai] = ga.spillArgs[ai][j]
+			}
+		}
+		if err := ga.parts[ga.spillPart[j]].rowsW.Append(rec); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // groupByIter is a blocking hash aggregation with per-aggregate masks
@@ -393,8 +564,8 @@ type groupByIter struct {
 	batchSize int
 	m         *Metrics
 
-	built bool
-	emit  int
+	built   bool
+	emitter *groupEmitter
 }
 
 func (it *groupByIter) NextBatch() (*vec.Batch, error) {
@@ -403,7 +574,7 @@ func (it *groupByIter) NextBatch() (*vec.Batch, error) {
 			return nil, err
 		}
 	}
-	return emitGroups(it.acc.order, &it.emit, len(it.acc.keyIdx), it.acc.aggs.aggs, it.batchSize), nil
+	return it.emitter.NextBatch()
 }
 
 func (it *groupByIter) consume() error {
@@ -421,13 +592,28 @@ func (it *groupByIter) consume() error {
 			continue
 		}
 		it.m.addProcessed(int64(n))
-		it.acc.consumeBatch(b, base, nil)
+		if err := it.acc.consumeBatch(b, base, nil); err != nil {
+			return err
+		}
 		base += int64(n)
 	}
-	it.m.addHashRows(int64(len(it.acc.order)))
-	// A scalar aggregate over empty input still produces one default row.
+	// A scalar aggregate over empty input still produces one default row
+	// (uncounted in HashRows, matching the row engine).
 	if it.scalar && len(it.acc.order) == 0 {
-		it.acc.order = append(it.acc.order, &group{states: make([]aggState, len(it.acc.aggs.aggs))})
+		it.acc.order = append(it.acc.order, &group{states: make([]aggState, len(it.acc.aggs.aggs)), part: -1})
+	}
+	// Unregister before finish: replay reservations must never route a
+	// spill back into this accumulator's lock.
+	it.acc.tracker.Unregister(it.acc)
+	stream, err := it.acc.finish()
+	if err != nil {
+		return err
+	}
+	it.m.addHashRows(it.acc.groupsCreated)
+	it.emitter = &groupEmitter{
+		streams:   []groupStream{stream},
+		width:     len(it.acc.keyIdx) + len(it.acc.aggs.aggs),
+		batchSize: it.batchSize,
 	}
 	it.built = true
 	return nil
@@ -439,8 +625,9 @@ func (it *groupByIter) consume() error {
 // accumulates exactly the rows whose key hash maps to shard p, in global
 // input order, into its own accumulator. Because a group's rows all carry
 // the same key hash, each group is built by exactly one shard with the same
-// per-group accumulation order as the serial path; the final merge sorts
-// groups by first-occurrence index, reproducing serial output bytes.
+// per-group accumulation order as the serial path; the final merge
+// interleaves shard streams by first-occurrence index, reproducing serial
+// output bytes — whether or not any shard spilled.
 type parallelGroupByIter struct {
 	in        BatchIterator
 	keyIdx    []int
@@ -449,9 +636,25 @@ type parallelGroupByIter struct {
 	batchSize int
 	m         *Metrics
 
-	built  bool
-	merged []*group
-	emit   int
+	built   bool
+	emitter *groupEmitter
+
+	errMu    sync.Mutex
+	firstErr error
+}
+
+func (it *parallelGroupByIter) setErr(err error) {
+	it.errMu.Lock()
+	if it.firstErr == nil {
+		it.firstErr = err
+	}
+	it.errMu.Unlock()
+}
+
+func (it *parallelGroupByIter) getErr() error {
+	it.errMu.Lock()
+	defer it.errMu.Unlock()
+	return it.firstErr
 }
 
 // aggTask is one input batch broadcast to every shard worker. hashes[i] is
@@ -469,7 +672,7 @@ func (it *parallelGroupByIter) NextBatch() (*vec.Batch, error) {
 			return nil, err
 		}
 	}
-	return emitGroups(it.merged, &it.emit, len(it.keyIdx), it.accs[0].aggs.aggs, it.batchSize), nil
+	return it.emitter.NextBatch()
 }
 
 func (it *parallelGroupByIter) consume() error {
@@ -484,6 +687,11 @@ func (it *parallelGroupByIter) consume() error {
 			acc := it.accs[p]
 			var log, phys []int
 			for task := range chans[p] {
+				// After a shard error, keep draining the channel without
+				// processing so the producer never blocks.
+				if it.getErr() != nil {
+					continue
+				}
 				// CPU work runs under a shared pool slot; the slot is never
 				// held while waiting on the channel, so stacked parallel
 				// operators cannot starve each other into deadlock.
@@ -497,7 +705,9 @@ func (it *parallelGroupByIter) consume() error {
 					}
 				}
 				if len(log) > 0 {
-					acc.consumeBatch(task.b.WithSel(phys), task.base, log)
+					if err := acc.consumeBatch(task.b.WithSel(phys), task.base, log); err != nil {
+						it.setErr(err)
+					}
 				}
 				it.pool.release()
 			}
@@ -506,6 +716,9 @@ func (it *parallelGroupByIter) consume() error {
 	var base int64
 	var readErr error
 	for {
+		if err := it.getErr(); err != nil {
+			break
+		}
 		b, err := it.in.NextBatch()
 		if err != nil {
 			readErr = err
@@ -534,17 +747,49 @@ func (it *parallelGroupByIter) consume() error {
 	if readErr != nil {
 		return readErr
 	}
-	total := 0
-	for _, acc := range it.accs {
-		total += len(acc.order)
+	if err := it.getErr(); err != nil {
+		return err
 	}
-	merged := make([]*group, 0, total)
+	// Unregister every shard before any finishes: one shard's replay
+	// reservations may spill another, but never a sealed one.
 	for _, acc := range it.accs {
-		merged = append(merged, acc.order...)
+		acc.tracker.Unregister(acc)
+		acc.seal()
 	}
-	sort.Slice(merged, func(i, j int) bool { return merged[i].firstIdx < merged[j].firstIdx })
-	it.m.addHashRows(int64(total))
-	it.merged = merged
+	// If any shard spilled, flush every shard's resident groups to emit
+	// runs before the first replay: unregistered shards can no longer be
+	// spilled by the pool, so their frozen resident bytes would otherwise
+	// squeeze the replay reservations out of the budget.
+	anySpill := false
+	for _, acc := range it.accs {
+		if acc.spilledAny() {
+			anySpill = true
+			break
+		}
+	}
+	if anySpill {
+		for _, acc := range it.accs {
+			if err := acc.flushResident(); err != nil {
+				return err
+			}
+		}
+	}
+	streams := make([]groupStream, len(it.accs))
+	var total int64
+	for p, acc := range it.accs {
+		stream, err := acc.finish()
+		if err != nil {
+			return err
+		}
+		streams[p] = stream
+		total += acc.groupsCreated
+	}
+	it.m.addHashRows(total)
+	it.emitter = &groupEmitter{
+		streams:   streams,
+		width:     len(it.keyIdx) + len(it.accs[0].aggs.aggs),
+		batchSize: it.batchSize,
+	}
 	it.built = true
 	return nil
 }
@@ -709,7 +954,7 @@ func (ex *executor) buildWindow(w *logical.Window) (BatchIterator, error) {
 	}
 	return &windowIter{
 		in: in, funcs: funcs, inWidth: len(w.Input.Schema()),
-		batchSize: ex.opts.BatchSize, m: ex.metrics,
+		batchSize: ex.opts.BatchSize, m: ex.metrics, tracker: ex.tracker,
 	}, nil
 }
 
@@ -729,6 +974,7 @@ type windowIter struct {
 	inWidth   int
 	batchSize int
 	m         *Metrics
+	tracker   *memctl.Tracker
 
 	built  bool
 	rows   []Row
@@ -763,7 +1009,10 @@ func (it *windowIter) NextBatch() (*vec.Batch, error) {
 }
 
 func (it *windowIter) consume() error {
-	rows, err := drainRows(it.in, it.inWidth, it.m)
+	// The window's materialized input is not spillable; under a tight
+	// budget the reservation fails with ErrMemoryExceeded (held until the
+	// query's tracker closes).
+	rows, _, err := drainRowsTracked(it.in, it.inWidth, it.m, it.tracker, opWindow)
 	if err != nil {
 		return err
 	}
@@ -854,94 +1103,4 @@ func (it *unionIter) NextBatch() (*vec.Batch, error) {
 		return &vec.Batch{Cols: cols, Sel: b.Sel, N: b.N}, nil
 	}
 	return nil, nil
-}
-
-func (ex *executor) buildSort(s *logical.Sort) (BatchIterator, error) {
-	in, err := ex.build(s.Input)
-	if err != nil {
-		return nil, err
-	}
-	layout := layoutOf(s.Input)
-	evs := make([]*evaluator, len(s.Keys))
-	for i, k := range s.Keys {
-		ev, err := newEvaluator(k.E, layout)
-		if err != nil {
-			return nil, err
-		}
-		evs[i] = ev
-	}
-	return &sortIter{
-		in: in, evs: evs, keys: s.Keys,
-		width: len(s.Input.Schema()), batchSize: ex.opts.BatchSize, m: ex.metrics,
-	}, nil
-}
-
-// sortIter is a blocking full sort. NULLs order last ascending, first
-// descending.
-type sortIter struct {
-	in        BatchIterator
-	evs       []*evaluator
-	keys      []logical.SortKey
-	width     int
-	batchSize int
-	m         *Metrics
-
-	built bool
-	out   rowsBatcher
-}
-
-func (it *sortIter) NextBatch() (*vec.Batch, error) {
-	if !it.built {
-		rows, err := drainRows(it.in, it.width, it.m)
-		if err != nil {
-			return nil, err
-		}
-		vals := make([][]types.Value, len(rows))
-		for i, row := range rows {
-			kv := make([]types.Value, len(it.evs))
-			for k, ev := range it.evs {
-				kv[k] = ev.eval(row)
-			}
-			vals[i] = kv
-		}
-		order := make([]int, len(rows))
-		for i := range order {
-			order[i] = i
-		}
-		sort.SliceStable(order, func(a, b int) bool {
-			va, vb := vals[order[a]], vals[order[b]]
-			for k := range it.keys {
-				c := compareForSort(va[k], vb[k])
-				if c == 0 {
-					continue
-				}
-				if it.keys[k].Desc {
-					return c > 0
-				}
-				return c < 0
-			}
-			return false
-		})
-		sorted := make([]Row, len(order))
-		for i, o := range order {
-			sorted[i] = rows[o]
-		}
-		it.out = rowsBatcher{rows: sorted, width: it.width, batchSize: it.batchSize}
-		it.built = true
-	}
-	return it.out.NextBatch()
-}
-
-// compareForSort orders NULLs after every value.
-func compareForSort(a, b types.Value) int {
-	switch {
-	case a.Null && b.Null:
-		return 0
-	case a.Null:
-		return 1
-	case b.Null:
-		return -1
-	default:
-		return types.Compare(a, b)
-	}
 }

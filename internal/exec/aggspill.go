@@ -1,0 +1,616 @@
+package exec
+
+import (
+	"sync/atomic"
+
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/vec"
+)
+
+// Spill support for hash aggregation. The accumulator hash-partitions its
+// groups into numSpillParts partitions by key hash. Under memory pressure a
+// partition is dumped: its groups' aggState bits are written to a state
+// file ONCE, the groups leave the hash table, and every later input row
+// that hashes to the partition is appended raw (global index, keys, mask
+// bits, argument values) to a rows file. At finish the partition is
+// replayed: the state dump restores the exact accumulator bits and the raw
+// rows continue accumulation one row at a time in input order — the same
+// arithmetic, in the same order, as if the partition had never left
+// memory. That is what keeps float sums bit-for-bit identical to the
+// in-memory path: partial aggregates are never merged, accumulation is
+// resumed.
+//
+// Emission order is first-seen order, pinned by group.firstIdx (the global
+// input index of the group's first row, unique per group). Each emit run —
+// the resident groups, then each replayed partition — is written in
+// ascending firstIdx order, and the final merge picks the minimum firstIdx
+// across runs, reproducing the no-spill emission order exactly.
+
+// numSpillParts is the partition fan-out of one accumulator. A spill frees
+// roughly 1/numSpillParts of the accumulator per dump, and replay needs one
+// partition's groups resident at a time.
+const numSpillParts = 8
+
+// aggSpillPart is one hash partition of an accumulator's group table.
+type aggSpillPart struct {
+	// spilled is set when the partition has been dumped; from then on its
+	// rows go to rowsW and no groups for it live in the hash table.
+	spilled   bool
+	stateDump *storage.SpillFile   // aggState dump taken at spill time
+	rowsW     *storage.SpillWriter // raw rows arriving after the dump
+	rowsF     *storage.SpillFile   // rowsW sealed at finish
+	// touch is the accumulator clock of the partition's last activity;
+	// the victim pick prefers the coldest partition.
+	touch int64
+	// groups lists the partition's resident groups (maintained only once
+	// spilling has activated).
+	groups []*group
+}
+
+// SpillableBytes reports the reserved bytes a dump could free. Called with
+// the pool lock held: a plain atomic load, no accumulator lock.
+func (ga *groupAccumulator) SpillableBytes() int64 { return atomic.LoadInt64(&ga.resident) }
+
+func (ga *groupAccumulator) Label() string { return opGroupBy }
+
+// Spill dumps the coldest resident partition to disk. Called by the memctl
+// pool without its lock held; takes the accumulator lock, so it serializes
+// against consumeBatch.
+func (ga *groupAccumulator) Spill() (int64, error) {
+	ga.mu.Lock()
+	defer ga.mu.Unlock()
+	// Scalar aggregation (one group) never spills, and a sealed accumulator
+	// is emitting — its remaining state must stay resident.
+	if len(ga.keyIdx) == 0 || ga.sealed {
+		return 0, nil
+	}
+	if !ga.spillActive {
+		ga.activateSpill()
+	}
+	// Keep dumping partitions until bytes are actually freed: a partition
+	// can hold only pending (not-yet-reserved) groups, and a zero return
+	// would wrongly mark this whole accumulator dead for the reservation.
+	var freed int64
+	for freed == 0 {
+		p := ga.pickVictimPart()
+		if p < 0 {
+			return freed, nil
+		}
+		f, err := ga.dumpPartition(p)
+		if err != nil {
+			return freed, err
+		}
+		freed += f
+	}
+	return freed, nil
+}
+
+// activateSpill assigns every existing group to its hash partition. Until
+// the first spill this bookkeeping is skipped entirely, so the no-pressure
+// path pays nothing beyond the reservation calls.
+func (ga *groupAccumulator) activateSpill() {
+	ga.spillActive = true
+	for _, g := range ga.order {
+		g.part = int(vec.HashKey(g.keyVals) % numSpillParts)
+		ga.parts[g.part].groups = append(ga.parts[g.part].groups, g)
+	}
+}
+
+// pickVictimPart chooses the coldest (oldest touch) resident partition,
+// breaking ties toward the one holding more bytes.
+func (ga *groupAccumulator) pickVictimPart() int {
+	best := -1
+	var bestTouch, bestBytes int64
+	for p := range ga.parts {
+		pt := &ga.parts[p]
+		if pt.spilled || len(pt.groups) == 0 {
+			continue
+		}
+		var pb int64
+		for _, g := range pt.groups {
+			pb += groupMemBytes(g.keyVals, len(ga.aggs.aggs))
+		}
+		if best < 0 || pt.touch < bestTouch || (pt.touch == bestTouch && pb > bestBytes) {
+			best, bestTouch, bestBytes = p, pt.touch, pb
+		}
+	}
+	return best
+}
+
+// dumpPartition writes partition p's aggState bits to a state file, opens
+// its rows file, and drops its groups from the table. Caller holds ga.mu.
+func (ga *groupAccumulator) dumpPartition(p int) (int64, error) {
+	pt := &ga.parts[p]
+	nAggs := len(ga.aggs.aggs)
+	kw := len(ga.keyIdx)
+	w, err := storage.NewSpillWriter(ga.spillDir, 1+kw+6*nAggs)
+	if err != nil {
+		return 0, err
+	}
+	rec := make([]types.Value, 1+kw+6*nAggs)
+	var freed int64
+	for _, g := range pt.groups {
+		rec[0] = types.Int(g.firstIdx)
+		copy(rec[1:], g.keyVals)
+		off := 1 + kw
+		for ai := range g.states {
+			st := &g.states[ai]
+			rec[off] = types.Int(st.count)
+			rec[off+1] = types.Int(st.sumI)
+			rec[off+2] = types.Float(st.sumF)
+			rec[off+3] = types.Bool(st.seen)
+			rec[off+4] = st.min
+			rec[off+5] = st.max
+			off += 6
+		}
+		if err := w.Append(rec); err != nil {
+			w.Abort()
+			return 0, err
+		}
+		if g.reserved {
+			freed += groupMemBytes(g.keyVals, nAggs)
+		}
+	}
+	dump, err := w.Finish()
+	if err != nil {
+		return 0, err
+	}
+	rw, err := storage.NewSpillWriter(ga.spillDir, ga.rowRecWidth())
+	if err != nil {
+		dump.Close()
+		return 0, err
+	}
+	pt.stateDump = dump
+	pt.rowsW = rw
+	pt.spilled = true
+	for _, g := range pt.groups {
+		delete(ga.groups, encodeKey(&ga.keyBuf, g.keyVals))
+	}
+	keep := make([]*group, 0, len(ga.order)-len(pt.groups))
+	for _, g := range ga.order {
+		if g.part != p {
+			keep = append(keep, g)
+		}
+	}
+	ga.order = keep
+	pt.groups = nil
+	atomic.AddInt64(&ga.resident, -freed)
+	ga.tracker.Release(opGroupBy, freed)
+	ga.tracker.AddSpill(opGroupBy, dump.Bytes(), 1)
+	return freed, nil
+}
+
+// rowRecWidth is the spilled-row record: global input index, group keys,
+// one boolean per shared FILTER mask, one argument value per aggregate.
+func (ga *groupAccumulator) rowRecWidth() int {
+	return 1 + len(ga.keyIdx) + len(ga.maskEvs) + len(ga.argEvs)
+}
+
+// groupStream yields finished result rows (keys then aggregate results) in
+// ascending firstIdx order.
+type groupStream interface {
+	next(dst Row) (firstIdx int64, ok bool, err error)
+}
+
+// seal marks the accumulator as emitting: from here on Spill() is a no-op,
+// its remaining state stays resident until flushed or streamed.
+func (ga *groupAccumulator) seal() {
+	ga.mu.Lock()
+	ga.sealed = true
+	ga.mu.Unlock()
+}
+
+// spilledAny reports whether any partition has been dumped. Only stable
+// once the accumulator is sealed.
+func (ga *groupAccumulator) spilledAny() bool {
+	ga.mu.Lock()
+	defer ga.mu.Unlock()
+	return ga.anySpilledLocked()
+}
+
+func (ga *groupAccumulator) anySpilledLocked() bool {
+	for p := range ga.parts {
+		if ga.parts[p].spilled {
+			return true
+		}
+	}
+	return false
+}
+
+// flushResident writes the resident groups to an emit run and releases
+// their budget. Used by the parallel iterator to drop every shard's
+// reservation before any shard replays: replay reserves against the pool,
+// and sibling shards' frozen resident bytes must not squeeze it out.
+func (ga *groupAccumulator) flushResident() error {
+	ga.mu.Lock()
+	defer ga.mu.Unlock()
+	if len(ga.order) == 0 {
+		return nil
+	}
+	f, err := ga.writeEmitRun(ga.order)
+	if err != nil {
+		return err
+	}
+	ga.runs = append(ga.runs, f)
+	ga.order = nil
+	ga.groups = make(map[string]*group)
+	return nil
+}
+
+// finish seals the accumulator and returns its result stream. The caller
+// must have unregistered the accumulator from the pool first. When nothing
+// spilled this is a pure in-memory stream identical to the pre-spill
+// emission; otherwise resident groups are flushed to an emit run (freeing
+// their budget for replay), each spilled partition is replayed one at a
+// time, and the runs merge by firstIdx.
+func (ga *groupAccumulator) finish() (groupStream, error) {
+	ga.mu.Lock()
+	defer ga.mu.Unlock()
+	ga.sealed = true
+	if !ga.anySpilledLocked() && len(ga.runs) == 0 {
+		return &memGroupStream{ga: ga, groups: ga.order, keyWidth: len(ga.keyIdx), aggs: ga.aggs.aggs}, nil
+	}
+
+	emitW := 1 + len(ga.keyIdx) + len(ga.aggs.aggs)
+	if len(ga.order) > 0 {
+		f, err := ga.writeEmitRun(ga.order)
+		if err != nil {
+			return nil, err
+		}
+		ga.runs = append(ga.runs, f)
+		ga.order = nil
+		ga.groups = make(map[string]*group)
+	}
+	for p := range ga.parts {
+		pt := &ga.parts[p]
+		if !pt.spilled {
+			continue
+		}
+		porder, err := ga.replayPartition(pt)
+		if err != nil {
+			return nil, err
+		}
+		if len(porder) > 0 {
+			f, err := ga.writeEmitRun(porder)
+			if err != nil {
+				return nil, err
+			}
+			ga.runs = append(ga.runs, f)
+		}
+		for _, g := range porder {
+			delete(ga.groups, encodeKey(&ga.keyBuf, g.keyVals))
+		}
+		pt.stateDump.Close()
+		pt.stateDump = nil
+		pt.rowsF.Close()
+		pt.rowsF = nil
+	}
+	return newRunMergeStream(ga.runs, emitW)
+}
+
+// writeEmitRun renders groups (already in ascending firstIdx order) into
+// an emit-run file of (firstIdx, keys, results) records and releases their
+// reservations. Caller holds ga.mu.
+func (ga *groupAccumulator) writeEmitRun(groups []*group) (*storage.SpillFile, error) {
+	kw := len(ga.keyIdx)
+	nAggs := len(ga.aggs.aggs)
+	w, err := storage.NewSpillWriter(ga.spillDir, 1+kw+nAggs)
+	if err != nil {
+		return nil, err
+	}
+	rec := make([]types.Value, 1+kw+nAggs)
+	var freed int64
+	for _, g := range groups {
+		rec[0] = types.Int(g.firstIdx)
+		copy(rec[1:], g.keyVals)
+		for ai := range ga.aggs.aggs {
+			rec[1+kw+ai] = g.states[ai].result(ga.aggs.aggs[ai].agg)
+		}
+		if err := w.Append(rec); err != nil {
+			w.Abort()
+			return nil, err
+		}
+		if g.reserved {
+			freed += groupMemBytes(g.keyVals, nAggs)
+			g.reserved = false
+		}
+	}
+	f, err := w.Finish()
+	if err != nil {
+		return nil, err
+	}
+	atomic.AddInt64(&ga.resident, -freed)
+	ga.tracker.Release(opGroupBy, freed)
+	ga.tracker.AddSpill(opGroupBy, f.Bytes(), 1)
+	return f, nil
+}
+
+// replayPartition restores the partition's state dump and resumes
+// accumulation over its raw spilled rows, in input order — bit-for-bit the
+// arithmetic of the never-spilled path. Returns the partition's groups in
+// ascending firstIdx order: restored groups (dumped in discovery order,
+// which is ascending) followed by groups first seen after the dump (file
+// order, also ascending, and every post-dump index exceeds every pre-dump
+// one). Caller holds ga.mu; replay reservations are safe because the
+// accumulator is already unregistered, so the pool can never route a spill
+// back into this lock.
+func (ga *groupAccumulator) replayPartition(pt *aggSpillPart) ([]*group, error) {
+	rowsF, err := pt.rowsW.Finish()
+	if err != nil {
+		return nil, err
+	}
+	pt.rowsW = nil
+	pt.rowsF = rowsF
+	ga.tracker.AddSpill(opGroupBy, rowsF.Bytes(), 1)
+
+	kw := len(ga.keyIdx)
+	nAggs := len(ga.aggs.aggs)
+	var porder []*group
+	var pendBytes int64
+	reserve := func(force bool) error {
+		if pendBytes == 0 || (!force && pendBytes < 64<<10) {
+			return nil
+		}
+		if err := ga.tracker.Reserve(opGroupBy, pendBytes); err != nil {
+			return err
+		}
+		atomic.AddInt64(&ga.resident, pendBytes)
+		pendBytes = 0
+		return nil
+	}
+
+	srd := pt.stateDump.NewReader()
+	srec := make([]types.Value, 1+kw+6*nAggs)
+	for {
+		ok, err := srd.Next(srec)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		g := &group{
+			keyVals:  append([]types.Value{}, srec[1:1+kw]...),
+			states:   make([]aggState, nAggs),
+			firstIdx: srec[0].I,
+			part:     -1,
+			reserved: true,
+		}
+		off := 1 + kw
+		for ai := range g.states {
+			st := &g.states[ai]
+			st.count = srec[off].I
+			st.sumI = srec[off+1].I
+			st.sumF = srec[off+2].F
+			st.seen = srec[off+3].IsTrue()
+			st.min = srec[off+4]
+			st.max = srec[off+5]
+			off += 6
+		}
+		ga.groups[encodeKey(&ga.keyBuf, g.keyVals)] = g
+		porder = append(porder, g)
+		pendBytes += groupMemBytes(g.keyVals, nAggs)
+		if err := reserve(false); err != nil {
+			return nil, err
+		}
+	}
+
+	rrd := rowsF.NewReader()
+	rrec := make([]types.Value, ga.rowRecWidth())
+	maskOff := 1 + kw
+	argOff := maskOff + len(ga.maskEvs)
+	for {
+		ok, err := rrd.Next(rrec)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		kv := rrec[1 : 1+kw]
+		key := encodeKey(&ga.keyBuf, kv)
+		g, exists := ga.groups[key]
+		if !exists {
+			g = &group{
+				keyVals:  append([]types.Value{}, kv...),
+				states:   make([]aggState, nAggs),
+				firstIdx: rrec[0].I,
+				part:     -1,
+				reserved: true,
+			}
+			ga.groups[key] = g
+			porder = append(porder, g)
+			ga.groupsCreated++
+			pendBytes += groupMemBytes(g.keyVals, nAggs)
+			if err := reserve(false); err != nil {
+				return nil, err
+			}
+		}
+		for ai := range ga.aggs.aggs {
+			a := &ga.aggs.aggs[ai]
+			if a.maskIdx >= 0 && !rrec[maskOff+a.maskIdx].IsTrue() {
+				continue
+			}
+			g.states[ai].add(a.agg.Fn, rrec[argOff+ai])
+		}
+	}
+	if err := reserve(true); err != nil {
+		return nil, err
+	}
+	return porder, nil
+}
+
+// closeSpillFiles removes every spill artifact (idempotent); registered
+// with executor.onClose so mid-query abandonment leaves the spill
+// directory clean.
+func (ga *groupAccumulator) closeSpillFiles() {
+	ga.mu.Lock()
+	defer ga.mu.Unlock()
+	for p := range ga.parts {
+		pt := &ga.parts[p]
+		if pt.rowsW != nil {
+			pt.rowsW.Abort()
+			pt.rowsW = nil
+		}
+		if pt.stateDump != nil {
+			pt.stateDump.Close()
+			pt.stateDump = nil
+		}
+		if pt.rowsF != nil {
+			pt.rowsF.Close()
+			pt.rowsF = nil
+		}
+	}
+	for _, f := range ga.runs {
+		f.Close()
+	}
+	ga.runs = nil
+}
+
+// memGroupStream streams in-memory groups in discovery order — the
+// no-spill path, byte-identical to the pre-memctl emission. Each group's
+// reservation is released as it streams out: the accumulator is sealed and
+// unregistered by now, so holding the full table's budget through emission
+// would squeeze downstream operators (join builds consuming this output)
+// out of memory they could otherwise use. Groups never emitted (the query
+// was abandoned mid-stream) stay charged until the tracker closes.
+type memGroupStream struct {
+	ga       *groupAccumulator
+	groups   []*group
+	keyWidth int
+	aggs     []compiledAgg
+	i        int
+}
+
+func (s *memGroupStream) next(dst Row) (int64, bool, error) {
+	if s.i >= len(s.groups) {
+		return 0, false, nil
+	}
+	g := s.groups[s.i]
+	s.i++
+	copy(dst, g.keyVals)
+	for ai := range s.aggs {
+		dst[s.keyWidth+ai] = g.states[ai].result(s.aggs[ai].agg)
+	}
+	if g.reserved {
+		g.reserved = false
+		gb := groupMemBytes(g.keyVals, len(s.aggs))
+		atomic.AddInt64(&s.ga.resident, -gb)
+		s.ga.tracker.Release(opGroupBy, gb)
+	}
+	return g.firstIdx, true, nil
+}
+
+// emitRunCursor walks one emit-run file; the file is removed as soon as
+// the cursor exhausts it.
+type emitRunCursor struct {
+	f    *storage.SpillFile
+	rd   *storage.SpillReader
+	rec  []types.Value
+	done bool
+}
+
+func (c *emitRunCursor) advance() error {
+	ok, err := c.rd.Next(c.rec)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		c.done = true
+		c.f.Close()
+	}
+	return nil
+}
+
+// runMergeStream merges emit runs by firstIdx; indices are globally unique
+// (one per input row), so the merge order is total.
+type runMergeStream struct {
+	cursors []*emitRunCursor
+}
+
+func newRunMergeStream(runs []*storage.SpillFile, width int) (*runMergeStream, error) {
+	s := &runMergeStream{cursors: make([]*emitRunCursor, 0, len(runs))}
+	for _, f := range runs {
+		c := &emitRunCursor{f: f, rd: f.NewReader(), rec: make([]types.Value, width)}
+		if err := c.advance(); err != nil {
+			return nil, err
+		}
+		s.cursors = append(s.cursors, c)
+	}
+	return s, nil
+}
+
+func (s *runMergeStream) next(dst Row) (int64, bool, error) {
+	var best *emitRunCursor
+	for _, c := range s.cursors {
+		if c.done {
+			continue
+		}
+		if best == nil || c.rec[0].I < best.rec[0].I {
+			best = c
+		}
+	}
+	if best == nil {
+		return 0, false, nil
+	}
+	idx := best.rec[0].I
+	copy(dst, best.rec[1:])
+	if err := best.advance(); err != nil {
+		return 0, false, err
+	}
+	return idx, true, nil
+}
+
+// groupEmitter renders one or more groupStreams (one per shard) into
+// output batches, merging across streams by firstIdx — the same global
+// first-seen order the serial accumulator emits natively.
+type groupEmitter struct {
+	streams   []groupStream
+	width     int
+	batchSize int
+
+	heads  []Row
+	idxs   []int64
+	live   []bool
+	primed bool
+}
+
+func (e *groupEmitter) NextBatch() (*vec.Batch, error) {
+	if !e.primed {
+		e.heads = make([]Row, len(e.streams))
+		e.idxs = make([]int64, len(e.streams))
+		e.live = make([]bool, len(e.streams))
+		for i, s := range e.streams {
+			e.heads[i] = make(Row, e.width)
+			idx, ok, err := s.next(e.heads[i])
+			if err != nil {
+				return nil, err
+			}
+			e.idxs[i], e.live[i] = idx, ok
+		}
+		e.primed = true
+	}
+	bl := vec.NewBuilder(e.width, e.batchSize)
+	for !bl.Full() {
+		best := -1
+		for i := range e.streams {
+			if !e.live[i] {
+				continue
+			}
+			if best < 0 || e.idxs[i] < e.idxs[best] {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		bl.Append(e.heads[best])
+		idx, ok, err := e.streams[best].next(e.heads[best])
+		if err != nil {
+			return nil, err
+		}
+		e.idxs[best], e.live[best] = idx, ok
+	}
+	return bl.Flush(), nil
+}

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/expr"
 	"repro/internal/logical"
+	"repro/internal/memctl"
 	"repro/internal/scanshare"
 	"repro/internal/storage"
 	"repro/internal/types"
@@ -66,6 +67,14 @@ type Options struct {
 	// resident bytes; <= 0 means scanshare.DefaultCacheBytes). The first run
 	// to touch a store fixes its cache size.
 	ScanCacheBytes int64
+	// MemPool is the engine-level memory budget this run reserves blocking
+	// operator state against (see internal/memctl). nil means a private
+	// unlimited pool: reservations are tracked for Metrics but never fail
+	// and never trigger spills.
+	MemPool *memctl.Pool
+	// QueryText is the SQL text of the run, used to attribute
+	// ErrMemoryExceeded failures to the offending query.
+	QueryText string
 }
 
 func (o Options) withDefaults() Options {
@@ -95,6 +104,16 @@ type Metrics struct {
 	// SpoolBytesRead counts bytes read back (once per consumer).
 	SpoolBytesWritten int64
 	SpoolBytesRead    int64
+	// Memory governance counters (internal/memctl). PeakMemoryBytes is the
+	// query's peak tracked resident bytes — always <= the configured
+	// MemoryLimitBytes, because the pool only admits reservations that fit
+	// after spilling. SpilledBytes/SpillFiles count what blocking
+	// operators shed to disk, and MemOperators attributes peaks and spill
+	// volume per operator label ("groupby", "sort", "join-build", ...).
+	PeakMemoryBytes int64
+	SpilledBytes    int64
+	SpillFiles      int64
+	MemOperators    map[string]memctl.OpStats
 	// Elapsed is the wall-clock execution time.
 	Elapsed time.Duration
 }
@@ -120,7 +139,18 @@ func Run(plan logical.Operator, store *storage.Store) (*Result, error) {
 // given execution options.
 func RunWith(plan logical.Operator, store *storage.Store, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
-	ex := &executor{store: store, metrics: &Metrics{}, opts: opts, pool: newWorkerPool(opts.Parallelism)}
+	mempool := opts.MemPool
+	if mempool == nil {
+		mempool = memctl.NewPool(0, "")
+	}
+	ex := &executor{
+		store:   store,
+		metrics: &Metrics{},
+		opts:    opts,
+		pool:    newWorkerPool(opts.Parallelism),
+		mempool: mempool,
+		tracker: mempool.NewTracker(opts.QueryText),
+	}
 	if opts.ShareScans {
 		ex.share = scanshare.For(store, opts.ScanCacheBytes)
 	}
@@ -155,6 +185,17 @@ func RunWith(plan logical.Operator, store *storage.Store, opts Options) (*Result
 	return &Result{Columns: plan.Schema(), Rows: rows, Metrics: *ex.metrics}, nil
 }
 
+// snapshotMem copies the tracker's final accounting into the metrics.
+func (ex *executor) snapshotMem() {
+	st := ex.tracker.Stats()
+	ex.metrics.PeakMemoryBytes = st.PeakBytes
+	ex.metrics.SpilledBytes = st.SpilledBytes
+	ex.metrics.SpillFiles = st.SpillFiles
+	if len(st.Operators) > 0 {
+		ex.metrics.MemOperators = st.Operators
+	}
+}
+
 type executor struct {
 	store   *storage.Store
 	metrics *Metrics
@@ -164,6 +205,12 @@ type executor struct {
 	// share is the store's cross-query scan-share manager, nil when
 	// Options.ShareScans is off.
 	share *scanshare.Manager
+	// mempool is the resolved memory pool (opts.MemPool, or a private
+	// unlimited pool) and tracker this run's accounting handle; blocking
+	// operators reserve their resident state against it and register
+	// spillables.
+	mempool *memctl.Pool
+	tracker *memctl.Tracker
 	// closers stop morsel-scan worker pools and wait for them to drain; Run
 	// invokes them on exit so an abandoned scan (LIMIT, error) never leaks
 	// goroutines or races the final metrics snapshot.
@@ -179,6 +226,17 @@ func (ex *executor) close() {
 	for _, c := range ex.closers {
 		c()
 	}
+	// Snapshot memory stats before the tracker closes (Close zeroes live
+	// reservations), then release the query's budget and drop any spill
+	// files operators left registered (mid-query error or LIMIT abandon).
+	ex.snapshotMem()
+	ex.tracker.Close()
+}
+
+// onClose registers cleanup to run when the executor shuts down. Operators
+// use it to remove spill files on both success and mid-query abandonment.
+func (ex *executor) onClose(f func()) {
+	ex.closers = append(ex.closers, f)
 }
 
 // layoutOf maps each output column of op to its row position.
@@ -275,12 +333,62 @@ func drainRows(in BatchIterator, width int, m *Metrics) ([]Row, error) {
 	}
 }
 
-// rowsBatcher re-emits materialized rows as dense batches.
+// drainRowsTracked is drainRows with memctl accounting: each batch's
+// estimated resident bytes are reserved under op before the rows are kept.
+// The caller owns releasing the reservation (typically on operator EOF or
+// via ex.onClose). Buffered rows here are not spillable — a reservation
+// failure surfaces as ErrMemoryExceeded.
+func drainRowsTracked(in BatchIterator, width int, m *Metrics, tracker *memctl.Tracker, op string) ([]Row, int64, error) {
+	var rows []Row
+	var reserved int64
+	for {
+		b, err := in.NextBatch()
+		if err != nil {
+			return nil, reserved, err
+		}
+		if b == nil {
+			return rows, reserved, nil
+		}
+		n := b.Len()
+		m.addProcessed(int64(n))
+		var chunkBytes int64
+		for i := 0; i < n; i++ {
+			row := make(Row, width)
+			b.Gather(i, row)
+			rows = append(rows, row)
+			chunkBytes += rowMemBytes(row)
+			// Chunked so one large batch never needs a single reservation
+			// bigger than the pool limit (spillable operators can shed
+			// between chunks).
+			if chunkBytes >= reserveChunkBytes {
+				if err := tracker.Reserve(op, chunkBytes); err != nil {
+					return nil, reserved, err
+				}
+				reserved += chunkBytes
+				chunkBytes = 0
+			}
+		}
+		if chunkBytes > 0 {
+			if err := tracker.Reserve(op, chunkBytes); err != nil {
+				return nil, reserved, err
+			}
+			reserved += chunkBytes
+		}
+	}
+}
+
+// rowsBatcher re-emits materialized rows as dense batches. When a tracker
+// is set, each row's reservation is released as it is emitted: the owning
+// operator is done and unregistered, and holding the full buffer's budget
+// through emission would starve downstream consumers.
 type rowsBatcher struct {
 	rows      []Row
 	width     int
 	batchSize int
 	idx       int
+	tracker   *memctl.Tracker
+	op        string
+	residual  int64
 }
 
 func (it *rowsBatcher) NextBatch() (*vec.Batch, error) {
@@ -288,9 +396,20 @@ func (it *rowsBatcher) NextBatch() (*vec.Batch, error) {
 		return nil, nil
 	}
 	bl := vec.NewBuilder(it.width, it.batchSize)
+	var freed int64
 	for it.idx < len(it.rows) && !bl.Full() {
 		bl.Append(it.rows[it.idx])
+		if it.tracker != nil {
+			freed += rowMemBytes(it.rows[it.idx])
+		}
 		it.idx++
+	}
+	if it.tracker != nil && freed > 0 {
+		if freed > it.residual {
+			freed = it.residual
+		}
+		it.residual -= freed
+		it.tracker.Release(it.op, freed)
 	}
 	return bl.Flush(), nil
 }

@@ -4,9 +4,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/expr"
 	"repro/internal/logical"
+	"repro/internal/memctl"
 	"repro/internal/types"
 	"repro/internal/vec"
 )
@@ -112,6 +114,7 @@ func (ex *executor) buildJoin(j *logical.Join) (BatchIterator, error) {
 			kind: j.Kind, left: left, right: right,
 			leftWidth: width, rightWidth: len(j.Right.Schema()),
 			cond: resEv, batchSize: ex.opts.BatchSize, m: ex.metrics,
+			tracker: ex.tracker,
 		}, nil
 	}
 	return &hashJoinIter{
@@ -119,7 +122,7 @@ func (ex *executor) buildJoin(j *logical.Join) (BatchIterator, error) {
 		leftKeys: leftKeys, rightKeys: rightKeys,
 		leftWidth: width, rightWidth: len(j.Right.Schema()),
 		residual: resEv, batchSize: ex.opts.BatchSize, m: ex.metrics,
-		workers: ex.opts.Parallelism, pool: ex.pool,
+		workers: ex.opts.Parallelism, pool: ex.pool, tracker: ex.tracker,
 	}, nil
 }
 
@@ -142,6 +145,15 @@ type hashJoinIter struct {
 	m                     *Metrics
 	workers               int
 	pool                  *workerPool
+	// tracker accounts the build table's bytes. The table cannot spill —
+	// under a tight budget the reservation fails with ErrMemoryExceeded —
+	// but releasing it at probe EOF frees the budget for downstream
+	// blocking operators (e.g. an aggregation's spill replay).
+	tracker    *memctl.Tracker
+	reserved   int64 // atomic during parallel build, settled by wg.Wait
+	released   bool
+	buildErrMu sync.Mutex
+	buildErr   error
 
 	built   bool
 	tables  []map[string][]Row // hash-partitioned shards; len 1 when serial
@@ -193,6 +205,7 @@ func (it *hashJoinIter) buildTable() error {
 			keyCols[k] = ev.eval(b)
 		}
 		inserted := 0
+		var batchBytes int64
 		for i := 0; i < n; i++ {
 			for k := range keyCols {
 				it.keyVals[k] = keyCols[k][i]
@@ -205,8 +218,15 @@ func (it *hashJoinIter) buildTable() error {
 			k := encodeKey(&it.keyBuf, it.keyVals)
 			table[k] = append(table[k], row)
 			inserted++
+			batchBytes += rowMemBytes(row) + hashRowOverhead
 		}
 		it.m.addHashRows(int64(inserted))
+		if batchBytes > 0 {
+			if err := it.tracker.Reserve(opJoin, batchBytes); err != nil {
+				return err
+			}
+			it.reserved += batchBytes
+		}
 	}
 	it.built = true
 	return nil
@@ -244,6 +264,7 @@ func (it *hashJoinIter) buildTableParallel() error {
 				it.pool.acquire()
 				n := task.b.Len()
 				inserted := 0
+				var batchBytes int64
 				for i := 0; i < n; i++ {
 					if int(task.hashes[i]%uint64(shards)) != p {
 						continue
@@ -259,9 +280,19 @@ func (it *hashJoinIter) buildTableParallel() error {
 					key := encodeKey(&keyBuf, kv)
 					table[key] = append(table[key], row)
 					inserted++
+					batchBytes += rowMemBytes(row) + hashRowOverhead
 				}
 				it.m.addHashRows(int64(inserted))
 				it.pool.release()
+				// Reserve without holding a pool slot: Reserve may block
+				// while the pool spills a victim that needs slots to run.
+				if batchBytes > 0 {
+					if err := it.tracker.Reserve(opJoin, batchBytes); err != nil {
+						it.setBuildErr(err)
+					} else {
+						atomic.AddInt64(&it.reserved, batchBytes)
+					}
+				}
 			}
 		}(p)
 	}
@@ -298,7 +329,37 @@ func (it *hashJoinIter) buildTableParallel() error {
 		close(chans[p])
 	}
 	wg.Wait()
-	return readErr
+	if readErr != nil {
+		return readErr
+	}
+	return it.getBuildErr()
+}
+
+func (it *hashJoinIter) setBuildErr(err error) {
+	it.buildErrMu.Lock()
+	if it.buildErr == nil {
+		it.buildErr = err
+	}
+	it.buildErrMu.Unlock()
+}
+
+func (it *hashJoinIter) getBuildErr() error {
+	it.buildErrMu.Lock()
+	defer it.buildErrMu.Unlock()
+	return it.buildErr
+}
+
+// releaseBuild returns the build table's reservation once probing is done.
+// The table itself stays referenced until the iterator is dropped, but its
+// budget moves downstream (a spilled aggregation's replay, a sort merge).
+func (it *hashJoinIter) releaseBuild() {
+	if it.released {
+		return
+	}
+	it.released = true
+	if r := atomic.LoadInt64(&it.reserved); r > 0 {
+		it.tracker.Release(opJoin, r)
+	}
 }
 
 // lookup returns the bucket for a non-NULL probe key. Partitioned tables
@@ -367,6 +428,7 @@ func (it *hashJoinIter) NextBatch() (*vec.Batch, error) {
 				return nil, err
 			}
 			if b == nil {
+				it.releaseBuild()
 				return bl.Flush(), nil // nil when empty: EOF
 			}
 			it.m.addProcessed(int64(b.Len()))
@@ -409,6 +471,9 @@ type nestedLoopIter struct {
 	cond                  *evaluator
 	batchSize             int
 	m                     *Metrics
+	tracker               *memctl.Tracker
+	reserved              int64
+	released              bool
 
 	built     bool
 	rightRows []Row
@@ -431,11 +496,12 @@ func (it *nestedLoopIter) outWidth() int {
 
 func (it *nestedLoopIter) NextBatch() (*vec.Batch, error) {
 	if !it.built {
-		rows, err := drainRows(it.right, it.rightWidth, it.m)
+		rows, reserved, err := drainRowsTracked(it.right, it.rightWidth, it.m, it.tracker, opNLJoin)
 		if err != nil {
 			return nil, err
 		}
 		it.rightRows = rows
+		it.reserved = reserved
 		it.m.addHashRows(int64(len(rows)))
 		it.curLeft = make(Row, it.leftWidth)
 		it.combined = make(Row, it.leftWidth+it.rightWidth)
@@ -487,6 +553,12 @@ func (it *nestedLoopIter) NextBatch() (*vec.Batch, error) {
 				return nil, err
 			}
 			if b == nil {
+				if !it.released {
+					it.released = true
+					if it.reserved > 0 {
+						it.tracker.Release(opNLJoin, it.reserved)
+					}
+				}
 				return bl.Flush(), nil
 			}
 			it.m.addProcessed(int64(b.Len()))

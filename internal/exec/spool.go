@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/logical"
+	"repro/internal/memctl"
 	"repro/internal/storage"
 	"repro/internal/types"
 	"repro/internal/vec"
@@ -11,10 +12,13 @@ import (
 
 // spoolState is the shared materialization of one spool group: the
 // producer's rows encoded into a RowBuffer (write cost paid once), replayed
-// by every consumer (read cost paid per consumer).
+// by every consumer (read cost paid per consumer). The buffer's encoded
+// bytes are reserved against the query's memory budget; the reservation is
+// held until the query closes because later consumers replay it.
 type spoolState struct {
 	producer BatchIterator
 	kinds    []types.Kind
+	tracker  *memctl.Tracker
 	buf      *storage.RowBuffer
 	done     bool
 }
@@ -32,7 +36,7 @@ func (ex *executor) buildSpool(s *logical.Spool) (BatchIterator, error) {
 		for i, c := range s.Cols {
 			kinds[i] = c.Type
 		}
-		ex.spools[s.ID] = &spoolState{producer: in, kinds: kinds}
+		ex.spools[s.ID] = &spoolState{producer: in, kinds: kinds, tracker: ex.tracker}
 	}
 	return &spoolIter{ex: ex, id: s.ID, width: len(s.Cols), batchSize: ex.opts.BatchSize}, nil
 }
@@ -44,6 +48,7 @@ func (st *spoolState) materialize(m *Metrics) error {
 	}
 	st.buf = storage.NewRowBuffer(st.kinds)
 	row := make(Row, len(st.kinds))
+	var reserved int64
 	for {
 		b, err := st.producer.NextBatch()
 		if err != nil {
@@ -58,6 +63,13 @@ func (st *spoolState) materialize(m *Metrics) error {
 		for i := 0; i < n; i++ {
 			b.Gather(i, row)
 			st.buf.Append(row)
+		}
+		// Reserve the encoded buffer's growth after each batch.
+		if grown := st.buf.Bytes(); grown > reserved {
+			if err := st.tracker.Reserve(opSpool, grown-reserved); err != nil {
+				return err
+			}
+			reserved = grown
 		}
 	}
 	st.buf.Seal()

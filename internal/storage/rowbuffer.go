@@ -10,10 +10,11 @@ import "repro/internal/types"
 // ("alternatives that materialize intermediate results ... not only write
 // those intermediates, but need to read them multiple times").
 type RowBuffer struct {
-	kinds  []types.Kind
-	data   []byte
-	rows   int
-	sealed bool
+	kinds   []types.Kind
+	data    []byte
+	rows    int
+	sealed  bool
+	scratch []byte // per-row encode buffer, reused across Appends
 }
 
 // NewRowBuffer creates a buffer for rows with the given column kinds.
@@ -22,13 +23,31 @@ func NewRowBuffer(kinds []types.Kind) *RowBuffer {
 }
 
 // Append encodes one row; the row width must match the declared kinds.
+// The row is encoded into a reused scratch buffer and copied into data,
+// which grows by capacity doubling — on the spool/spill hot path this
+// amortizes to zero allocations per row.
 func (b *RowBuffer) Append(row []types.Value) {
 	if b.sealed {
 		panic("storage: append to sealed RowBuffer")
 	}
+	enc := b.scratch[:0]
 	for _, v := range row {
-		b.data = appendValue(b.data, v)
+		enc = appendValue(enc, v)
 	}
+	b.scratch = enc
+	if need := len(b.data) + len(enc); need > cap(b.data) {
+		newCap := 2 * cap(b.data)
+		if newCap < need {
+			newCap = need
+		}
+		if newCap < 256 {
+			newCap = 256
+		}
+		grown := make([]byte, len(b.data), newCap)
+		copy(grown, b.data)
+		b.data = grown
+	}
+	b.data = append(b.data, enc...)
 	b.rows++
 }
 

@@ -1,0 +1,54 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// TestRowBufferAppendAllocs is the regression guard for the spool/spill
+// hot path: Append must amortize to (nearly) zero allocations per row —
+// the scratch encode buffer is reused and data grows by capacity doubling.
+func TestRowBufferAppendAllocs(t *testing.T) {
+	kinds := []types.Kind{types.KindInt64, types.KindFloat64, types.KindString}
+	row := []types.Value{types.Int(12345), types.Float(3.25), types.String("some-tag")}
+
+	buf := NewRowBuffer(kinds)
+	// Warm up scratch and the first data block.
+	for i := 0; i < 64; i++ {
+		buf.Append(row)
+	}
+	const rows = 10000
+	avg := testing.AllocsPerRun(10, func() {
+		for i := 0; i < rows; i++ {
+			buf.Append(row)
+		}
+	})
+	perRow := avg / rows
+	if perRow > 0.01 {
+		t.Fatalf("RowBuffer.Append allocates %.4f allocs/row; want amortized ~0", perRow)
+	}
+}
+
+func TestRowBufferRoundTripAfterGrowth(t *testing.T) {
+	kinds := []types.Kind{types.KindInt64, types.KindString}
+	buf := NewRowBuffer(kinds)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		buf.Append([]types.Value{types.Int(int64(i)), types.String("v")})
+	}
+	buf.Seal()
+	r := buf.NewReader()
+	for i := 0; i < n; i++ {
+		row := r.Next()
+		if row == nil {
+			t.Fatalf("EOF at %d", i)
+		}
+		if row[0].I != int64(i) || row[1].S != "v" {
+			t.Fatalf("row %d: %+v", i, row)
+		}
+	}
+	if r.Next() != nil {
+		t.Fatal("rows past EOF")
+	}
+}

@@ -1,0 +1,244 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/types"
+)
+
+// Spill files are the disk format behind the memctl subsystem: blocking
+// operators shed row-shaped state (buffered sort runs, aggregation
+// partitions) into temp files and stream it back on emit. The format
+// reuses the RowBuffer/chunk value encoding and the storage stream
+// transform, wrapped in CRC-checked chunks so a truncated or corrupted
+// spill surfaces a descriptive error instead of garbage rows.
+//
+// Layout: a sequence of chunks, each
+//
+//	uint32 payload length | uint32 row count | uint32 CRC-32 (IEEE) of payload
+//
+// followed by the payload: transform()-ed rows of self-describing values.
+// Unlike base-table chunks, spill values carry a kind tag per value
+// (bit 0 = null, bits 1+ = types.Kind), because spilled state mixes kinds
+// per column (group keys, aggregate partials) and must round-trip Values
+// bit-for-bit, including their Kind.
+
+const (
+	// spillChunkBytes is the buffered-payload threshold that closes a
+	// chunk. It bounds both the writer's buffer and the reader's resident
+	// chunk — untracked overhead per open spill file.
+	spillChunkBytes = 32 << 10
+	spillHeaderLen  = 12
+)
+
+// SpillWriter streams rows into a CRC-chunked temp file.
+type SpillWriter struct {
+	f         *os.File
+	width     int
+	buf       []byte // pending payload, pre-transform
+	chunkRows int
+	rows      int
+	bytes     int64
+	scratch   []byte
+}
+
+// NewSpillWriter creates a spill file for rows of the given width in dir.
+// The file is unlinked by SpillFile.Close.
+func NewSpillWriter(dir string, width int) (*SpillWriter, error) {
+	f, err := os.CreateTemp(dir, "spill-*.run")
+	if err != nil {
+		return nil, fmt.Errorf("storage: creating spill file in %q: %w", dir, err)
+	}
+	return &SpillWriter{f: f, width: width}, nil
+}
+
+// Append encodes one row into the pending chunk, flushing it to disk when
+// it reaches the chunk size.
+func (w *SpillWriter) Append(row []types.Value) error {
+	if len(row) != w.width {
+		return fmt.Errorf("storage: spill row has %d values, want %d", len(row), w.width)
+	}
+	for _, v := range row {
+		// Tag: bit 0 = null, bits 1+ = kind. A zero Value (KindUnknown)
+		// encodes as NULL; unknown-kind values are only ever legal as NULL.
+		tag := byte(v.Kind) << 1
+		if v.Null || v.Kind == types.KindUnknown {
+			w.buf = append(w.buf, tag|1)
+			continue
+		}
+		w.buf = append(w.buf, tag)
+		w.buf = appendValue(w.buf, v) // flag byte + payload, as RowBuffer rows
+	}
+	w.chunkRows++
+	w.rows++
+	if len(w.buf) >= spillChunkBytes {
+		return w.flushChunk()
+	}
+	return nil
+}
+
+func (w *SpillWriter) flushChunk() error {
+	if w.chunkRows == 0 {
+		return nil
+	}
+	payload := w.buf
+	if cap(w.scratch) < len(payload) {
+		w.scratch = make([]byte, len(payload))
+	}
+	out := w.scratch[:len(payload)]
+	for i, b := range payload {
+		out[i] = b ^ byte(xorKey+i)
+	}
+	var hdr [spillHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(out)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(w.chunkRows))
+	binary.LittleEndian.PutUint32(hdr[8:], crc32.ChecksumIEEE(out))
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("storage: writing spill chunk header: %w", err)
+	}
+	if _, err := w.f.Write(out); err != nil {
+		return fmt.Errorf("storage: writing spill chunk: %w", err)
+	}
+	w.bytes += int64(spillHeaderLen + len(out))
+	w.buf = w.buf[:0]
+	w.chunkRows = 0
+	return nil
+}
+
+// Rows returns the number of rows appended so far.
+func (w *SpillWriter) Rows() int { return w.rows }
+
+// Finish flushes the final chunk and seals the file for reading.
+func (w *SpillWriter) Finish() (*SpillFile, error) {
+	if err := w.flushChunk(); err != nil {
+		w.Abort()
+		return nil, err
+	}
+	return &SpillFile{f: w.f, path: w.f.Name(), width: w.width, rows: w.rows, bytes: w.bytes}, nil
+}
+
+// Abort discards the writer, closing and removing the file.
+func (w *SpillWriter) Abort() {
+	if w.f != nil {
+		w.f.Close()
+		os.Remove(w.f.Name())
+		w.f = nil
+	}
+}
+
+// SpillFile is a sealed spill file; it supports any number of sequential
+// readers and is removed from disk by Close.
+type SpillFile struct {
+	f     *os.File
+	path  string
+	width int
+	rows  int
+	bytes int64
+}
+
+// Rows returns the row count.
+func (s *SpillFile) Rows() int { return s.rows }
+
+// Bytes returns the on-disk size (headers included), the amount charged to
+// the spilled-bytes metric.
+func (s *SpillFile) Bytes() int64 { return s.bytes }
+
+// Close removes the file from disk. Idempotent.
+func (s *SpillFile) Close() error {
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	os.Remove(s.path)
+	s.f = nil
+	return err
+}
+
+// NewReader opens a sequential reader over the file.
+func (s *SpillFile) NewReader() *SpillReader {
+	return &SpillReader{file: s, remaining: s.rows}
+}
+
+// SpillReader sequentially decodes a spill file chunk by chunk, verifying
+// each chunk's CRC before decoding any of its rows.
+type SpillReader struct {
+	file      *SpillFile
+	off       int64
+	remaining int
+	chunk     []byte
+	chunkOff  int
+	chunkRows int
+}
+
+// Next decodes the next row into dst (which must hold the file's width) and
+// reports whether a row was produced; (false, nil) signals EOF.
+func (r *SpillReader) Next(dst []types.Value) (bool, error) {
+	if r.remaining == 0 {
+		return false, nil
+	}
+	if r.chunkRows == 0 {
+		if err := r.loadChunk(); err != nil {
+			return false, err
+		}
+	}
+	cr := ChunkReader{data: r.chunk, off: r.chunkOff}
+	for i := 0; i < r.file.width; i++ {
+		if cr.off >= len(r.chunk) {
+			return false, fmt.Errorf("storage: spill file %s: chunk underrun decoding row", r.file.path)
+		}
+		tag := cr.data[cr.off]
+		cr.off++
+		kind := types.Kind(tag >> 1)
+		if tag&1 != 0 {
+			dst[i] = types.NullOf(kind)
+			continue
+		}
+		cr.kind = kind
+		// The per-value null flag written by appendValue.
+		if cr.data[cr.off] == 0 {
+			cr.off++
+			dst[i] = types.NullOf(kind)
+			continue
+		}
+		dst[i] = cr.Next()
+	}
+	r.chunkOff = cr.off
+	r.chunkRows--
+	r.remaining--
+	return true, nil
+}
+
+func (r *SpillReader) loadChunk() error {
+	var hdr [spillHeaderLen]byte
+	if _, err := r.file.f.ReadAt(hdr[:], r.off); err != nil {
+		return fmt.Errorf("storage: spill file %s: reading chunk header: %w", r.file.path, err)
+	}
+	plen := int(binary.LittleEndian.Uint32(hdr[0:]))
+	rows := int(binary.LittleEndian.Uint32(hdr[4:]))
+	wantCRC := binary.LittleEndian.Uint32(hdr[8:])
+	if rows <= 0 || plen <= 0 {
+		return fmt.Errorf("storage: spill file %s: corrupt chunk header (len %d, rows %d)", r.file.path, plen, rows)
+	}
+	if cap(r.chunk) < plen {
+		r.chunk = make([]byte, plen)
+	}
+	r.chunk = r.chunk[:plen]
+	if _, err := io.ReadFull(io.NewSectionReader(r.file.f, r.off+spillHeaderLen, int64(plen)), r.chunk); err != nil {
+		return fmt.Errorf("storage: spill file %s: reading chunk payload: %w", r.file.path, err)
+	}
+	if got := crc32.ChecksumIEEE(r.chunk); got != wantCRC {
+		return fmt.Errorf("storage: spill file %s: chunk CRC mismatch (got %08x, want %08x): spill data corrupted", r.file.path, got, wantCRC)
+	}
+	// Reverse the stream transform in place (XOR is its own inverse).
+	for i, b := range r.chunk {
+		r.chunk[i] = b ^ byte(xorKey+i)
+	}
+	r.off += int64(spillHeaderLen + plen)
+	r.chunkOff = 0
+	r.chunkRows = rows
+	return nil
+}

@@ -1,0 +1,256 @@
+package storage
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func spillRows() [][]types.Value {
+	rows := [][]types.Value{
+		{types.Int(1), types.Float(2.5), types.String("alpha"), types.Bool(true), types.Date(19000)},
+		{types.Int(-42), types.Float(math.Inf(1)), types.String(""), types.Bool(false), types.NullOf(types.KindDate)},
+		{types.NullOf(types.KindInt64), types.Float(math.NaN()), types.NullOf(types.KindString), types.NullOf(types.KindBool), types.Date(0)},
+		{types.Int(1 << 60), types.Float(math.Copysign(0, -1)), types.String(strings.Repeat("x", 500)), types.Bool(true), types.Date(-5)},
+		{types.Int(0), types.Float(1e-300), types.String("mixed\x00bytes\xff"), types.Bool(false), types.Unknown()},
+	}
+	return rows
+}
+
+func valuesBitEqual(a, b types.Value) bool {
+	if a.Null || b.Null {
+		// NULLs round-trip as NULL; Kind is preserved by the tag.
+		return a.Null == b.Null && a.Kind == b.Kind
+	}
+	return a.Kind == b.Kind && a.I == b.I && a.S == b.S &&
+		math.Float64bits(a.F) == math.Float64bits(b.F)
+}
+
+func TestSpillRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rows := spillRows()
+	w, err := NewSpillWriter(dir, len(rows[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append enough rows to span several chunks.
+	const repeats = 2000
+	for r := 0; r < repeats; r++ {
+		for _, row := range rows {
+			if err := w.Append(row); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	f, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Rows() != repeats*len(rows) {
+		t.Fatalf("rows = %d, want %d", f.Rows(), repeats*len(rows))
+	}
+	if f.Bytes() <= 0 {
+		t.Fatal("spill file reports zero bytes")
+	}
+
+	r := f.NewReader()
+	dst := make([]types.Value, len(rows[0]))
+	for i := 0; i < repeats*len(rows); i++ {
+		ok, err := r.Next(dst)
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if !ok {
+			t.Fatalf("EOF at row %d", i)
+		}
+		want := rows[i%len(rows)]
+		for c := range want {
+			if c == 4 && want[c].Kind == types.KindUnknown {
+				// A zero/unknown value rounds to NULL-of-unknown by design.
+				if !dst[c].Null || dst[c].Kind != types.KindUnknown {
+					t.Fatalf("row %d col %d: unknown value decoded as %+v", i, c, dst[c])
+				}
+				continue
+			}
+			if !valuesBitEqual(dst[c], want[c]) {
+				t.Fatalf("row %d col %d: got %+v, want %+v", i, c, dst[c], want[c])
+			}
+		}
+	}
+	if ok, _ := r.Next(dst); ok {
+		t.Fatal("reader produced rows past EOF")
+	}
+}
+
+func TestSpillMultipleReaders(t *testing.T) {
+	w, err := NewSpillWriter(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := w.Append([]types.Value{types.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r1, r2 := f.NewReader(), f.NewReader()
+	dst := make([]types.Value, 1)
+	for i := 0; i < 100; i++ {
+		for _, r := range []*SpillReader{r1, r2} {
+			if ok, err := r.Next(dst); !ok || err != nil {
+				t.Fatalf("row %d: ok=%v err=%v", i, ok, err)
+			}
+			if dst[0].I != int64(i) {
+				t.Fatalf("row %d: got %d", i, dst[0].I)
+			}
+		}
+	}
+}
+
+func TestSpillUnwritableDir(t *testing.T) {
+	// A path that exists but is not a directory: CreateTemp must fail with
+	// a descriptive error (running as root makes permission bits useless).
+	notADir := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(notADir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := NewSpillWriter(notADir, 1)
+	if err == nil {
+		t.Fatal("expected error for unwritable spill dir")
+	}
+	if !strings.Contains(err.Error(), "spill") {
+		t.Fatalf("error should mention spill: %v", err)
+	}
+}
+
+func TestSpillCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewSpillWriter(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		row := []types.Value{types.Int(int64(i)), types.String("payload-payload")}
+		if err := w.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Flip one payload byte on disk.
+	raw, err := os.ReadFile(f.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[spillHeaderLen+10] ^= 0x40
+	if err := os.WriteFile(f.path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := f.NewReader()
+	dst := make([]types.Value, 2)
+	_, err = r.Next(dst)
+	if err == nil {
+		t.Fatal("corrupted chunk decoded without error")
+	}
+	if !strings.Contains(err.Error(), "CRC") || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corruption error should mention CRC mismatch: %v", err)
+	}
+}
+
+func TestSpillTruncationDetected(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewSpillWriter(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := types.String(strings.Repeat("t", 100))
+	for i := 0; i < 1000; i++ {
+		if err := w.Append([]types.Value{big}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := os.Truncate(f.path, f.Bytes()/2); err != nil {
+		t.Fatal(err)
+	}
+	r := f.NewReader()
+	dst := make([]types.Value, 1)
+	var readErr error
+	for {
+		ok, err := r.Next(dst)
+		if err != nil {
+			readErr = err
+			break
+		}
+		if !ok {
+			break
+		}
+	}
+	if readErr == nil {
+		t.Fatal("truncated spill file read to EOF without error")
+	}
+}
+
+func TestSpillFileCloseRemoves(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewSpillWriter(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append([]types.Value{types.Int(7)}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := f.path
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("spill file missing before close: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("spill file still present after close: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+
+	// Abort also removes the file.
+	w2, err := NewSpillWriter(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := w2.f.Name()
+	w2.Abort()
+	if _, err := os.Stat(p2); !os.IsNotExist(err) {
+		t.Fatal("aborted spill file still present")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("spill dir not empty: %v", ents)
+	}
+}

@@ -189,12 +189,23 @@ func (g *Gen) Query() string {
 		return fmt.Sprintf(
 			"SELECT d_grp, %s FROM fact JOIN dim ON f_k1 = d_k WHERE %s GROUP BY d_grp",
 			g.aggList(), g.predicate())
-	case 3: // LEFT JOIN projection (NULL-extended probe rows)
+	case 3: // LEFT JOIN projection (NULL-extended probe rows), often sorted
+		if g.rng.Intn(2) == 0 {
+			// An unfiltered wide ORDER BY over the full probe output — the
+			// query shape that buffers the most rows in the sort, so the
+			// memory-limit differential mode exercises external sort runs.
+			return "SELECT f_k1, f_qty, d_name, d_grp FROM fact LEFT JOIN dim ON f_k1 = d_k" +
+				" ORDER BY f_qty DESC, f_k1, d_name"
+		}
 		return fmt.Sprintf(
 			"SELECT f_k1, f_qty, d_name, d_grp FROM fact LEFT JOIN dim ON f_k1 = d_k WHERE %s",
 			g.predicate())
 	case 4: // DISTINCT
-		return fmt.Sprintf("SELECT DISTINCT f_k1, f_k2 FROM fact WHERE %s", g.predicate())
+		q := fmt.Sprintf("SELECT DISTINCT f_k1, f_k2 FROM fact WHERE %s", g.predicate())
+		if g.rng.Intn(2) == 0 {
+			q += " ORDER BY f_k2, f_k1"
+		}
+		return q
 	case 5: // COUNT(DISTINCT) — MarkDistinct over grouped aggregation
 		return fmt.Sprintf(
 			"SELECT f_k1, COUNT(DISTINCT f_k2) AS dk, COUNT(*) AS cnt FROM fact WHERE %s GROUP BY f_k1",
