@@ -33,6 +33,7 @@ func main() {
 		aggOut      = flag.String("agg", "", "write a serial vs partition-wise parallel aggregation comparison to this JSON file and exit")
 		sharedOut   = flag.String("shared", "", "write a concurrent shared-vs-unshared scan comparison to this JSON file and exit")
 		spillOut    = flag.String("spill", "", "write an unlimited-vs-memory-budget spill comparison to this JSON file and exit")
+		maskOut     = flag.String("mask", "", "write a naive-vs-family mask kernel comparison to this JSON file and exit")
 		parallelism = flag.Int("parallelism", 4, "workers for the parallel side of -exec/-agg/-shared")
 		batchSize   = flag.Int("batch", 1024, "rows per batch for the parallel side of -exec/-agg/-shared")
 		concurrency = flag.Int("concurrency", 4, "concurrent query workers for -shared")
@@ -58,6 +59,14 @@ func main() {
 	}
 	if *spillOut != "" {
 		runSpillComparison(*spillOut, bench.SpillOptions{
+			Scale: *scale, Seed: *seed, Iterations: *iters,
+			Parallelism: *parallelism, BatchSize: *batchSize,
+			Queries: splitList(*qlist),
+		})
+		return
+	}
+	if *maskOut != "" {
+		runMaskComparison(*maskOut, bench.MaskOptions{
 			Scale: *scale, Seed: *seed, Iterations: *iters,
 			Parallelism: *parallelism, BatchSize: *batchSize,
 			Queries: splitList(*qlist),
@@ -157,6 +166,30 @@ func runSharedComparison(path string, opts bench.SharedOptions) {
 	fmt.Fprintf(os.Stderr, "generating TPC-DS data at scale %.2f and comparing %d concurrent workers with scan sharing off/on over %s...\n",
 		opts.Scale, opts.Concurrency, queriesLabel(opts.Queries))
 	cmp, err := bench.RunSharedComparison(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := cmp.WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	cmp.WriteTable(os.Stdout)
+}
+
+func runMaskComparison(path string, opts bench.MaskOptions) {
+	if len(opts.Queries) == 0 {
+		opts.Queries = bench.DefaultMaskQueries
+	}
+	fmt.Fprintf(os.Stderr, "generating TPC-DS data at scale %.2f and comparing naive vs mask-family evaluation on %s...\n",
+		opts.Scale, queriesLabel(opts.Queries))
+	cmp, err := bench.RunMaskComparison(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)

@@ -59,6 +59,14 @@ type Config struct {
 	// Empty means os.TempDir(). Files are temp-named, crash-safe to leave
 	// behind, and removed when the owning query finishes or is abandoned.
 	SpillDir string
+	// NaiveMasks disables the mask-family kernel: filter predicates and
+	// aggregation FILTER masks are evaluated as independent per-expression
+	// value vectors instead of factored bitmap families. Results are
+	// identical either way — this is the validation baseline the mask
+	// differential tests and `benchrunner -mask` compare against, not a
+	// tuning knob. Needs no normalization (false is the default and the
+	// fast path).
+	NaiveMasks bool
 }
 
 // normalize resolves every defaulted Config field to its effective value.

@@ -176,6 +176,7 @@ func (p *Prepared) Run() (*Result, error) {
 		ScanCacheBytes: p.eng.config.ScanCacheBytes,
 		MemPool:        p.eng.mempool,
 		QueryText:      p.sqlText,
+		NaiveMasks:     p.eng.config.NaiveMasks,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("engine: executing: %w", err)

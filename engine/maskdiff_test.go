@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/testgen"
+	"repro/internal/tpcds"
+)
+
+// This file is the mask-kernel differential harness: the same query corpora
+// as difffuzz_test.go run with the mask-family compiler on (the default) and
+// compared against the NaiveMasks baseline, which evaluates every filter
+// predicate and aggregation FILTER mask as an independent per-expression
+// value vector. Shared-prefix factoring, progressive conjunct evaluation and
+// bitmap intermediates must be unobservable: rows byte-identical in
+// identical order, BytesScanned and RowsProcessed exact — only
+// Metrics.MaskPrefixHits may change.
+
+// maskConfigs are the family-side execution configurations compared against
+// the serial naive reference: degenerate row-at-a-time (family kernels with
+// one-row batches), full parallel, adversarial odd shards, and parallel
+// under a memory limit so spilled aggregation state replays per-mask
+// booleans from disk instead of re-evaluating masks.
+var maskConfigs = []struct {
+	name        string
+	parallelism int
+	batchSize   int
+	spill       bool
+}{
+	{"p1b1", 1, 1, false},
+	{"p8b1024", 8, 1024, false},
+	{"p3b7", 3, 7, false},
+	{"p4b256spill", 4, 256, true},
+}
+
+func runMaskDifferential(t *testing.T, seed int64) {
+	st := diffTestStore(t)
+	limit := spillTestLimit(defaultSpillTestLimit)
+	query := testgen.New(seed).Query()
+	for _, fusion := range []bool{false, true} {
+		ref := OpenWithStore(st, Config{EnableFusion: fusion, Parallelism: 1, BatchSize: 1, NaiveMasks: true})
+		refRes, err := ref.Query(query)
+		if err != nil {
+			t.Fatalf("seed %d naive reference (fusion=%v) failed: %v\n%s", seed, fusion, err, query)
+		}
+		if refRes.Metrics.MaskPrefixHits != 0 {
+			t.Fatalf("seed %d (fusion=%v): naive run counted %d prefix hits", seed, fusion, refRes.Metrics.MaskPrefixHits)
+		}
+		want := exactRows(refRes.Rows)
+		for _, cfg := range maskConfigs {
+			c := Config{EnableFusion: fusion, Parallelism: cfg.parallelism, BatchSize: cfg.batchSize}
+			var spillDir string
+			if cfg.spill {
+				spillDir = t.TempDir()
+				c.MemoryLimitBytes = limit
+				c.SpillDir = spillDir
+			}
+			res, err := OpenWithStore(st, c).Query(query)
+			if err != nil {
+				t.Fatalf("seed %d %s (fusion=%v) failed: %v\n%s", seed, cfg.name, fusion, err, query)
+			}
+			if got := exactRows(res.Rows); got != want {
+				t.Fatalf("seed %d %s (fusion=%v): family rows differ from naive\nquery:\n%s\ngot:\n%s\nwant:\n%s\nplan:\n%s",
+					seed, cfg.name, fusion, query, got, want, res.Plan)
+			}
+			if got, want := res.Metrics.Storage.BytesScanned, refRes.Metrics.Storage.BytesScanned; got != want {
+				t.Fatalf("seed %d %s (fusion=%v): BytesScanned %d != %d\n%s", seed, cfg.name, fusion, got, want, query)
+			}
+			if got, want := res.Metrics.RowsProcessed, refRes.Metrics.RowsProcessed; got != want {
+				t.Fatalf("seed %d %s (fusion=%v): RowsProcessed %d != %d\n%s", seed, cfg.name, fusion, got, want, query)
+			}
+			if cfg.spill {
+				if res.Metrics.PeakMemoryBytes > limit {
+					t.Fatalf("seed %d %s (fusion=%v): peak tracked memory %d exceeds limit %d\n%s",
+						seed, cfg.name, fusion, res.Metrics.PeakMemoryBytes, limit, query)
+				}
+				if ents, err := os.ReadDir(spillDir); err != nil {
+					t.Fatal(err)
+				} else if len(ents) != 0 {
+					t.Fatalf("seed %d %s (fusion=%v): %d spill files leaked", seed, cfg.name, fusion, len(ents))
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialMaskFamily is the bounded mask-kernel corpus wired into
+// plain `go test`: a fixed testgen seed range, every seed compared family
+// versus naive across the full configuration matrix above.
+func TestDifferentialMaskFamily(t *testing.T) {
+	const corpus = 60
+	for seed := int64(0); seed < corpus; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%03d", seed), func(t *testing.T) {
+			runMaskDifferential(t, seed)
+		})
+	}
+}
+
+// TestDifferentialMaskFamilyTPCDS runs the full TPC-DS workload family
+// versus naive. Fused many-mask queries (Q09/Q28/Q88-class) are where
+// shared-prefix factoring actually engages, so with fusion on the run must
+// record prefix hits somewhere in the workload — otherwise the family path
+// is not being exercised and the whole comparison is vacuous. The spill
+// configuration uses a per-query limit derived from the naive reference's
+// memory profile, the same derivation as TestDifferentialSpillTPCDS.
+func TestDifferentialMaskFamilyTPCDS(t *testing.T) {
+	st, err := tpcds.NewLoadedStore(0.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const floorMargin = 256 << 10
+
+	for _, fusion := range []bool{false, true} {
+		naive := OpenWithStore(st, Config{EnableFusion: fusion, Parallelism: 1, BatchSize: 1, NaiveMasks: true})
+		var familyHits int64
+		for _, q := range tpcds.Queries() {
+			refRes, err := naive.Query(q.SQL)
+			if err != nil {
+				t.Fatalf("%s naive reference (fusion=%v) failed: %v", q.Name, fusion, err)
+			}
+			if refRes.Metrics.MaskPrefixHits != 0 {
+				t.Fatalf("%s (fusion=%v): naive run counted %d prefix hits", q.Name, fusion, refRes.Metrics.MaskPrefixHits)
+			}
+			want := exactRows(refRes.Rows)
+			var unspillPeak int64
+			for op, s := range refRes.Metrics.MemOperators {
+				if op != "groupby" && op != "sort" {
+					unspillPeak += s.PeakBytes
+				}
+			}
+			peak := refRes.Metrics.PeakMemoryBytes
+			limit := unspillPeak + floorMargin
+			if peak < unspillPeak+floorMargin+(128<<10) {
+				limit = peak + (64 << 10)
+			}
+			for _, cfg := range maskConfigs {
+				c := Config{EnableFusion: fusion, Parallelism: cfg.parallelism, BatchSize: cfg.batchSize}
+				var spillDir string
+				if cfg.spill {
+					spillDir = t.TempDir()
+					c.MemoryLimitBytes = limit
+					c.SpillDir = spillDir
+				}
+				res, err := OpenWithStore(st, c).Query(q.SQL)
+				if err != nil {
+					t.Fatalf("%s %s (fusion=%v) failed: %v", q.Name, cfg.name, fusion, err)
+				}
+				if got := exactRows(res.Rows); got != want {
+					t.Fatalf("%s %s (fusion=%v): family rows differ from naive\ngot:\n%s\nwant:\n%s", q.Name, cfg.name, fusion, got, want)
+				}
+				if got, want := res.Metrics.Storage.BytesScanned, refRes.Metrics.Storage.BytesScanned; got != want {
+					t.Fatalf("%s %s (fusion=%v): BytesScanned %d != %d", q.Name, cfg.name, fusion, got, want)
+				}
+				if got, want := res.Metrics.RowsProcessed, refRes.Metrics.RowsProcessed; got != want {
+					t.Fatalf("%s %s (fusion=%v): RowsProcessed %d != %d", q.Name, cfg.name, fusion, got, want)
+				}
+				if cfg.spill {
+					if res.Metrics.PeakMemoryBytes > limit {
+						t.Fatalf("%s %s (fusion=%v): peak tracked memory %d exceeds limit %d", q.Name, cfg.name, fusion, res.Metrics.PeakMemoryBytes, limit)
+					}
+					if ents, err := os.ReadDir(spillDir); err != nil {
+						t.Fatal(err)
+					} else if len(ents) != 0 {
+						t.Fatalf("%s %s (fusion=%v): %d spill files leaked", q.Name, cfg.name, fusion, len(ents))
+					}
+				}
+				familyHits += res.Metrics.MaskPrefixHits
+			}
+		}
+		if fusion && familyHits == 0 {
+			t.Fatalf("fusion=%v: no mask-family prefix hits across TPC-DS — the factored path is not engaging", fusion)
+		}
+		t.Logf("fusion=%v: %d mask-family prefix hits across TPC-DS", fusion, familyHits)
+	}
+}
+
+// FuzzDifferentialMaskFamily extends the mask differential to go test -fuzz:
+// the fuzzer mutates the generator seed, searching for a query shape where
+// shared-prefix factoring or bitmap kernels diverge from naive per-mask
+// evaluation.
+func FuzzDifferentialMaskFamily(f *testing.F) {
+	for _, seed := range []int64{0, 1, 17, 42, 20220513, -9} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		runMaskDifferential(t, seed)
+	})
+}

@@ -1,0 +1,200 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/engine"
+	"repro/internal/tpcds"
+)
+
+// MaskOptions configures the mask-kernel comparison: the same fused engine
+// configuration run once with NaiveMasks (every filter predicate and
+// aggregation FILTER mask evaluated as an independent per-expression value
+// vector) and once with the mask-family compiler (shared-prefix factoring,
+// deduplicated residuals, bitmap intermediates) — the default path.
+type MaskOptions struct {
+	Scale       float64
+	Seed        int64
+	Iterations  int
+	Parallelism int
+	BatchSize   int
+	Queries     []string
+}
+
+// DefaultMaskQueries mixes the many-mask queries the family kernel targets
+// with mask-free controls. Q09/Q28/Q88 fuse into aggregations carrying many
+// sibling FILTER masks (Q88 fuses eight time-bucket subqueries); f03, f24
+// and f30 never acquire masks, so they bound the regression the bitmap
+// filter path may cost on ordinary predicates.
+var DefaultMaskQueries = []string{
+	"q09", "q28", "q88", "f03", "f24", "f30",
+}
+
+// DefaultMaskOptions mirrors DefaultAggOptions but compares mask engines.
+func DefaultMaskOptions() MaskOptions {
+	return MaskOptions{
+		Scale: 1.0, Seed: 42, Iterations: 3,
+		Parallelism: 8, BatchSize: 1024,
+		Queries: DefaultMaskQueries,
+	}
+}
+
+// MaskQueryReport compares one query between naive per-mask evaluation and
+// the mask-family kernel.
+type MaskQueryReport struct {
+	Name    string `json:"name"`
+	Pattern string `json:"pattern"`
+	// Latencies are the minimum over the run's iterations, in milliseconds.
+	NaiveMS  float64 `json:"naive_ms"`
+	FamilyMS float64 `json:"family_ms"`
+	Speedup  float64 `json:"speedup"`
+	// MaskPrefixHits is the family run's Metrics.MaskPrefixHits: per-mask
+	// row evaluations the factoring skipped. Zero marks a mask-free control.
+	MaskPrefixHits int64 `json:"mask_prefix_hits"`
+	// Identical is true when both paths returned byte-identical rows in
+	// identical order.
+	Identical bool `json:"identical_results"`
+	// BytesScanned and RowsProcessed must match between paths: mask
+	// factoring must not change what work is accounted.
+	BytesScanned      int64 `json:"bytes_scanned"`
+	BytesScannedSame  bool  `json:"bytes_scanned_same"`
+	RowsProcessed     int64 `json:"rows_processed"`
+	RowsProcessedSame bool  `json:"rows_processed_same"`
+}
+
+// MaskComparison is the BENCH_mask.json payload.
+type MaskComparison struct {
+	Scale          float64           `json:"scale"`
+	Parallelism    int               `json:"parallelism"`
+	BatchSize      int               `json:"batch_size"`
+	Iterations     int               `json:"iterations"`
+	Queries        []MaskQueryReport `json:"queries"`
+	OverallSpeedup float64           `json:"overall_speedup"`
+	MaxSpeedup     float64           `json:"max_speedup"`
+	AllIdentical   bool              `json:"all_identical"`
+}
+
+// RunMaskComparison measures naive per-mask evaluation against the
+// mask-family kernel over one shared store with fusion enabled and the same
+// parallelism and batch size on both sides, so the only difference between
+// the two measurements is how masks and filter predicates are evaluated —
+// which the result contract says must be unobservable.
+func RunMaskComparison(opts MaskOptions) (*MaskComparison, error) {
+	if opts.Iterations <= 0 {
+		opts.Iterations = 1
+	}
+	if opts.Scale <= 0 {
+		opts.Scale = 1.0
+	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = 8
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 1024
+	}
+	if len(opts.Queries) == 0 {
+		opts.Queries = DefaultMaskQueries
+	}
+	st, err := tpcds.NewLoadedStore(opts.Scale, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	naive := engine.OpenWithStore(st, engine.Config{
+		EnableFusion: true, Parallelism: opts.Parallelism, BatchSize: opts.BatchSize,
+		NaiveMasks: true,
+	})
+	family := engine.OpenWithStore(st, engine.Config{
+		EnableFusion: true, Parallelism: opts.Parallelism, BatchSize: opts.BatchSize,
+	})
+
+	cmp := &MaskComparison{
+		Scale: opts.Scale, Parallelism: opts.Parallelism,
+		BatchSize: opts.BatchSize, Iterations: opts.Iterations,
+		AllIdentical: true,
+	}
+	var naiveTotal, familyTotal time.Duration
+	for _, name := range opts.Queries {
+		q, ok := tpcds.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown query %q", name)
+		}
+		qr := MaskQueryReport{Name: q.Name, Pattern: q.Pattern}
+		var naiveRows, familyRows string
+		var naiveBytes, familyBytes, naiveProcessed, familyProcessed int64
+		var naiveLat, familyLat time.Duration
+		for i := 0; i < opts.Iterations; i++ {
+			res, err := naive.Query(q.SQL)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s (naive): %w", q.Name, err)
+			}
+			if i == 0 || res.Metrics.Elapsed < naiveLat {
+				naiveLat = res.Metrics.Elapsed
+			}
+			naiveRows = renderRows(res.Rows)
+			naiveBytes = res.Metrics.Storage.BytesScanned
+			naiveProcessed = res.Metrics.RowsProcessed
+		}
+		for i := 0; i < opts.Iterations; i++ {
+			res, err := family.Query(q.SQL)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s (family): %w", q.Name, err)
+			}
+			if i == 0 || res.Metrics.Elapsed < familyLat {
+				familyLat = res.Metrics.Elapsed
+			}
+			familyRows = renderRows(res.Rows)
+			familyBytes = res.Metrics.Storage.BytesScanned
+			familyProcessed = res.Metrics.RowsProcessed
+			qr.MaskPrefixHits = res.Metrics.MaskPrefixHits
+		}
+		qr.NaiveMS = float64(naiveLat) / float64(time.Millisecond)
+		qr.FamilyMS = float64(familyLat) / float64(time.Millisecond)
+		if familyLat > 0 {
+			qr.Speedup = float64(naiveLat) / float64(familyLat)
+		}
+		qr.Identical = naiveRows == familyRows
+		qr.BytesScanned = naiveBytes
+		qr.BytesScannedSame = naiveBytes == familyBytes
+		qr.RowsProcessed = naiveProcessed
+		qr.RowsProcessedSame = naiveProcessed == familyProcessed
+		if !qr.Identical || !qr.BytesScannedSame || !qr.RowsProcessedSame {
+			cmp.AllIdentical = false
+		}
+		if qr.Speedup > cmp.MaxSpeedup {
+			cmp.MaxSpeedup = qr.Speedup
+		}
+		naiveTotal += naiveLat
+		familyTotal += familyLat
+		cmp.Queries = append(cmp.Queries, qr)
+	}
+	if familyTotal > 0 {
+		cmp.OverallSpeedup = float64(naiveTotal) / float64(familyTotal)
+	}
+	return cmp, nil
+}
+
+// WriteJSON emits the comparison as indented JSON (the BENCH_mask.json
+// artifact).
+func (c *MaskComparison) WriteJSON(out io.Writer) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// WriteTable renders a human-readable view of the comparison.
+func (c *MaskComparison) WriteTable(out io.Writer) {
+	fmt.Fprintf(out, "Mask-family kernel comparison (scale=%.2f, parallelism=%d, batch=%d)\n",
+		c.Scale, c.Parallelism, c.BatchSize)
+	fmt.Fprintln(out, "query | naive         | family     | speedup | prefix hits | identical")
+	fmt.Fprintln(out, "------+---------------+------------+---------+-------------+----------")
+	for _, q := range c.Queries {
+		fmt.Fprintf(out, "%-5s | %11.2fms | %8.2fms | %6.2fx | %11d | %v\n",
+			q.Name, q.NaiveMS, q.FamilyMS, q.Speedup, q.MaskPrefixHits,
+			q.Identical && q.BytesScannedSame && q.RowsProcessedSame)
+	}
+	fmt.Fprintf(out, "overall speedup: %.2fx, max: %.2fx, all results identical: %v\n",
+		c.OverallSpeedup, c.MaxSpeedup, c.AllIdentical)
+}

@@ -105,6 +105,11 @@ type compiledAggs struct {
 
 func compileAggs(aggs []logical.AggAssign, layout map[expr.ColumnID]int) (*compiledAggs, error) {
 	out := &compiledAggs{aggs: make([]compiledAgg, len(aggs))}
+	// Masks dedup by canonical form: `a AND b` and `b AND a` share one
+	// evaluator and one slot in the mask family. The canonical AST is what
+	// gets compiled — Simplify/normalize preserve three-valued semantics,
+	// and the conjunct order it fixes is the order the family factors on.
+	maskSlot := make(map[string]int)
 	for i, a := range aggs {
 		ca := compiledAgg{agg: a.Agg, maskIdx: -1}
 		var err error
@@ -114,21 +119,22 @@ func compileAggs(aggs []logical.AggAssign, layout map[expr.ColumnID]int) (*compi
 			}
 		}
 		if a.Agg.Mask != nil && !expr.IsTrueLiteral(a.Agg.Mask) {
-			found := -1
-			for k, ast := range out.maskAst {
-				if expr.Equal(ast, a.Agg.Mask) {
-					found = k
-					break
-				}
+			canon := expr.Canonical(a.Agg.Mask)
+			if expr.IsTrueLiteral(canon) {
+				// The mask folds to TRUE: the aggregate is unmasked.
+				out.aggs[i] = ca
+				continue
 			}
-			if found < 0 {
-				ev, err := newEvaluator(a.Agg.Mask, layout)
+			found, ok := maskSlot[canon.String()]
+			if !ok {
+				ev, err := newEvaluator(canon, layout)
 				if err != nil {
 					return nil, err
 				}
 				out.masks = append(out.masks, ev)
-				out.maskAst = append(out.maskAst, a.Agg.Mask)
+				out.maskAst = append(out.maskAst, canon)
 				found = len(out.masks) - 1
+				maskSlot[canon.String()] = found
 			}
 			ca.maskIdx = found
 		}
@@ -169,7 +175,7 @@ func (ex *executor) buildGroupBy(g *logical.GroupBy) (BatchIterator, error) {
 	if !scalar && ex.opts.Parallelism > 1 {
 		accs := make([]*groupAccumulator, ex.opts.Parallelism)
 		for p := range accs {
-			if accs[p], err = newGroupAccumulator(g, layout, keyIdx, ex.tracker, spillDir); err != nil {
+			if accs[p], err = newGroupAccumulator(g, layout, keyIdx, ex.tracker, spillDir, ex.opts.NaiveMasks); err != nil {
 				return nil, err
 			}
 			ex.tracker.Register(accs[p])
@@ -180,7 +186,7 @@ func (ex *executor) buildGroupBy(g *logical.GroupBy) (BatchIterator, error) {
 			batchSize: ex.opts.BatchSize, m: ex.metrics,
 		}, nil
 	}
-	acc, err := newGroupAccumulator(g, layout, keyIdx, ex.tracker, spillDir)
+	acc, err := newGroupAccumulator(g, layout, keyIdx, ex.tracker, spillDir, ex.opts.NaiveMasks)
 	if err != nil {
 		return nil, err
 	}
@@ -225,9 +231,16 @@ type group struct {
 // rows always land in the same shard in global input order — per-group
 // accumulation (including float sums) is order-identical to serial.
 type groupAccumulator struct {
-	keyIdx  []int
-	aggs    *compiledAggs
+	keyIdx []int
+	aggs   *compiledAggs
+	// Mask evaluation: the mask-family kernel evaluates the whole distinct
+	// mask set in one pass (shared prefix factored out); under
+	// Options.NaiveMasks each mask instead gets its own batch evaluator.
+	// nMasks is the distinct mask count either way — the spill row-record
+	// layout depends on it, not on which engine ran.
+	family  *maskFamily
 	maskEvs []*batchEvaluator
+	nMasks  int
 	argEvs  []*batchEvaluator
 
 	groups map[string]*group
@@ -269,16 +282,27 @@ type groupAccumulator struct {
 	rowRec     []types.Value
 }
 
-func newGroupAccumulator(g *logical.GroupBy, layout map[expr.ColumnID]int, keyIdx []int, tracker *memctl.Tracker, spillDir string) (*groupAccumulator, error) {
+func newGroupAccumulator(g *logical.GroupBy, layout map[expr.ColumnID]int, keyIdx []int, tracker *memctl.Tracker, spillDir string, naiveMasks bool) (*groupAccumulator, error) {
 	aggs, err := compileAggs(g.Aggs, layout)
 	if err != nil {
 		return nil, err
 	}
 	// The consume loop is vector-driven: masks and aggregate arguments are
 	// evaluated once per batch, and only key values are touched per row.
-	maskEvs := make([]*batchEvaluator, len(aggs.maskAst))
-	for i, ast := range aggs.maskAst {
-		if maskEvs[i], err = newBatchEvaluator(ast, layout); err != nil {
+	// The distinct mask set compiles as one family (shared conjuncts run
+	// once per batch) unless the naive differential baseline is requested.
+	nMasks := len(aggs.maskAst)
+	var family *maskFamily
+	var maskEvs []*batchEvaluator
+	if naiveMasks {
+		maskEvs = make([]*batchEvaluator, nMasks)
+		for i, ast := range aggs.maskAst {
+			if maskEvs[i], err = newBatchEvaluator(ast, layout); err != nil {
+				return nil, err
+			}
+		}
+	} else if nMasks > 0 {
+		if family, err = newMaskFamily(aggs.maskAst, layout); err != nil {
 			return nil, err
 		}
 	}
@@ -289,14 +313,14 @@ func newGroupAccumulator(g *logical.GroupBy, layout map[expr.ColumnID]int, keyId
 		}
 	}
 	return &groupAccumulator{
-		keyIdx: keyIdx, aggs: aggs, maskEvs: maskEvs, argEvs: argEvs,
+		keyIdx: keyIdx, aggs: aggs, family: family, maskEvs: maskEvs, nMasks: nMasks, argEvs: argEvs,
 		groups:     make(map[string]*group),
 		kv:         make([]types.Value, len(keyIdx)),
-		maskLog:    make([][]int, len(maskEvs)),
-		maskSub:    make([]*vec.Batch, len(maskEvs)),
+		maskLog:    make([][]int, nMasks),
+		maskSub:    make([]*vec.Batch, nMasks),
 		tracker:    tracker,
 		spillDir:   spillDir,
-		spillMaskB: make([][]bool, len(maskEvs)),
+		spillMaskB: make([][]bool, nMasks),
 		spillArgs:  make([][]types.Value, len(g.Aggs)),
 	}, nil
 }
@@ -423,31 +447,58 @@ func (ga *groupAccumulator) consumeLocked(b *vec.Batch, base int64, log []int) (
 	}
 
 	// Masks become selection vectors, shared by every aggregate that
-	// carries the same FILTER expression. Spilled rows additionally save
+	// carries the same FILTER expression. The family kernel computes every
+	// mask's truth bitmap in one pass; the naive baseline evaluates each
+	// mask's value vector independently. Spilled rows additionally save
 	// their per-mask booleans for the raw-row record.
-	for mi, ev := range ga.maskEvs {
-		vals := ev.eval(b)
+	var truths []*vec.Bitmap
+	if ga.family != nil {
+		truths = ga.family.eval(b)
+	}
+	for mi := 0; mi < ga.nMasks; mi++ {
 		mlog := ga.maskLog[mi][:0]
 		var phys []int
-		for i := 0; i < n; i++ {
-			if vals[i].IsTrue() {
-				mlog = append(mlog, i)
-				phys = append(phys, b.RowIdx(i))
+		if truths != nil {
+			t := truths[mi]
+			for i := 0; i < n; i++ {
+				if t.True(i) {
+					mlog = append(mlog, i)
+					phys = append(phys, b.RowIdx(i))
+				}
+			}
+			if nSpill > 0 {
+				bm := ga.spillMaskB[mi]
+				if cap(bm) < nSpill {
+					bm = make([]bool, nSpill)
+				}
+				bm = bm[:nSpill]
+				for j, i := range ga.spillRows {
+					bm[j] = t.True(i)
+				}
+				ga.spillMaskB[mi] = bm
+			}
+		} else {
+			vals := ga.maskEvs[mi].eval(b)
+			for i := 0; i < n; i++ {
+				if vals[i].IsTrue() {
+					mlog = append(mlog, i)
+					phys = append(phys, b.RowIdx(i))
+				}
+			}
+			if nSpill > 0 {
+				bm := ga.spillMaskB[mi]
+				if cap(bm) < nSpill {
+					bm = make([]bool, nSpill)
+				}
+				bm = bm[:nSpill]
+				for j, i := range ga.spillRows {
+					bm[j] = vals[i].IsTrue()
+				}
+				ga.spillMaskB[mi] = bm
 			}
 		}
 		ga.maskLog[mi] = mlog
 		ga.maskSub[mi] = b.WithSel(phys)
-		if nSpill > 0 {
-			bm := ga.spillMaskB[mi]
-			if cap(bm) < nSpill {
-				bm = make([]bool, nSpill)
-			}
-			bm = bm[:nSpill]
-			for j, i := range ga.spillRows {
-				bm[j] = vals[i].IsTrue()
-			}
-			ga.spillMaskB[mi] = bm
-		}
 	}
 
 	if nSpill > 0 {
@@ -536,10 +587,10 @@ func (ga *groupAccumulator) writeSpilledRows(b *vec.Batch, base int64, log []int
 		rec[0] = types.Int(globalIdx(base, i, log))
 		copy(rec[1:], ga.spillKeys[j])
 		off := 1 + kw
-		for mi := range ga.maskEvs {
+		for mi := 0; mi < ga.nMasks; mi++ {
 			rec[off+mi] = types.Bool(ga.spillMaskB[mi][j])
 		}
-		off += len(ga.maskEvs)
+		off += ga.nMasks
 		for ai := range ga.argEvs {
 			if ga.argEvs[ai] == nil {
 				rec[off+ai] = types.Value{}
@@ -610,6 +661,9 @@ func (it *groupByIter) consume() error {
 		return err
 	}
 	it.m.addHashRows(it.acc.groupsCreated)
+	if it.acc.family != nil {
+		it.m.addMaskPrefixHits(it.acc.family.hits())
+	}
 	it.emitter = &groupEmitter{
 		streams:   []groupStream{stream},
 		width:     len(it.acc.keyIdx) + len(it.acc.aggs.aggs),
@@ -785,6 +839,11 @@ func (it *parallelGroupByIter) consume() error {
 		total += acc.groupsCreated
 	}
 	it.m.addHashRows(total)
+	for _, acc := range it.accs {
+		if acc.family != nil {
+			it.m.addMaskPrefixHits(acc.family.hits())
+		}
+	}
 	it.emitter = &groupEmitter{
 		streams:   streams,
 		width:     len(it.keyIdx) + len(it.accs[0].aggs.aggs),
@@ -832,11 +891,19 @@ func (ex *executor) buildMarkDistinct(md *logical.MarkDistinct) (BatchIterator, 
 			spec.onIdx[k] = idx
 		}
 		if node.Mask != nil {
-			ev, err := newBatchEvaluator(node.Mask, layout)
-			if err != nil {
-				return nil, err
+			if ex.opts.NaiveMasks {
+				ev, err := newBatchEvaluator(node.Mask, layout)
+				if err != nil {
+					return nil, err
+				}
+				spec.mask = ev
+			} else {
+				ev, err := newMaskEvaluator(node.Mask, layout)
+				if err != nil {
+					return nil, err
+				}
+				spec.maskBm = ev
 			}
-			spec.mask = ev
 		}
 		marks[i] = spec
 		// Later (outer) masks may reference earlier mark columns.
@@ -847,8 +914,11 @@ func (ex *executor) buildMarkDistinct(md *logical.MarkDistinct) (BatchIterator, 
 
 type markSpec struct {
 	onIdx []int
-	mask  *batchEvaluator
-	seen  map[string]bool
+	// mask qualifies rows for distinctness tracking: maskBm is the bitmap
+	// path, mask the NaiveMasks value-vector baseline. At most one is set.
+	mask   *batchEvaluator
+	maskBm *maskEvaluator
+	seen   map[string]bool
 }
 
 // markDistinctIter implements §III.F: pass the input through, appending one
@@ -902,8 +972,11 @@ func (it *markDistinctIter) NextBatch() (*vec.Batch, error) {
 	for mi := range it.marks {
 		spec := &it.marks[mi]
 		var maskVals []types.Value
+		var maskBits *vec.Bitmap
 		if spec.mask != nil {
 			maskVals = spec.mask.eval(out)
+		} else if spec.maskBm != nil {
+			maskBits = spec.maskBm.eval(out)
 		}
 		if cap(it.kv) < len(spec.onIdx) {
 			it.kv = make([]types.Value, len(spec.onIdx))
@@ -912,7 +985,13 @@ func (it *markDistinctIter) NextBatch() (*vec.Batch, error) {
 		markCol := ext[it.baseWidth+mi]
 		for i := 0; i < n; i++ {
 			first := false
-			if maskVals == nil || maskVals[i].IsTrue() {
+			admit := true
+			if maskVals != nil {
+				admit = maskVals[i].IsTrue()
+			} else if maskBits != nil {
+				admit = maskBits.True(i)
+			}
+			if admit {
 				for k, idx := range spec.onIdx {
 					kv[k] = ext[idx][i]
 				}

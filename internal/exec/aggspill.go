@@ -184,7 +184,7 @@ func (ga *groupAccumulator) dumpPartition(p int) (int64, error) {
 // rowRecWidth is the spilled-row record: global input index, group keys,
 // one boolean per shared FILTER mask, one argument value per aggregate.
 func (ga *groupAccumulator) rowRecWidth() int {
-	return 1 + len(ga.keyIdx) + len(ga.maskEvs) + len(ga.argEvs)
+	return 1 + len(ga.keyIdx) + ga.nMasks + len(ga.argEvs)
 }
 
 // groupStream yields finished result rows (keys then aggregate results) in
@@ -399,7 +399,7 @@ func (ga *groupAccumulator) replayPartition(pt *aggSpillPart) ([]*group, error) 
 	rrd := rowsF.NewReader()
 	rrec := make([]types.Value, ga.rowRecWidth())
 	maskOff := 1 + kw
-	argOff := maskOff + len(ga.maskEvs)
+	argOff := maskOff + ga.nMasks
 	for {
 		ok, err := rrd.Next(rrec)
 		if err != nil {

@@ -185,6 +185,9 @@ func compileBatchBinary(x *expr.Binary, layout map[expr.ColumnID]int) (batchFn, 
 		if fn := compileCmpColLit(x, layout); fn != nil {
 			return fn, nil
 		}
+		if fn := compileCmpColCol(x, layout); fn != nil {
+			return fn, nil
+		}
 	}
 	l, err := compileBatchExpr(x.L, layout)
 	if err != nil {
@@ -325,6 +328,48 @@ func compileCmpColLit(x *expr.Binary, layout map[expr.ColumnID]int) batchFn {
 				out[i] = types.NullOf(types.KindBool)
 			} else {
 				out[i] = types.Bool(compareSatisfies(op, types.Compare(v, c)))
+			}
+		}
+	}
+}
+
+// compileCmpColCol specializes `column <op> column` — join residuals and
+// key comparisons — reading both column vectors directly with no operand
+// materialization. Returns nil when the shape does not match.
+func compileCmpColCol(x *expr.Binary, layout map[expr.ColumnID]int) batchFn {
+	lcr, lok := x.L.(*expr.ColumnRef)
+	rcr, rok := x.R.(*expr.ColumnRef)
+	if !lok || !rok {
+		return nil
+	}
+	li, ok := layout[lcr.Col.ID]
+	if !ok {
+		return nil
+	}
+	ri, ok := layout[rcr.Col.ID]
+	if !ok {
+		return nil
+	}
+	op := x.Op
+	return func(b *vec.Batch, out []types.Value) {
+		lcol, rcol := b.Cols[li], b.Cols[ri]
+		if b.Sel == nil {
+			for i := range out {
+				lv, rv := lcol[i], rcol[i]
+				if lv.Null || rv.Null {
+					out[i] = types.NullOf(types.KindBool)
+				} else {
+					out[i] = types.Bool(compareSatisfies(op, types.Compare(lv, rv)))
+				}
+			}
+			return
+		}
+		for i, r := range b.Sel {
+			lv, rv := lcol[r], rcol[r]
+			if lv.Null || rv.Null {
+				out[i] = types.NullOf(types.KindBool)
+			} else {
+				out[i] = types.Bool(compareSatisfies(op, types.Compare(lv, rv)))
 			}
 		}
 	}

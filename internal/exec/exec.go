@@ -75,6 +75,11 @@ type Options struct {
 	// QueryText is the SQL text of the run, used to attribute
 	// ErrMemoryExceeded failures to the offending query.
 	QueryText string
+	// NaiveMasks disables the mask-family kernel: filter predicates and
+	// aggregation FILTER masks fall back to independent per-expression batch
+	// evaluators. Results are identical either way — this is the
+	// differential-validation and benchmarking baseline, not a tuning knob.
+	NaiveMasks bool
 }
 
 func (o Options) withDefaults() Options {
@@ -104,6 +109,12 @@ type Metrics struct {
 	// SpoolBytesRead counts bytes read back (once per consumer).
 	SpoolBytesWritten int64
 	SpoolBytesRead    int64
+	// MaskPrefixHits counts per-mask row evaluations skipped by mask-family
+	// factoring: rows the shared prefix eliminated times the family size,
+	// plus survivor rows times the extra masks each shared residual conjunct
+	// would have re-evaluated them under. Zero under NaiveMasks or when no
+	// aggregation carries more than one distinct mask.
+	MaskPrefixHits int64
 	// Memory governance counters (internal/memctl). PeakMemoryBytes is the
 	// query's peak tracked resident bytes — always <= the configured
 	// MemoryLimitBytes, because the pool only admits reservations that fit
@@ -122,6 +133,11 @@ func (m *Metrics) addProcessed(n int64)    { atomic.AddInt64(&m.RowsProcessed, n
 func (m *Metrics) addHashRows(n int64)     { atomic.AddInt64(&m.HashRows, n) }
 func (m *Metrics) addSpoolWritten(n int64) { atomic.AddInt64(&m.SpoolBytesWritten, n) }
 func (m *Metrics) addSpoolRead(n int64)    { atomic.AddInt64(&m.SpoolBytesRead, n) }
+func (m *Metrics) addMaskPrefixHits(n int64) {
+	if n != 0 {
+		atomic.AddInt64(&m.MaskPrefixHits, n)
+	}
+}
 
 // Result is a fully drained query result.
 type Result struct {

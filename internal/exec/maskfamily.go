@@ -1,0 +1,225 @@
+package exec
+
+import (
+	"repro/internal/expr"
+	"repro/internal/vec"
+)
+
+// maskFamily evaluates a fused aggregation's whole set of FILTER masks in
+// one pass per batch. The fusion rewrite (§III.E) tightens every sibling
+// aggregate's mask with the same compensating conjuncts, so the family
+// shares structure by construction: each mask flattens into conjuncts, the
+// conjuncts common to every mask form a shared prefix, and what is left is
+// a small per-mask residual.
+//
+// Per batch the prefix runs progressively — each prefix conjunct is
+// evaluated only over the rows every earlier one passed, truth-only (a
+// mask admits a row iff it is non-NULL TRUE, so conjunct combination needs
+// only TRUE bits; three-valued logic survives inside each conjunct's
+// bitmap compilation where NOT/IS NULL need it). Residual conjuncts are
+// deduplicated across masks and evaluated once over the prefix-survivor
+// sub-batch, then scattered back to full-length bitmaps. Each mask's final
+// truth is its residual bitmaps word-ANDed onto the prefix survivors.
+// Against the naive path (one batchEvaluator per distinct mask) the shared
+// prefix is evaluated once instead of nMasks times, rows it rejects never
+// reach any residual, and no intermediate materializes a []types.Value.
+//
+// A single-mask family degenerates to progressive conjunct evaluation with
+// bitmap kernels — filterIter uses exactly that, so the filter operator
+// and the aggregation masks share one evaluation engine.
+//
+// Like batchEvaluators, a family owns scratch state and is bound to one
+// operator instance on one goroutine. Truth bitmaps returned by eval are
+// valid until the next eval call.
+type maskFamily struct {
+	nMasks int
+
+	prefixFns []bitmapFn
+	residFns  []bitmapFn
+	// maskResids[m] indexes into residFns: the residual conjuncts mask m
+	// still requires beyond the shared prefix.
+	maskResids [][]int
+	// residShare[r] is how many masks carry residual r. Pairwise fusion
+	// tightens sibling masks with the same compensating conjuncts, so
+	// residuals shared by a subset of the family (but not all of it) are the
+	// common case in multi-way fusions; each is evaluated once per batch
+	// instead of residShare times.
+	residShare []int
+
+	// scratch, reused across batches
+	condBm      vec.Bitmap
+	prefixTruth vec.Bitmap
+	residTruth  []vec.Bitmap
+	maskTruth   []vec.Bitmap
+	truths      []*vec.Bitmap
+	logi        []int // surviving logical row indices in the input batch
+	phys        []int // their physical row indices (b.RowIdx)
+	idxScratch  []int
+
+	// prefixHits counts per-mask row evaluations the factoring skipped:
+	// rows eliminated by the shared prefix times the family size, plus
+	// survivor rows times the extra masks each shared residual would have
+	// re-evaluated them under. Stays zero for single-mask families
+	// (nothing is shared).
+	prefixHits int64
+}
+
+// newMaskFamily factors a set of masks over one input layout. Masks should
+// be canonical (expr.Canonical) so that shared conjuncts dedup by their
+// rendered form; filterIter passes raw predicates, which only costs missed
+// sharing, never correctness.
+func newMaskFamily(masks []expr.Expr, layout map[expr.ColumnID]int) (*maskFamily, error) {
+	type conjunct struct {
+		e       expr.Expr
+		inMasks int
+	}
+	var order []string
+	byKey := make(map[string]*conjunct)
+	maskKeys := make([][]string, len(masks))
+	for mi, m := range masks {
+		seen := make(map[string]bool)
+		for _, c := range expr.Conjuncts(m) {
+			key := expr.Canonical(c).String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			cj := byKey[key]
+			if cj == nil {
+				cj = &conjunct{e: c}
+				byKey[key] = cj
+				order = append(order, key)
+			}
+			cj.inMasks++
+			maskKeys[mi] = append(maskKeys[mi], key)
+		}
+	}
+	mf := &maskFamily{nMasks: len(masks)}
+	residIdx := make(map[string]int)
+	for _, key := range order {
+		cj := byKey[key]
+		fn, err := compileBitmapExpr(cj.e, layout)
+		if err != nil {
+			return nil, err
+		}
+		// A conjunct carried by every mask is prefix; note a mask with zero
+		// conjuncts (canonical TRUE) empties the prefix entirely, which is
+		// exactly right — nothing is shared by all.
+		if cj.inMasks == len(masks) {
+			mf.prefixFns = append(mf.prefixFns, fn)
+		} else {
+			residIdx[key] = len(mf.residFns)
+			mf.residFns = append(mf.residFns, fn)
+		}
+	}
+	mf.maskResids = make([][]int, len(masks))
+	mf.residShare = make([]int, len(mf.residFns))
+	for mi, keys := range maskKeys {
+		for _, key := range keys {
+			if ri, ok := residIdx[key]; ok {
+				mf.maskResids[mi] = append(mf.maskResids[mi], ri)
+				mf.residShare[ri]++
+			}
+		}
+	}
+	mf.residTruth = make([]vec.Bitmap, len(mf.residFns))
+	mf.maskTruth = make([]vec.Bitmap, len(masks))
+	mf.truths = make([]*vec.Bitmap, len(masks))
+	for i := range mf.maskTruth {
+		mf.truths[i] = &mf.maskTruth[i]
+	}
+	return mf, nil
+}
+
+// prefixLen reports how many shared conjuncts were factored out.
+func (mf *maskFamily) prefixLen() int { return len(mf.prefixFns) }
+
+// hits returns the cumulative prefix-elimination counter.
+func (mf *maskFamily) hits() int64 { return mf.prefixHits }
+
+// eval computes every mask's truth bitmap over b's active rows in one
+// pass. The returned bitmaps are truth-only (bit i set iff mask m admits
+// logical row i) and remain valid until the next eval call.
+func (mf *maskFamily) eval(b *vec.Batch) []*vec.Bitmap {
+	n := b.Len()
+
+	// Progressive shared prefix: survivors shrink conjunct by conjunct, and
+	// every later conjunct (and every residual) is evaluated only over
+	// them. prefixAll tracks the "no prefix yet" state where survivors are
+	// implicitly all rows and no selection has been materialized.
+	prefixAll := true
+	sub := b
+	for _, fn := range mf.prefixFns {
+		fn(sub, &mf.condBm)
+		if prefixAll {
+			mf.logi = mf.condBm.AppendTrue(mf.logi[:0])
+			mf.phys = mf.phys[:0]
+			for _, i := range mf.logi {
+				mf.phys = append(mf.phys, b.RowIdx(i))
+			}
+			prefixAll = false
+		} else {
+			mf.idxScratch = mf.condBm.AppendTrue(mf.idxScratch[:0])
+			for k, j := range mf.idxScratch {
+				mf.logi[k] = mf.logi[j]
+				mf.phys[k] = mf.phys[j]
+			}
+			mf.logi = mf.logi[:len(mf.idxScratch)]
+			mf.phys = mf.phys[:len(mf.idxScratch)]
+		}
+		if len(mf.logi) == 0 {
+			break
+		}
+		sub = b.WithSel(mf.phys)
+	}
+
+	mf.prefixTruth.Reset(n)
+	if prefixAll {
+		mf.prefixTruth.FillTrue()
+	} else {
+		for _, i := range mf.logi {
+			mf.prefixTruth.SetTrue(i)
+		}
+		if mf.nMasks > 1 {
+			mf.prefixHits += int64(n-len(mf.logi)) * int64(mf.nMasks)
+		}
+	}
+
+	// Residual conjuncts: each distinct residual is evaluated once over the
+	// survivor sub-batch and scattered back to input-batch positions.
+	// Truth-only — AndTruthWith below reads only TRUE planes.
+	survivors := n
+	if !prefixAll {
+		survivors = len(mf.logi)
+	}
+	for _, share := range mf.residShare {
+		if share > 1 && survivors > 0 {
+			mf.prefixHits += int64(share-1) * int64(survivors)
+		}
+	}
+	for ri := range mf.residFns {
+		rt := &mf.residTruth[ri]
+		if prefixAll {
+			mf.residFns[ri](b, rt)
+			continue
+		}
+		rt.Reset(n)
+		if len(mf.logi) == 0 {
+			continue
+		}
+		mf.residFns[ri](sub, &mf.condBm)
+		mf.idxScratch = mf.condBm.AppendTrue(mf.idxScratch[:0])
+		for _, j := range mf.idxScratch {
+			rt.SetTrue(mf.logi[j])
+		}
+	}
+
+	for mi := range mf.maskTruth {
+		mt := &mf.maskTruth[mi]
+		mt.CopyFrom(&mf.prefixTruth)
+		for _, ri := range mf.maskResids[mi] {
+			mt.AndTruthWith(&mf.residTruth[ri])
+		}
+	}
+	return mf.truths
+}

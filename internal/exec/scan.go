@@ -40,11 +40,7 @@ func (ex *executor) buildFilter(f *logical.Filter) (BatchIterator, error) {
 				if len(residual) == 0 {
 					return in, nil
 				}
-				ev, err := newBatchEvaluator(expr.And(residual...), layoutOf(scan))
-				if err != nil {
-					return nil, err
-				}
-				return &filterIter{in: in, cond: ev, m: ex.metrics}, nil
+				return ex.newFilterIter(in, expr.And(residual...), layoutOf(scan))
 			}
 		}
 	}
@@ -52,11 +48,26 @@ func (ex *executor) buildFilter(f *logical.Filter) (BatchIterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	ev, err := newBatchEvaluator(f.Cond, layoutOf(f.Input))
+	return ex.newFilterIter(in, f.Cond, layoutOf(f.Input))
+}
+
+// newFilterIter compiles a filter predicate. The default path is a
+// single-mask family — flattened conjuncts evaluated progressively over
+// shrinking survivors, with bitmap intermediates; under Options.NaiveMasks
+// the predicate compiles to one value-vector batch evaluator instead.
+func (ex *executor) newFilterIter(in BatchIterator, cond expr.Expr, layout map[expr.ColumnID]int) (BatchIterator, error) {
+	if ex.opts.NaiveMasks {
+		ev, err := newBatchEvaluator(cond, layout)
+		if err != nil {
+			return nil, err
+		}
+		return &filterIter{in: in, cond: ev, m: ex.metrics}, nil
+	}
+	fam, err := newMaskFamily([]expr.Expr{cond}, layout)
 	if err != nil {
 		return nil, err
 	}
-	return &filterIter{in: in, cond: ev, m: ex.metrics}, nil
+	return &filterIter{in: in, fam: fam, m: ex.metrics}, nil
 }
 
 func (ex *executor) buildScan(s *logical.Scan, prune storage.Pruner) (BatchIterator, error) {
@@ -159,9 +170,11 @@ func (it *scanIter) NextBatch() (*vec.Batch, error) {
 }
 
 // filterIter qualifies rows by building a selection vector over its input
-// batches — survivors are never materialized here, only marked.
+// batches — survivors are never materialized here, only marked. Exactly
+// one of fam (bitmap mask family) and cond (naive baseline) is set.
 type filterIter struct {
 	in   BatchIterator
+	fam  *maskFamily
 	cond *batchEvaluator
 	m    *Metrics
 }
@@ -174,8 +187,26 @@ func (it *filterIter) NextBatch() (*vec.Batch, error) {
 		}
 		n := b.Len()
 		it.m.addProcessed(int64(n))
+		var sel []int
+		if it.fam != nil {
+			truth := it.fam.eval(b)[0]
+			count := truth.Count()
+			if count == n && b.Sel == nil {
+				return b, nil
+			}
+			if count == 0 {
+				continue
+			}
+			sel = make([]int, 0, count)
+			for i := 0; i < n; i++ {
+				if truth.True(i) {
+					sel = append(sel, b.RowIdx(i))
+				}
+			}
+			return b.WithSel(sel), nil
+		}
 		vals := it.cond.eval(b)
-		sel := make([]int, 0, n)
+		sel = make([]int, 0, n)
 		for i := 0; i < n; i++ {
 			if vals[i].IsTrue() {
 				sel = append(sel, b.RowIdx(i))

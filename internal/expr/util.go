@@ -338,6 +338,18 @@ func sortByString(es []Expr) {
 	copy(es, sorted)
 }
 
+// Canonical returns a normal form of e: simplified (constant folding,
+// flattening, absorption) with commutative operand lists in a stable
+// sorted order. Two expressions that are Equivalent render to Equal
+// canonical forms, so canonical `String()` keys can drive dedup maps —
+// this is how compiledAggs collapses `a AND b` against `b AND a`.
+func Canonical(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	return normalize(Simplify(e))
+}
+
 // Equivalent reports whether two expressions are equal modulo commutativity
 // of AND/OR/=/<>/+/* and constant folding. It is a sound but incomplete
 // equivalence check, exactly what the fusion primitives need for the
