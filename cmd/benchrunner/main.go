@@ -34,6 +34,7 @@ func main() {
 		sharedOut   = flag.String("shared", "", "write a concurrent shared-vs-unshared scan comparison to this JSON file and exit")
 		spillOut    = flag.String("spill", "", "write an unlimited-vs-memory-budget spill comparison to this JSON file and exit")
 		maskOut     = flag.String("mask", "", "write a naive-vs-family mask kernel comparison to this JSON file and exit")
+		pipelineOut = flag.String("pipeline", "", "write a pull-vs-push pipeline execution comparison to this JSON file and exit")
 		parallelism = flag.Int("parallelism", 4, "workers for the parallel side of -exec/-agg/-shared")
 		batchSize   = flag.Int("batch", 1024, "rows per batch for the parallel side of -exec/-agg/-shared")
 		concurrency = flag.Int("concurrency", 4, "concurrent query workers for -shared")
@@ -69,6 +70,24 @@ func main() {
 		runMaskComparison(*maskOut, bench.MaskOptions{
 			Scale: *scale, Seed: *seed, Iterations: *iters,
 			Parallelism: *parallelism, BatchSize: *batchSize,
+			Queries: splitList(*qlist),
+		})
+		return
+	}
+	if *pipelineOut != "" {
+		// -pipeline defaults parallelism to the hardware's (see
+		// bench.DefaultPipelineOptions) unless the flag was set explicitly —
+		// the other comparisons' fixed default of 4 would measure scheduler
+		// thrash on smaller machines.
+		par := 0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "parallelism" {
+				par = *parallelism
+			}
+		})
+		runPipelineComparison(*pipelineOut, bench.PipelineOptions{
+			Scale: *scale, Seed: *seed, Iterations: *iters,
+			Parallelism: par, BatchSize: *batchSize,
 			Queries: splitList(*qlist),
 		})
 		return
@@ -190,6 +209,30 @@ func runMaskComparison(path string, opts bench.MaskOptions) {
 	fmt.Fprintf(os.Stderr, "generating TPC-DS data at scale %.2f and comparing naive vs mask-family evaluation on %s...\n",
 		opts.Scale, queriesLabel(opts.Queries))
 	cmp, err := bench.RunMaskComparison(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := cmp.WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	cmp.WriteTable(os.Stdout)
+}
+
+func runPipelineComparison(path string, opts bench.PipelineOptions) {
+	if len(opts.Queries) == 0 {
+		opts.Queries = bench.DefaultPipelineQueries
+	}
+	fmt.Fprintf(os.Stderr, "generating TPC-DS data at scale %.2f and comparing pull vs push pipeline execution on %s...\n",
+		opts.Scale, queriesLabel(opts.Queries))
+	cmp, err := bench.RunPipelineComparison(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)

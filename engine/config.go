@@ -67,6 +67,15 @@ type Config struct {
 	// tuning knob. Needs no normalization (false is the default and the
 	// fast path).
 	NaiveMasks bool
+	// PullExec disables push-based pipeline fusion: fusible
+	// Scan→Filter→Project chains run as pull iterators with dense
+	// projection materialization instead of compiled push loops, and the
+	// scalar-aggregation and sort-run pipeline sinks stay serial. Results
+	// are identical either way — this is the validation baseline the
+	// pipeline differential tests and `benchrunner -pipeline` compare
+	// against, not a tuning knob. Needs no normalization (false is the
+	// default and the fast path).
+	PullExec bool
 }
 
 // normalize resolves every defaulted Config field to its effective value.

@@ -177,6 +177,7 @@ func (p *Prepared) Run() (*Result, error) {
 		MemPool:        p.eng.mempool,
 		QueryText:      p.sqlText,
 		NaiveMasks:     p.eng.config.NaiveMasks,
+		PullExec:       p.eng.config.PullExec,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("engine: executing: %w", err)

@@ -1,0 +1,217 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/testgen"
+	"repro/internal/tpcds"
+)
+
+// This file is the push-vs-pull differential harness: the same query corpora
+// as difffuzz_test.go run with push-based pipeline fusion on (the default)
+// and compared against the PullExec baseline, which executes fusible
+// Scan→Filter→Project chains as pull iterators with dense projection
+// materialization and keeps scalar aggregation and sort-run generation
+// serial. Compiled push loops, selection-carrying projections, per-worker
+// partial aggregation and parallel run generation must be unobservable: rows
+// byte-identical in identical order, BytesScanned and RowsProcessed exact —
+// only Metrics.Pipeline may change. The execution shapes reuse maskConfigs:
+// degenerate row-at-a-time, full parallel, adversarial odd shards, and
+// parallel under a memory limit so the pipeline sinks exercise their spill
+// paths.
+
+// pipelineModes pairs each execution shape with both execution models; the
+// pull side re-validates the baseline under the same shape, the push side is
+// the system under test.
+var pipelineModes = []struct {
+	name string
+	pull bool
+}{
+	{"pull", true},
+	{"push", false},
+}
+
+// runPipelineDifferential compares one generated query across the full
+// configuration matrix and returns the push runs' fused-pipeline count so
+// corpus-level callers can reject a vacuous comparison.
+func runPipelineDifferential(t *testing.T, seed int64) int64 {
+	st := diffTestStore(t)
+	limit := spillTestLimit(defaultSpillTestLimit)
+	query := testgen.New(seed).Query()
+	var fused int64
+	for _, fusion := range []bool{false, true} {
+		ref := OpenWithStore(st, Config{EnableFusion: fusion, Parallelism: 1, BatchSize: 1, PullExec: true})
+		refRes, err := ref.Query(query)
+		if err != nil {
+			t.Fatalf("seed %d pull reference (fusion=%v) failed: %v\n%s", seed, fusion, err, query)
+		}
+		if refRes.Metrics.Pipeline.FusedPipelines != 0 {
+			t.Fatalf("seed %d (fusion=%v): pull run compiled %d fused pipelines", seed, fusion, refRes.Metrics.Pipeline.FusedPipelines)
+		}
+		want := exactRows(refRes.Rows)
+		for _, cfg := range maskConfigs {
+			for _, mode := range pipelineModes {
+				c := Config{EnableFusion: fusion, Parallelism: cfg.parallelism, BatchSize: cfg.batchSize, PullExec: mode.pull}
+				var spillDir string
+				if cfg.spill {
+					spillDir = t.TempDir()
+					c.MemoryLimitBytes = limit
+					c.SpillDir = spillDir
+				}
+				res, err := OpenWithStore(st, c).Query(query)
+				if err != nil {
+					t.Fatalf("seed %d %s/%s (fusion=%v) failed: %v\n%s", seed, cfg.name, mode.name, fusion, err, query)
+				}
+				if got := exactRows(res.Rows); got != want {
+					t.Fatalf("seed %d %s/%s (fusion=%v): rows differ from pull reference\nquery:\n%s\ngot:\n%s\nwant:\n%s\nplan:\n%s",
+						seed, cfg.name, mode.name, fusion, query, got, want, res.Plan)
+				}
+				if got, want := res.Metrics.Storage.BytesScanned, refRes.Metrics.Storage.BytesScanned; got != want {
+					t.Fatalf("seed %d %s/%s (fusion=%v): BytesScanned %d != %d\n%s", seed, cfg.name, mode.name, fusion, got, want, query)
+				}
+				if got, want := res.Metrics.RowsProcessed, refRes.Metrics.RowsProcessed; got != want {
+					t.Fatalf("seed %d %s/%s (fusion=%v): RowsProcessed %d != %d\n%s", seed, cfg.name, mode.name, fusion, got, want, query)
+				}
+				if cfg.spill {
+					if res.Metrics.PeakMemoryBytes > limit {
+						t.Fatalf("seed %d %s/%s (fusion=%v): peak tracked memory %d exceeds limit %d\n%s",
+							seed, cfg.name, mode.name, fusion, res.Metrics.PeakMemoryBytes, limit, query)
+					}
+					if ents, err := os.ReadDir(spillDir); err != nil {
+						t.Fatal(err)
+					} else if len(ents) != 0 {
+						t.Fatalf("seed %d %s/%s (fusion=%v): %d spill files leaked", seed, cfg.name, mode.name, fusion, len(ents))
+					}
+				}
+				if mode.pull {
+					if res.Metrics.Pipeline.FusedPipelines != 0 {
+						t.Fatalf("seed %d %s/%s (fusion=%v): pull run compiled %d fused pipelines",
+							seed, cfg.name, mode.name, fusion, res.Metrics.Pipeline.FusedPipelines)
+					}
+				} else {
+					fused += res.Metrics.Pipeline.FusedPipelines
+				}
+			}
+		}
+	}
+	return fused
+}
+
+// TestDifferentialPipeline is the bounded push-vs-pull corpus wired into
+// plain `go test`: a fixed testgen seed range, every seed compared push
+// versus pull across the full configuration matrix above. The corpus as a
+// whole must compile fused pipelines somewhere, or the comparison is
+// vacuous.
+func TestDifferentialPipeline(t *testing.T) {
+	const corpus = 60
+	var fused int64
+	for seed := int64(0); seed < corpus; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%03d", seed), func(t *testing.T) {
+			fused += runPipelineDifferential(t, seed)
+		})
+	}
+	if !t.Failed() && fused == 0 {
+		t.Fatalf("no fused pipelines across the corpus — the push path is not engaging")
+	}
+}
+
+// TestDifferentialPipelineTPCDS runs the full TPC-DS workload push versus
+// pull. The spill configuration uses a per-query limit derived from the pull
+// reference's memory profile, the same derivation as
+// TestDifferentialSpillTPCDS. With the push path on, the workload must both
+// compile fused pipelines and save projection materializations, or the
+// comparison is vacuous.
+func TestDifferentialPipelineTPCDS(t *testing.T) {
+	st, err := tpcds.NewLoadedStore(0.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const floorMargin = 256 << 10
+
+	for _, fusion := range []bool{false, true} {
+		pull := OpenWithStore(st, Config{EnableFusion: fusion, Parallelism: 1, BatchSize: 1, PullExec: true})
+		var fused, saved int64
+		for _, q := range tpcds.Queries() {
+			refRes, err := pull.Query(q.SQL)
+			if err != nil {
+				t.Fatalf("%s pull reference (fusion=%v) failed: %v", q.Name, fusion, err)
+			}
+			if refRes.Metrics.Pipeline.FusedPipelines != 0 {
+				t.Fatalf("%s (fusion=%v): pull run compiled %d fused pipelines", q.Name, fusion, refRes.Metrics.Pipeline.FusedPipelines)
+			}
+			want := exactRows(refRes.Rows)
+			var unspillPeak int64
+			for op, s := range refRes.Metrics.MemOperators {
+				if op != "groupby" && op != "sort" {
+					unspillPeak += s.PeakBytes
+				}
+			}
+			peak := refRes.Metrics.PeakMemoryBytes
+			limit := unspillPeak + floorMargin
+			if peak < unspillPeak+floorMargin+(128<<10) {
+				limit = peak + (64 << 10)
+			}
+			for _, cfg := range maskConfigs {
+				for _, mode := range pipelineModes {
+					c := Config{EnableFusion: fusion, Parallelism: cfg.parallelism, BatchSize: cfg.batchSize, PullExec: mode.pull}
+					var spillDir string
+					if cfg.spill {
+						spillDir = t.TempDir()
+						c.MemoryLimitBytes = limit
+						c.SpillDir = spillDir
+					}
+					res, err := OpenWithStore(st, c).Query(q.SQL)
+					if err != nil {
+						t.Fatalf("%s %s/%s (fusion=%v) failed: %v", q.Name, cfg.name, mode.name, fusion, err)
+					}
+					if got := exactRows(res.Rows); got != want {
+						t.Fatalf("%s %s/%s (fusion=%v): rows differ from pull reference\ngot:\n%s\nwant:\n%s", q.Name, cfg.name, mode.name, fusion, got, want)
+					}
+					if got, want := res.Metrics.Storage.BytesScanned, refRes.Metrics.Storage.BytesScanned; got != want {
+						t.Fatalf("%s %s/%s (fusion=%v): BytesScanned %d != %d", q.Name, cfg.name, mode.name, fusion, got, want)
+					}
+					if got, want := res.Metrics.RowsProcessed, refRes.Metrics.RowsProcessed; got != want {
+						t.Fatalf("%s %s/%s (fusion=%v): RowsProcessed %d != %d", q.Name, cfg.name, mode.name, fusion, got, want)
+					}
+					if cfg.spill {
+						if res.Metrics.PeakMemoryBytes > limit {
+							t.Fatalf("%s %s/%s (fusion=%v): peak tracked memory %d exceeds limit %d", q.Name, cfg.name, mode.name, fusion, res.Metrics.PeakMemoryBytes, limit)
+						}
+						if ents, err := os.ReadDir(spillDir); err != nil {
+							t.Fatal(err)
+						} else if len(ents) != 0 {
+							t.Fatalf("%s %s/%s (fusion=%v): %d spill files leaked", q.Name, cfg.name, mode.name, fusion, len(ents))
+						}
+					}
+					if !mode.pull {
+						fused += res.Metrics.Pipeline.FusedPipelines
+						saved += res.Metrics.Pipeline.MaterializedBatchesSaved
+					}
+				}
+			}
+		}
+		if fused == 0 {
+			t.Fatalf("fusion=%v: no fused pipelines across TPC-DS — the push path is not engaging", fusion)
+		}
+		if saved == 0 {
+			t.Fatalf("fusion=%v: no materializations saved across TPC-DS — fused projections are not engaging", fusion)
+		}
+		t.Logf("fusion=%v: %d fused pipelines, %d materialized batches saved across TPC-DS", fusion, fused, saved)
+	}
+}
+
+// FuzzDifferentialPipeline extends the push-vs-pull differential to go test
+// -fuzz: the fuzzer mutates the generator seed, searching for a query shape
+// where compiled push loops, the scalar-aggregation sink or the sort-run
+// sink diverge from pull execution.
+func FuzzDifferentialPipeline(f *testing.F) {
+	for _, seed := range []int64{0, 1, 17, 42, 20220513, -9} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		runPipelineDifferential(t, seed)
+	})
+}

@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/engine"
+	"repro/internal/tpcds"
+)
+
+// PipelineOptions configures the push-vs-pull comparison: the same fused
+// engine configuration run once with PullExec (fusible chains as pull
+// iterators with dense projection materialization, serial scalar aggregation
+// and sort) and once with push-based pipeline fusion — the default path.
+type PipelineOptions struct {
+	Scale       float64
+	Seed        int64
+	Iterations  int
+	Parallelism int
+	BatchSize   int
+	Queries     []string
+}
+
+// DefaultPipelineQueries are the workload's scan-heavy queries whose runtime
+// is dominated by fusible Scan→Filter(→Project) chains. q23 carries
+// project-bearing chains (its fused pipelines save projection
+// materializations); q28, q88 and f17 fuse range- and bucket-filter chains
+// into their aggregations; f27 is a pure computed-projection chain; f29 a
+// selective filter chain. Join-dominated queries are deliberately absent —
+// probe build sides are pipeline breakers, so fusion cannot address them.
+var DefaultPipelineQueries = []string{
+	"q23", "q28", "q88", "f17", "f27", "f29",
+}
+
+// DefaultPipelineOptions mirrors DefaultMaskOptions, except parallelism
+// defaults to the hardware's (GOMAXPROCS) rather than a fixed worker count:
+// the pipeline sinks trade per-worker setup for multicore scaling, and
+// benchmarking more workers than cores would measure scheduler thrash, not
+// the execution model.
+func DefaultPipelineOptions() PipelineOptions {
+	return PipelineOptions{
+		Scale: 1.0, Seed: 42, Iterations: 5,
+		Parallelism: runtime.GOMAXPROCS(0), BatchSize: 1024,
+		Queries: DefaultPipelineQueries,
+	}
+}
+
+// PipelineQueryReport compares one query between pull execution and
+// push-based pipeline fusion.
+type PipelineQueryReport struct {
+	Name    string `json:"name"`
+	Pattern string `json:"pattern"`
+	// Latencies are the minimum over the run's iterations, in milliseconds.
+	// Pull and push iterations interleave so machine drift hits both sides.
+	PullMS  float64 `json:"pull_ms"`
+	PushMS  float64 `json:"push_ms"`
+	Speedup float64 `json:"speedup"`
+	// FusedPipelines and PipelineBatches describe the push run: compiled
+	// chains and push-loop iterations. MaterializedBatchesSaved counts
+	// batches whose projection stage avoided the pull path's dense
+	// materialization; zero marks a filter-only chain, which the pull path
+	// does not materialize either.
+	FusedPipelines           int64 `json:"fused_pipelines"`
+	PipelineBatches          int64 `json:"pipeline_batches"`
+	MaterializedBatchesSaved int64 `json:"materialized_batches_saved"`
+	// Identical is true when both paths returned byte-identical rows in
+	// identical order.
+	Identical bool `json:"identical_results"`
+	// BytesScanned and RowsProcessed must match between paths: moving from
+	// pull iterators to compiled push loops must not change what work is
+	// accounted.
+	BytesScanned      int64 `json:"bytes_scanned"`
+	BytesScannedSame  bool  `json:"bytes_scanned_same"`
+	RowsProcessed     int64 `json:"rows_processed"`
+	RowsProcessedSame bool  `json:"rows_processed_same"`
+}
+
+// PipelineComparison is the BENCH_pipeline.json payload.
+type PipelineComparison struct {
+	Scale          float64               `json:"scale"`
+	Parallelism    int                   `json:"parallelism"`
+	BatchSize      int                   `json:"batch_size"`
+	Iterations     int                   `json:"iterations"`
+	Queries        []PipelineQueryReport `json:"queries"`
+	OverallSpeedup float64               `json:"overall_speedup"`
+	MaxSpeedup     float64               `json:"max_speedup"`
+	AllIdentical   bool                  `json:"all_identical"`
+}
+
+// RunPipelineComparison measures pull execution against push-based pipeline
+// fusion over one shared store with fusion enabled and the same parallelism
+// and batch size on both sides, so the only difference between the two
+// measurements is the execution model — which the result contract says must
+// be unobservable in rows, BytesScanned and RowsProcessed.
+func RunPipelineComparison(opts PipelineOptions) (*PipelineComparison, error) {
+	if opts.Iterations <= 0 {
+		opts.Iterations = 1
+	}
+	if opts.Scale <= 0 {
+		opts.Scale = 1.0
+	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 1024
+	}
+	if len(opts.Queries) == 0 {
+		opts.Queries = DefaultPipelineQueries
+	}
+	st, err := tpcds.NewLoadedStore(opts.Scale, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	pull := engine.OpenWithStore(st, engine.Config{
+		EnableFusion: true, Parallelism: opts.Parallelism, BatchSize: opts.BatchSize,
+		PullExec: true,
+	})
+	push := engine.OpenWithStore(st, engine.Config{
+		EnableFusion: true, Parallelism: opts.Parallelism, BatchSize: opts.BatchSize,
+	})
+
+	cmp := &PipelineComparison{
+		Scale: opts.Scale, Parallelism: opts.Parallelism,
+		BatchSize: opts.BatchSize, Iterations: opts.Iterations,
+		AllIdentical: true,
+	}
+	type queryState struct {
+		q                            tpcds.Query
+		pullRows, pushRows           string
+		pullBytes, pushBytes         int64
+		pullProcessed, pushProcessed int64
+		pullLat, pushLat             time.Duration
+		fused, batches, saved        int64
+	}
+	states := make([]*queryState, 0, len(opts.Queries))
+	for _, name := range opts.Queries {
+		q, ok := tpcds.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown query %q", name)
+		}
+		// One unmeasured warmup per side.
+		if _, err := pull.Query(q.SQL); err != nil {
+			return nil, fmt.Errorf("bench: %s (pull): %w", q.Name, err)
+		}
+		if _, err := push.Query(q.SQL); err != nil {
+			return nil, fmt.Errorf("bench: %s (push): %w", q.Name, err)
+		}
+		states = append(states, &queryState{q: q})
+	}
+	// Timed iterations round-robin the whole query list, alternating pull
+	// and push within each query: every query's samples spread over the
+	// bench's full wall-clock span, so a sustained machine-load spike dents
+	// a few samples of many queries instead of every sample of one.
+	for i := 0; i < opts.Iterations; i++ {
+		for _, qs := range states {
+			res, err := pull.Query(qs.q.SQL)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s (pull): %w", qs.q.Name, err)
+			}
+			if i == 0 || res.Metrics.Elapsed < qs.pullLat {
+				qs.pullLat = res.Metrics.Elapsed
+			}
+			qs.pullRows = renderRows(res.Rows)
+			qs.pullBytes = res.Metrics.Storage.BytesScanned
+			qs.pullProcessed = res.Metrics.RowsProcessed
+
+			res, err = push.Query(qs.q.SQL)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s (push): %w", qs.q.Name, err)
+			}
+			if i == 0 || res.Metrics.Elapsed < qs.pushLat {
+				qs.pushLat = res.Metrics.Elapsed
+			}
+			qs.pushRows = renderRows(res.Rows)
+			qs.pushBytes = res.Metrics.Storage.BytesScanned
+			qs.pushProcessed = res.Metrics.RowsProcessed
+			qs.fused = res.Metrics.Pipeline.FusedPipelines
+			qs.batches = res.Metrics.Pipeline.PipelineBatches
+			qs.saved = res.Metrics.Pipeline.MaterializedBatchesSaved
+		}
+	}
+	var pullTotal, pushTotal time.Duration
+	for _, qs := range states {
+		qr := PipelineQueryReport{
+			Name: qs.q.Name, Pattern: qs.q.Pattern,
+			FusedPipelines: qs.fused, PipelineBatches: qs.batches,
+			MaterializedBatchesSaved: qs.saved,
+		}
+		qr.PullMS = float64(qs.pullLat) / float64(time.Millisecond)
+		qr.PushMS = float64(qs.pushLat) / float64(time.Millisecond)
+		if qs.pushLat > 0 {
+			qr.Speedup = float64(qs.pullLat) / float64(qs.pushLat)
+		}
+		qr.Identical = qs.pullRows == qs.pushRows
+		qr.BytesScanned = qs.pullBytes
+		qr.BytesScannedSame = qs.pullBytes == qs.pushBytes
+		qr.RowsProcessed = qs.pullProcessed
+		qr.RowsProcessedSame = qs.pullProcessed == qs.pushProcessed
+		if !qr.Identical || !qr.BytesScannedSame || !qr.RowsProcessedSame {
+			cmp.AllIdentical = false
+		}
+		if qr.Speedup > cmp.MaxSpeedup {
+			cmp.MaxSpeedup = qr.Speedup
+		}
+		pullTotal += qs.pullLat
+		pushTotal += qs.pushLat
+		cmp.Queries = append(cmp.Queries, qr)
+	}
+	if pushTotal > 0 {
+		cmp.OverallSpeedup = float64(pullTotal) / float64(pushTotal)
+	}
+	return cmp, nil
+}
+
+// WriteJSON emits the comparison as indented JSON (the BENCH_pipeline.json
+// artifact).
+func (c *PipelineComparison) WriteJSON(out io.Writer) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// WriteTable renders a human-readable view of the comparison.
+func (c *PipelineComparison) WriteTable(out io.Writer) {
+	fmt.Fprintf(out, "Push-pipeline comparison (scale=%.2f, parallelism=%d, batch=%d)\n",
+		c.Scale, c.Parallelism, c.BatchSize)
+	fmt.Fprintln(out, "query | pull          | push       | speedup | fused | saved | identical")
+	fmt.Fprintln(out, "------+---------------+------------+---------+-------+-------+----------")
+	for _, q := range c.Queries {
+		fmt.Fprintf(out, "%-5s | %11.2fms | %8.2fms | %6.2fx | %5d | %5d | %v\n",
+			q.Name, q.PullMS, q.PushMS, q.Speedup, q.FusedPipelines, q.MaterializedBatchesSaved,
+			q.Identical && q.BytesScannedSame && q.RowsProcessedSame)
+	}
+	fmt.Fprintf(out, "overall speedup: %.2fx, max: %.2fx, all results identical: %v\n",
+		c.OverallSpeedup, c.MaxSpeedup, c.AllIdentical)
+}

@@ -85,6 +85,49 @@ func (s *aggState) result(agg expr.AggCall) types.Value {
 	}
 }
 
+// orderSensitive reports whether an aggregate's result can depend on the
+// order its inputs are accumulated in. Float sums round differently under
+// reassociation, so SUM with a float result and AVG (a float sum divided by
+// a count) are sensitive; COUNT, COUNT(*), MIN, MAX and integer-result SUM
+// (read from the exact int accumulator) are associative and
+// order-insensitive. The parallel scalar-aggregation sink merges partial
+// states only for insensitive aggregates and replays sensitive ones'
+// argument values serially in morsel order.
+func orderSensitive(agg expr.AggCall) bool {
+	switch agg.Fn {
+	case expr.AggAvg:
+		return true
+	case expr.AggSum:
+		return agg.ResultType() != types.KindInt64
+	}
+	return false
+}
+
+// merge folds a later partial o into s for an order-insensitive aggregate.
+// Partials must merge in input (morsel) order; for the insensitive set the
+// merged state is then identical to serial accumulation.
+func (s *aggState) merge(fn expr.AggFunc, o *aggState) {
+	switch fn {
+	case expr.AggCountStar, expr.AggCount:
+		s.count += o.count
+	case expr.AggSum:
+		s.count += o.count
+		s.sumI += o.sumI
+		s.sumF += o.sumF
+		s.seen = s.seen || o.seen
+	case expr.AggMin:
+		if o.seen && (!s.seen || types.Compare(o.min, s.min) < 0) {
+			s.min = o.min
+			s.seen = true
+		}
+	case expr.AggMax:
+		if o.seen && (!s.seen || types.Compare(o.max, s.max) > 0) {
+			s.max = o.max
+			s.seen = true
+		}
+	}
+}
+
 // compiledAgg is an aggregate with a bound argument evaluator and an index
 // into the shared distinct-mask table (-1 = no mask).
 type compiledAgg struct {
@@ -152,7 +195,17 @@ func (ca *compiledAggs) evalMasks(row Row) {
 }
 
 func (ex *executor) buildGroupBy(g *logical.GroupBy) (BatchIterator, error) {
-	in, err := ex.build(g.Input)
+	// Scalar aggregation over a fusible chain becomes a pipeline sink: each
+	// morsel's workers push their sub-batches into per-worker partial
+	// states, merged in fixed morsel order (pipesink.go). This closes the
+	// "scalar aggregation stays serial" gap while keeping float sums
+	// bit-for-bit identical to the serial order.
+	if len(g.Keys) == 0 && !ex.opts.PullExec && ex.opts.Parallelism > 1 {
+		if it, ok, err := ex.buildScalarAggSink(g); ok || err != nil {
+			return it, err
+		}
+	}
+	in, err := ex.buildConsumed(g.Input)
 	if err != nil {
 		return nil, err
 	}
@@ -1010,7 +1063,7 @@ func (it *markDistinctIter) NextBatch() (*vec.Batch, error) {
 }
 
 func (ex *executor) buildWindow(w *logical.Window) (BatchIterator, error) {
-	in, err := ex.build(w.Input)
+	in, err := ex.buildConsumed(w.Input)
 	if err != nil {
 		return nil, err
 	}

@@ -80,6 +80,11 @@ type Options struct {
 	// evaluators. Results are identical either way — this is the
 	// differential-validation and benchmarking baseline, not a tuning knob.
 	NaiveMasks bool
+	// PullExec disables push-based pipeline fusion: every operator runs as
+	// its own pull iterator with per-boundary batch materialization, exactly
+	// the pre-fusion execution model. Results are identical either way —
+	// this is the differential-validation and benchmarking baseline.
+	PullExec bool
 }
 
 func (o Options) withDefaults() Options {
@@ -125,8 +130,22 @@ type Metrics struct {
 	SpilledBytes    int64
 	SpillFiles      int64
 	MemOperators    map[string]memctl.OpStats
+	// Pipeline counts push-based fusion activity (zero under
+	// Options.PullExec): FusedPipelines is the number of compiled operator
+	// chains with at least one fused stage, PipelineBatches the source
+	// batches pushed through them, and MaterializedBatchesSaved the batches
+	// that crossed a fused project boundary without the dense column
+	// materialization the pull path would have performed.
+	Pipeline PipelineMetrics
 	// Elapsed is the wall-clock execution time.
 	Elapsed time.Duration
+}
+
+// PipelineMetrics counts push-pipeline fusion activity for one run.
+type PipelineMetrics struct {
+	FusedPipelines           int64
+	PipelineBatches          int64
+	MaterializedBatchesSaved int64
 }
 
 func (m *Metrics) addProcessed(n int64)    { atomic.AddInt64(&m.RowsProcessed, n) }
@@ -136,6 +155,13 @@ func (m *Metrics) addSpoolRead(n int64)    { atomic.AddInt64(&m.SpoolBytesRead, 
 func (m *Metrics) addMaskPrefixHits(n int64) {
 	if n != 0 {
 		atomic.AddInt64(&m.MaskPrefixHits, n)
+	}
+}
+func (m *Metrics) addFusedPipelines(n int64)  { atomic.AddInt64(&m.Pipeline.FusedPipelines, n) }
+func (m *Metrics) addPipelineBatches(n int64) { atomic.AddInt64(&m.Pipeline.PipelineBatches, n) }
+func (m *Metrics) addMaterializedSaved(n int64) {
+	if n != 0 {
+		atomic.AddInt64(&m.Pipeline.MaterializedBatchesSaved, n)
 	}
 }
 
@@ -232,6 +258,24 @@ type executor struct {
 	// goroutines or races the final metrics snapshot.
 	closers []func()
 	closed  bool
+	// noPush > 0 while building a subtree a LIMIT above may abandon
+	// mid-stream on success. Push pipelines run ahead of their consumer and
+	// charge metrics worker-side, which only matches the pull path under
+	// guaranteed-total consumption, so such subtrees stay pull; blocking
+	// operators reset the guard for their own (totally consumed) inputs via
+	// buildConsumed.
+	noPush int
+}
+
+// buildConsumed builds the input of a blocking operator. The operator
+// drains this subtree completely regardless of any LIMIT above it, so push
+// pipelines are safe again beneath it.
+func (ex *executor) buildConsumed(op logical.Operator) (BatchIterator, error) {
+	saved := ex.noPush
+	ex.noPush = 0
+	it, err := ex.build(op)
+	ex.noPush = saved
+	return it, err
 }
 
 func (ex *executor) close() {
@@ -284,8 +328,17 @@ func newEvaluator(e expr.Expr, layout map[expr.ColumnID]int) (*evaluator, error)
 // eval evaluates against the given row.
 func (ev *evaluator) eval(row Row) types.Value { return ev.fn(row) }
 
-// build dispatches on operator type.
+// build dispatches on operator type. Unless Options.PullExec asks for the
+// pure pull model, maximal non-blocking Scan→Filter→Project chains compile
+// into one push-driven pipeline instead of a stack of pull iterators; every
+// other operator (a pipeline breaker) keeps its pull implementation and
+// consumes fused chains through the BatchIterator facade.
 func (ex *executor) build(op logical.Operator) (BatchIterator, error) {
+	if !ex.opts.PullExec {
+		if it, ok, err := ex.buildPipeline(op); ok || err != nil {
+			return it, err
+		}
+	}
 	switch o := op.(type) {
 	case *logical.Scan:
 		return ex.buildScan(o, nil)
@@ -308,13 +361,19 @@ func (ex *executor) build(op logical.Operator) (BatchIterator, error) {
 	case *logical.Sort:
 		return ex.buildSort(o)
 	case *logical.Limit:
+		// LIMIT abandons its input mid-stream on success; everything below
+		// it (down to the next blocking operator) must stay pull so no
+		// pipeline worker runs ahead of the truncation point.
+		ex.noPush++
 		in, err := ex.build(o.Input)
+		ex.noPush--
 		if err != nil {
 			return nil, err
 		}
 		return &limitIter{in: in, remaining: o.N}, nil
 	case *logical.EnforceSingleRow:
-		in, err := ex.build(o.Input)
+		// On success the single-row check drains its input completely.
+		in, err := ex.buildConsumed(o.Input)
 		if err != nil {
 			return nil, err
 		}

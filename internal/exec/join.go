@@ -54,7 +54,8 @@ func (ex *executor) buildJoin(j *logical.Join) (BatchIterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	right, err := ex.build(j.Right)
+	// The build side is always consumed totally before probing begins.
+	right, err := ex.buildConsumed(j.Right)
 	if err != nil {
 		return nil, err
 	}

@@ -14,34 +14,16 @@ import (
 // into a partition pruner (the engine's analogue of Athena skipping S3
 // prefixes), and the rest stay as the residual predicate.
 func (ex *executor) buildFilter(f *logical.Filter) (BatchIterator, error) {
-	if scan, ok := f.Input.(*logical.Scan); ok && scan.Table.PartitionColumn != "" {
-		partCol := scan.ColumnFor(scan.Table.PartitionColumn)
-		if partCol != nil {
-			var pruneConjs, residual []expr.Expr
-			allowed := map[expr.ColumnID]bool{partCol.ID: true}
-			for _, c := range expr.Conjuncts(f.Cond) {
-				if expr.RefersOnly(c, allowed) {
-					pruneConjs = append(pruneConjs, c)
-				} else {
-					residual = append(residual, c)
-				}
+	if scan, ok := f.Input.(*logical.Scan); ok {
+		if pruner, residual := splitPartitionPrune(scan, f.Cond); pruner != nil {
+			in, err := ex.buildScan(scan, pruner)
+			if err != nil {
+				return nil, err
 			}
-			if len(pruneConjs) > 0 {
-				cond := expr.And(pruneConjs...)
-				env := &expr.SlotEnv{Slots: map[expr.ColumnID]int{partCol.ID: 0}}
-				pruner := func(key types.Value) bool {
-					env.Row = Row{key}
-					return expr.Eval(cond, env).IsTrue()
-				}
-				in, err := ex.buildScan(scan, pruner)
-				if err != nil {
-					return nil, err
-				}
-				if len(residual) == 0 {
-					return in, nil
-				}
-				return ex.newFilterIter(in, expr.And(residual...), layoutOf(scan))
+			if residual == nil {
+				return in, nil
 			}
+			return ex.newFilterIter(in, residual, layoutOf(scan))
 		}
 	}
 	in, err := ex.build(f.Input)
@@ -49,6 +31,44 @@ func (ex *executor) buildFilter(f *logical.Filter) (BatchIterator, error) {
 		return nil, err
 	}
 	return ex.newFilterIter(in, f.Cond, layoutOf(f.Input))
+}
+
+// splitPartitionPrune peels the conjuncts of cond that reference only the
+// scan's partition column into a storage.Pruner, returning the pruner and
+// the residual predicate (nil when every conjunct pruned). A nil pruner
+// means nothing peeled — the caller filters the unpruned scan with cond.
+// Both the pull filter and the push-pipeline compiler route through this
+// helper, so the two execution models scan exactly the same partitions.
+func splitPartitionPrune(scan *logical.Scan, cond expr.Expr) (storage.Pruner, expr.Expr) {
+	if scan.Table.PartitionColumn == "" {
+		return nil, cond
+	}
+	partCol := scan.ColumnFor(scan.Table.PartitionColumn)
+	if partCol == nil {
+		return nil, cond
+	}
+	var pruneConjs, residual []expr.Expr
+	allowed := map[expr.ColumnID]bool{partCol.ID: true}
+	for _, c := range expr.Conjuncts(cond) {
+		if expr.RefersOnly(c, allowed) {
+			pruneConjs = append(pruneConjs, c)
+		} else {
+			residual = append(residual, c)
+		}
+	}
+	if len(pruneConjs) == 0 {
+		return nil, cond
+	}
+	pruneCond := expr.And(pruneConjs...)
+	env := &expr.SlotEnv{Slots: map[expr.ColumnID]int{partCol.ID: 0}}
+	pruner := func(key types.Value) bool {
+		env.Row = Row{key}
+		return expr.Eval(pruneCond, env).IsTrue()
+	}
+	if len(residual) == 0 {
+		return pruner, nil
+	}
+	return pruner, expr.And(residual...)
 }
 
 // newFilterIter compiles a filter predicate. The default path is a
@@ -70,19 +90,27 @@ func (ex *executor) newFilterIter(in BatchIterator, cond expr.Expr, layout map[e
 	return &filterIter{in: in, fam: fam, m: ex.metrics}, nil
 }
 
-func (ex *executor) buildScan(s *logical.Scan, prune storage.Pruner) (BatchIterator, error) {
+// scanSource resolves a scan leaf's partitions and, with sharing on, opens
+// its scan-share session. Shared by the pull scan builder and the
+// push-pipeline compiler so both charge the same BytesScanned and decode
+// accounting. The session closes after the leaf's workers drain (closers
+// run in append order), so callers must append it after their own closer.
+func (ex *executor) scanSource(s *logical.Scan, prune storage.Pruner) ([]*storage.Partition, *scanshare.Scan, error) {
 	parts, err := ex.store.ScanPartitions(s.Table.Name, s.ColNames, prune, &ex.metrics.Storage)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	// With sharing on, each scan leaf opens a share session: it publishes
-	// its morsel stream for late arrivals and attaches to a compatible
-	// in-flight stream when one exists. The session closes after the leaf's
-	// workers drain (closers run in append order), so it must be appended
-	// after the iterator's own closer.
 	var share *scanshare.Scan
 	if ex.share != nil {
 		share = ex.share.Open(s.Table.Name, parts, s.ColNames, &ex.metrics.Share)
+	}
+	return parts, share, nil
+}
+
+func (ex *executor) buildScan(s *logical.Scan, prune storage.Pruner) (BatchIterator, error) {
+	parts, share, err := ex.scanSource(s, prune)
+	if err != nil {
+		return nil, err
 	}
 	if ex.opts.Parallelism > 1 {
 		morsels := buildMorsels(parts, morselTarget(parts, ex.opts.BatchSize, ex.opts.Parallelism))

@@ -13,10 +13,24 @@ import (
 )
 
 func (ex *executor) buildSort(s *logical.Sort) (BatchIterator, error) {
-	in, err := ex.build(s.Input)
+	// A sort over a fusible chain becomes a pipeline sink: each morsel's
+	// worker cuts its own stable-sorted runs and emission k-way merges them
+	// in morsel order (pipesink.go), reusing the spill-merge machinery.
+	if !ex.opts.PullExec && ex.opts.Parallelism > 1 {
+		if it, ok, err := ex.buildSortRunSink(s); ok || err != nil {
+			return it, err
+		}
+	}
+	in, err := ex.buildConsumed(s.Input)
 	if err != nil {
 		return nil, err
 	}
+	return ex.newSortIter(s, in)
+}
+
+// sortKeyEvs compiles one instance of the sort-key evaluators (row
+// evaluators own scratch, so every goroutine sorting rows needs its own).
+func sortKeyEvs(s *logical.Sort) ([]*evaluator, error) {
 	layout := layoutOf(s.Input)
 	evs := make([]*evaluator, len(s.Keys))
 	for i, k := range s.Keys {
@@ -25,6 +39,14 @@ func (ex *executor) buildSort(s *logical.Sort) (BatchIterator, error) {
 			return nil, err
 		}
 		evs[i] = ev
+	}
+	return evs, nil
+}
+
+func (ex *executor) newSortIter(s *logical.Sort, in BatchIterator) (BatchIterator, error) {
+	evs, err := sortKeyEvs(s)
+	if err != nil {
+		return nil, err
 	}
 	it := &sortIter{
 		in: in, evs: evs, keys: s.Keys,
@@ -88,17 +110,7 @@ func (it *sortIter) Spill() (int64, error) {
 		return 0, nil
 	}
 	sortRowsStable(it.buf, it.evs, it.keys)
-	w, err := storage.NewSpillWriter(it.spillDir, it.width)
-	if err != nil {
-		return 0, err
-	}
-	for _, row := range it.buf {
-		if err := w.Append(row); err != nil {
-			w.Abort()
-			return 0, err
-		}
-	}
-	f, err := w.Finish()
+	f, err := writeSortedRun(it.spillDir, it.width, it.buf)
 	if err != nil {
 		return 0, err
 	}
@@ -173,7 +185,10 @@ func (it *sortIter) build() error {
 			return err
 		}
 	}
-	it.merge = &sortMerger{it: it, cursors: cursors}
+	it.merge = &sortMerger{
+		cursors: cursors, evs: it.evs, keys: it.keys,
+		width: it.width, batchSize: it.batchSize,
+	}
 	return nil
 }
 
@@ -328,21 +343,26 @@ func (c *sortRunCursor) advance(evs []*evaluator) error {
 }
 
 // sortMerger k-way merges the sorted runs. Ties pick the earliest run,
-// which carries the earliest input rows — the stability tie-break.
+// which carries the earliest input rows — the stability tie-break. It is
+// shared by the blocking sortIter and the push-pipeline sort-run sink,
+// so it carries its own key machinery rather than a parent iterator.
 type sortMerger struct {
-	it      *sortIter
-	cursors []*sortRunCursor
+	cursors   []*sortRunCursor
+	evs       []*evaluator
+	keys      []logical.SortKey
+	width     int
+	batchSize int
 }
 
 func (m *sortMerger) NextBatch() (*vec.Batch, error) {
-	bl := vec.NewBuilder(m.it.width, m.it.batchSize)
+	bl := vec.NewBuilder(m.width, m.batchSize)
 	for !bl.Full() {
 		var best *sortRunCursor
 		for _, c := range m.cursors {
 			if c.done {
 				continue
 			}
-			if best == nil || compareKeys(c.key, best.key, m.it.keys) < 0 {
+			if best == nil || compareKeys(c.key, best.key, m.keys) < 0 {
 				best = c
 			}
 		}
@@ -350,7 +370,7 @@ func (m *sortMerger) NextBatch() (*vec.Batch, error) {
 			break
 		}
 		bl.Append(best.cur)
-		if err := best.advance(m.it.evs); err != nil {
+		if err := best.advance(m.evs); err != nil {
 			return nil, err
 		}
 	}

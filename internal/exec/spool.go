@@ -28,7 +28,7 @@ func (ex *executor) buildSpool(s *logical.Spool) (BatchIterator, error) {
 		ex.spools = map[int]*spoolState{}
 	}
 	if s.Producer != nil {
-		in, err := ex.build(s.Producer)
+		in, err := ex.buildConsumed(s.Producer)
 		if err != nil {
 			return nil, err
 		}
