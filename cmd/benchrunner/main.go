@@ -29,16 +29,17 @@ func main() {
 		figure = flag.Int("figure", 0, "render only figure 1 or 2 (0 = everything)")
 		qlist  = flag.String("q", "", "comma-separated query names (default: whole workload)")
 
-		execOut     = flag.String("exec", "", "write a row-at-a-time vs vectorized execution comparison to this JSON file and exit")
-		aggOut      = flag.String("agg", "", "write a serial vs partition-wise parallel aggregation comparison to this JSON file and exit")
-		sharedOut   = flag.String("shared", "", "write a concurrent shared-vs-unshared scan comparison to this JSON file and exit")
-		spillOut    = flag.String("spill", "", "write an unlimited-vs-memory-budget spill comparison to this JSON file and exit")
-		maskOut     = flag.String("mask", "", "write a naive-vs-family mask kernel comparison to this JSON file and exit")
-		pipelineOut = flag.String("pipeline", "", "write a pull-vs-push pipeline execution comparison to this JSON file and exit")
-		parallelism = flag.Int("parallelism", 4, "workers for the parallel side of -exec/-agg/-shared")
-		batchSize   = flag.Int("batch", 1024, "rows per batch for the parallel side of -exec/-agg/-shared")
-		concurrency = flag.Int("concurrency", 4, "concurrent query workers for -shared")
-		cacheBytes  = flag.Int64("scancache", 0, "decoded-chunk cache bound in bytes for -shared (0 = default)")
+		execOut       = flag.String("exec", "", "write a row-at-a-time vs vectorized execution comparison to this JSON file and exit")
+		aggOut        = flag.String("agg", "", "write a serial vs partition-wise parallel aggregation comparison to this JSON file and exit")
+		sharedOut     = flag.String("shared", "", "write a concurrent shared-vs-unshared scan comparison to this JSON file and exit")
+		spillOut      = flag.String("spill", "", "write an unlimited-vs-memory-budget spill comparison to this JSON file and exit")
+		maskOut       = flag.String("mask", "", "write a naive-vs-family mask kernel comparison to this JSON file and exit")
+		pipelineOut   = flag.String("pipeline", "", "write a pull-vs-push pipeline execution comparison to this JSON file and exit")
+		sharedExecOut = flag.String("sharedexec", "", "write a concurrent shared-execution vs independent-run comparison to this JSON file and exit")
+		parallelism   = flag.Int("parallelism", 4, "workers for the parallel side of -exec/-agg/-shared")
+		batchSize     = flag.Int("batch", 1024, "rows per batch for the parallel side of -exec/-agg/-shared")
+		concurrency   = flag.Int("concurrency", 4, "concurrent query workers for -shared")
+		cacheBytes    = flag.Int64("scancache", 0, "decoded-chunk cache bound in bytes for -shared (0 = default)")
 	)
 	flag.Parse()
 
@@ -90,6 +91,18 @@ func main() {
 			Parallelism: par, BatchSize: *batchSize,
 			Queries: splitList(*qlist),
 		})
+		return
+	}
+	if *sharedExecOut != "" {
+		// -sharedexec uses the testgen catalog (the shared-execution
+		// differential's store) rather than TPC-DS: the wave queries are
+		// generated per client count, so -q does not apply.
+		opts := bench.DefaultSharedExecOptions()
+		opts.Seed = *seed
+		opts.Iterations = *iters
+		opts.Parallelism = *parallelism
+		opts.BatchSize = *batchSize
+		runSharedExecComparison(*sharedExecOut, opts)
 		return
 	}
 	if *sharedOut != "" {
@@ -185,6 +198,27 @@ func runSharedComparison(path string, opts bench.SharedOptions) {
 	fmt.Fprintf(os.Stderr, "generating TPC-DS data at scale %.2f and comparing %d concurrent workers with scan sharing off/on over %s...\n",
 		opts.Scale, opts.Concurrency, queriesLabel(opts.Queries))
 	cmp, err := bench.RunSharedComparison(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := cmp.WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	cmp.WriteTable(os.Stdout)
+}
+
+func runSharedExecComparison(path string, opts bench.SharedExecOptions) {
+	fmt.Fprintf(os.Stderr, "generating %d fact rows and comparing waves of %v concurrent clients with shared execution off/on...\n",
+		opts.Rows, opts.Clients)
+	cmp, err := bench.RunSharedExecComparison(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)

@@ -3,6 +3,7 @@ package engine
 import (
 	"os"
 	"runtime"
+	"time"
 
 	"repro/internal/exec"
 	"repro/internal/scanshare"
@@ -67,6 +68,23 @@ type Config struct {
 	// tuning knob. Needs no normalization (false is the default and the
 	// fast path).
 	NaiveMasks bool
+	// ShareExec opts this engine's queries into cross-query shared
+	// execution (internal/xfuse): concurrently arriving queries with
+	// fusable plan shapes are held in an AdmissionWindow-long batch, fused
+	// into one plan via the paper's Fuse primitive, executed once, and
+	// demultiplexed back to each client through compensating predicates.
+	// Every client's rows and logical metrics (bytes scanned, rows
+	// processed) are byte-identical to a solo run; Metrics.SharedExec tells
+	// the physical story. Shapes that cannot be fused (or attributed
+	// exactly) bypass the window and run solo, so coverage never narrows.
+	ShareExec bool
+	// AdmissionWindow is how long the first eligible query of a batch waits
+	// for companions before the batch executes. <= 0 means 2ms. Only
+	// meaningful with ShareExec.
+	AdmissionWindow time.Duration
+	// MaxFusedQueries seals a batch early once this many queries joined.
+	// <= 0 means 8. Only meaningful with ShareExec.
+	MaxFusedQueries int
 	// PullExec disables push-based pipeline fusion: fusible
 	// Scan→Filter→Project chains run as pull iterators with dense
 	// projection materialization instead of compiled push loops, and the
@@ -97,6 +115,12 @@ func (c Config) normalize() Config {
 	}
 	if c.SpillDir == "" {
 		c.SpillDir = os.TempDir()
+	}
+	if c.AdmissionWindow <= 0 {
+		c.AdmissionWindow = 2 * time.Millisecond
+	}
+	if c.MaxFusedQueries <= 0 {
+		c.MaxFusedQueries = 8
 	}
 	return c
 }

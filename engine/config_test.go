@@ -4,6 +4,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/exec"
 	"repro/internal/scanshare"
@@ -51,6 +52,8 @@ func TestConfigNormalizePreservesExplicit(t *testing.T) {
 		ScanCacheBytes:   1 << 20,
 		MemoryLimitBytes: 4 << 20,
 		SpillDir:         "/tmp/spill-here",
+		AdmissionWindow:  5 * time.Millisecond,
+		MaxFusedQueries:  3,
 	}
 	if got := in.normalize(); got != in {
 		t.Errorf("normalize changed explicit config:\n got %+v\nwant %+v", got, in)

@@ -19,6 +19,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -31,6 +32,7 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/storage"
 	"repro/internal/types"
+	"repro/internal/xfuse"
 )
 
 // ErrMemoryExceeded is returned (wrapped) when a query's unspillable state
@@ -83,28 +85,52 @@ type Engine struct {
 	// instance runs; blocking operators reserve against it and spill to
 	// config.SpillDir under pressure.
 	mempool *memctl.Pool
+	// shared batches concurrently arriving queries for cross-query fused
+	// execution; nil unless Config.ShareExec.
+	shared *xfuse.Runner
 }
 
 // Open creates an engine over the catalog.
 func Open(cat *Catalog, cfg Config) *Engine {
-	cfg = cfg.normalize()
-	return &Engine{
-		store:   storage.NewStore(cat),
-		binder:  binder.New(cat),
-		config:  cfg,
-		mempool: memctl.NewPool(cfg.MemoryLimitBytes, cfg.SpillDir),
-	}
+	return newEngine(storage.NewStore(cat), cat, cfg)
 }
 
 // OpenWithStore creates an engine over an existing loaded store (sharing
 // data between engine instances, e.g. a baseline and a fused engine).
 func OpenWithStore(st *storage.Store, cfg Config) *Engine {
+	return newEngine(st, st.Catalog(), cfg)
+}
+
+func newEngine(st *storage.Store, cat *Catalog, cfg Config) *Engine {
 	cfg = cfg.normalize()
-	return &Engine{
+	e := &Engine{
 		store:   st,
-		binder:  binder.New(st.Catalog()),
+		binder:  binder.New(cat),
 		config:  cfg,
 		mempool: memctl.NewPool(cfg.MemoryLimitBytes, cfg.SpillDir),
+	}
+	if cfg.ShareExec {
+		e.shared = xfuse.NewRunner(st, e.execOptions(""), xfuse.Config{
+			Window:     cfg.AdmissionWindow,
+			MaxQueries: cfg.MaxFusedQueries,
+		})
+	}
+	return e
+}
+
+// execOptions is the single translation from engine config to execution
+// options; the shared-execution runner gets the same template (with
+// QueryText filled per fused run).
+func (e *Engine) execOptions(sqlText string) exec.Options {
+	return exec.Options{
+		Parallelism:    e.config.Parallelism,
+		BatchSize:      e.config.BatchSize,
+		ShareScans:     e.config.ShareScans,
+		ScanCacheBytes: e.config.ScanCacheBytes,
+		MemPool:        e.mempool,
+		QueryText:      sqlText,
+		NaiveMasks:     e.config.NaiveMasks,
+		PullExec:       e.config.PullExec,
 	}
 }
 
@@ -134,11 +160,19 @@ type Result struct {
 
 // Query parses, plans, optimizes and executes a SQL query.
 func (e *Engine) Query(sqlText string) (*Result, error) {
+	return e.QueryContext(context.Background(), sqlText)
+}
+
+// QueryContext is Query with cancellation: under Config.ShareExec a caller
+// abandoning ctx mid-window leaves its batch cleanly (the remaining
+// queries still fuse and run). Without ShareExec the context is checked
+// before execution only.
+func (e *Engine) QueryContext(ctx context.Context, sqlText string) (*Result, error) {
 	p, err := e.Prepare(sqlText)
 	if err != nil {
 		return nil, err
 	}
-	return p.Run()
+	return p.RunContext(ctx)
 }
 
 // Prepared is a planned query that can be executed repeatedly without
@@ -169,26 +203,46 @@ func (p *Prepared) RulesFired() []string { return p.rulesFired }
 
 // Run executes the prepared plan.
 func (p *Prepared) Run() (*Result, error) {
-	res, err := exec.RunWith(p.plan, p.eng.store, exec.Options{
-		Parallelism:    p.eng.config.Parallelism,
-		BatchSize:      p.eng.config.BatchSize,
-		ShareScans:     p.eng.config.ShareScans,
-		ScanCacheBytes: p.eng.config.ScanCacheBytes,
-		MemPool:        p.eng.mempool,
-		QueryText:      p.sqlText,
-		NaiveMasks:     p.eng.config.NaiveMasks,
-		PullExec:       p.eng.config.PullExec,
-	})
+	return p.RunContext(context.Background())
+}
+
+// RunContext executes the prepared plan. Under Config.ShareExec the plan is
+// first offered to the admission window: if it fuses with concurrently
+// submitted queries, the returned result was demultiplexed from one shared
+// run (byte-identical to solo, with Metrics.SharedExec set); otherwise it
+// falls through to an ordinary solo run. ctx cancellation is honored while
+// waiting on the window — execution already in flight completes on behalf
+// of the rest of the batch.
+func (p *Prepared) RunContext(ctx context.Context) (*Result, error) {
+	var stamp exec.SharedExecMetrics
+	if p.eng.shared != nil {
+		res, st, err := p.eng.shared.Submit(ctx, p.sqlText, p.plan)
+		if err != nil {
+			return nil, fmt.Errorf("engine: executing: %w", err)
+		}
+		if res != nil {
+			return p.wrap(res), nil
+		}
+		stamp = st
+	} else if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("engine: executing: %w", err)
+	}
+	res, err := exec.RunWith(p.plan, p.eng.store, p.eng.execOptions(p.sqlText))
 	if err != nil {
 		return nil, fmt.Errorf("engine: executing: %w", err)
 	}
+	res.Metrics.SharedExec = stamp
+	return p.wrap(res), nil
+}
+
+func (p *Prepared) wrap(res *exec.Result) *Result {
 	return &Result{
 		Columns:    p.names,
 		Rows:       res.Rows,
 		Metrics:    res.Metrics,
 		RulesFired: p.rulesFired,
 		Plan:       logical.Format(p.plan),
-	}, nil
+	}
 }
 
 // Explain returns the optimized logical plan without executing it, each

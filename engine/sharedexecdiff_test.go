@@ -1,0 +1,381 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/testgen"
+	"repro/internal/tpcds"
+)
+
+// This file is the shared-execution differential harness: eligible query
+// sets from testgen.ShareSet are submitted concurrently to a ShareExec
+// engine — which batches them in an admission window, fuses their plans and
+// demultiplexes one fused run back to every client — and each client's
+// result is compared against an independent solo run of the same query
+// under the same configuration. Batching must be unobservable per client:
+// rows byte-identical in identical order, BytesScanned and RowsProcessed
+// exact — only Metrics.SharedExec (and the saved physical work) may differ.
+
+// sharedExecWindow is the admission-window backstop used by the tests. The
+// batches are sealed by MaxFusedQueries (set to the submission count), so
+// the window only fires if goroutine scheduling delays a submission — it
+// just needs to be long enough to make that rare and short enough to keep a
+// missed seal from stalling the test.
+const sharedExecWindow = 250 * time.Millisecond
+
+// submitConcurrently runs every query on eng from its own goroutine and
+// waits for all of them.
+func submitConcurrently(eng *Engine, queries []string) ([]*Result, []error) {
+	results := make([]*Result, len(queries))
+	errs := make([]error, len(queries))
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q string) {
+			defer wg.Done()
+			results[i], errs[i] = eng.Query(q)
+		}(i, q)
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// runSharedExecDifferential compares one generated query set across the
+// full configuration matrix and returns how many clients were actually
+// served from a fused plan, so corpus-level callers can reject a vacuous
+// comparison.
+func runSharedExecDifferential(t *testing.T, seed int64) int64 {
+	st := diffTestStore(t)
+	limit := spillTestLimit(defaultSpillTestLimit)
+	queries := testgen.ShareSet(seed, 5)
+	var fusedClients int64
+	for _, fusion := range []bool{false, true} {
+		for _, cfg := range maskConfigs {
+			base := Config{EnableFusion: fusion, Parallelism: cfg.parallelism, BatchSize: cfg.batchSize}
+			var spillDir string
+			if cfg.spill {
+				spillDir = t.TempDir()
+				base.MemoryLimitBytes = limit
+				base.SpillDir = spillDir
+			}
+			solo := OpenWithStore(st, base)
+			wantRows := make([]string, len(queries))
+			wantScanned := make([]int64, len(queries))
+			wantProcessed := make([]int64, len(queries))
+			for i, q := range queries {
+				res, err := solo.Query(q)
+				if err != nil {
+					t.Fatalf("seed %d %s (fusion=%v) solo client %d failed: %v\n%s", seed, cfg.name, fusion, i, err, q)
+				}
+				if res.Metrics.SharedExec != (exec.SharedExecMetrics{}) {
+					t.Fatalf("seed %d %s (fusion=%v): ShareExec-off engine stamped SharedExec %+v", seed, cfg.name, fusion, res.Metrics.SharedExec)
+				}
+				wantRows[i] = exactRows(res.Rows)
+				wantScanned[i] = res.Metrics.Storage.BytesScanned
+				wantProcessed[i] = res.Metrics.RowsProcessed
+			}
+
+			shcfg := base
+			shcfg.ShareExec = true
+			shcfg.AdmissionWindow = sharedExecWindow
+			shcfg.MaxFusedQueries = len(queries)
+			shared := OpenWithStore(st, shcfg)
+			results, errs := submitConcurrently(shared, queries)
+			for i, q := range queries {
+				if errs[i] != nil {
+					t.Fatalf("seed %d %s (fusion=%v) shared client %d failed: %v\n%s", seed, cfg.name, fusion, i, errs[i], q)
+				}
+				res := results[i]
+				if got := exactRows(res.Rows); got != wantRows[i] {
+					t.Fatalf("seed %d %s (fusion=%v) client %d: rows differ from solo run\nquery:\n%s\ngot:\n%s\nwant:\n%s\nplan:\n%s",
+						seed, cfg.name, fusion, i, q, got, wantRows[i], res.Plan)
+				}
+				if got := res.Metrics.Storage.BytesScanned; got != wantScanned[i] {
+					t.Fatalf("seed %d %s (fusion=%v) client %d: BytesScanned %d != solo %d\n%s", seed, cfg.name, fusion, i, got, wantScanned[i], q)
+				}
+				if got := res.Metrics.RowsProcessed; got != wantProcessed[i] {
+					t.Fatalf("seed %d %s (fusion=%v) client %d: RowsProcessed %d != solo %d\n%s", seed, cfg.name, fusion, i, got, wantProcessed[i], q)
+				}
+				sh := res.Metrics.SharedExec
+				if sh.WindowWaits != 1 {
+					t.Fatalf("seed %d %s (fusion=%v) client %d: WindowWaits = %d, want 1 (eligible shape bypassed the window?)\n%s",
+						seed, cfg.name, fusion, i, sh.WindowWaits, q)
+				}
+				if sh.FusedPlans >= 2 {
+					fusedClients++
+				}
+				if cfg.spill {
+					if res.Metrics.PeakMemoryBytes > limit {
+						t.Fatalf("seed %d %s (fusion=%v) client %d: peak tracked memory %d exceeds limit %d\n%s",
+							seed, cfg.name, fusion, i, res.Metrics.PeakMemoryBytes, limit, q)
+					}
+				}
+			}
+			if cfg.spill {
+				if ents, err := os.ReadDir(spillDir); err != nil {
+					t.Fatal(err)
+				} else if len(ents) != 0 {
+					t.Fatalf("seed %d %s (fusion=%v): %d spill files leaked", seed, cfg.name, fusion, len(ents))
+				}
+			}
+		}
+	}
+	return fusedClients
+}
+
+// TestDifferentialSharedExec is the bounded shared-vs-solo corpus wired
+// into plain `go test`: a fixed testgen seed range, every seed's query set
+// submitted concurrently to a ShareExec engine and compared client-by-client
+// against solo runs across the full configuration matrix. The corpus as a
+// whole must serve clients from fused plans somewhere, or the comparison is
+// vacuous.
+func TestDifferentialSharedExec(t *testing.T) {
+	const corpus = 20
+	var fusedClients int64
+	for seed := int64(0); seed < corpus; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%03d", seed), func(t *testing.T) {
+			fusedClients += runSharedExecDifferential(t, seed)
+		})
+	}
+	if !t.Failed() && fusedClients == 0 {
+		t.Fatalf("no clients served from fused plans across the corpus — shared execution is not engaging")
+	}
+}
+
+// TestDifferentialSharedExecTPCDS submits every TPC-DS query twice,
+// concurrently, to a ShareExec engine: identical duplicates are the
+// strongest fusion case (TRUE/TRUE compensations) for the shapes shared
+// execution admits, and everything else must bypass the window and still
+// return solo-identical results while running concurrently. The spill
+// configuration's limit is doubled relative to the solo derivation because
+// two copies of an ineligible query hold unspillable state at once.
+func TestDifferentialSharedExecTPCDS(t *testing.T) {
+	st, err := tpcds.NewLoadedStore(0.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const floorMargin = 256 << 10
+
+	for _, fusion := range []bool{false, true} {
+		ref := OpenWithStore(st, Config{EnableFusion: fusion, Parallelism: 1, BatchSize: 1})
+		var fusedClients int64
+		for _, q := range tpcds.Queries() {
+			refRes, err := ref.Query(q.SQL)
+			if err != nil {
+				t.Fatalf("%s reference (fusion=%v) failed: %v", q.Name, fusion, err)
+			}
+			want := exactRows(refRes.Rows)
+			var unspillPeak int64
+			for op, s := range refRes.Metrics.MemOperators {
+				if op != "groupby" && op != "sort" {
+					unspillPeak += s.PeakBytes
+				}
+			}
+			limit := 2*unspillPeak + floorMargin + refRes.Metrics.PeakMemoryBytes
+			for _, cfg := range maskConfigs {
+				c := Config{
+					EnableFusion: fusion, Parallelism: cfg.parallelism, BatchSize: cfg.batchSize,
+					ShareExec: true, AdmissionWindow: sharedExecWindow, MaxFusedQueries: 2,
+				}
+				var spillDir string
+				if cfg.spill {
+					spillDir = t.TempDir()
+					c.MemoryLimitBytes = limit
+					c.SpillDir = spillDir
+				}
+				eng := OpenWithStore(st, c)
+				results, errs := submitConcurrently(eng, []string{q.SQL, q.SQL})
+				for i := range results {
+					if errs[i] != nil {
+						t.Fatalf("%s %s (fusion=%v) client %d failed: %v", q.Name, cfg.name, fusion, i, errs[i])
+					}
+					res := results[i]
+					if got := exactRows(res.Rows); got != want {
+						t.Fatalf("%s %s (fusion=%v) client %d: rows differ from solo reference\ngot:\n%s\nwant:\n%s",
+							q.Name, cfg.name, fusion, i, got, want)
+					}
+					if got, wantB := res.Metrics.Storage.BytesScanned, refRes.Metrics.Storage.BytesScanned; got != wantB {
+						t.Fatalf("%s %s (fusion=%v) client %d: BytesScanned %d != %d", q.Name, cfg.name, fusion, i, got, wantB)
+					}
+					if got, wantP := res.Metrics.RowsProcessed, refRes.Metrics.RowsProcessed; got != wantP {
+						t.Fatalf("%s %s (fusion=%v) client %d: RowsProcessed %d != %d", q.Name, cfg.name, fusion, i, got, wantP)
+					}
+					if cfg.spill && res.Metrics.PeakMemoryBytes > limit {
+						t.Fatalf("%s %s (fusion=%v) client %d: peak tracked memory %d exceeds limit %d",
+							q.Name, cfg.name, fusion, i, res.Metrics.PeakMemoryBytes, limit)
+					}
+					if res.Metrics.SharedExec.FusedPlans >= 2 {
+						fusedClients++
+					}
+				}
+				if cfg.spill {
+					if ents, err := os.ReadDir(spillDir); err != nil {
+						t.Fatal(err)
+					} else if len(ents) != 0 {
+						t.Fatalf("%s %s (fusion=%v): %d spill files leaked", q.Name, cfg.name, fusion, len(ents))
+					}
+				}
+			}
+		}
+		if fusedClients == 0 {
+			t.Fatalf("fusion=%v: no TPC-DS clients served from fused plans — duplicate submissions are not fusing", fusion)
+		}
+		t.Logf("fusion=%v: %d TPC-DS clients served from fused plans", fusion, fusedClients)
+	}
+}
+
+// TestSharedExecCancelAndStragglers is the admission-window concurrency
+// test: a client that abandons its context never stalls or poisons the
+// batch, concurrent clients with different predicates get exactly their own
+// rows back, ineligible shapes bypass the window entirely, and a straggler
+// arriving after the batch sealed falls back to a clean solo run. The batch
+// seal is driven by MaxFusedQueries (the window is a long backstop), so the
+// sequencing is deterministic; `go test -race ./engine/` covers the
+// Submit/seal/execute interleavings.
+func TestSharedExecCancelAndStragglers(t *testing.T) {
+	st := diffTestStore(t)
+	qB := "SELECT f_k1, f_qty FROM fact WHERE f_qty > 40"
+	qC := "SELECT f_k1, f_qty FROM fact WHERE f_price < 700.5"
+	qLimit := "SELECT f_k1 FROM fact WHERE f_qty > 10 LIMIT 3"
+	qE := "SELECT f_tag FROM fact WHERE f_k2 IS NOT NULL"
+
+	solo := OpenWithStore(st, Config{Parallelism: 4})
+	soloRows := map[string]string{}
+	soloProcessed := map[string]int64{}
+	for _, q := range []string{qB, qC, qLimit, qE} {
+		res, err := solo.Query(q)
+		if err != nil {
+			t.Fatalf("solo %q failed: %v", q, err)
+		}
+		soloRows[q] = exactRows(res.Rows)
+		soloProcessed[q] = res.Metrics.RowsProcessed
+	}
+
+	eng := OpenWithStore(st, Config{
+		Parallelism: 4, ShareExec: true,
+		AdmissionWindow: sharedExecWindow, MaxFusedQueries: 3,
+	})
+
+	// Client A joins the batch with an already-canceled context: Submit must
+	// return the context error immediately and leave the (abandoned) entry
+	// behind without wedging the batch.
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.QueryContext(canceled, "SELECT f_k1 FROM fact WHERE f_qty > 5"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled client: err = %v, want context.Canceled", err)
+	}
+
+	// Clients B and C fill the batch to MaxFusedQueries; C's arrival seals
+	// it. The abandoned entry is skipped, so the fused group is exactly
+	// {B, C} — different predicates, so any routing error shows up as
+	// cross-client row leakage.
+	var wg sync.WaitGroup
+	var resB, resC *Result
+	var errB, errC error
+	wg.Add(2)
+	go func() { defer wg.Done(); resB, errB = eng.Query(qB) }()
+	time.Sleep(20 * time.Millisecond) // let B join before C seals the batch
+	go func() { defer wg.Done(); resC, errC = eng.Query(qC) }()
+	wg.Wait()
+	for _, cl := range []struct {
+		name string
+		q    string
+		res  *Result
+		err  error
+	}{{"B", qB, resB, errB}, {"C", qC, resC, errC}} {
+		if cl.err != nil {
+			t.Fatalf("client %s failed: %v", cl.name, cl.err)
+		}
+		if got := exactRows(cl.res.Rows); got != soloRows[cl.q] {
+			t.Fatalf("client %s: rows differ from solo\ngot:\n%s\nwant:\n%s", cl.name, got, soloRows[cl.q])
+		}
+		if got := cl.res.Metrics.RowsProcessed; got != soloProcessed[cl.q] {
+			t.Fatalf("client %s: RowsProcessed %d != solo %d", cl.name, got, soloProcessed[cl.q])
+		}
+		sh := cl.res.Metrics.SharedExec
+		if sh.BatchedQueries != 2 || sh.FusedPlans != 2 || sh.WindowWaits != 1 {
+			t.Fatalf("client %s: SharedExec = %+v, want {BatchedQueries:2 FusedPlans:2 WindowWaits:1}", cl.name, sh)
+		}
+	}
+
+	// A LIMIT query is ineligible: it must bypass the window (zero
+	// SharedExec stamp) and still return solo-identical rows.
+	resL, err := eng.Query(qLimit)
+	if err != nil {
+		t.Fatalf("LIMIT client failed: %v", err)
+	}
+	if got := exactRows(resL.Rows); got != soloRows[qLimit] {
+		t.Fatalf("LIMIT client: rows differ from solo\ngot:\n%s\nwant:\n%s", got, soloRows[qLimit])
+	}
+	if resL.Metrics.SharedExec != (exec.SharedExecMetrics{}) {
+		t.Fatalf("LIMIT client: SharedExec = %+v, want zero (bypass)", resL.Metrics.SharedExec)
+	}
+
+	// A straggler after the batch executed opens a fresh batch, waits out
+	// the window alone, and falls back to a clean solo run.
+	resE, err := eng.Query(qE)
+	if err != nil {
+		t.Fatalf("straggler failed: %v", err)
+	}
+	if got := exactRows(resE.Rows); got != soloRows[qE] {
+		t.Fatalf("straggler: rows differ from solo\ngot:\n%s\nwant:\n%s", got, soloRows[qE])
+	}
+	sh := resE.Metrics.SharedExec
+	if sh.BatchedQueries != 1 || sh.FusedPlans != 1 || sh.WindowWaits != 1 {
+		t.Fatalf("straggler: SharedExec = %+v, want {BatchedQueries:1 FusedPlans:1 WindowWaits:1}", sh)
+	}
+}
+
+// TestSharedExecMaskFamilyCompileSharing pins the worker-sharing contract of
+// the mask-family compiler (the pipeline sinks compile one factoring spec
+// per sink and instantiate per worker): raising Parallelism must not repeat
+// the factoring analysis, only the cheap per-worker closure instantiation.
+func TestSharedExecMaskFamilyCompileSharing(t *testing.T) {
+	st := diffTestStore(t)
+	query := "SELECT COUNT(*) AS c, SUM(f_qty) AS s FROM fact" +
+		" WHERE f_qty > 10 AND f_price < 1500.5 AND f_tag IN ('alpha', 'delta', '')"
+	run := func(parallelism int) exec.CompileCounters {
+		before := exec.CompileStats()
+		if _, err := OpenWithStore(st, Config{Parallelism: parallelism, BatchSize: 64}).Query(query); err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		after := exec.CompileStats()
+		return exec.CompileCounters{
+			MaskFamilyFactorings:     after.MaskFamilyFactorings - before.MaskFamilyFactorings,
+			MaskFamilyInstantiations: after.MaskFamilyInstantiations - before.MaskFamilyInstantiations,
+		}
+	}
+	d1 := run(1)
+	d8 := run(8)
+	if d1.MaskFamilyFactorings == 0 {
+		t.Fatal("query compiled no mask families — the factoring counter is not engaging")
+	}
+	if d8.MaskFamilyFactorings != d1.MaskFamilyFactorings {
+		t.Fatalf("factorings scale with parallelism: %d at p=8 vs %d at p=1 — the spec is not shared across workers",
+			d8.MaskFamilyFactorings, d1.MaskFamilyFactorings)
+	}
+	if d8.MaskFamilyInstantiations < d1.MaskFamilyInstantiations {
+		t.Fatalf("instantiations shrank with parallelism: %d at p=8 vs %d at p=1", d8.MaskFamilyInstantiations, d1.MaskFamilyInstantiations)
+	}
+}
+
+// FuzzDifferentialSharedExec extends the shared-vs-solo differential to
+// `go test -fuzz`: the fuzzer mutates the generator seed, searching for a
+// concurrent query set where fused execution, compensating-mask routing or
+// the as-if-solo metric attribution diverges from independent runs.
+func FuzzDifferentialSharedExec(f *testing.F) {
+	for _, seed := range []int64{0, 1, 17, 42, 20220513, -9} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		runSharedExecDifferential(t, seed)
+	})
+}

@@ -1,0 +1,251 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/engine"
+	"repro/internal/testgen"
+)
+
+// SharedExecOptions configures the cross-query shared-execution comparison:
+// waves of K concurrent clients, each running its own overlapping scalar
+// aggregation over the same fact table, once with ShareExec off (every
+// client scans alone) and once on (the admission window batches the wave,
+// fuses the plans and runs one scan for everybody).
+type SharedExecOptions struct {
+	// Rows is the fact-table row count (the testgen catalog at bench scale).
+	Rows int
+	Seed int64
+	// Iterations is how many waves run per client count; wall times and
+	// decode bytes are summed across them.
+	Iterations  int
+	Parallelism int
+	BatchSize   int
+	// Clients are the wave sizes compared, e.g. 1, 2, 4, 8.
+	Clients []int
+	// Window is the admission window for the shared runs. Batches seal as
+	// soon as the whole wave arrives (MaxFusedQueries = wave size), so the
+	// window is a scheduling backstop, not a per-wave latency tax.
+	Window time.Duration
+}
+
+// DefaultSharedExecOptions models the paper's concurrent-dashboards
+// motivation: up to eight clients asking overlapping questions of the same
+// table at the same moment.
+func DefaultSharedExecOptions() SharedExecOptions {
+	return SharedExecOptions{
+		Rows: 120000, Seed: 42, Iterations: 3,
+		Parallelism: 4, BatchSize: 1024,
+		Clients: []int{1, 2, 4, 8},
+		Window:  50 * time.Millisecond,
+	}
+}
+
+// sharedExecQuery is client j's query: the same scan and aggregate shapes
+// over shifted selective windows, so every pair of clients overlaps but
+// none are identical — the fused plan shares the scan, its union filter
+// discards the rows no client wants in one pass, and the compensating
+// masks split the survivors between the clients' aggregates.
+func sharedExecQuery(j int) string {
+	lo := 10 + 2*j
+	return fmt.Sprintf(
+		"SELECT COUNT(*) AS c, SUM(f_qty) AS sq, SUM(f_price) AS sp, MAX(f_price) AS xp"+
+			" FROM fact WHERE f_qty BETWEEN %d AND %d AND f_price < %d.5",
+		lo, lo+25, 2100-40*j)
+}
+
+// SharedExecWaveReport compares one wave size across modes.
+type SharedExecWaveReport struct {
+	Clients int `json:"clients"`
+
+	SoloWallMS   float64 `json:"solo_wall_ms"`
+	SharedWallMS float64 `json:"shared_wall_ms"`
+	Speedup      float64 `json:"speedup"`
+
+	// SoloDecodedBytes / SharedDecodedBytes are the physical decode work
+	// summed over clients and iterations. Fused clients report the fused
+	// run's physical counters, so the shared sum divides each client's
+	// decode bytes by its FusedPlans — the per-plan work counted once.
+	SoloDecodedBytes   int64   `json:"solo_decoded_bytes"`
+	SharedDecodedBytes int64   `json:"shared_decoded_bytes"`
+	DecodeReduction    float64 `json:"decode_reduction"`
+
+	// FusedClients counts clients served from a fused plan (FusedPlans >= 2),
+	// summed over iterations.
+	FusedClients int64 `json:"fused_clients"`
+	// Identical is true when every client in both modes returned rows
+	// byte-identical to the serial solo reference with the same BytesScanned.
+	Identical bool `json:"identical_results"`
+}
+
+// SharedExecComparison is the BENCH_sharedexec.json payload.
+type SharedExecComparison struct {
+	Rows        int     `json:"rows"`
+	Parallelism int     `json:"parallelism"`
+	BatchSize   int     `json:"batch_size"`
+	Iterations  int     `json:"iterations"`
+	WindowMS    float64 `json:"window_ms"`
+
+	Waves []SharedExecWaveReport `json:"waves"`
+
+	AllIdentical bool `json:"all_identical"`
+}
+
+// RunSharedExecComparison measures waves of concurrent overlapping queries
+// with shared execution off and on against one store, verifying every
+// client against a serial solo reference.
+func RunSharedExecComparison(opts SharedExecOptions) (*SharedExecComparison, error) {
+	if opts.Rows <= 0 {
+		opts.Rows = 120000
+	}
+	if opts.Iterations <= 0 {
+		opts.Iterations = 1
+	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = 4
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 1024
+	}
+	if len(opts.Clients) == 0 {
+		opts.Clients = []int{1, 2, 4, 8}
+	}
+	if opts.Window <= 0 {
+		opts.Window = 50 * time.Millisecond
+	}
+	st, err := testgen.NewStore(opts.Seed, opts.Rows)
+	if err != nil {
+		return nil, err
+	}
+
+	maxClients := 0
+	for _, k := range opts.Clients {
+		if k > maxClients {
+			maxClients = k
+		}
+	}
+	queries := make([]string, maxClients)
+	for j := range queries {
+		queries[j] = sharedExecQuery(j)
+	}
+
+	// Serial solo reference: the correctness oracle for every client.
+	serial := engine.OpenWithStore(st, engine.Config{Parallelism: 1, BatchSize: 1})
+	wantRows := make([]string, maxClients)
+	wantScanned := make([]int64, maxClients)
+	for j, q := range queries {
+		res, err := serial.Query(q)
+		if err != nil {
+			return nil, fmt.Errorf("bench: client %d (reference): %w", j, err)
+		}
+		wantRows[j] = renderRows(res.Rows)
+		wantScanned[j] = res.Metrics.Storage.BytesScanned
+	}
+
+	cmp := &SharedExecComparison{
+		Rows: opts.Rows, Parallelism: opts.Parallelism, BatchSize: opts.BatchSize,
+		Iterations: opts.Iterations, WindowMS: float64(opts.Window) / float64(time.Millisecond),
+		AllIdentical: true,
+	}
+
+	runWave := func(k int, share bool) (wall time.Duration, decoded, fused int64, identical bool, err error) {
+		cfg := engine.Config{Parallelism: opts.Parallelism, BatchSize: opts.BatchSize}
+		if share {
+			cfg.ShareExec = true
+			cfg.AdmissionWindow = opts.Window
+			cfg.MaxFusedQueries = k
+		}
+		eng := engine.OpenWithStore(st, cfg)
+		identical = true
+		for iter := 0; iter < opts.Iterations; iter++ {
+			results := make([]*engine.Result, k)
+			errs := make([]error, k)
+			start := time.Now()
+			var wg sync.WaitGroup
+			for j := 0; j < k; j++ {
+				j := j
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					results[j], errs[j] = eng.Query(queries[j])
+				}()
+			}
+			wg.Wait()
+			wall += time.Since(start)
+			for j := 0; j < k; j++ {
+				if errs[j] != nil {
+					return 0, 0, 0, false, fmt.Errorf("bench: client %d (share=%v): %w", j, share, errs[j])
+				}
+				res := results[j]
+				d := res.Metrics.Share.BytesDecoded
+				if fp := res.Metrics.SharedExec.FusedPlans; fp > 1 {
+					d /= fp // fused clients carry the fused run's counters
+					fused++
+				}
+				decoded += d
+				if renderRows(res.Rows) != wantRows[j] || res.Metrics.Storage.BytesScanned != wantScanned[j] {
+					identical = false
+				}
+			}
+		}
+		return wall, decoded, fused, identical, nil
+	}
+
+	for _, k := range opts.Clients {
+		soloWall, soloDecoded, _, soloIdent, err := runWave(k, false)
+		if err != nil {
+			return nil, err
+		}
+		sharedWall, sharedDecoded, fused, sharedIdent, err := runWave(k, true)
+		if err != nil {
+			return nil, err
+		}
+		wr := SharedExecWaveReport{
+			Clients:            k,
+			SoloWallMS:         float64(soloWall) / float64(time.Millisecond),
+			SharedWallMS:       float64(sharedWall) / float64(time.Millisecond),
+			SoloDecodedBytes:   soloDecoded,
+			SharedDecodedBytes: sharedDecoded,
+			FusedClients:       fused,
+			Identical:          soloIdent && sharedIdent,
+		}
+		if sharedWall > 0 {
+			wr.Speedup = float64(soloWall) / float64(sharedWall)
+		}
+		if sharedDecoded > 0 {
+			wr.DecodeReduction = float64(soloDecoded) / float64(sharedDecoded)
+		}
+		if !wr.Identical {
+			cmp.AllIdentical = false
+		}
+		cmp.Waves = append(cmp.Waves, wr)
+	}
+	return cmp, nil
+}
+
+// WriteJSON emits the comparison as indented JSON (the BENCH_sharedexec.json
+// artifact).
+func (c *SharedExecComparison) WriteJSON(out io.Writer) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// WriteTable renders a human-readable view of the comparison.
+func (c *SharedExecComparison) WriteTable(out io.Writer) {
+	fmt.Fprintf(out, "Cross-query shared execution (%d fact rows, %d iters, parallelism=%d, batch=%d, window=%.0fms)\n",
+		c.Rows, c.Iterations, c.Parallelism, c.BatchSize, c.WindowMS)
+	fmt.Fprintln(out, "clients | solo wall | shared wall | speedup | solo decoded | shared decoded | reduction | fused | identical")
+	fmt.Fprintln(out, "--------+-----------+-------------+---------+--------------+----------------+-----------+-------+----------")
+	for _, w := range c.Waves {
+		fmt.Fprintf(out, "%7d | %7.2fms | %9.2fms | %6.2fx | %9.2f MB | %11.2f MB | %8.2fx | %5d | %v\n",
+			w.Clients, w.SoloWallMS, w.SharedWallMS, w.Speedup,
+			float64(w.SoloDecodedBytes)/1e6, float64(w.SharedDecodedBytes)/1e6,
+			w.DecodeReduction, w.FusedClients, w.Identical)
+	}
+	fmt.Fprintf(out, "all identical: %v\n", c.AllIdentical)
+}

@@ -1,0 +1,37 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunSharedExecComparisonSmoke runs the shared-execution comparison at
+// toy scale: every client must verify against the solo reference, and the
+// multi-client wave must actually serve clients from fused plans (otherwise
+// the benchmark is measuring nothing).
+func TestRunSharedExecComparisonSmoke(t *testing.T) {
+	cmp, err := RunSharedExecComparison(SharedExecOptions{
+		Rows: 3000, Seed: 7, Iterations: 1,
+		Parallelism: 2, BatchSize: 256,
+		Clients: []int{1, 3},
+		Window:  200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.AllIdentical {
+		t.Fatalf("shared-execution clients diverged from solo reference: %+v", cmp.Waves)
+	}
+	if len(cmp.Waves) != 2 {
+		t.Fatalf("got %d waves, want 2", len(cmp.Waves))
+	}
+	if cmp.Waves[1].FusedClients == 0 {
+		t.Fatalf("3-client wave served no clients from fused plans: %+v", cmp.Waves[1])
+	}
+	var tbl strings.Builder
+	cmp.WriteTable(&tbl)
+	if !strings.Contains(tbl.String(), "all identical: true") {
+		t.Fatalf("table rendering missing identity line:\n%s", tbl.String())
+	}
+}

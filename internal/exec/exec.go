@@ -85,6 +85,11 @@ type Options struct {
 	// the pre-fusion execution model. Results are identical either way —
 	// this is the differential-validation and benchmarking baseline.
 	PullExec bool
+	// SharedClients, when > 1, marks this run as a cross-query fused plan
+	// executed once on behalf of that many concurrent clients
+	// (internal/xfuse). Memory reservations are then attributed through a
+	// shared tracker so a budget failure names every affected client.
+	SharedClients int
 }
 
 func (o Options) withDefaults() Options {
@@ -137,8 +142,30 @@ type Metrics struct {
 	// that crossed a fused project boundary without the dense column
 	// materialization the pull path would have performed.
 	Pipeline PipelineMetrics
+	// SharedExec tells the physical story of cross-query shared execution
+	// (internal/xfuse) for this client's run. The logical counters above
+	// (Storage, RowsProcessed) always describe the query as if it ran alone;
+	// SharedExec records how it actually ran: how many queries landed in its
+	// admission batch, how many of them one fused plan served, and whether
+	// the run waited out an admission window. All zero when shared execution
+	// is off or the query bypassed the window.
+	SharedExec SharedExecMetrics
 	// Elapsed is the wall-clock execution time.
 	Elapsed time.Duration
+}
+
+// SharedExecMetrics counts cross-query shared-execution activity for one
+// client's run.
+type SharedExecMetrics struct {
+	// BatchedQueries is the number of queries admitted to this run's batch
+	// (including this one).
+	BatchedQueries int64
+	// FusedPlans is the number of client queries the executed plan served:
+	// >= 2 when this query ran fused with others, 1 when it fell back to a
+	// solo run after batching.
+	FusedPlans int64
+	// WindowWaits counts admission windows this query waited through.
+	WindowWaits int64
 }
 
 // PipelineMetrics counts push-pipeline fusion activity for one run.
@@ -185,13 +212,19 @@ func RunWith(plan logical.Operator, store *storage.Store, opts Options) (*Result
 	if mempool == nil {
 		mempool = memctl.NewPool(0, "")
 	}
+	tracker := mempool.NewTracker(opts.QueryText)
+	if opts.SharedClients > 1 {
+		// A fused plan serving N clients reserves against the pool exactly
+		// once; budget failures name the whole batch.
+		tracker = mempool.NewSharedTracker(opts.QueryText, opts.SharedClients)
+	}
 	ex := &executor{
 		store:   store,
 		metrics: &Metrics{},
 		opts:    opts,
 		pool:    newWorkerPool(opts.Parallelism),
 		mempool: mempool,
-		tracker: mempool.NewTracker(opts.QueryText),
+		tracker: tracker,
 	}
 	if opts.ShareScans {
 		ex.share = scanshare.For(store, opts.ScanCacheBytes)

@@ -1,9 +1,43 @@
 package exec
 
 import (
+	"sync/atomic"
+
 	"repro/internal/expr"
 	"repro/internal/vec"
 )
+
+// familyFactorings counts maskFamilySpec constructions (the conjunct
+// flattening, canonicalization and prefix/residual factoring analysis);
+// familyInstantiations counts per-goroutine instantiations (closure
+// compilation plus scratch). Parallel sinks share one spec across all
+// their workers, so factorings must stay independent of Parallelism —
+// the compile-count assertion tests read these through CompileStats.
+var (
+	familyFactorings     atomic.Int64
+	familyInstantiations atomic.Int64
+)
+
+// CompileCounters is a snapshot of the process-wide expression-compilation
+// instrumentation, used by tests asserting that shared templates are built
+// once per operator rather than once per worker.
+type CompileCounters struct {
+	// MaskFamilyFactorings counts mask-set factoring analyses (shared
+	// across a sink's workers).
+	MaskFamilyFactorings int64
+	// MaskFamilyInstantiations counts per-goroutine family instantiations
+	// (closure compilation and scratch; these legitimately scale with
+	// worker count because compiled kernels own scratch state).
+	MaskFamilyInstantiations int64
+}
+
+// CompileStats returns the current compilation counters.
+func CompileStats() CompileCounters {
+	return CompileCounters{
+		MaskFamilyFactorings:     familyFactorings.Load(),
+		MaskFamilyInstantiations: familyInstantiations.Load(),
+	}
+}
 
 // maskFamily evaluates a fused aggregation's whole set of FILTER masks in
 // one pass per batch. The fusion rewrite (§III.E) tightens every sibling
@@ -64,11 +98,30 @@ type maskFamily struct {
 	prefixHits int64
 }
 
-// newMaskFamily factors a set of masks over one input layout. Masks should
-// be canonical (expr.Canonical) so that shared conjuncts dedup by their
-// rendered form; filterIter passes raw predicates, which only costs missed
-// sharing, never correctness.
-func newMaskFamily(masks []expr.Expr, layout map[expr.ColumnID]int) (*maskFamily, error) {
+// maskFamilySpec is the goroutine-shareable half of a mask family: the
+// conjunct flattening, canonicalization, and prefix/residual factoring over
+// one input layout. A parallel sink builds the spec once and every worker
+// instantiates it, so the O(masks × conjuncts) analysis (and its Canonical
+// string rendering) is not repeated per worker. The spec is immutable after
+// construction; instantiate() compiles the bitmap closures — which own
+// scratch and are goroutine-bound — into a fresh maskFamily per caller.
+type maskFamilySpec struct {
+	nMasks int
+	layout map[expr.ColumnID]int
+	// prefixExprs are conjuncts carried by every mask; residExprs are the
+	// deduplicated remainder.
+	prefixExprs []expr.Expr
+	residExprs  []expr.Expr
+	maskResids  [][]int
+	residShare  []int
+}
+
+// newMaskFamilySpec factors a set of masks over one input layout. Masks
+// should be canonical (expr.Canonical) so that shared conjuncts dedup by
+// their rendered form; filterIter passes raw predicates, which only costs
+// missed sharing, never correctness.
+func newMaskFamilySpec(masks []expr.Expr, layout map[expr.ColumnID]int) *maskFamilySpec {
+	familyFactorings.Add(1)
 	type conjunct struct {
 		e       expr.Expr
 		inMasks int
@@ -94,41 +147,71 @@ func newMaskFamily(masks []expr.Expr, layout map[expr.ColumnID]int) (*maskFamily
 			maskKeys[mi] = append(maskKeys[mi], key)
 		}
 	}
-	mf := &maskFamily{nMasks: len(masks)}
+	sp := &maskFamilySpec{nMasks: len(masks), layout: layout}
 	residIdx := make(map[string]int)
 	for _, key := range order {
 		cj := byKey[key]
-		fn, err := compileBitmapExpr(cj.e, layout)
-		if err != nil {
-			return nil, err
-		}
 		// A conjunct carried by every mask is prefix; note a mask with zero
 		// conjuncts (canonical TRUE) empties the prefix entirely, which is
 		// exactly right — nothing is shared by all.
 		if cj.inMasks == len(masks) {
-			mf.prefixFns = append(mf.prefixFns, fn)
+			sp.prefixExprs = append(sp.prefixExprs, cj.e)
 		} else {
-			residIdx[key] = len(mf.residFns)
-			mf.residFns = append(mf.residFns, fn)
+			residIdx[key] = len(sp.residExprs)
+			sp.residExprs = append(sp.residExprs, cj.e)
 		}
 	}
-	mf.maskResids = make([][]int, len(masks))
-	mf.residShare = make([]int, len(mf.residFns))
+	sp.maskResids = make([][]int, len(masks))
+	sp.residShare = make([]int, len(sp.residExprs))
 	for mi, keys := range maskKeys {
 		for _, key := range keys {
 			if ri, ok := residIdx[key]; ok {
-				mf.maskResids[mi] = append(mf.maskResids[mi], ri)
-				mf.residShare[ri]++
+				sp.maskResids[mi] = append(sp.maskResids[mi], ri)
+				sp.residShare[ri]++
 			}
 		}
 	}
+	return sp
+}
+
+// instantiate compiles the spec's conjuncts into a maskFamily with its own
+// scratch, bound to the calling goroutine's operator instance. Per-mask
+// residual indexing and share counts alias the spec (read-only after
+// construction).
+func (sp *maskFamilySpec) instantiate() (*maskFamily, error) {
+	familyInstantiations.Add(1)
+	mf := &maskFamily{
+		nMasks:     sp.nMasks,
+		maskResids: sp.maskResids,
+		residShare: sp.residShare,
+	}
+	for _, e := range sp.prefixExprs {
+		fn, err := compileBitmapExpr(e, sp.layout)
+		if err != nil {
+			return nil, err
+		}
+		mf.prefixFns = append(mf.prefixFns, fn)
+	}
+	for _, e := range sp.residExprs {
+		fn, err := compileBitmapExpr(e, sp.layout)
+		if err != nil {
+			return nil, err
+		}
+		mf.residFns = append(mf.residFns, fn)
+	}
 	mf.residTruth = make([]vec.Bitmap, len(mf.residFns))
-	mf.maskTruth = make([]vec.Bitmap, len(masks))
-	mf.truths = make([]*vec.Bitmap, len(masks))
+	mf.maskTruth = make([]vec.Bitmap, sp.nMasks)
+	mf.truths = make([]*vec.Bitmap, sp.nMasks)
 	for i := range mf.maskTruth {
 		mf.truths[i] = &mf.maskTruth[i]
 	}
 	return mf, nil
+}
+
+// newMaskFamily factors and compiles in one step, for single-worker call
+// sites that have no spec to share.
+func newMaskFamily(masks []expr.Expr, layout map[expr.ColumnID]int) (*maskFamily, error) {
+	return newMaskFamilySpec(masks, layout).instantiate()
 }
 
 // prefixLen reports how many shared conjuncts were factored out.

@@ -38,12 +38,16 @@ const (
 
 // stageSpec is the compile-once description of one fused stage; per-worker
 // instances are built from it because evaluators own scratch buffers and
-// are bound to one goroutine.
+// are bound to one goroutine. For filter stages the mask-family factoring
+// analysis is itself worker-independent, so it is cached here (famSpec) on
+// first instantiation and shared by every later worker — only the bitmap
+// closure compilation repeats per worker.
 type stageSpec struct {
 	kind    stageKind
 	cond    expr.Expr            // filter predicate
 	assigns []logical.Assignment // project outputs
 	layout  map[expr.ColumnID]int
+	famSpec *maskFamilySpec // lazily built shared factoring for filter stages
 }
 
 // chainSpec is a compiled fusible chain: a scan leaf (with any partition
@@ -107,10 +111,14 @@ type pipeStage struct {
 	projFns []batchFn
 }
 
-// newPipeStages instantiates the chain's stages for one goroutine.
+// newPipeStages instantiates the chain's stages for one goroutine. The
+// per-worker calls for one chain all happen sequentially on the coordinator
+// goroutine (newChainIterator / the sink constructors), so the famSpec
+// cache needs no lock.
 func newPipeStages(cs *chainSpec, naiveMasks bool) ([]pipeStage, error) {
 	stages := make([]pipeStage, len(cs.stages))
-	for si, ss := range cs.stages {
+	for si := range cs.stages {
+		ss := &cs.stages[si]
 		switch ss.kind {
 		case stageFilter:
 			if naiveMasks {
@@ -120,7 +128,10 @@ func newPipeStages(cs *chainSpec, naiveMasks bool) ([]pipeStage, error) {
 				}
 				stages[si] = pipeStage{kind: stageFilter, cond: ev}
 			} else {
-				fam, err := newMaskFamily([]expr.Expr{ss.cond}, ss.layout)
+				if ss.famSpec == nil {
+					ss.famSpec = newMaskFamilySpec([]expr.Expr{ss.cond}, ss.layout)
+				}
+				fam, err := ss.famSpec.instantiate()
 				if err != nil {
 					return nil, err
 				}

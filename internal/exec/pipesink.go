@@ -61,8 +61,11 @@ func (ex *executor) buildScalarAggSink(g *logical.GroupBy) (BatchIterator, bool,
 		return nil, false, nil
 	}
 	// Validate chain and aggregate compilation before committing to the
-	// scan: once scanSource charges BytesScanned the sink must be used.
-	if _, err := newScalarWorker(g, cs, ex.opts.NaiveMasks); err != nil {
+	// scan: once scanSource charges BytesScanned the sink must be used. The
+	// spec survives into the parallel sink so the validation worker's mask
+	// factoring is reused by every execution worker.
+	spec := &scalarWorkerSpec{g: g, cs: cs, naiveMasks: ex.opts.NaiveMasks}
+	if _, err := spec.newWorker(); err != nil {
 		return nil, true, err
 	}
 	parts, share, err := ex.scanSource(cs.scan, cs.prune)
@@ -79,7 +82,7 @@ func (ex *executor) buildScalarAggSink(g *logical.GroupBy) (BatchIterator, bool,
 		it, err := ex.serialScalarGroupBy(g, in)
 		return it, true, err
 	}
-	it, err := newScalarAggIter(ex, g, cs, morsels, share)
+	it, err := newScalarAggIter(ex, spec, morsels, share)
 	if err != nil {
 		return nil, true, err
 	}
@@ -106,8 +109,22 @@ type scalarWorker struct {
 	maskSub []*vec.Batch
 }
 
-func newScalarWorker(g *logical.GroupBy, cs *chainSpec, naiveMasks bool) (*scalarWorker, error) {
-	stages, err := newPipeStages(cs, naiveMasks)
+// scalarWorkerSpec builds scalarWorkers for one sink, sharing the
+// worker-independent analysis: the chain's stage factoring lives on cs
+// (stageSpec.famSpec) and the aggregate mask-family factoring is cached here
+// after the first worker builds it. Workers are constructed sequentially on
+// the coordinator goroutine, so the cache needs no lock. Evaluators and
+// compiled bitmap closures own scratch and stay per-worker.
+type scalarWorkerSpec struct {
+	g          *logical.GroupBy
+	cs         *chainSpec
+	naiveMasks bool
+	famSpec    *maskFamilySpec
+}
+
+func (sp *scalarWorkerSpec) newWorker() (*scalarWorker, error) {
+	g := sp.g
+	stages, err := newPipeStages(sp.cs, sp.naiveMasks)
 	if err != nil {
 		return nil, err
 	}
@@ -119,7 +136,7 @@ func newScalarWorker(g *logical.GroupBy, cs *chainSpec, naiveMasks bool) (*scala
 	nMasks := len(aggs.maskAst)
 	var family *maskFamily
 	var maskEvs []*batchEvaluator
-	if naiveMasks {
+	if sp.naiveMasks {
 		maskEvs = make([]*batchEvaluator, nMasks)
 		for i, ast := range aggs.maskAst {
 			if maskEvs[i], err = newBatchEvaluator(ast, layout); err != nil {
@@ -127,7 +144,12 @@ func newScalarWorker(g *logical.GroupBy, cs *chainSpec, naiveMasks bool) (*scala
 			}
 		}
 	} else if nMasks > 0 {
-		if family, err = newMaskFamily(aggs.maskAst, layout); err != nil {
+		// compileAggs derives maskAst deterministically from g.Aggs, so the
+		// factoring cached off the first worker's ASTs is valid for them all.
+		if sp.famSpec == nil {
+			sp.famSpec = newMaskFamilySpec(aggs.maskAst, layout)
+		}
+		if family, err = sp.famSpec.instantiate(); err != nil {
 			return nil, err
 		}
 	}
@@ -259,11 +281,12 @@ type scalarAggIter struct {
 	out   *vec.Batch
 }
 
-func newScalarAggIter(ex *executor, g *logical.GroupBy, cs *chainSpec, morsels []morsel, share *scanshare.Scan) (*scalarAggIter, error) {
+func newScalarAggIter(ex *executor, spec *scalarWorkerSpec, morsels []morsel, share *scanshare.Scan) (*scalarAggIter, error) {
+	g := spec.g
 	run := newOrderedRun[scalarMorselOut](len(morsels), ex.opts.Parallelism)
 	workers := make([]*scalarWorker, run.workers)
 	for w := range workers {
-		sw, err := newScalarWorker(g, cs, ex.opts.NaiveMasks)
+		sw, err := spec.newWorker()
 		if err != nil {
 			return nil, err
 		}
@@ -276,7 +299,7 @@ func newScalarAggIter(ex *executor, g *logical.GroupBy, cs *chainSpec, morsels [
 		sensitive[i] = orderSensitive(a.Agg)
 	}
 	return &scalarAggIter{
-		run: run, morsels: morsels, cols: cs.scan.ColNames,
+		run: run, morsels: morsels, cols: spec.cs.scan.ColNames,
 		batchSize: ex.opts.BatchSize, m: ex.metrics, pool: ex.pool, share: share,
 		workers: workers, aggCalls: aggCalls, sensitive: sensitive,
 	}, nil

@@ -47,12 +47,19 @@ type MemoryExceededError struct {
 	// Held maps operator label to its resident bytes at failure time —
 	// the budget that could not be shed.
 	Held map[string]int64
+	// Clients is the number of client queries served by the failing run: 1
+	// for an ordinary query, > 1 when a cross-query fused plan (one shared
+	// reservation scope) fails on behalf of its whole batch.
+	Clients int
 }
 
 func (e *MemoryExceededError) Error() string {
 	q := e.Query
 	if q == "" {
 		q = "<unknown query>"
+	}
+	if e.Clients > 1 {
+		q = fmt.Sprintf("%s (shared by %d clients)", q, e.Clients)
 	}
 	var held string
 	if len(e.Held) > 0 {
@@ -129,7 +136,19 @@ func (p *Pool) Used() int64 {
 // NewTracker opens a per-query accounting scope. query is the SQL text,
 // used for error attribution.
 func (p *Pool) NewTracker(query string) *Tracker {
-	return &Tracker{pool: p, query: query, ops: make(map[string]*opState)}
+	return &Tracker{pool: p, query: query, clients: 1, ops: make(map[string]*opState)}
+}
+
+// NewSharedTracker opens the accounting scope of a cross-query fused plan
+// executed once on behalf of clients concurrent queries. The fused run
+// holds ONE budget — its operators reserve against the pool exactly once,
+// not once per client — and a reservation failure is attributed to the
+// whole batch (MemoryExceededError.Clients).
+func (p *Pool) NewSharedTracker(query string, clients int) *Tracker {
+	if clients < 1 {
+		clients = 1
+	}
+	return &Tracker{pool: p, query: query, clients: clients, ops: make(map[string]*opState)}
 }
 
 // pickVictim returns the registered spillable with the most spillable
@@ -171,10 +190,13 @@ type opState struct {
 	spillFiles   int64
 }
 
-// Tracker is one query's accounting scope against a pool.
+// Tracker is one query's accounting scope against a pool. A shared tracker
+// (NewSharedTracker) is the same scope opened for a fused plan serving
+// several clients at once.
 type Tracker struct {
-	pool  *Pool
-	query string
+	pool    *Pool
+	query   string
+	clients int
 
 	mu           sync.Mutex
 	used, peak   int64
@@ -211,6 +233,7 @@ func (t *Tracker) Reserve(op string, n int64) error {
 				return &MemoryExceededError{
 					Query: t.query, Operator: op, Requested: n,
 					Limit: p.limit, Peak: t.Peak(), Held: t.heldByOp(),
+					Clients: t.clients,
 				}
 			}
 			p.mu.Unlock()

@@ -167,6 +167,50 @@ func QuerySet(seed int64, n int) []string {
 	return out
 }
 
+// ShareSet emits n shared-execution-eligible queries from one generator
+// seed — the unit of the shared-execution differential mode, where the set
+// is submitted concurrently to a ShareExec engine and each client's result
+// is compared against an independent solo run. A separate entry point (not
+// Query) so its draws never perturb Query()'s deterministic sequence.
+func ShareSet(seed int64, n int) []string {
+	g := New(seed)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = g.ShareQuery()
+	}
+	return out
+}
+
+// ShareQuery emits one query whose optimized plan is eligible for
+// cross-query shared execution: a Filter/Project chain over one scan, or a
+// scalar aggregation (optionally with arithmetic above it) over such a
+// chain. Most shapes target the fact table so concurrent submissions fuse;
+// the occasional dim-table chain exercises the fold declining to fuse
+// across tables (and the solo fallback when it ends up alone).
+func (g *Gen) ShareQuery() string {
+	switch g.rng.Intn(8) {
+	case 0: // plain column projection
+		return fmt.Sprintf("SELECT f_k1, f_k2, f_qty FROM fact WHERE %s", g.predicate())
+	case 1: // computed projection
+		return fmt.Sprintf("SELECT f_k1, f_qty * %d AS q, f_price + %d.5 AS p FROM fact WHERE %s",
+			1+g.rng.Intn(5), g.rng.Intn(100), g.predicate())
+	case 2: // unfiltered scan projection
+		return "SELECT f_k1, f_tag FROM fact"
+	case 3: // scalar aggregation
+		return fmt.Sprintf("SELECT %s FROM fact WHERE %s", g.aggList(), g.predicate())
+	case 4: // scalar aggregation with arithmetic above it
+		return fmt.Sprintf(
+			"SELECT SUM(f_qty) + COUNT(*) AS t, MAX(f_price) AS mp FROM fact WHERE %s",
+			g.predicate())
+	case 5: // scalar aggregation over the whole table
+		return fmt.Sprintf("SELECT %s FROM fact", g.aggList())
+	case 6: // dimension-table chain (fuses only with other dim chains)
+		return fmt.Sprintf("SELECT d_name, d_grp FROM dim WHERE d_grp >= %d", g.rng.Intn(4))
+	default: // narrow single-column chain
+		return fmt.Sprintf("SELECT f_tag FROM fact WHERE %s", g.predicate())
+	}
+}
+
 // Query emits one random query. Patterns cover keyed aggregation, scalar
 // aggregation, join+aggregation, LEFT JOIN projection, DISTINCT,
 // COUNT(DISTINCT), residual join conditions and UNION ALL reuse shapes.

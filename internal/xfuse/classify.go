@@ -1,0 +1,152 @@
+package xfuse
+
+import (
+	"repro/internal/expr"
+	"repro/internal/logical"
+)
+
+// Shared execution admits exactly the plan shapes whose per-client logical
+// metrics are derivable in closed form from the fused run — the contract is
+// that a batched client's Metrics (rows, bytes) are byte-identical to a
+// solo run, so anything we cannot attribute exactly bypasses the window and
+// runs alone. Two classes qualify:
+//
+//   - classSFP: a Filter/Project stack over a Scan with at most one Filter
+//     (the push pipeline's fusible chain). The client's rows are the fused
+//     chain's output filtered by its compensating predicate, and the solo
+//     RowsProcessed charge schedule depends only on the chain's stage
+//     layout and the survivor count.
+//
+//   - classScalar: Project* over a scalar (no GROUP BY keys) aggregation
+//     over such a chain. The paper's §III.E mask composition merges the
+//     clients' aggregates into one fused GroupBy whose FILTER masks carry
+//     the compensations, and a per-client COUNT(*) over its compensation
+//     recovers the solo survivor count exactly.
+//
+// Everything else — LIMIT, ORDER BY, joins, grouped aggregation, window
+// functions, DISTINCT (a MarkDistinct operator) — returns ok=false and the
+// query never waits on an admission window.
+
+type planClass int
+
+const (
+	classSFP planClass = iota
+	classScalar
+)
+
+// classified is an eligible plan decomposed for fold-fusion.
+type classified struct {
+	class planClass
+	// chainRoot is the fusible chain: the whole plan for classSFP, the
+	// GroupBy input for classScalar.
+	chainRoot logical.Operator
+	// gb and tops (the Project stack above it, root-first) are set for
+	// classScalar only.
+	gb   *logical.GroupBy
+	tops []*logical.Project
+	// outCols is the plan's output schema.
+	outCols []*expr.Column
+}
+
+// classify decides eligibility. ok=false means bypass: run solo, no window.
+func classify(plan logical.Operator) (*classified, bool) {
+	if chainEligible(plan) {
+		return &classified{class: classSFP, chainRoot: plan, outCols: plan.Schema()}, true
+	}
+	var tops []*logical.Project
+	cur := plan
+	for {
+		p, ok := cur.(*logical.Project)
+		if !ok {
+			break
+		}
+		tops = append(tops, p)
+		cur = p.Input
+	}
+	if gb, ok := cur.(*logical.GroupBy); ok && gb.IsScalar() && chainEligible(gb.Input) {
+		return &classified{
+			class: classScalar, chainRoot: gb.Input,
+			gb: gb, tops: tops, outCols: plan.Schema(),
+		}, true
+	}
+	return nil, false
+}
+
+// chainEligible reports whether op is a Filter/Project stack over a Scan
+// with at most one Filter — the shape whose solo charge schedule
+// exec.ChainShape models exactly.
+func chainEligible(op logical.Operator) bool {
+	filters := 0
+	for {
+		switch o := op.(type) {
+		case *logical.Scan:
+			return true
+		case *logical.Filter:
+			filters++
+			if filters > 1 {
+				return false
+			}
+			op = o.Input
+		case *logical.Project:
+			op = o.Input
+		default:
+			return false
+		}
+	}
+}
+
+// chainShapeOK reports whether a fused chain is still executable as one
+// chain (any Filter/Project stack over a Scan). Fusing two eligible chains
+// always yields this shape; the check is the fold's safety net rather than
+// a prediction.
+func chainShapeOK(op logical.Operator) bool {
+	for {
+		switch o := op.(type) {
+		case *logical.Scan:
+			return true
+		case *logical.Filter:
+			op = o.Input
+		case *logical.Project:
+			op = o.Input
+		default:
+			return false
+		}
+	}
+}
+
+// trivialComp reports a compensation that admits every row.
+func trivialComp(e expr.Expr) bool { return e == nil || expr.IsTrueLiteral(e) }
+
+// compOrNil normalizes a compensation: nil for trivial.
+func compOrNil(e expr.Expr) expr.Expr {
+	if trivialComp(e) {
+		return nil
+	}
+	return e
+}
+
+// schemaIDs collects an operator's output column IDs.
+func schemaIDs(op logical.Operator) map[expr.ColumnID]bool {
+	sch := op.Schema()
+	ids := make(map[expr.ColumnID]bool, len(sch))
+	for _, c := range sch {
+		ids[c.ID] = true
+	}
+	return ids
+}
+
+// exprResolvable reports whether every column e references is in ids.
+// nil expressions resolve trivially.
+func exprResolvable(e expr.Expr, ids map[expr.ColumnID]bool) bool {
+	if e == nil {
+		return true
+	}
+	need := make(map[expr.ColumnID]bool)
+	expr.CollectColumns(e, need)
+	for id := range need {
+		if !ids[id] {
+			return false
+		}
+	}
+	return true
+}

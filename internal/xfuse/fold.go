@@ -1,0 +1,155 @@
+package xfuse
+
+import (
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/logical"
+)
+
+// A group is a set of batch entries whose chains folded into one fused
+// chain via repeated core.Fuse. The fold is left-associative: the current
+// fused chain is always P1, so its columns keep their identity in the next
+// fused plan (fuseProjects retains every P1 assignment, fuseScans maps P2
+// columns onto P1's) — which is exactly what lets per-member compensations
+// and output columns, resolved against an earlier chain, stay valid as the
+// chain grows. Each fold is tentative: the candidate chain is validated
+// (shape still a chain, every member's compensation and columns still
+// resolvable) before committing, so a Fuse result we cannot route rows
+// through simply rejects the member into another group.
+type group struct {
+	class planClass
+	chain logical.Operator
+	// members, and per member: comp (the accumulated compensating predicate
+	// over the current chain schema selecting this member's rows; nil =
+	// all), and for classSFP the member's output columns resolved into the
+	// chain schema. For classScalar chainMap maps the member's original
+	// chain columns to fused chain columns (nil = identity), consumed by
+	// the aggregate composition at run time.
+	members   []*entry
+	comps     []expr.Expr
+	outs      [][]*expr.Column
+	chainMaps []expr.Mapping
+}
+
+// tryAdd attempts to fold e into g, returning false (g unchanged) when the
+// plans do not fuse or the fused result fails validation.
+func (g *group) tryAdd(e *entry) bool {
+	if len(g.members) == 0 {
+		g.chain = e.cl.chainRoot
+		g.members = []*entry{e}
+		g.comps = []expr.Expr{nil}
+		g.chainMaps = []expr.Mapping{nil}
+		if g.class == classSFP {
+			g.outs = [][]*expr.Column{e.cl.outCols}
+		} else {
+			g.outs = [][]*expr.Column{nil}
+		}
+		return true
+	}
+	res, ok := core.Fuse(g.chain, e.cl.chainRoot)
+	if !ok || !chainShapeOK(res.Plan) {
+		return false
+	}
+	ids := schemaIDs(res.Plan)
+
+	// Existing members: conjoin the fold's L (restores the previous chain)
+	// onto each compensation; their columns kept identity.
+	newComps := make([]expr.Expr, 0, len(g.comps)+1)
+	for _, c := range g.comps {
+		nc := compOrNil(expr.Simplify(expr.And(c, res.L)))
+		if !exprResolvable(nc, ids) {
+			return false
+		}
+		newComps = append(newComps, nc)
+	}
+	newComp := compOrNil(expr.Simplify(res.R))
+	if !exprResolvable(newComp, ids) {
+		return false
+	}
+	newComps = append(newComps, newComp)
+
+	var newOuts [][]*expr.Column
+	var newMap expr.Mapping
+	switch g.class {
+	case classSFP:
+		newOuts = make([][]*expr.Column, 0, len(g.outs)+1)
+		for _, cols := range g.outs {
+			for _, c := range cols {
+				if !ids[c.ID] {
+					return false
+				}
+			}
+			newOuts = append(newOuts, cols)
+		}
+		resolved := make([]*expr.Column, len(e.cl.outCols))
+		for i, c := range e.cl.outCols {
+			resolved[i] = res.M.Resolve(c)
+			if !ids[resolved[i].ID] {
+				return false
+			}
+		}
+		newOuts = append(newOuts, resolved)
+	case classScalar:
+		// Validate that the new member's aggregates and every earlier
+		// member's (already-mapped) aggregates still compile over the
+		// candidate chain.
+		for mi, m := range g.members {
+			if !scalarMemberResolvable(m.cl.gb, g.chainMaps[mi], ids) {
+				return false
+			}
+		}
+		newMap = expr.Mapping{}
+		for k, v := range res.M {
+			newMap[k] = v
+		}
+		if !scalarMemberResolvable(e.cl.gb, newMap, ids) {
+			return false
+		}
+		newOuts = append(g.outs, nil)
+	}
+
+	g.chain = res.Plan
+	g.members = append(g.members, e)
+	g.comps = newComps
+	g.outs = newOuts
+	g.chainMaps = append(g.chainMaps, newMap)
+	return true
+}
+
+// scalarMemberResolvable checks that every aggregate argument and mask of
+// gb, pushed through the member's chain mapping, references only fused
+// chain columns.
+func scalarMemberResolvable(gb *logical.GroupBy, m expr.Mapping, ids map[expr.ColumnID]bool) bool {
+	for _, a := range gb.Aggs {
+		mapped := a.Agg
+		if m != nil {
+			mapped = m.ApplyAgg(a.Agg)
+		}
+		if !exprResolvable(mapped.Arg, ids) || !exprResolvable(mapped.Mask, ids) {
+			return false
+		}
+	}
+	return true
+}
+
+// buildGroups greedily folds entries of one class: each entry joins the
+// first existing group that accepts it, else opens its own. Greedy
+// first-fit keeps the fold deterministic in arrival order.
+func buildGroups(class planClass, entries []*entry) []*group {
+	var groups []*group
+	for _, e := range entries {
+		placed := false
+		for _, g := range groups {
+			if g.tryAdd(e) {
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			g := &group{class: class}
+			g.tryAdd(e)
+			groups = append(groups, g)
+		}
+	}
+	return groups
+}

@@ -1,0 +1,222 @@
+// Package xfuse implements cross-query shared execution: concurrently
+// arriving queries are held in a short admission window, their optimized
+// plans folded together with the paper's Fuse primitive, and one fused plan
+// executed on behalf of the whole batch. Each client's rows are
+// reconstructed from the fused output through its compensating predicate
+// (the mask-family kernels evaluate all clients' predicates in one pass),
+// and each client's logical metrics — bytes scanned, rows processed — are
+// attributed as if its query had run alone, so batching is observable only
+// through Metrics.SharedExec and the saved physical work.
+//
+// Shared execution never narrows coverage: a plan shape we cannot fuse or
+// attribute exactly bypasses the window entirely, a window that expires
+// with a single query falls back to solo execution, and any error in the
+// fused run returns every member to the solo path (a genuine query error
+// reproduces there).
+package xfuse
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/exec"
+	"repro/internal/logical"
+	"repro/internal/storage"
+)
+
+// Config tunes the admission window.
+type Config struct {
+	// Window is how long the first eligible query of a batch waits for
+	// companions before the batch seals.
+	Window time.Duration
+	// MaxQueries seals a batch early once this many queries joined.
+	MaxQueries int
+}
+
+// Runner batches eligible queries and executes fused plans. One Runner
+// serves one engine instance; Submit is safe for concurrent use.
+type Runner struct {
+	store *storage.Store
+	// opts is the engine's execution-option template; per-run fields
+	// (QueryText, SharedClients) are overwritten per fused plan.
+	opts exec.Options
+	cfg  Config
+
+	mu  sync.Mutex
+	cur *batch
+}
+
+// NewRunner creates a runner over the engine's store and option template.
+func NewRunner(store *storage.Store, opts exec.Options, cfg Config) *Runner {
+	if cfg.MaxQueries < 1 {
+		cfg.MaxQueries = 1
+	}
+	return &Runner{store: store, opts: opts, cfg: cfg}
+}
+
+// entry is one submitted query waiting on its batch.
+type entry struct {
+	sql  string
+	plan logical.Operator
+	cl   *classified
+
+	// done is closed when the batch has decided this entry's fate; res,
+	// stamp and err are valid after that. res == nil with err == nil means
+	// "run solo, stamping stamp".
+	done  chan struct{}
+	res   *exec.Result
+	stamp exec.SharedExecMetrics
+	err   error
+	// abandoned is set when the submitter's context was canceled; the
+	// batch skips (or discards) this entry's work.
+	abandoned atomic.Bool
+}
+
+// batch is one admission window's worth of eligible queries.
+type batch struct {
+	entries []*entry
+	sealed  bool
+	timer   *time.Timer
+}
+
+// Submit offers an optimized plan for shared execution. The three-way
+// return mirrors the fallback contract:
+//
+//   - res != nil: the batch served this query; res is its complete result
+//     with as-if-solo logical metrics and the SharedExec stamp set.
+//   - res == nil, err == nil: run the plan solo. stamp is non-zero when
+//     the query waited through a window (solo fallback) and zero when it
+//     bypassed batching entirely (ineligible shape).
+//   - err != nil: the submitter's ctx was canceled while waiting; no solo
+//     run is owed.
+//
+// Submit blocks for at most one admission window plus the fused execution.
+func (r *Runner) Submit(ctx context.Context, sql string, plan logical.Operator) (*exec.Result, exec.SharedExecMetrics, error) {
+	var zero exec.SharedExecMetrics
+	cl, ok := classify(plan)
+	if !ok {
+		return nil, zero, nil
+	}
+	e := &entry{sql: sql, plan: plan, cl: cl, done: make(chan struct{})}
+
+	r.mu.Lock()
+	b := r.cur
+	if b == nil || b.sealed {
+		b = &batch{}
+		r.cur = b
+		b.timer = time.AfterFunc(r.cfg.Window, func() { r.seal(b) })
+	}
+	b.entries = append(b.entries, e)
+	if len(b.entries) >= r.cfg.MaxQueries {
+		r.sealLocked(b)
+	}
+	r.mu.Unlock()
+
+	select {
+	case <-e.done:
+		return e.res, e.stamp, e.err
+	case <-ctx.Done():
+		e.abandoned.Store(true)
+		return nil, zero, ctx.Err()
+	}
+}
+
+func (r *Runner) seal(b *batch) {
+	r.mu.Lock()
+	r.sealLocked(b)
+	r.mu.Unlock()
+}
+
+// sealLocked closes the batch to new arrivals and hands it to a dedicated
+// execution goroutine. The goroutine — not a member — owns the run, so a
+// member whose context cancels mid-flight never strands the rest of the
+// batch. Queries arriving after the seal open a fresh batch.
+func (r *Runner) sealLocked(b *batch) {
+	if b.sealed {
+		return
+	}
+	b.sealed = true
+	if r.cur == b {
+		r.cur = nil
+	}
+	if b.timer != nil {
+		b.timer.Stop()
+	}
+	go r.execute(b)
+}
+
+// execute partitions the batch into fused groups and runs them. Members of
+// single-entry groups (nothing fused with them) are released immediately to
+// the solo path.
+func (r *Runner) execute(b *batch) {
+	var live []*entry
+	for _, e := range b.entries {
+		if !e.abandoned.Load() {
+			live = append(live, e)
+		}
+	}
+	n := int64(len(live))
+	byClass := map[planClass][]*entry{}
+	for _, e := range live {
+		byClass[e.cl.class] = append(byClass[e.cl.class], e)
+	}
+	for class, entries := range byClass {
+		for _, g := range buildGroups(class, entries) {
+			if len(g.members) < 2 {
+				deliverSolo(g.members[0], n)
+				continue
+			}
+			go r.runGroup(n, g)
+		}
+	}
+}
+
+// deliverSolo releases an entry to the solo path with its window stamp.
+func deliverSolo(e *entry, batched int64) {
+	e.stamp = exec.SharedExecMetrics{BatchedQueries: batched, FusedPlans: 1, WindowWaits: 1}
+	close(e.done)
+}
+
+// deliverSoloGroup falls a whole group back to solo execution — the
+// fused-run error path. A genuine query error reproduces on the solo run;
+// a shared-infrastructure error must not fail queries that would succeed
+// alone.
+func deliverSoloGroup(g *group, batched int64) {
+	for _, e := range g.members {
+		deliverSolo(e, batched)
+	}
+}
+
+func (r *Runner) runGroup(batched int64, g *group) {
+	switch g.class {
+	case classSFP:
+		r.runSFPGroup(batched, g)
+	case classScalar:
+		r.runScalarGroup(batched, g)
+	}
+}
+
+// groupOptions builds the fused run's execution options: one shared memory
+// attribution for the whole batch, query text naming it, and a worker
+// budget scaled by the batch size — the fused plan is doing its members'
+// combined work, so it gets the workers they would have used (capped at the
+// hardware), not one member's share. Results are bit-identical at any
+// parallelism, so the scaling is unobservable in rows and logical metrics.
+func (r *Runner) groupOptions(g *group) exec.Options {
+	opts := r.opts
+	opts.SharedClients = len(g.members)
+	opts.QueryText = sharedQueryText(len(g.members), g.members[0].sql)
+	if opts.Parallelism > 0 {
+		scaled := opts.Parallelism * len(g.members)
+		if max := runtime.GOMAXPROCS(0); scaled > max {
+			scaled = max
+		}
+		if scaled > opts.Parallelism {
+			opts.Parallelism = scaled
+		}
+	}
+	return opts
+}
