@@ -5,6 +5,8 @@
 // Usage:
 //
 //	athenalite [-scale 0.1] [-fusion=true]
+//	athenalite serve [-addr :4141] [-scale 0.1]   # multi-tenant query service
+//	athenalite client [-addr :4141] [-tenant t1]  # remote shell over the wire
 //
 // Inside the shell:
 //
@@ -28,6 +30,16 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			serveMain(os.Args[2:])
+			return
+		case "client":
+			clientMain(os.Args[2:])
+			return
+		}
+	}
 	var (
 		scale  = flag.Float64("scale", 0.1, "data scale factor")
 		fusion = flag.Bool("fusion", true, "enable fusion rules")

@@ -36,6 +36,7 @@ func main() {
 		maskOut       = flag.String("mask", "", "write a naive-vs-family mask kernel comparison to this JSON file and exit")
 		pipelineOut   = flag.String("pipeline", "", "write a pull-vs-push pipeline execution comparison to this JSON file and exit")
 		sharedExecOut = flag.String("sharedexec", "", "write a concurrent shared-execution vs independent-run comparison to this JSON file and exit")
+		serviceOut    = flag.String("service", "", "write a multi-tenant service vs no-queue baseline comparison to this JSON file and exit")
 		parallelism   = flag.Int("parallelism", 4, "workers for the parallel side of -exec/-agg/-shared")
 		batchSize     = flag.Int("batch", 1024, "rows per batch for the parallel side of -exec/-agg/-shared")
 		concurrency   = flag.Int("concurrency", 4, "concurrent query workers for -shared")
@@ -103,6 +104,17 @@ func main() {
 		opts.Parallelism = *parallelism
 		opts.BatchSize = *batchSize
 		runSharedExecComparison(*sharedExecOut, opts)
+		return
+	}
+	if *serviceOut != "" {
+		// -service also uses the testgen catalog: the mixed-tenant query
+		// list is generated per connection, so -q does not apply.
+		opts := bench.DefaultServiceOptions()
+		opts.Seed = *seed
+		opts.Iterations = *iters
+		opts.Parallelism = *parallelism
+		opts.BatchSize = *batchSize
+		runServiceComparison(*serviceOut, opts)
 		return
 	}
 	if *sharedOut != "" {
@@ -219,6 +231,27 @@ func runSharedExecComparison(path string, opts bench.SharedExecOptions) {
 	fmt.Fprintf(os.Stderr, "generating %d fact rows and comparing waves of %v concurrent clients with shared execution off/on...\n",
 		opts.Rows, opts.Clients)
 	cmp, err := bench.RunSharedExecComparison(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := cmp.WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	cmp.WriteTable(os.Stdout)
+}
+
+func runServiceComparison(path string, opts bench.ServiceOptions) {
+	fmt.Fprintf(os.Stderr, "generating %d fact rows and comparing %v client connections through the service vs a no-queue baseline...\n",
+		opts.Rows, opts.Connections)
+	cmp, err := bench.RunServiceComparison(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)

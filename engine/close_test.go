@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/testgen"
+)
+
+func TestEngineCloseRejectsAndIdempotent(t *testing.T) {
+	st, err := testgen.NewStore(1, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := OpenWithStore(st, Config{ShareScans: true})
+	if _, err := eng.Query("SELECT f_k1 FROM fact"); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := eng.Query("SELECT f_k1 FROM fact"); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("post-close Query err = %v, want ErrEngineClosed", err)
+	}
+	if _, err := eng.QueryAs(context.Background(), "a", "SELECT f_k1 FROM fact"); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("post-close QueryAs err = %v, want ErrEngineClosed", err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// TestEngineCloseDrains closes the engine while queries are in flight
+// (including fused shared-execution batches) and checks every query either
+// completed normally or was rejected before starting — never dropped — and
+// that the engine's goroutines are gone afterwards.
+func TestEngineCloseDrains(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	st, err := testgen.NewStore(2, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := OpenWithStore(st, Config{
+		ShareExec:       true,
+		AdmissionWindow: 2 * time.Millisecond,
+		ShareScans:      true,
+	})
+	const n = 24
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = eng.Query("SELECT f_k1, f_qty FROM fact WHERE f_qty > 3")
+		}(i)
+	}
+	// Close races the queries: some complete first, stragglers are
+	// rejected at beginQuery; none may hang or return a non-lifecycle
+	// error.
+	if err := eng.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil && !errors.Is(err, ErrEngineClosed) {
+			t.Errorf("query %d: %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			m := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak after Close: %d > baseline %d\n%s", runtime.NumGoroutine(), baseline, buf[:m])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSharedShapeCacheAcrossRounds checks the xfuse runner's chain-shape
+// cache actually short-circuits the partition-metadata replay when the
+// same query shapes fuse again in a later batch.
+func TestSharedShapeCacheAcrossRounds(t *testing.T) {
+	st, err := testgen.NewStore(3, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := OpenWithStore(st, Config{
+		ShareExec:       true,
+		AdmissionWindow: 250 * time.Millisecond,
+		MaxFusedQueries: 2,
+	})
+	defer eng.Close()
+	const q = "SELECT f_k1, f_price FROM fact WHERE f_qty > 4"
+	pair := func() {
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := eng.Query(q); err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	pair()
+	cache := eng.shared.ShapeCache()
+	missesAfterFirst := cache.Misses()
+	if missesAfterFirst == 0 {
+		t.Skip("first round did not fuse (scheduler never overlapped the submissions)")
+	}
+	pair()
+	if cache.Hits() == 0 {
+		t.Fatalf("second fused round did not hit the shape cache (hits=0, misses=%d)", cache.Misses())
+	}
+	if cache.Misses() != missesAfterFirst {
+		t.Errorf("second round recomputed shapes: misses %d -> %d", missesAfterFirst, cache.Misses())
+	}
+}

@@ -20,8 +20,10 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/binder"
 	"repro/internal/catalog"
@@ -30,6 +32,7 @@ import (
 	"repro/internal/logical"
 	"repro/internal/memctl"
 	"repro/internal/optimizer"
+	"repro/internal/scanshare"
 	"repro/internal/storage"
 	"repro/internal/types"
 	"repro/internal/xfuse"
@@ -40,6 +43,10 @@ import (
 // can spill. Test with errors.Is; the full *memctl.MemoryExceededError
 // carries the query text, operator, and peak usage.
 var ErrMemoryExceeded = memctl.ErrMemoryExceeded
+
+// ErrEngineClosed is returned by queries submitted after Close. Test with
+// errors.Is.
+var ErrEngineClosed = errors.New("engine: closed")
 
 // Re-exported building blocks so embedders need only this package.
 type (
@@ -85,9 +92,22 @@ type Engine struct {
 	// instance runs; blocking operators reserve against it and spill to
 	// config.SpillDir under pressure.
 	mempool *memctl.Pool
+	// workers is the engine-resident worker pool shared by every solo query
+	// this instance runs: concurrent queries contend for Parallelism slots
+	// total instead of Parallelism each, which is what makes a resident
+	// multi-tenant service's CPU footprint configuration-bounded. Fused
+	// shared-execution runs size their own pools (see xfuse.Runner).
+	workers *exec.WorkerPool
 	// shared batches concurrently arriving queries for cross-query fused
 	// execution; nil unless Config.ShareExec.
 	shared *xfuse.Runner
+
+	// mu/queries/closed implement the Close lifecycle: queries register
+	// under the read lock, Close flips closed under the write lock and then
+	// drains.
+	mu      sync.RWMutex
+	queries sync.WaitGroup
+	closed  bool
 }
 
 // Open creates an engine over the catalog.
@@ -108,6 +128,7 @@ func newEngine(st *storage.Store, cat *Catalog, cfg Config) *Engine {
 		binder:  binder.New(cat),
 		config:  cfg,
 		mempool: memctl.NewPool(cfg.MemoryLimitBytes, cfg.SpillDir),
+		workers: exec.NewWorkerPool(cfg.Parallelism),
 	}
 	if cfg.ShareExec {
 		e.shared = xfuse.NewRunner(st, e.execOptions(""), xfuse.Config{
@@ -122,12 +143,19 @@ func newEngine(st *storage.Store, cat *Catalog, cfg Config) *Engine {
 // options; the shared-execution runner gets the same template (with
 // QueryText filled per fused run).
 func (e *Engine) execOptions(sqlText string) exec.Options {
+	return e.execOptionsAs(sqlText, "")
+}
+
+// execOptionsAs is execOptions with per-tenant memory attribution.
+func (e *Engine) execOptionsAs(sqlText, tenant string) exec.Options {
 	return exec.Options{
 		Parallelism:    e.config.Parallelism,
 		BatchSize:      e.config.BatchSize,
 		ShareScans:     e.config.ShareScans,
 		ScanCacheBytes: e.config.ScanCacheBytes,
 		MemPool:        e.mempool,
+		Workers:        e.workers,
+		Tenant:         tenant,
 		QueryText:      sqlText,
 		NaiveMasks:     e.config.NaiveMasks,
 		PullExec:       e.config.PullExec,
@@ -136,6 +164,66 @@ func (e *Engine) execOptions(sqlText string) exec.Options {
 
 // Store exposes the underlying store (for sharing via OpenWithStore).
 func (e *Engine) Store() *storage.Store { return e.store }
+
+// MemPool exposes the engine's memory budget pool; a service layer uses it
+// to gate per-tenant admission (memctl.Pool.TenantUsed) and to wait for
+// pressure to subside (memctl.Pool.ReleaseWait) instead of failing queries.
+func (e *Engine) MemPool() *memctl.Pool { return e.mempool }
+
+// ExpectShared announces to the shared-execution admission window that n
+// queries are about to be submitted (a service dispatch round), so they
+// land in one batch deterministically instead of racing the wall-clock
+// window. The returned func cancels whatever part of the announcement never
+// arrives; it is idempotent and must eventually be called. Without
+// Config.ShareExec this is a no-op.
+func (e *Engine) ExpectShared(n int) (done func()) {
+	if e.shared == nil {
+		return func() {}
+	}
+	return e.shared.ExpectArrivals(n)
+}
+
+// beginQuery registers a query run against the Close lifecycle.
+func (e *Engine) beginQuery() error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrEngineClosed
+	}
+	e.queries.Add(1)
+	return nil
+}
+
+func (e *Engine) endQuery() { e.queries.Done() }
+
+// Close shuts the engine down: new queries fail with ErrEngineClosed,
+// in-flight queries (including fused shared runs) are drained to
+// completion, the resident worker pool is released, and any chunk decodes
+// this engine led through the store's scan-share manager are allowed to
+// resolve. The store itself is untouched — other engines over it keep
+// working — and Close is idempotent.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	if e.shared != nil {
+		// Seal the open admission window and drain fused executions; their
+		// submitters are registered in queries and finish next.
+		e.shared.Close()
+	}
+	e.queries.Wait()
+	e.workers.Close()
+	if e.config.ShareScans {
+		// Wait out in-flight chunk decodes (bounded, pure CPU); open streams
+		// may belong to other engines over the same store and are left alone.
+		scanshare.For(e.store, e.config.ScanCacheBytes).Quiesce()
+	}
+	return nil
+}
 
 // Load ingests rows into a table; row values must match the declared column
 // order and types.
@@ -173,6 +261,18 @@ func (e *Engine) QueryContext(ctx context.Context, sqlText string) (*Result, err
 		return nil, err
 	}
 	return p.RunContext(ctx)
+}
+
+// QueryAs is QueryContext with the run's memory charged to tenant in the
+// engine pool's per-tenant rollup (memctl.Pool.TenantUsed) — the primitive
+// a multi-tenant service builds budgets on. An empty tenant is
+// unattributed, exactly like QueryContext.
+func (e *Engine) QueryAs(ctx context.Context, tenant, sqlText string) (*Result, error) {
+	p, err := e.Prepare(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return p.RunContextAs(ctx, tenant)
 }
 
 // Prepared is a planned query that can be executed repeatedly without
@@ -214,6 +314,16 @@ func (p *Prepared) Run() (*Result, error) {
 // waiting on the window — execution already in flight completes on behalf
 // of the rest of the batch.
 func (p *Prepared) RunContext(ctx context.Context) (*Result, error) {
+	return p.RunContextAs(ctx, "")
+}
+
+// RunContextAs is RunContext with the run's memory charged to tenant (see
+// Engine.QueryAs).
+func (p *Prepared) RunContextAs(ctx context.Context, tenant string) (*Result, error) {
+	if err := p.eng.beginQuery(); err != nil {
+		return nil, err
+	}
+	defer p.eng.endQuery()
 	var stamp exec.SharedExecMetrics
 	if p.eng.shared != nil {
 		res, st, err := p.eng.shared.Submit(ctx, p.sqlText, p.plan)
@@ -227,7 +337,7 @@ func (p *Prepared) RunContext(ctx context.Context) (*Result, error) {
 	} else if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("engine: executing: %w", err)
 	}
-	res, err := exec.RunWith(p.plan, p.eng.store, p.eng.execOptions(p.sqlText))
+	res, err := exec.RunWith(p.plan, p.eng.store, p.eng.execOptionsAs(p.sqlText, tenant))
 	if err != nil {
 		return nil, fmt.Errorf("engine: executing: %w", err)
 	}

@@ -1,0 +1,376 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/engine"
+	"repro/internal/service"
+	"repro/internal/testgen"
+)
+
+// ServiceOptions configures the multi-tenant service comparison: K client
+// connections drive a mixed-tenant load through the wire front end into one
+// resident ShareExec engine, against a no-queue baseline where the same K
+// clients race the engine directly. The service side reports queue-wait
+// percentiles and how often its dispatch rounds actually fed the
+// shared-execution window.
+type ServiceOptions struct {
+	// Rows is the fact-table row count (the testgen catalog at bench scale).
+	Rows int
+	Seed int64
+	// Iterations is how many times each connection replays its query list;
+	// wall times are summed across them.
+	Iterations  int
+	Parallelism int
+	BatchSize   int
+	// Connections are the client counts compared, e.g. 2, 4, 8. Each
+	// connection is its own tenant.
+	Connections []int
+	// QueriesPerConn is the number of queries each connection issues per
+	// iteration (pipelined, so a connection keeps several in flight).
+	QueriesPerConn int
+	// Window is the engine's admission window. The service announces each
+	// dispatch round to the window, so batches seal on arrival rather than
+	// waiting the window out.
+	Window time.Duration
+}
+
+// DefaultServiceOptions models a small multi-tenant fleet: a few
+// dashboard-like tenants repeating overlapping statements concurrently.
+func DefaultServiceOptions() ServiceOptions {
+	return ServiceOptions{
+		Rows: 120000, Seed: 42, Iterations: 2,
+		Parallelism: 4, BatchSize: 1024,
+		Connections:    []int{2, 4, 8},
+		QueriesPerConn: 12,
+		Window:         25 * time.Millisecond,
+	}
+}
+
+// serviceQuery is connection c's i-th statement: every even slot is the hot
+// statement all tenants share (the paper's concurrent-dashboards case), odd
+// slots are the per-client overlapping aggregates from the shared-exec
+// bench, so fusion sees both identical and merely-compatible work.
+func serviceQuery(c, i int) string {
+	if i%2 == 0 {
+		return "SELECT f_k1, SUM(f_qty) AS sq, SUM(f_price) AS sp FROM fact WHERE f_qty > 5 GROUP BY f_k1"
+	}
+	return sharedExecQuery(c)
+}
+
+// ServiceConnReport compares one connection count across modes.
+type ServiceConnReport struct {
+	Connections int `json:"connections"`
+	// QueriesRun is the total statements per mode (connections x
+	// queries-per-conn x iterations).
+	QueriesRun int `json:"queries_run"`
+
+	BaselineWallMS float64 `json:"baseline_wall_ms"`
+	ServiceWallMS  float64 `json:"service_wall_ms"`
+	BaselineQPS    float64 `json:"baseline_qps"`
+	ServiceQPS     float64 `json:"service_qps"`
+
+	// Queue-wait percentiles across all tenants (service mode only; the
+	// baseline has no queue).
+	QueueWaitP50MS float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP95MS float64 `json:"queue_wait_p95_ms"`
+	QueueWaitP99MS float64 `json:"queue_wait_p99_ms"`
+
+	// BaselineBatched / ServiceBatched count queries whose metrics show
+	// they ran inside a shared-execution batch (BatchedQueries > 1). The
+	// baseline only batches when racing clients happen to land in the same
+	// window; the service feeds whole dispatch rounds into one window.
+	BaselineBatched int64 `json:"baseline_batched"`
+	ServiceBatched  int64 `json:"service_batched"`
+	// ServiceBatchRate is ServiceBatched over QueriesRun.
+	ServiceBatchRate float64 `json:"service_batch_rate"`
+
+	// Identical is true when every result in both modes was byte-identical
+	// to the serial solo reference.
+	Identical bool `json:"identical_results"`
+}
+
+// ServiceComparison is the BENCH_service.json payload.
+type ServiceComparison struct {
+	Rows           int     `json:"rows"`
+	Parallelism    int     `json:"parallelism"`
+	BatchSize      int     `json:"batch_size"`
+	Iterations     int     `json:"iterations"`
+	WindowMS       float64 `json:"window_ms"`
+	QueriesPerConn int     `json:"queries_per_conn"`
+
+	Conns []ServiceConnReport `json:"connections"`
+
+	AllIdentical bool `json:"all_identical"`
+}
+
+// RunServiceComparison measures a mixed-tenant load through the service's
+// wire front end against a no-queue baseline on the same store, verifying
+// every result against a serial solo reference.
+func RunServiceComparison(opts ServiceOptions) (*ServiceComparison, error) {
+	if opts.Rows <= 0 {
+		opts.Rows = 120000
+	}
+	if opts.Iterations <= 0 {
+		opts.Iterations = 1
+	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = 4
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 1024
+	}
+	if len(opts.Connections) == 0 {
+		opts.Connections = []int{2, 4, 8}
+	}
+	if opts.QueriesPerConn <= 0 {
+		opts.QueriesPerConn = 12
+	}
+	if opts.Window <= 0 {
+		opts.Window = 25 * time.Millisecond
+	}
+	st, err := testgen.NewStore(opts.Seed, opts.Rows)
+	if err != nil {
+		return nil, err
+	}
+
+	maxConns := 0
+	for _, k := range opts.Connections {
+		if k > maxConns {
+			maxConns = k
+		}
+	}
+
+	// Serial solo reference: the correctness oracle for every statement.
+	serial := engine.OpenWithStore(st, engine.Config{Parallelism: 1, BatchSize: 1})
+	want := make(map[string]string)
+	for c := 0; c < maxConns; c++ {
+		for i := 0; i < 2; i++ { // each connection cycles two statements
+			q := serviceQuery(c, i)
+			if _, ok := want[q]; ok {
+				continue
+			}
+			res, err := serial.Query(q)
+			if err != nil {
+				return nil, fmt.Errorf("bench: reference %q: %w", q, err)
+			}
+			want[q] = renderRows(res.Rows)
+		}
+	}
+
+	cmp := &ServiceComparison{
+		Rows: opts.Rows, Parallelism: opts.Parallelism, BatchSize: opts.BatchSize,
+		Iterations: opts.Iterations, WindowMS: float64(opts.Window) / float64(time.Millisecond),
+		QueriesPerConn: opts.QueriesPerConn,
+		AllIdentical:   true,
+	}
+
+	engCfg := engine.Config{
+		Parallelism: opts.Parallelism, BatchSize: opts.BatchSize,
+		ShareExec: true, AdmissionWindow: opts.Window,
+	}
+
+	for _, k := range opts.Connections {
+		total := k * opts.QueriesPerConn * opts.Iterations
+
+		// Baseline: the same K clients race the engine directly — no
+		// admission queue, no round announcements; batching only happens
+		// when submissions collide inside the window by luck.
+		baseEng := engine.OpenWithStore(st, engCfg)
+		var baseWall time.Duration
+		var baseBatched atomic.Int64
+		baseIdentical := true
+		var baseErr error
+		var identMu sync.Mutex
+		for iter := 0; iter < opts.Iterations; iter++ {
+			start := time.Now()
+			var wg sync.WaitGroup
+			for c := 0; c < k; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for i := 0; i < opts.QueriesPerConn; i++ {
+						q := serviceQuery(c, i)
+						res, err := baseEng.Query(q)
+						identMu.Lock()
+						if err != nil {
+							if baseErr == nil {
+								baseErr = fmt.Errorf("bench: baseline conn %d: %w", c, err)
+							}
+						} else {
+							if res.Metrics.SharedExec.BatchedQueries > 1 {
+								baseBatched.Add(1)
+							}
+							if renderRows(res.Rows) != want[q] {
+								baseIdentical = false
+							}
+						}
+						identMu.Unlock()
+					}
+				}(c)
+			}
+			wg.Wait()
+			baseWall += time.Since(start)
+		}
+		if err := baseEng.Close(); err != nil {
+			return nil, err
+		}
+		if baseErr != nil {
+			return nil, baseErr
+		}
+
+		// Service mode: the same load through admission control, weighted
+		// fair dispatch, and the wire protocol. Each connection is its own
+		// tenant; four statements stay pipelined per connection so the
+		// scheduler always has a backlog to form rounds from.
+		svcEng := engine.OpenWithStore(st, engCfg)
+		srv := service.New(svcEng, service.Config{TenantConcurrency: 4})
+		ns := service.NewNetServer(srv)
+		if err := ns.Listen("127.0.0.1:0"); err != nil {
+			return nil, err
+		}
+		addr := ns.Addr().String()
+
+		var svcWall time.Duration
+		var svcBatched atomic.Int64
+		svcIdentical := true
+		var svcErr error
+		ctx := context.Background()
+		for iter := 0; iter < opts.Iterations; iter++ {
+			start := time.Now()
+			var wg sync.WaitGroup
+			for c := 0; c < k; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					cl, err := service.Dial(addr)
+					if err != nil {
+						identMu.Lock()
+						if svcErr == nil {
+							svcErr = fmt.Errorf("bench: dial: %w", err)
+						}
+						identMu.Unlock()
+						return
+					}
+					defer cl.Close()
+					if err := cl.Hello(ctx, fmt.Sprintf("tenant-%d", c)); err != nil {
+						identMu.Lock()
+						if svcErr == nil {
+							svcErr = fmt.Errorf("bench: hello: %w", err)
+						}
+						identMu.Unlock()
+						return
+					}
+					sem := make(chan struct{}, 4)
+					var qwg sync.WaitGroup
+					for i := 0; i < opts.QueriesPerConn; i++ {
+						q := serviceQuery(c, i)
+						sem <- struct{}{}
+						qwg.Add(1)
+						go func(q string) {
+							defer qwg.Done()
+							defer func() { <-sem }()
+							res, err := cl.Query(ctx, q)
+							identMu.Lock()
+							defer identMu.Unlock()
+							if err != nil {
+								if svcErr == nil {
+									svcErr = fmt.Errorf("bench: service conn %d: %w", c, err)
+								}
+								return
+							}
+							if res.Metrics.BatchedQueries > 1 {
+								svcBatched.Add(1)
+							}
+							if renderRows(res.Rows) != want[q] {
+								svcIdentical = false
+							}
+						}(q)
+					}
+					qwg.Wait()
+				}(c)
+			}
+			wg.Wait()
+			svcWall += time.Since(start)
+		}
+		stats := srv.Stats()
+		if err := ns.Shutdown(context.Background()); err != nil {
+			return nil, err
+		}
+		if err := svcEng.Close(); err != nil {
+			return nil, err
+		}
+		if svcErr != nil {
+			return nil, svcErr
+		}
+
+		var waits []time.Duration
+		for _, ws := range stats.QueueWaits {
+			waits = append(waits, ws...)
+		}
+		sort.Slice(waits, func(i, j int) bool { return waits[i] < waits[j] })
+		pct := func(p int) float64 {
+			if len(waits) == 0 {
+				return 0
+			}
+			return float64(waits[(len(waits)*p)/100]) / float64(time.Millisecond)
+		}
+
+		cr := ServiceConnReport{
+			Connections:     k,
+			QueriesRun:      total,
+			BaselineWallMS:  float64(baseWall) / float64(time.Millisecond),
+			ServiceWallMS:   float64(svcWall) / float64(time.Millisecond),
+			QueueWaitP50MS:  pct(50),
+			QueueWaitP95MS:  pct(95),
+			QueueWaitP99MS:  pct(99),
+			BaselineBatched: baseBatched.Load(),
+			ServiceBatched:  svcBatched.Load(),
+			Identical:       baseIdentical && svcIdentical,
+		}
+		if baseWall > 0 {
+			cr.BaselineQPS = float64(total) / baseWall.Seconds()
+		}
+		if svcWall > 0 {
+			cr.ServiceQPS = float64(total) / svcWall.Seconds()
+		}
+		if total > 0 {
+			cr.ServiceBatchRate = float64(cr.ServiceBatched) / float64(total)
+		}
+		if !cr.Identical {
+			cmp.AllIdentical = false
+		}
+		cmp.Conns = append(cmp.Conns, cr)
+	}
+	return cmp, nil
+}
+
+// WriteJSON emits the comparison as indented JSON (the BENCH_service.json
+// artifact).
+func (c *ServiceComparison) WriteJSON(out io.Writer) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// WriteTable renders a human-readable view of the comparison.
+func (c *ServiceComparison) WriteTable(out io.Writer) {
+	fmt.Fprintf(out, "Multi-tenant service (%d fact rows, %d iters, %d queries/conn, parallelism=%d, window=%.0fms)\n",
+		c.Rows, c.Iterations, c.QueriesPerConn, c.Parallelism, c.WindowMS)
+	fmt.Fprintln(out, "conns | base wall | svc wall | base qps | svc qps | wait p50 | p95 | p99 | base batched | svc batched | rate | identical")
+	fmt.Fprintln(out, "------+-----------+----------+----------+---------+----------+-----+-----+--------------+-------------+------+----------")
+	for _, r := range c.Conns {
+		fmt.Fprintf(out, "%5d | %7.1fms | %6.1fms | %8.1f | %7.1f | %6.2fms | %3.0f | %3.0f | %12d | %11d | %4.2f | %v\n",
+			r.Connections, r.BaselineWallMS, r.ServiceWallMS, r.BaselineQPS, r.ServiceQPS,
+			r.QueueWaitP50MS, r.QueueWaitP95MS, r.QueueWaitP99MS,
+			r.BaselineBatched, r.ServiceBatched, r.ServiceBatchRate, r.Identical)
+	}
+	fmt.Fprintf(out, "all identical: %v\n", c.AllIdentical)
+}

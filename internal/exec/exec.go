@@ -90,6 +90,17 @@ type Options struct {
 	// (internal/xfuse). Memory reservations are then attributed through a
 	// shared tracker so a budget failure names every affected client.
 	SharedClients int
+	// Workers, when non-nil, is an engine-resident worker pool shared by
+	// every query the engine runs: total CPU concurrency stays bounded at
+	// the pool size across concurrent queries instead of multiplying per
+	// query. nil means a private per-run pool of Parallelism slots — the
+	// historical one-shot behaviour.
+	Workers *WorkerPool
+	// Tenant attributes this run's memory reservations to a service-layer
+	// tenant (memctl per-tenant accounting). "" means unattributed — the
+	// default for embedded single-tenant use and for cross-tenant fused
+	// plans, which hold one shared budget no single tenant owns.
+	Tenant string
 }
 
 func (o Options) withDefaults() Options {
@@ -208,27 +219,7 @@ func Run(plan logical.Operator, store *storage.Store) (*Result, error) {
 // given execution options.
 func RunWith(plan logical.Operator, store *storage.Store, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
-	mempool := opts.MemPool
-	if mempool == nil {
-		mempool = memctl.NewPool(0, "")
-	}
-	tracker := mempool.NewTracker(opts.QueryText)
-	if opts.SharedClients > 1 {
-		// A fused plan serving N clients reserves against the pool exactly
-		// once; budget failures name the whole batch.
-		tracker = mempool.NewSharedTracker(opts.QueryText, opts.SharedClients)
-	}
-	ex := &executor{
-		store:   store,
-		metrics: &Metrics{},
-		opts:    opts,
-		pool:    newWorkerPool(opts.Parallelism),
-		mempool: mempool,
-		tracker: tracker,
-	}
-	if opts.ShareScans {
-		ex.share = scanshare.For(store, opts.ScanCacheBytes)
-	}
+	ex := newExecutor(store, opts)
 	defer ex.close()
 	start := time.Now()
 	it, err := ex.build(plan)
@@ -258,6 +249,44 @@ func RunWith(plan logical.Operator, store *storage.Store, opts Options) (*Result
 	ex.close()
 	ex.metrics.Elapsed = time.Since(start)
 	return &Result{Columns: plan.Schema(), Rows: rows, Metrics: *ex.metrics}, nil
+}
+
+// newExecutor assembles one run's executor from resolved options: memory
+// pool and tracker (per-tenant or shared-batch attributed), worker pool
+// (engine-resident when supplied, private otherwise), and the store's
+// scan-share manager when opted in.
+func newExecutor(store *storage.Store, opts Options) *executor {
+	mempool := opts.MemPool
+	if mempool == nil {
+		mempool = memctl.NewPool(0, "")
+	}
+	var tracker *memctl.Tracker
+	switch {
+	case opts.SharedClients > 1:
+		// A fused plan serving N clients reserves against the pool exactly
+		// once; budget failures name the whole batch.
+		tracker = mempool.NewSharedTracker(opts.QueryText, opts.SharedClients)
+	case opts.Tenant != "":
+		tracker = mempool.NewTenantTracker(opts.QueryText, opts.Tenant)
+	default:
+		tracker = mempool.NewTracker(opts.QueryText)
+	}
+	pool := opts.Workers
+	if pool == nil {
+		pool = newWorkerPool(opts.Parallelism)
+	}
+	ex := &executor{
+		store:   store,
+		metrics: &Metrics{},
+		opts:    opts,
+		pool:    pool,
+		mempool: mempool,
+		tracker: tracker,
+	}
+	if opts.ShareScans {
+		ex.share = scanshare.For(store, opts.ScanCacheBytes)
+	}
+	return ex
 }
 
 // snapshotMem copies the tracker's final accounting into the metrics.

@@ -57,6 +57,11 @@ type chainSpec struct {
 	scan   *logical.Scan
 	prune  storage.Pruner
 	stages []stageSpec
+	// pruneCond / pruneCol describe the peeled prune predicate (nil when no
+	// pruning) for fingerprinting: the chain-shape cache keys ScanPartitions
+	// replays on them instead of re-walking partition metadata.
+	pruneCond expr.Expr
+	pruneCol  *expr.Column
 }
 
 // compileChain recognizes a maximal non-blocking chain rooted at op: any
@@ -69,15 +74,15 @@ func compileChain(op logical.Operator) (*chainSpec, bool) {
 	for {
 		switch o := cur.(type) {
 		case *logical.Scan:
-			return finishChain(o, nil, rev), true
+			return finishChain(o, nil, nil, nil, rev), true
 		case *logical.Filter:
 			if scan, ok := o.Input.(*logical.Scan); ok {
-				pruner, residual := splitPartitionPrune(scan, o.Cond)
+				pruner, pruneCond, pruneCol, residual := splitPartitionPruneCond(scan, o.Cond)
 				if pruner != nil {
 					if residual != nil {
 						rev = append(rev, stageSpec{kind: stageFilter, cond: residual, layout: layoutOf(scan)})
 					}
-					return finishChain(scan, pruner, rev), true
+					return finishChain(scan, pruner, pruneCond, pruneCol, rev), true
 				}
 			}
 			rev = append(rev, stageSpec{kind: stageFilter, cond: o.Cond, layout: layoutOf(o.Input)})
@@ -91,8 +96,8 @@ func compileChain(op logical.Operator) (*chainSpec, bool) {
 	}
 }
 
-func finishChain(scan *logical.Scan, prune storage.Pruner, rev []stageSpec) *chainSpec {
-	cs := &chainSpec{scan: scan, prune: prune}
+func finishChain(scan *logical.Scan, prune storage.Pruner, pruneCond expr.Expr, pruneCol *expr.Column, rev []stageSpec) *chainSpec {
+	cs := &chainSpec{scan: scan, prune: prune, pruneCond: pruneCond, pruneCol: pruneCol}
 	for i := len(rev) - 1; i >= 0; i-- {
 		cs.stages = append(cs.stages, rev[i])
 	}

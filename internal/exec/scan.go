@@ -40,12 +40,20 @@ func (ex *executor) buildFilter(f *logical.Filter) (BatchIterator, error) {
 // Both the pull filter and the push-pipeline compiler route through this
 // helper, so the two execution models scan exactly the same partitions.
 func splitPartitionPrune(scan *logical.Scan, cond expr.Expr) (storage.Pruner, expr.Expr) {
+	pruner, _, _, residual := splitPartitionPruneCond(scan, cond)
+	return pruner, residual
+}
+
+// splitPartitionPruneCond is splitPartitionPrune exposing the peeled prune
+// predicate and the partition column it ranges over, for layers that
+// fingerprint pruning work (the chain-shape cache) rather than execute it.
+func splitPartitionPruneCond(scan *logical.Scan, cond expr.Expr) (storage.Pruner, expr.Expr, *expr.Column, expr.Expr) {
 	if scan.Table.PartitionColumn == "" {
-		return nil, cond
+		return nil, nil, nil, cond
 	}
 	partCol := scan.ColumnFor(scan.Table.PartitionColumn)
 	if partCol == nil {
-		return nil, cond
+		return nil, nil, nil, cond
 	}
 	var pruneConjs, residual []expr.Expr
 	allowed := map[expr.ColumnID]bool{partCol.ID: true}
@@ -57,7 +65,7 @@ func splitPartitionPrune(scan *logical.Scan, cond expr.Expr) (storage.Pruner, ex
 		}
 	}
 	if len(pruneConjs) == 0 {
-		return nil, cond
+		return nil, nil, nil, cond
 	}
 	pruneCond := expr.And(pruneConjs...)
 	env := &expr.SlotEnv{Slots: map[expr.ColumnID]int{partCol.ID: 0}}
@@ -66,9 +74,9 @@ func splitPartitionPrune(scan *logical.Scan, cond expr.Expr) (storage.Pruner, ex
 		return expr.Eval(pruneCond, env).IsTrue()
 	}
 	if len(residual) == 0 {
-		return pruner, nil
+		return pruner, pruneCond, partCol, nil
 	}
-	return pruner, expr.And(residual...)
+	return pruner, pruneCond, partCol, expr.And(residual...)
 }
 
 // newFilterIter compiles a filter predicate. The default path is a

@@ -5,8 +5,6 @@ import (
 
 	"repro/internal/expr"
 	"repro/internal/logical"
-	"repro/internal/memctl"
-	"repro/internal/scanshare"
 	"repro/internal/storage"
 )
 
@@ -37,25 +35,7 @@ type SharedSub struct {
 // preserved by Fuse is exactly the client's solo row order.
 func RunShared(plan logical.Operator, store *storage.Store, opts Options, subs []SharedSub) (*Result, [][]Row, error) {
 	opts = opts.withDefaults()
-	mempool := opts.MemPool
-	if mempool == nil {
-		mempool = memctl.NewPool(0, "")
-	}
-	tracker := mempool.NewTracker(opts.QueryText)
-	if opts.SharedClients > 1 {
-		tracker = mempool.NewSharedTracker(opts.QueryText, opts.SharedClients)
-	}
-	ex := &executor{
-		store:   store,
-		metrics: &Metrics{},
-		opts:    opts,
-		pool:    newWorkerPool(opts.Parallelism),
-		mempool: mempool,
-		tracker: tracker,
-	}
-	if opts.ShareScans {
-		ex.share = scanshare.For(store, opts.ScanCacheBytes)
-	}
+	ex := newExecutor(store, opts)
 	defer ex.close()
 	start := time.Now()
 

@@ -104,6 +104,15 @@ type Pool struct {
 	mu         sync.Mutex
 	used       int64
 	spillables map[Spillable]*Tracker
+	// tenants rolls up resident bytes per service-layer tenant (trackers
+	// opened with NewTenantTracker); the admission layer reads it to keep
+	// one tenant's concurrent queries under a per-tenant budget.
+	tenants map[string]int64
+	// relCh is the queue-on-exceed notification: it is closed (and
+	// replaced) whenever reserved memory decreases, so a service that got
+	// ErrMemoryExceeded can park the query and retry on the next release
+	// instead of failing it. nil until someone waits.
+	relCh chan struct{}
 }
 
 // NewPool creates a pool. limitBytes <= 0 means unlimited (reservations
@@ -117,7 +126,11 @@ func NewPool(limitBytes int64, spillDir string) *Pool {
 	if spillDir == "" {
 		spillDir = os.TempDir()
 	}
-	return &Pool{limit: limitBytes, spillDir: spillDir, spillables: make(map[Spillable]*Tracker)}
+	return &Pool{
+		limit: limitBytes, spillDir: spillDir,
+		spillables: make(map[Spillable]*Tracker),
+		tenants:    make(map[string]int64),
+	}
 }
 
 // Limit returns the pool budget in bytes (0 = unlimited).
@@ -137,6 +150,46 @@ func (p *Pool) Used() int64 {
 // used for error attribution.
 func (p *Pool) NewTracker(query string) *Tracker {
 	return &Tracker{pool: p, query: query, clients: 1, ops: make(map[string]*opState)}
+}
+
+// NewTenantTracker opens a per-query accounting scope attributed to a
+// service-layer tenant: the query's resident bytes additionally roll up
+// into Pool.TenantUsed(tenant), which the admission layer uses to hold one
+// tenant's concurrent queries under a per-tenant memory budget.
+func (p *Pool) NewTenantTracker(query, tenant string) *Tracker {
+	return &Tracker{pool: p, query: query, tenant: tenant, clients: 1, ops: make(map[string]*opState)}
+}
+
+// TenantUsed returns the resident bytes currently reserved by trackers
+// attributed to tenant (0 for unknown tenants).
+func (p *Pool) TenantUsed(tenant string) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tenants[tenant]
+}
+
+// ReleaseWait returns a channel closed the next time reserved memory
+// decreases (an operator Release, a spill freeing state, or a query
+// closing its tracker). The queue-on-exceed pattern: grab the channel
+// BEFORE running the query; on ErrMemoryExceeded, wait on it (with the
+// caller's deadline) and retry — any release during the failed run has
+// already closed the channel, so no wakeup is missed.
+func (p *Pool) ReleaseWait() <-chan struct{} {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.relCh == nil {
+		p.relCh = make(chan struct{})
+	}
+	return p.relCh
+}
+
+// notifyReleaseLocked wakes queue-on-exceed waiters; caller holds p.mu and
+// has just decreased p.used.
+func (p *Pool) notifyReleaseLocked() {
+	if p.relCh != nil {
+		close(p.relCh)
+		p.relCh = nil
+	}
 }
 
 // NewSharedTracker opens the accounting scope of a cross-query fused plan
@@ -196,6 +249,7 @@ type opState struct {
 type Tracker struct {
 	pool    *Pool
 	query   string
+	tenant  string // "" = unattributed; set by NewTenantTracker, immutable
 	clients int
 
 	mu           sync.Mutex
@@ -251,6 +305,9 @@ func (t *Tracker) Reserve(op string, n int64) error {
 		}
 	}
 	p.used += n
+	if t.tenant != "" {
+		p.tenants[t.tenant] += n
+	}
 	p.mu.Unlock()
 
 	t.mu.Lock()
@@ -275,6 +332,10 @@ func (t *Tracker) Release(op string, n int64) {
 	p := t.pool
 	p.mu.Lock()
 	p.used -= n
+	if t.tenant != "" {
+		p.tenants[t.tenant] -= n
+	}
+	p.notifyReleaseLocked()
 	p.mu.Unlock()
 	t.mu.Lock()
 	t.used -= n
@@ -386,8 +447,16 @@ func (t *Tracker) Close() {
 	p := t.pool
 	p.mu.Lock()
 	p.used -= remaining
+	if t.tenant != "" {
+		if p.tenants[t.tenant] -= remaining; p.tenants[t.tenant] <= 0 {
+			delete(p.tenants, t.tenant)
+		}
+	}
 	for _, s := range owned {
 		delete(p.spillables, s)
 	}
+	// A closing tracker frees budget even when remaining == 0 (its future
+	// reservations stop competing), so always wake queued waiters.
+	p.notifyReleaseLocked()
 	p.mu.Unlock()
 }

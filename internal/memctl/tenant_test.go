@@ -1,0 +1,143 @@
+package memctl
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTenantUsedRollup(t *testing.T) {
+	p := NewPool(0, "")
+	a1 := p.NewTenantTracker("q1", "acme")
+	a2 := p.NewTenantTracker("q2", "acme")
+	b := p.NewTenantTracker("q3", "zeta")
+	plain := p.NewTracker("q4")
+
+	if err := a1.Reserve("sort", 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.Reserve("groupby", 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Reserve("sort", 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Reserve("sort", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.TenantUsed("acme"); got != 140 {
+		t.Errorf("acme used = %d, want 140", got)
+	}
+	if got := p.TenantUsed("zeta"); got != 7 {
+		t.Errorf("zeta used = %d, want 7", got)
+	}
+	if got := p.TenantUsed("unknown"); got != 0 {
+		t.Errorf("unknown tenant used = %d, want 0", got)
+	}
+
+	a1.Release("sort", 60)
+	if got := p.TenantUsed("acme"); got != 80 {
+		t.Errorf("acme used after release = %d, want 80", got)
+	}
+	// Closing a tracker returns its remaining reservation to the tenant.
+	a1.Close()
+	a2.Close()
+	if got := p.TenantUsed("acme"); got != 0 {
+		t.Errorf("acme used after close = %d, want 0", got)
+	}
+	// The other tenant and the unattributed tracker are untouched.
+	if got := p.TenantUsed("zeta"); got != 7 {
+		t.Errorf("zeta used = %d, want 7", got)
+	}
+	if got := p.Used(); got != 1007 {
+		t.Errorf("pool used = %d, want 1007", got)
+	}
+}
+
+func TestReleaseWaitWakesOnRelease(t *testing.T) {
+	p := NewPool(0, "")
+	tr := p.NewTracker("q")
+	if err := tr.Reserve("sort", 10); err != nil {
+		t.Fatal(err)
+	}
+	ch := p.ReleaseWait()
+	select {
+	case <-ch:
+		t.Fatal("channel closed before any release")
+	default:
+	}
+	tr.Release("sort", 5)
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("release did not close the wait channel")
+	}
+	// A fresh channel covers the next release.
+	ch2 := p.ReleaseWait()
+	select {
+	case <-ch2:
+		t.Fatal("fresh channel already closed")
+	default:
+	}
+	tr.Close()
+	select {
+	case <-ch2:
+	case <-time.After(time.Second):
+		t.Fatal("tracker close did not close the wait channel")
+	}
+}
+
+// TestReleaseWaitNoMissedWakeup exercises the queue-on-exceed pattern: the
+// channel is taken BEFORE the failing attempt, so a release that lands
+// during the attempt satisfies the ensuing wait instead of being missed.
+func TestReleaseWaitNoMissedWakeup(t *testing.T) {
+	p := NewPool(100, "")
+	hog := p.NewTracker("hog")
+	if err := hog.Reserve("sort", 100); err != nil {
+		t.Fatal(err)
+	}
+
+	ch := p.ReleaseWait() // taken before the attempt
+	tr := p.NewTracker("q")
+	if err := tr.Reserve("sort", 50); err == nil {
+		t.Fatal("reserve unexpectedly fit")
+	}
+	hog.Close() // the release lands "during the attempt"
+
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("pre-taken channel missed the release")
+	}
+	if err := tr.Reserve("sort", 50); err != nil {
+		t.Fatalf("retry after release failed: %v", err)
+	}
+	tr.Close()
+}
+
+func TestReleaseWaitConcurrent(t *testing.T) {
+	p := NewPool(0, "")
+	tr := p.NewTracker("q")
+	const waiters = 8
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		ch := p.ReleaseWait() // all taken before the release
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-ch
+		}()
+	}
+	if err := tr.Reserve("sort", 1); err != nil {
+		t.Fatal(err)
+	}
+	tr.Release("sort", 1)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiters not all woken by one release")
+	}
+	tr.Close()
+}

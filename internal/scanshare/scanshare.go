@@ -101,6 +101,9 @@ type Manager struct {
 	cache   *chunkCache
 	flights map[chunkKey]*flight
 	streams map[string][]*stream
+	// flightsDone is broadcast whenever an in-flight decode resolves;
+	// Quiesce waits on it.
+	flightsDone sync.Cond
 }
 
 // NewManager creates a manager whose decoded-chunk cache is bounded at
@@ -109,11 +112,27 @@ func NewManager(cacheBytes int64) *Manager {
 	if cacheBytes <= 0 {
 		cacheBytes = DefaultCacheBytes
 	}
-	return &Manager{
+	m := &Manager{
 		cache:   newChunkCache(cacheBytes),
 		flights: make(map[chunkKey]*flight),
 		streams: make(map[string][]*stream),
 	}
+	m.flightsDone.L = &m.mu
+	return m
+}
+
+// Quiesce blocks until no chunk decode is in flight. Leaders resolve
+// flights with pure CPU work, so the wait is bounded by the slowest
+// in-progress decode — an engine shutting down calls it after draining its
+// own queries to guarantee no decode it led is still publishing. It does
+// NOT wait for other engines' open scans (streams), which can outlive this
+// engine legitimately when several engines share one store.
+func (m *Manager) Quiesce() {
+	m.mu.Lock()
+	for len(m.flights) > 0 {
+		m.flightsDone.Wait()
+	}
+	m.mu.Unlock()
 }
 
 // For resolves the store's shared manager, creating it with cacheBytes on
@@ -195,6 +214,7 @@ func (m *Manager) getChunk(key chunkKey, chunk *storage.ColumnChunk, stop <-chan
 	m.mu.Lock()
 	delete(m.flights, key)
 	m.cache.put(key, f.vals, chunk.Kind)
+	m.flightsDone.Broadcast()
 	m.mu.Unlock()
 	close(f.done)
 	ctr.AddDecoded(chunk.Bytes)

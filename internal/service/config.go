@@ -1,0 +1,107 @@
+package service
+
+import (
+	"runtime"
+	"time"
+)
+
+// Default values for Config fields left zero; see normalize.
+const (
+	// DefaultQueueDepth bounds the global admission queue.
+	DefaultQueueDepth = 256
+	// DefaultTenantConcurrency is the per-tenant concurrent-query cap.
+	DefaultTenantConcurrency = 4
+	// DefaultQueueTimeout bounds how long an admitted query may wait in the
+	// queue before it fails with ErrQueueTimeout.
+	DefaultQueueTimeout = 30 * time.Second
+	// DefaultTenant is the tenant name used for connections that never
+	// authenticate one.
+	DefaultTenant = "default"
+)
+
+// Config tunes the multi-tenant query service. The zero value is usable:
+// normalize resolves every defaulted field, mirroring engine.Config.
+type Config struct {
+	// QueueDepth bounds the number of queries waiting for dispatch across
+	// all tenants combined; submissions beyond it fail fast with
+	// ErrQueueFull (the only load-shedding the service does — everything
+	// under the bound waits rather than fails). <= 0 means
+	// DefaultQueueDepth.
+	QueueDepth int
+	// TenantConcurrency caps how many of one tenant's queries may execute
+	// simultaneously; further queries from that tenant queue behind them.
+	// <= 0 means DefaultTenantConcurrency.
+	TenantConcurrency int
+	// TenantMemoryBytes caps one tenant's combined tracked memory
+	// (memctl.Pool.TenantUsed): a tenant at its cap has its next query held
+	// in the queue until the tenant's own releases bring it back under,
+	// instead of letting one tenant walk the whole engine pool into
+	// ErrMemoryExceeded. <= 0 means no per-tenant cap (the engine-wide
+	// limit still applies).
+	TenantMemoryBytes int64
+	// QueueTimeout bounds queue wait: a query still undispatched after this
+	// long fails with ErrQueueTimeout, and a query whose own context
+	// carries an earlier deadline uses that instead. <= 0 means
+	// DefaultQueueTimeout.
+	QueueTimeout time.Duration
+	// DefaultTenant names the tenant attributed to connections that never
+	// declare one. Empty means "default".
+	DefaultTenant string
+	// Weights gives per-tenant weighted-round-robin dispatch shares; a
+	// tenant absent from the map (or mapped to <= 0) gets weight 1.
+	// Normalization clamps non-positive entries rather than dropping them,
+	// so a config listing every tenant stays inspectable.
+	Weights map[string]int
+	// MaxDispatch caps how many queries one dispatcher round releases into
+	// the engine together (they are announced to the shared-execution
+	// admission window as one arrival round, so this is also the service's
+	// fusion batch bound). <= 0 means the engine's parallelism, floored at
+	// two so cross-connection fusion stays possible.
+	MaxDispatch int
+}
+
+// normalize resolves every defaulted Config field to its effective value,
+// the single place service-level defaults are decided (mirrors
+// engine.Config.normalize).
+func (c Config) normalize() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = DefaultQueueDepth
+	}
+	if c.TenantConcurrency <= 0 {
+		c.TenantConcurrency = DefaultTenantConcurrency
+	}
+	if c.TenantMemoryBytes < 0 {
+		c.TenantMemoryBytes = 0 // no per-tenant cap
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = DefaultQueueTimeout
+	}
+	if c.DefaultTenant == "" {
+		c.DefaultTenant = DefaultTenant
+	}
+	if c.Weights != nil {
+		w := make(map[string]int, len(c.Weights))
+		for tenant, weight := range c.Weights {
+			if weight <= 0 {
+				weight = 1
+			}
+			w[tenant] = weight
+		}
+		c.Weights = w
+	}
+	if c.MaxDispatch <= 0 {
+		c.MaxDispatch = runtime.GOMAXPROCS(0)
+		if c.MaxDispatch < 2 {
+			c.MaxDispatch = 2
+		}
+	}
+	return c
+}
+
+// weight reports tenant's effective WRR share.
+func (c Config) weight(tenant string) int {
+	if w, ok := c.Weights[tenant]; ok && w > 0 {
+		return w
+	}
+	return 1
+}

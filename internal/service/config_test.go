@@ -1,0 +1,103 @@
+package service
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func TestConfigNormalizeDefaults(t *testing.T) {
+	c := Config{}.normalize()
+	if c.QueueDepth != DefaultQueueDepth {
+		t.Errorf("QueueDepth = %d, want %d", c.QueueDepth, DefaultQueueDepth)
+	}
+	if c.TenantConcurrency != DefaultTenantConcurrency {
+		t.Errorf("TenantConcurrency = %d, want %d", c.TenantConcurrency, DefaultTenantConcurrency)
+	}
+	if c.TenantMemoryBytes != 0 {
+		t.Errorf("TenantMemoryBytes = %d, want 0 (uncapped)", c.TenantMemoryBytes)
+	}
+	if c.QueueTimeout != DefaultQueueTimeout {
+		t.Errorf("QueueTimeout = %v, want %v", c.QueueTimeout, DefaultQueueTimeout)
+	}
+	if c.DefaultTenant != DefaultTenant {
+		t.Errorf("DefaultTenant = %q, want %q", c.DefaultTenant, DefaultTenant)
+	}
+	if c.Weights != nil {
+		t.Errorf("Weights = %v, want nil preserved", c.Weights)
+	}
+	wantDispatch := runtime.GOMAXPROCS(0)
+	if wantDispatch < 2 {
+		wantDispatch = 2
+	}
+	if c.MaxDispatch != wantDispatch {
+		t.Errorf("MaxDispatch = %d, want %d", c.MaxDispatch, wantDispatch)
+	}
+}
+
+func TestConfigNormalizeNegativeClamps(t *testing.T) {
+	c := Config{
+		QueueDepth:        -4,
+		TenantConcurrency: -1,
+		TenantMemoryBytes: -64,
+		QueueTimeout:      -time.Second,
+		MaxDispatch:       -2,
+		Weights:           map[string]int{"a": -3, "b": 0, "c": 2},
+	}.normalize()
+	if c.QueueDepth != DefaultQueueDepth {
+		t.Errorf("negative QueueDepth = %d, want default %d", c.QueueDepth, DefaultQueueDepth)
+	}
+	if c.TenantConcurrency != DefaultTenantConcurrency {
+		t.Errorf("negative TenantConcurrency = %d, want default %d", c.TenantConcurrency, DefaultTenantConcurrency)
+	}
+	if c.TenantMemoryBytes != 0 {
+		t.Errorf("negative TenantMemoryBytes = %d, want 0", c.TenantMemoryBytes)
+	}
+	if c.QueueTimeout != DefaultQueueTimeout {
+		t.Errorf("negative QueueTimeout = %v, want default %v", c.QueueTimeout, DefaultQueueTimeout)
+	}
+	if c.MaxDispatch <= 0 {
+		t.Errorf("negative MaxDispatch not clamped: %d", c.MaxDispatch)
+	}
+	// Non-positive weights clamp to 1 (kept, not dropped); explicit
+	// positive weights survive.
+	want := map[string]int{"a": 1, "b": 1, "c": 2}
+	if !reflect.DeepEqual(c.Weights, want) {
+		t.Errorf("Weights = %v, want %v", c.Weights, want)
+	}
+}
+
+func TestConfigNormalizePreservesExplicit(t *testing.T) {
+	in := Config{
+		QueueDepth:        17,
+		TenantConcurrency: 3,
+		TenantMemoryBytes: 4 << 20,
+		QueueTimeout:      250 * time.Millisecond,
+		DefaultTenant:     "acme",
+		Weights:           map[string]int{"acme": 2, "zeta": 5},
+		MaxDispatch:       6,
+	}
+	got := in.normalize()
+	if !reflect.DeepEqual(got, in) {
+		t.Errorf("normalize changed explicit config:\n got %+v\nwant %+v", got, in)
+	}
+}
+
+func TestConfigNormalizeIdempotent(t *testing.T) {
+	once := Config{Weights: map[string]int{"a": 0}}.normalize()
+	twice := once.normalize()
+	if !reflect.DeepEqual(once, twice) {
+		t.Errorf("normalize not idempotent:\n once %+v\ntwice %+v", once, twice)
+	}
+}
+
+func TestConfigWeight(t *testing.T) {
+	c := Config{Weights: map[string]int{"heavy": 3}}.normalize()
+	if got := c.weight("heavy"); got != 3 {
+		t.Errorf("weight(heavy) = %d, want 3", got)
+	}
+	if got := c.weight("unknown"); got != 1 {
+		t.Errorf("weight(unknown) = %d, want 1", got)
+	}
+}

@@ -1,0 +1,125 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/types"
+)
+
+// Wire protocol: newline-delimited JSON, one message per line, symmetric
+// request/response. A connection sends Requests and reads Responses in
+// order (no pipelining ambiguity: responses carry the request's ID).
+//
+// Values cross the wire losslessly: the integer payload as an integer, the
+// float payload as its IEEE-754 bit pattern rendered in hex (JSON numbers
+// would round-trip through decimal and lose NaN payloads and signed
+// zeros), strings verbatim. A result decoded by the client is
+// byte-identical to the engine's in-process result, which is what lets the
+// soak test compare service results against solo runs exactly.
+
+// Request is one client→server message.
+type Request struct {
+	// ID is echoed on the matching Response.
+	ID int64 `json:"id"`
+	// Op is "hello", "query", or "ping".
+	Op string `json:"op"`
+	// Tenant (hello) names the connection's tenant for all later queries.
+	Tenant string `json:"tenant,omitempty"`
+	// SQL (query) is the statement text.
+	SQL string `json:"sql,omitempty"`
+}
+
+// Response is one server→client message.
+type Response struct {
+	ID int64 `json:"id"`
+	OK bool  `json:"ok"`
+	// Err is the error text when OK is false. Kind classifies retriable
+	// scheduling errors: "queue_full", "queue_timeout", "closed", or "" for
+	// ordinary query errors.
+	Err  string `json:"err,omitempty"`
+	Kind string `json:"kind,omitempty"`
+	// Columns and Rows carry a query's result.
+	Columns []string       `json:"columns,omitempty"`
+	Rows    [][]WireValue  `json:"rows,omitempty"`
+	Metrics *ResultMetrics `json:"metrics,omitempty"`
+}
+
+// ResultMetrics is the slice of engine metrics a remote client can act on.
+type ResultMetrics struct {
+	BytesScanned   int64 `json:"bytesScanned"`
+	RowsProcessed  int64 `json:"rowsProcessed"`
+	BatchedQueries int64 `json:"batchedQueries,omitempty"`
+	FusedPlans     int64 `json:"fusedPlans,omitempty"`
+}
+
+// WireValue is the lossless JSON form of a types.Value.
+type WireValue struct {
+	K uint8  `json:"k"`
+	N bool   `json:"n,omitempty"`
+	I int64  `json:"i,omitempty"`
+	F string `json:"f,omitempty"` // IEEE-754 bits in hex; "" when unset
+	S string `json:"s,omitempty"`
+}
+
+// ToWire encodes v losslessly.
+func ToWire(v types.Value) WireValue {
+	w := WireValue{K: uint8(v.Kind), N: v.Null, I: v.I, S: v.S}
+	if bits := math.Float64bits(v.F); bits != 0 {
+		w.F = fmt.Sprintf("%x", bits)
+	}
+	return w
+}
+
+// FromWire decodes w back to the exact Value ToWire encoded.
+func FromWire(w WireValue) (types.Value, error) {
+	v := types.Value{Kind: types.Kind(w.K), Null: w.N, I: w.I, S: w.S}
+	if w.F != "" {
+		var bits uint64
+		if _, err := fmt.Sscanf(w.F, "%x", &bits); err != nil {
+			return types.Value{}, fmt.Errorf("service: bad float bits %q: %w", w.F, err)
+		}
+		v.F = math.Float64frombits(bits)
+	}
+	return v, nil
+}
+
+// encodeRows converts an engine result's rows for the wire.
+func encodeRows(rows [][]types.Value) [][]WireValue {
+	out := make([][]WireValue, len(rows))
+	for i, row := range rows {
+		wr := make([]WireValue, len(row))
+		for j, v := range row {
+			wr[j] = ToWire(v)
+		}
+		out[i] = wr
+	}
+	return out
+}
+
+// decodeRows converts wire rows back to values.
+func decodeRows(rows [][]WireValue) ([][]types.Value, error) {
+	out := make([][]types.Value, len(rows))
+	for i, row := range rows {
+		vr := make([]types.Value, len(row))
+		for j, w := range row {
+			v, err := FromWire(w)
+			if err != nil {
+				return nil, err
+			}
+			vr[j] = v
+		}
+		out[i] = vr
+	}
+	return out, nil
+}
+
+// marshalLine renders one protocol message as a single JSON line.
+func marshalLine(msg any) ([]byte, error) {
+	b, err := json.Marshal(msg)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

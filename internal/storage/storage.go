@@ -109,7 +109,17 @@ type Store struct {
 	// store).
 	shareMu    sync.Mutex
 	shareState any
+
+	// epoch counts data mutations (Load calls). Layers that cache anything
+	// derived from partition metadata — chain-shape attribution, pruning
+	// statistics — key their entries by epoch so a reload invalidates them
+	// without coordination.
+	epoch atomic.Int64
 }
+
+// Epoch returns the store's data version: it increments on every Load, so
+// caches keyed by (anything, epoch) are invalidated by data changes.
+func (s *Store) Epoch() int64 { return s.epoch.Load() }
 
 // NewStore creates an empty store over the catalog.
 func NewStore(cat *catalog.Catalog) *Store {
@@ -186,6 +196,7 @@ func (s *Store) Load(table string, rows [][]types.Value) error {
 	// Refresh coarse statistics used by optimizer heuristics.
 	tab.Stats.RowCount = td.NumRows()
 	tab.Stats.Partitions = len(td.Partitions)
+	s.epoch.Add(1)
 	return nil
 }
 

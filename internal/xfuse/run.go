@@ -65,7 +65,7 @@ func (r *Runner) runSFPGroup(batched int64, g *group) {
 		return
 	}
 	for i, e := range g.members {
-		shape, ok, err := exec.AnalyzeChain(e.cl.chainRoot, r.store)
+		shape, ok, err := r.shapes.AnalyzeChain(e.cl.chainRoot, r.store)
 		if err != nil || !ok {
 			deliverSolo(e, batched)
 			continue
@@ -146,7 +146,7 @@ func (r *Runner) runScalarGroup(batched int64, g *group) {
 			deliverSolo(e, batched)
 			continue
 		}
-		shape, chOK, err := exec.AnalyzeChain(e.cl.chainRoot, r.store)
+		shape, chOK, err := r.shapes.AnalyzeChain(e.cl.chainRoot, r.store)
 		if err != nil || !chOK {
 			deliverSolo(e, batched)
 			continue

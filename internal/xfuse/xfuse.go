@@ -44,17 +44,119 @@ type Runner struct {
 	// (QueryText, SharedClients) are overwritten per fused plan.
 	opts exec.Options
 	cfg  Config
+	// shapes caches AnalyzeChain's partition-metadata replay per
+	// (chain fingerprint, store epoch), so attributing a fused group's
+	// members walks partition metadata once per distinct shape, not once
+	// per member per run.
+	shapes *exec.ShapeCache
 
-	mu  sync.Mutex
-	cur *batch
+	mu     sync.Mutex
+	cur    *batch
+	closed bool
+	// expects are outstanding service-layer arrival announcements
+	// (ExpectArrivals), oldest first; expectTotal is the sum of their
+	// remaining counts. While expectTotal > 0 the window timer defers
+	// sealing (bounded by one grace period), and the arrival that brings
+	// the total to zero seals the current batch immediately — the service
+	// has delivered its whole dispatch round into one window.
+	expects     []*expectHandle
+	expectTotal int
+	// wg tracks batch-execution goroutines so Close can drain them.
+	wg sync.WaitGroup
 }
+
+type expectHandle struct{ remaining int }
 
 // NewRunner creates a runner over the engine's store and option template.
 func NewRunner(store *storage.Store, opts exec.Options, cfg Config) *Runner {
 	if cfg.MaxQueries < 1 {
 		cfg.MaxQueries = 1
 	}
-	return &Runner{store: store, opts: opts, cfg: cfg}
+	return &Runner{store: store, opts: opts, cfg: cfg, shapes: exec.NewShapeCache()}
+}
+
+// ShapeCache exposes the runner's chain-shape cache (for tests).
+func (r *Runner) ShapeCache() *exec.ShapeCache { return r.shapes }
+
+// ExpectArrivals announces that n queries are about to be submitted — the
+// service layer's dispatch round. While announcements are outstanding, the
+// admission window holds open past its timer (bounded by one grace period)
+// and seals the moment the last announced query arrives, so queries from
+// different connections land in one batch deterministically instead of
+// racing a wall-clock window. The returned func cancels whatever part of
+// the announcement never arrived (prepare errors, ineligible statements
+// that failed earlier); it is idempotent and must eventually be called.
+//
+// Announcements are a scheduling hint: they change when batches seal,
+// never what a batch computes, so a mismatched count costs at most one
+// grace period of latency.
+func (r *Runner) ExpectArrivals(n int) (done func()) {
+	if n <= 0 {
+		return func() {}
+	}
+	h := &expectHandle{remaining: n}
+	r.mu.Lock()
+	r.expects = append(r.expects, h)
+	r.expectTotal += n
+	r.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			r.mu.Lock()
+			r.expectTotal -= h.remaining
+			h.remaining = 0
+			sealNow := r.expectTotal == 0 && r.cur != nil
+			b := r.cur
+			if sealNow {
+				r.sealLocked(b)
+			}
+			r.compactExpectsLocked()
+			r.mu.Unlock()
+		})
+	}
+}
+
+// noteArrivalLocked consumes one outstanding expected arrival, reporting
+// whether this arrival completed every announcement (the caller then seals
+// the current batch once this query has joined it).
+func (r *Runner) noteArrivalLocked() bool {
+	if r.expectTotal == 0 {
+		return false
+	}
+	r.expectTotal--
+	for _, h := range r.expects {
+		if h.remaining > 0 {
+			h.remaining--
+			break
+		}
+	}
+	r.compactExpectsLocked()
+	return r.expectTotal == 0
+}
+
+func (r *Runner) compactExpectsLocked() {
+	live := r.expects[:0]
+	for _, h := range r.expects {
+		if h.remaining > 0 {
+			live = append(live, h)
+		}
+	}
+	r.expects = live
+}
+
+// Close seals any open window (releasing its waiters) and drains every
+// batch-execution goroutine. Submissions after Close bypass batching and
+// run solo; Close is idempotent.
+func (r *Runner) Close() {
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		if r.cur != nil {
+			r.sealLocked(r.cur)
+		}
+	}
+	r.mu.Unlock()
+	r.wg.Wait()
 }
 
 // entry is one submitted query waiting on its batch.
@@ -79,7 +181,11 @@ type entry struct {
 type batch struct {
 	entries []*entry
 	sealed  bool
-	timer   *time.Timer
+	// graced marks a batch whose timer already fired once while arrival
+	// announcements were outstanding; its rearmed timer seals
+	// unconditionally.
+	graced bool
+	timer  *time.Timer
 }
 
 // Submit offers an optimized plan for shared execution. The three-way
@@ -97,12 +203,20 @@ type batch struct {
 func (r *Runner) Submit(ctx context.Context, sql string, plan logical.Operator) (*exec.Result, exec.SharedExecMetrics, error) {
 	var zero exec.SharedExecMetrics
 	cl, ok := classify(plan)
-	if !ok {
+
+	r.mu.Lock()
+	roundDone := r.noteArrivalLocked()
+	if !ok || r.closed {
+		// Ineligible shapes still count as arrivals (the service announces
+		// whole dispatch rounds without classifying), and the last arrival
+		// seals the window even if it bypasses it.
+		if roundDone && r.cur != nil {
+			r.sealLocked(r.cur)
+		}
+		r.mu.Unlock()
 		return nil, zero, nil
 	}
 	e := &entry{sql: sql, plan: plan, cl: cl, done: make(chan struct{})}
-
-	r.mu.Lock()
 	b := r.cur
 	if b == nil || b.sealed {
 		b = &batch{}
@@ -110,7 +224,7 @@ func (r *Runner) Submit(ctx context.Context, sql string, plan logical.Operator) 
 		b.timer = time.AfterFunc(r.cfg.Window, func() { r.seal(b) })
 	}
 	b.entries = append(b.entries, e)
-	if len(b.entries) >= r.cfg.MaxQueries {
+	if len(b.entries) >= r.cfg.MaxQueries || roundDone {
 		r.sealLocked(b)
 	}
 	r.mu.Unlock()
@@ -126,6 +240,15 @@ func (r *Runner) Submit(ctx context.Context, sql string, plan logical.Operator) 
 
 func (r *Runner) seal(b *batch) {
 	r.mu.Lock()
+	// Outstanding arrival announcements hold the window open past its
+	// timer, bounded by one grace period so announced-but-never-submitted
+	// queries (prepare errors) cannot park a batch forever.
+	if r.expectTotal > 0 && !b.sealed && !b.graced {
+		b.graced = true
+		b.timer = time.AfterFunc(4*r.cfg.Window, func() { r.seal(b) })
+		r.mu.Unlock()
+		return
+	}
 	r.sealLocked(b)
 	r.mu.Unlock()
 }
@@ -145,6 +268,7 @@ func (r *Runner) sealLocked(b *batch) {
 	if b.timer != nil {
 		b.timer.Stop()
 	}
+	r.wg.Add(1)
 	go r.execute(b)
 }
 
@@ -152,6 +276,7 @@ func (r *Runner) sealLocked(b *batch) {
 // single-entry groups (nothing fused with them) are released immediately to
 // the solo path.
 func (r *Runner) execute(b *batch) {
+	defer r.wg.Done()
 	var live []*entry
 	for _, e := range b.entries {
 		if !e.abandoned.Load() {
@@ -169,7 +294,12 @@ func (r *Runner) execute(b *batch) {
 				deliverSolo(g.members[0], n)
 				continue
 			}
-			go r.runGroup(n, g)
+			r.wg.Add(1)
+			g := g
+			go func() {
+				defer r.wg.Done()
+				r.runGroup(n, g)
+			}()
 		}
 	}
 }
@@ -209,6 +339,12 @@ func (r *Runner) groupOptions(g *group) exec.Options {
 	opts := r.opts
 	opts.SharedClients = len(g.members)
 	opts.QueryText = sharedQueryText(len(g.members), g.members[0].sql)
+	// A fused run serves several clients' combined work, so it gets its own
+	// pool at the scaled width rather than drawing the engine-resident
+	// pool's single-query share; the engine drains fused runs through
+	// Runner.Close before closing its pool.
+	opts.Workers = nil
+	opts.Tenant = ""
 	if opts.Parallelism > 0 {
 		scaled := opts.Parallelism * len(g.members)
 		if max := runtime.GOMAXPROCS(0); scaled > max {
