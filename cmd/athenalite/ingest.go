@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/service"
+	"repro/internal/types"
+)
+
+// ingestMain is `athenalite ingest`: append rows to a table on a running
+// `athenalite serve` over the wire protocol. Rows are read one per line as
+// comma-separated fields (from -file, or stdin when omitted), batched, and
+// acknowledged only once the server has durably published them — at which
+// point every result-cache entry over the table is invalidated and later
+// queries see the new data.
+//
+// Field syntax: an integer literal becomes an INT64, a decimal literal a
+// FLOAT64, `\N:i` / `\N:f` / `\N:s` a typed NULL, anything else (optionally
+// single-quoted) a STRING.
+func ingestMain(args []string) {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	var (
+		addr  = fs.String("addr", "127.0.0.1:4141", "server address")
+		table = fs.String("table", "", "target table (required)")
+		file  = fs.String("file", "", "rows file, one CSV row per line (default stdin)")
+		batch = fs.Int("batch", 512, "rows per ingest request")
+	)
+	fs.Parse(args)
+	if *table == "" {
+		fmt.Fprintln(os.Stderr, "ingest: -table is required")
+		os.Exit(2)
+	}
+	in := io.Reader(os.Stdin)
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	cl, err := service.Dial(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	var (
+		rows  [][]types.Value
+		total int
+	)
+	flush := func() {
+		if len(rows) == 0 {
+			return
+		}
+		if err := cl.Ingest(ctx, *table, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "ingest:", err)
+			os.Exit(1)
+		}
+		total += len(rows)
+		rows = rows[:0]
+	}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		row, err := parseIngestRow(line)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ingest: line %d: %v\n", lineNo, err)
+			os.Exit(1)
+		}
+		rows = append(rows, row)
+		if len(rows) >= *batch {
+			flush()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "ingest:", err)
+		os.Exit(1)
+	}
+	flush()
+	fmt.Printf("appended %d rows to %s\n", total, *table)
+}
+
+// parseIngestRow converts one comma-separated line into typed values.
+func parseIngestRow(line string) ([]types.Value, error) {
+	fields := strings.Split(line, ",")
+	row := make([]types.Value, len(fields))
+	for i, f := range fields {
+		f = strings.TrimSpace(f)
+		switch {
+		case f == `\N:i`:
+			row[i] = types.NullOf(types.KindInt64)
+		case f == `\N:f`:
+			row[i] = types.NullOf(types.KindFloat64)
+		case f == `\N:s`:
+			row[i] = types.NullOf(types.KindString)
+		case strings.HasPrefix(f, `\N`):
+			return nil, fmt.Errorf("null field %q needs a kind suffix (\\N:i, \\N:f or \\N:s)", f)
+		default:
+			if n, err := strconv.ParseInt(f, 10, 64); err == nil {
+				row[i] = types.Int(n)
+				continue
+			}
+			if x, err := strconv.ParseFloat(f, 64); err == nil {
+				row[i] = types.Float(x)
+				continue
+			}
+			if len(f) >= 2 && f[0] == '\'' && f[len(f)-1] == '\'' {
+				f = f[1 : len(f)-1]
+			}
+			row[i] = types.String(f)
+		}
+	}
+	return row, nil
+}

@@ -5,8 +5,9 @@
 // Usage:
 //
 //	athenalite [-scale 0.1] [-fusion=true]
-//	athenalite serve [-addr :4141] [-scale 0.1]   # multi-tenant query service
-//	athenalite client [-addr :4141] [-tenant t1]  # remote shell over the wire
+//	athenalite serve [-addr :4141] [-scale 0.1] [-rescache 67108864]  # multi-tenant query service
+//	athenalite client [-addr :4141] [-tenant t1]                      # remote shell over the wire
+//	athenalite ingest -table store_sales [-file rows.csv]             # append rows over the wire
 //
 // Inside the shell:
 //
@@ -37,6 +38,9 @@ func main() {
 			return
 		case "client":
 			clientMain(os.Args[2:])
+			return
+		case "ingest":
+			ingestMain(os.Args[2:])
 			return
 		}
 	}

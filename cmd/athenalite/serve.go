@@ -31,6 +31,7 @@ func serveMain(args []string) {
 		tenantMem  = fs.Int64("tenant-memory", 0, "per-tenant memory budget in bytes (0 = uncapped)")
 		memLimit   = fs.Int64("memlimit", 0, "engine memory limit in bytes (0 = unlimited)")
 		qtimeout   = fs.Duration("queue-timeout", 30*time.Second, "max time a query may wait in the queue")
+		rescache   = fs.Int64("rescache", 64<<20, "semantic result-cache budget in bytes (0 = off)")
 	)
 	fs.Parse(args)
 
@@ -41,9 +42,10 @@ func serveMain(args []string) {
 		os.Exit(1)
 	}
 	cfg := engine.Config{
-		ShareExec:       true,
-		AdmissionWindow: *window,
-		ShareScans:      true,
+		ShareExec:        true,
+		AdmissionWindow:  *window,
+		ShareScans:       true,
+		ResultCacheBytes: *rescache,
 	}
 	if *memLimit > 0 {
 		cfg.MemoryLimitBytes = *memLimit

@@ -37,6 +37,7 @@ func main() {
 		pipelineOut   = flag.String("pipeline", "", "write a pull-vs-push pipeline execution comparison to this JSON file and exit")
 		sharedExecOut = flag.String("sharedexec", "", "write a concurrent shared-execution vs independent-run comparison to this JSON file and exit")
 		serviceOut    = flag.String("service", "", "write a multi-tenant service vs no-queue baseline comparison to this JSON file and exit")
+		rescacheOut   = flag.String("rescache", "", "write a repeated-dashboard result-cache comparison to this JSON file and exit")
 		parallelism   = flag.Int("parallelism", 4, "workers for the parallel side of -exec/-agg/-shared")
 		batchSize     = flag.Int("batch", 1024, "rows per batch for the parallel side of -exec/-agg/-shared")
 		concurrency   = flag.Int("concurrency", 4, "concurrent query workers for -shared")
@@ -115,6 +116,20 @@ func main() {
 		opts.Parallelism = *parallelism
 		opts.BatchSize = *batchSize
 		runServiceComparison(*serviceOut, opts)
+		return
+	}
+	if *rescacheOut != "" {
+		// -rescache uses a fixed dashboard query set over TPC-DS tables, so
+		// -q does not apply; -iters maps to refresh waves.
+		opts := bench.DefaultRescacheOptions()
+		opts.Scale = *scale
+		opts.Seed = *seed
+		opts.Parallelism = *parallelism
+		opts.BatchSize = *batchSize
+		if *iters > 1 {
+			opts.Waves = *iters
+		}
+		runRescacheComparison(*rescacheOut, opts)
 		return
 	}
 	if *sharedOut != "" {
@@ -231,6 +246,27 @@ func runSharedExecComparison(path string, opts bench.SharedExecOptions) {
 	fmt.Fprintf(os.Stderr, "generating %d fact rows and comparing waves of %v concurrent clients with shared execution off/on...\n",
 		opts.Rows, opts.Clients)
 	cmp, err := bench.RunSharedExecComparison(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := cmp.WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	cmp.WriteTable(os.Stdout)
+}
+
+func runRescacheComparison(path string, opts bench.RescacheOptions) {
+	fmt.Fprintf(os.Stderr, "generating TPC-DS data at scale %.2f and refreshing the dashboard %d times with the result cache off and on...\n",
+		opts.Scale, opts.Waves)
+	cmp, err := bench.RunRescacheComparison(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)

@@ -85,6 +85,20 @@ type Config struct {
 	// MaxFusedQueries seals a batch early once this many queries joined.
 	// <= 0 means 8. Only meaningful with ShareExec.
 	MaxFusedQueries int
+	// ResultCacheBytes, when > 0, opts this engine's queries into the
+	// store's semantic sub-plan result cache (internal/rescache): eligible
+	// completed sub-plans (Scan→Filter→Project chains, scalar or keyed
+	// aggregations over them) are materialized into a cache bounded to this
+	// many result bytes under cost-weighted admission, and structurally
+	// equal sub-plans of later queries — including members of fused
+	// ShareExec batches — are served from cache. Rows and logical metrics
+	// (bytes scanned, rows processed) are byte-identical to cold runs;
+	// Metrics.ResultCache tells the physical story. Entries are invalidated
+	// by Load/Append at partition-set granularity, so appends to other
+	// tables leave them valid. The cache belongs to the store, so the first
+	// caching query against a store fixes its size. 0 disables the cache
+	// (the default; no normalization needed).
+	ResultCacheBytes int64
 	// PullExec disables push-based pipeline fusion: fusible
 	// Scan→Filter→Project chains run as pull iterators with dense
 	// projection materialization instead of compiled push loops, and the

@@ -159,6 +159,8 @@ func (e *Engine) execOptionsAs(sqlText, tenant string) exec.Options {
 		QueryText:      sqlText,
 		NaiveMasks:     e.config.NaiveMasks,
 		PullExec:       e.config.PullExec,
+
+		ResultCacheBytes: e.config.ResultCacheBytes,
 	}
 }
 
@@ -229,6 +231,16 @@ func (e *Engine) Close() error {
 // order and types.
 func (e *Engine) Load(table string, rows [][]Value) error {
 	return e.store.Load(table, rows)
+}
+
+// Append ingests rows into a table as new partitions alongside the
+// existing data — the runtime write path. It is safe to call while queries
+// run: readers see either the pre- or post-append partition set, never a
+// mix, and epoch- and partition-signature-keyed caches (chain shapes,
+// cached sub-plan results) invalidate exactly the entries the append
+// touches.
+func (e *Engine) Append(table string, rows [][]Value) error {
+	return e.store.Append(table, rows)
 }
 
 // Result is a fully materialized query result.

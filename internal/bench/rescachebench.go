@@ -1,0 +1,263 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/engine"
+	"repro/internal/tpcds"
+	"repro/internal/types"
+)
+
+// RescacheOptions configures the semantic result-cache comparison: the same
+// repeated-dashboard workload — a fixed query set refreshed wave after wave
+// over one store — once with the cache off and once on, followed by an
+// append that invalidates the store_sales entries and two more cached waves
+// showing hits drop and then recover.
+type RescacheOptions struct {
+	Scale float64
+	Seed  int64
+	// Waves is how many times the dashboard refreshes in each mode.
+	Waves       int
+	Parallelism int
+	BatchSize   int
+	// CacheBytes bounds the result cache for the cached runs.
+	CacheBytes int64
+}
+
+// DefaultRescacheOptions models the paper's repeated-dashboards motivation:
+// six refreshes of a five-panel dashboard.
+func DefaultRescacheOptions() RescacheOptions {
+	return RescacheOptions{Scale: 1.0, Seed: 42, Waves: 6, Parallelism: 4, BatchSize: 1024, CacheBytes: 32 << 20}
+}
+
+// rescacheQuery is one dashboard panel.
+type rescacheQuery struct {
+	Name string
+	SQL  string
+}
+
+// rescacheDashboard is the repeated workload: q09-style quantity buckets
+// and a per-store rollup over store_sales (invalidated by the append), plus
+// one web_sales panel whose cache entry must survive it.
+var rescacheDashboard = []rescacheQuery{
+	{"bucket_lo", "SELECT COUNT(*) AS cnt, AVG(ss_ext_discount_amt) AS disc, AVG(ss_net_profit) AS prof FROM store_sales WHERE ss_quantity BETWEEN 1 AND 20"},
+	{"bucket_mid", "SELECT COUNT(*) AS cnt, AVG(ss_ext_discount_amt) AS disc, AVG(ss_net_profit) AS prof FROM store_sales WHERE ss_quantity BETWEEN 21 AND 40"},
+	{"bucket_hi", "SELECT COUNT(*) AS cnt, AVG(ss_ext_discount_amt) AS disc, AVG(ss_net_profit) AS prof FROM store_sales WHERE ss_quantity BETWEEN 41 AND 60"},
+	{"store_rollup", "SELECT ss_store_sk, COUNT(*) AS cnt, SUM(ss_net_profit) AS prof FROM store_sales GROUP BY ss_store_sk"},
+	{"web_revenue", "SELECT COUNT(*) AS cnt, SUM(ws_list_price) AS rev FROM web_sales WHERE ws_quantity > 50"},
+}
+
+// RescacheWave is one dashboard refresh's cache activity.
+type RescacheWave struct {
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	BytesDecoded int64 `json:"bytes_decoded"`
+}
+
+// RescacheComparison is the BENCH_rescache.json payload.
+type RescacheComparison struct {
+	Scale       float64 `json:"scale"`
+	Waves       int     `json:"waves"`
+	Parallelism int     `json:"parallelism"`
+	BatchSize   int     `json:"batch_size"`
+	CacheBytes  int64   `json:"cache_bytes"`
+
+	// ColdBytesDecoded / CachedBytesDecoded sum the physical chunk-decode
+	// work over all pre-append waves; the dashboard's logical BytesScanned
+	// is identical in every run.
+	ColdBytesDecoded   int64   `json:"cold_bytes_decoded"`
+	CachedBytesDecoded int64   `json:"cached_bytes_decoded"`
+	DecodeReduction    float64 `json:"decode_reduction"`
+	ColdWallMS         float64 `json:"cold_wall_ms"`
+	CachedWallMS       float64 `json:"cached_wall_ms"`
+	Speedup            float64 `json:"speedup"`
+
+	// CachedWaves is the per-refresh cache story: wave 0 is all misses,
+	// later waves all hits.
+	CachedWaves []RescacheWave `json:"cached_waves"`
+	// PostAppendWaves shows invalidation working: the first wave after the
+	// append loses its store_sales hits (the web_sales panel keeps its
+	// entry), the second recovers them.
+	PostAppendWaves []RescacheWave `json:"post_append_waves"`
+
+	AdmissionRejects int64 `json:"admission_rejects"`
+	ServedBytes      int64 `json:"served_bytes"`
+	// AllIdentical is true when every run in both modes — including the
+	// post-append waves, checked against a recomputed reference — returned
+	// rows byte-identical to the cache-off reference with the same
+	// BytesScanned.
+	AllIdentical bool `json:"all_identical"`
+}
+
+// RunRescacheComparison measures the repeated-dashboard workload with the
+// result cache off and on against one store, verifying every run against a
+// cache-off reference, then appends rows to store_sales and verifies the
+// cached engine recomputes exactly and re-admits.
+func RunRescacheComparison(opts RescacheOptions) (*RescacheComparison, error) {
+	if opts.Scale <= 0 {
+		opts.Scale = 1.0
+	}
+	if opts.Waves <= 1 {
+		opts.Waves = 6
+	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = 4
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 1024
+	}
+	if opts.CacheBytes <= 0 {
+		opts.CacheBytes = 32 << 20
+	}
+	st, err := tpcds.NewLoadedStore(opts.Scale, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	base := engine.Config{Parallelism: opts.Parallelism, BatchSize: opts.BatchSize}
+	ref := engine.OpenWithStore(st, base)
+	cmp := &RescacheComparison{
+		Scale: opts.Scale, Waves: opts.Waves, Parallelism: opts.Parallelism,
+		BatchSize: opts.BatchSize, CacheBytes: opts.CacheBytes, AllIdentical: true,
+	}
+
+	oracle := func() ([]string, []int64, error) {
+		rows := make([]string, len(rescacheDashboard))
+		scanned := make([]int64, len(rescacheDashboard))
+		for i, q := range rescacheDashboard {
+			res, err := ref.Query(q.SQL)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bench: %s (reference): %w", q.Name, err)
+			}
+			rows[i] = renderRows(res.Rows)
+			scanned[i] = res.Metrics.Storage.BytesScanned
+		}
+		return rows, scanned, nil
+	}
+	wantRows, wantScanned, err := oracle()
+	if err != nil {
+		return nil, err
+	}
+
+	runWave := func(eng *engine.Engine) (RescacheWave, time.Duration, error) {
+		var w RescacheWave
+		start := time.Now()
+		for i, q := range rescacheDashboard {
+			res, err := eng.Query(q.SQL)
+			if err != nil {
+				return w, 0, fmt.Errorf("bench: %s: %w", q.Name, err)
+			}
+			if renderRows(res.Rows) != wantRows[i] || res.Metrics.Storage.BytesScanned != wantScanned[i] {
+				cmp.AllIdentical = false
+			}
+			w.Hits += res.Metrics.ResultCache.Hits
+			w.Misses += res.Metrics.ResultCache.Misses
+			w.BytesDecoded += res.Metrics.Share.BytesDecoded
+			cmp.AdmissionRejects += res.Metrics.ResultCache.AdmissionRejects
+			cmp.ServedBytes += res.Metrics.ResultCache.ServedBytes
+		}
+		return w, time.Since(start), nil
+	}
+
+	cold := engine.OpenWithStore(st, base)
+	for i := 0; i < opts.Waves; i++ {
+		w, wall, err := runWave(cold)
+		if err != nil {
+			return nil, err
+		}
+		cmp.ColdBytesDecoded += w.BytesDecoded
+		cmp.ColdWallMS += float64(wall) / float64(time.Millisecond)
+	}
+
+	warmCfg := base
+	warmCfg.ResultCacheBytes = opts.CacheBytes
+	warm := engine.OpenWithStore(st, warmCfg)
+	for i := 0; i < opts.Waves; i++ {
+		w, wall, err := runWave(warm)
+		if err != nil {
+			return nil, err
+		}
+		cmp.CachedBytesDecoded += w.BytesDecoded
+		cmp.CachedWallMS += float64(wall) / float64(time.Millisecond)
+		cmp.CachedWaves = append(cmp.CachedWaves, w)
+	}
+	if cmp.CachedBytesDecoded > 0 {
+		cmp.DecodeReduction = float64(cmp.ColdBytesDecoded) / float64(cmp.CachedBytesDecoded)
+	}
+	if cmp.CachedWallMS > 0 {
+		cmp.Speedup = cmp.ColdWallMS / cmp.CachedWallMS
+	}
+
+	// The append invalidates the four store_sales panels; the web_sales
+	// panel's entry survives. Both the reference and the cached engine see
+	// the same new data, so the identity check keeps holding.
+	if err := st.Append("store_sales", appendedSales(opts.Seed)); err != nil {
+		return nil, err
+	}
+	if wantRows, wantScanned, err = oracle(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < 2; i++ {
+		w, _, err := runWave(warm)
+		if err != nil {
+			return nil, err
+		}
+		cmp.PostAppendWaves = append(cmp.PostAppendWaves, w)
+	}
+	return cmp, nil
+}
+
+// appendedSales builds a small deterministic batch of new store_sales rows
+// landing in two fresh date partitions.
+func appendedSales(seed int64) [][]types.Value {
+	var rows [][]types.Value
+	for i := 0; i < 64; i++ {
+		date := int64(2450815 + 1900 + i%2) // past the generated calendar: always fresh partitions
+		list := 1 + float64((seed+int64(i)*37)%200)
+		rows = append(rows, []types.Value{
+			types.Int(date),
+			types.Int(int64(i % 1440)),
+			types.Int(int64(1 + i%50)),
+			types.Int(int64(1 + i%100)),
+			types.Int(int64(1 + i%10)),
+			types.Int(int64(1 + i%20)),
+			types.Int(int64(1 + i%5)),
+			types.Int(int64(1 + i%100)),
+			types.Float(list),
+			types.Float(list * 0.8),
+			types.Float(list * 0.05),
+			types.Float(list * 2),
+			types.Float(list * 0.02),
+			types.Float(list*0.8 - list*0.7),
+		})
+	}
+	return rows
+}
+
+// WriteJSON emits the comparison as indented JSON (the BENCH_rescache.json
+// artifact).
+func (c *RescacheComparison) WriteJSON(out io.Writer) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// WriteTable renders a human-readable view of the comparison.
+func (c *RescacheComparison) WriteTable(out io.Writer) {
+	fmt.Fprintf(out, "Semantic result cache (scale=%.2f, %d waves x %d panels, parallelism=%d, cache=%d MB)\n",
+		c.Scale, c.Waves, len(rescacheDashboard), c.Parallelism, c.CacheBytes>>20)
+	fmt.Fprintf(out, "decode bytes: cold %.2f MB, cached %.2f MB (%.2fx reduction)\n",
+		float64(c.ColdBytesDecoded)/1e6, float64(c.CachedBytesDecoded)/1e6, c.DecodeReduction)
+	fmt.Fprintf(out, "wall: cold %.1f ms, cached %.1f ms (%.2fx speedup)\n", c.ColdWallMS, c.CachedWallMS, c.Speedup)
+	fmt.Fprintln(out, "wave | hits | misses | decoded")
+	for i, w := range c.CachedWaves {
+		fmt.Fprintf(out, "%4d | %4d | %6d | %7.2f MB\n", i, w.Hits, w.Misses, float64(w.BytesDecoded)/1e6)
+	}
+	for i, w := range c.PostAppendWaves {
+		fmt.Fprintf(out, "+ap%d | %4d | %6d | %7.2f MB\n", i, w.Hits, w.Misses, float64(w.BytesDecoded)/1e6)
+	}
+	fmt.Fprintf(out, "admission rejects %d, served %.2f MB, identical=%v\n",
+		c.AdmissionRejects, float64(c.ServedBytes)/1e6, c.AllIdentical)
+}

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunRescacheComparisonSmoke runs the result-cache comparison at toy
+// scale: every run in both modes must verify against the cache-off
+// reference, the repeat waves must actually hit, and the post-append waves
+// must show hits dropping (to the surviving web_sales panel) and then
+// recovering — otherwise the benchmark is measuring nothing.
+func TestRunRescacheComparisonSmoke(t *testing.T) {
+	cmp, err := RunRescacheComparison(RescacheOptions{
+		Scale: 0.05, Seed: 7, Waves: 3, Parallelism: 2, BatchSize: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.AllIdentical {
+		t.Fatalf("cached runs diverged from the cache-off reference: %+v", cmp)
+	}
+	if len(cmp.CachedWaves) != 3 || len(cmp.PostAppendWaves) != 2 {
+		t.Fatalf("got %d cached + %d post-append waves", len(cmp.CachedWaves), len(cmp.PostAppendWaves))
+	}
+	if cmp.CachedWaves[0].Hits != 0 || cmp.CachedWaves[1].Hits == 0 || cmp.CachedWaves[2].Hits == 0 {
+		t.Fatalf("repeat waves did not hit: %+v", cmp.CachedWaves)
+	}
+	first, second := cmp.PostAppendWaves[0], cmp.PostAppendWaves[1]
+	if first.Hits >= cmp.CachedWaves[1].Hits {
+		t.Fatalf("append did not drop hits: %+v vs steady-state %+v", first, cmp.CachedWaves[1])
+	}
+	if first.Misses == 0 {
+		t.Fatalf("post-append wave recomputed nothing: %+v", first)
+	}
+	if second.Hits != cmp.CachedWaves[1].Hits {
+		t.Fatalf("hits did not recover after re-admission: %+v vs steady-state %+v", second, cmp.CachedWaves[1])
+	}
+	if cmp.ColdBytesDecoded <= cmp.CachedBytesDecoded {
+		t.Fatalf("cache saved no decode work: cold %d vs cached %d", cmp.ColdBytesDecoded, cmp.CachedBytesDecoded)
+	}
+	var tbl strings.Builder
+	cmp.WriteTable(&tbl)
+	if !strings.Contains(tbl.String(), "identical=true") {
+		t.Fatalf("table rendering missing identity line:\n%s", tbl.String())
+	}
+}

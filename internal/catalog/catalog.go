@@ -8,6 +8,7 @@ package catalog
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/types"
 )
@@ -35,10 +36,12 @@ type Table struct {
 	Stats Stats
 }
 
-// Stats holds coarse per-table statistics.
+// Stats holds coarse per-table statistics. Fields are atomic because the
+// storage layer refreshes them on runtime appends while concurrent queries
+// plan against them.
 type Stats struct {
-	RowCount   int64
-	Partitions int
+	RowCount   atomic.Int64
+	Partitions atomic.Int64
 }
 
 // ColumnIndex returns the ordinal of the named column, or -1.

@@ -1,8 +1,10 @@
 package exec
 
 import (
+	"errors"
 	"sync/atomic"
 
+	"repro/internal/memctl"
 	"repro/internal/storage"
 	"repro/internal/types"
 	"repro/internal/vec"
@@ -31,6 +33,15 @@ import (
 // roughly 1/numSpillParts of the accumulator per dump, and replay needs one
 // partition's groups resident at a time.
 const numSpillParts = 8
+
+// maxReplayDepth bounds recursive replay re-partitioning: a partition whose
+// groups alone exceed the memory budget is split by deeper hash bits and
+// each sub-partition replayed independently, up to this many levels
+// (numSpillParts^(maxReplayDepth+1) leaf partitions). Past the bound the
+// replay fails with the clean ErrMemoryExceeded it would otherwise have
+// raised — skew beyond 8^4 partitions under a budget too small for one of
+// them is a genuine limit, not a recoverable imbalance.
+const maxReplayDepth = 3
 
 // aggSpillPart is one hash partition of an accumulator's group table.
 type aggSpillPart struct {
@@ -267,19 +278,15 @@ func (ga *groupAccumulator) finish() (groupStream, error) {
 		if !pt.spilled {
 			continue
 		}
-		porder, err := ga.replayPartition(pt)
+		rowsF, err := pt.rowsW.Finish()
 		if err != nil {
 			return nil, err
 		}
-		if len(porder) > 0 {
-			f, err := ga.writeEmitRun(porder)
-			if err != nil {
-				return nil, err
-			}
-			ga.runs = append(ga.runs, f)
-		}
-		for _, g := range porder {
-			delete(ga.groups, encodeKey(&ga.keyBuf, g.keyVals))
+		pt.rowsW = nil
+		pt.rowsF = rowsF
+		ga.tracker.AddSpill(opGroupBy, rowsF.Bytes(), 1)
+		if err := ga.replayFiles(pt.stateDump, pt.rowsF, 0); err != nil {
+			return nil, err
 		}
 		pt.stateDump.Close()
 		pt.stateDump = nil
@@ -326,28 +333,142 @@ func (ga *groupAccumulator) writeEmitRun(groups []*group) (*storage.SpillFile, e
 	return f, nil
 }
 
-// replayPartition restores the partition's state dump and resumes
-// accumulation over its raw spilled rows, in input order — bit-for-bit the
-// arithmetic of the never-spilled path. Returns the partition's groups in
-// ascending firstIdx order: restored groups (dumped in discovery order,
-// which is ascending) followed by groups first seen after the dump (file
-// order, also ascending, and every post-dump index exceeds every pre-dump
-// one). Caller holds ga.mu; replay reservations are safe because the
-// accumulator is already unregistered, so the pool can never route a spill
-// back into this lock.
-func (ga *groupAccumulator) replayPartition(pt *aggSpillPart) ([]*group, error) {
-	rowsF, err := pt.rowsW.Finish()
-	if err != nil {
-		return nil, err
+// replayFiles replays one partition's (state dump, raw rows) file pair into
+// an emit run. When the partition's groups alone exceed the memory budget —
+// skew that no dump during the consume phase could relieve — the pair is
+// split by the next three hash bits into numSpillParts sub-pairs and each
+// replayed recursively, so only one sub-partition's groups need residency
+// at a time; maxReplayDepth bounds the recursion, past which the memory
+// error surfaces cleanly. Caller holds ga.mu and owns closing state/rows.
+func (ga *groupAccumulator) replayFiles(state, rows *storage.SpillFile, depth int) error {
+	porder, err := ga.replayPair(state, rows)
+	if err == nil {
+		if len(porder) > 0 {
+			f, err := ga.writeEmitRun(porder)
+			if err != nil {
+				return err
+			}
+			ga.runs = append(ga.runs, f)
+		}
+		for _, g := range porder {
+			delete(ga.groups, encodeKey(&ga.keyBuf, g.keyVals))
+		}
+		return nil
 	}
-	pt.rowsW = nil
-	pt.rowsF = rowsF
-	ga.tracker.AddSpill(opGroupBy, rowsF.Bytes(), 1)
+	if depth >= maxReplayDepth || !errors.Is(err, memctl.ErrMemoryExceeded) {
+		return err
+	}
+	subStates, subRows, err := ga.splitPair(state, rows, depth)
+	if err != nil {
+		return err
+	}
+	closeFrom := func(i int) {
+		for ; i < numSpillParts; i++ {
+			subStates[i].Close()
+			subRows[i].Close()
+		}
+	}
+	for i := 0; i < numSpillParts; i++ {
+		err := ga.replayFiles(subStates[i], subRows[i], depth+1)
+		subStates[i].Close()
+		subRows[i].Close()
+		if err != nil {
+			closeFrom(i + 1)
+			return err
+		}
+	}
+	return nil
+}
 
+// splitPair re-partitions a replay pair by hash bits one level deeper than
+// the ones that selected it: record i of either file goes to sub-pair
+// (HashKey(keys) >> 3*(depth+1)) % numSpillParts. Sequential reads and
+// appends preserve relative record order, so every sub-pair inherits the
+// parent's ordering invariants (state records ascending by firstIdx, row
+// records in input order, post-dump indices above pre-dump ones).
+func (ga *groupAccumulator) splitPair(state, rows *storage.SpillFile, depth int) (subStates, subRows []*storage.SpillFile, err error) {
+	kw := len(ga.keyIdx)
+	shift := uint(3 * (depth + 1))
+	split := func(f *storage.SpillFile, width int) ([]*storage.SpillFile, error) {
+		ws := make([]*storage.SpillWriter, numSpillParts)
+		abort := func() {
+			for _, w := range ws {
+				if w != nil {
+					w.Abort()
+				}
+			}
+		}
+		for i := range ws {
+			w, err := storage.NewSpillWriter(ga.spillDir, width)
+			if err != nil {
+				abort()
+				return nil, err
+			}
+			ws[i] = w
+		}
+		rd := f.NewReader()
+		rec := make([]types.Value, width)
+		for {
+			ok, err := rd.Next(rec)
+			if err != nil {
+				abort()
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			sub := int((vec.HashKey(rec[1:1+kw]) >> shift) % numSpillParts)
+			if err := ws[sub].Append(rec); err != nil {
+				abort()
+				return nil, err
+			}
+		}
+		files := make([]*storage.SpillFile, numSpillParts)
+		for i, w := range ws {
+			sf, err := w.Finish()
+			ws[i] = nil
+			if err != nil {
+				abort()
+				for j := 0; j < i; j++ {
+					files[j].Close()
+				}
+				return nil, err
+			}
+			files[i] = sf
+			ga.tracker.AddSpill(opGroupBy, sf.Bytes(), 1)
+		}
+		return files, nil
+	}
+	subStates, err = split(state, 1+kw+6*len(ga.aggs.aggs))
+	if err != nil {
+		return nil, nil, err
+	}
+	subRows, err = split(rows, ga.rowRecWidth())
+	if err != nil {
+		for _, f := range subStates {
+			f.Close()
+		}
+		return nil, nil, err
+	}
+	return subStates, subRows, nil
+}
+
+// replayPair restores a state dump and resumes accumulation over its raw
+// rows, in input order — bit-for-bit the arithmetic of the never-spilled
+// path. Returns the pair's groups in ascending firstIdx order: restored
+// groups (dumped in discovery order, which is ascending) followed by groups
+// first seen after the dump (file order, also ascending, and every
+// post-dump index exceeds every pre-dump one). On error — including memory
+// exhaustion, which the caller may recover from by re-partitioning — every
+// side effect of the attempt is rolled back: reservations released, groups
+// removed from the table, the created-groups count restored. Caller holds
+// ga.mu; replay reservations are safe because the accumulator is already
+// unregistered, so the pool can never route a spill back into this lock.
+func (ga *groupAccumulator) replayPair(state, rows *storage.SpillFile) ([]*group, error) {
 	kw := len(ga.keyIdx)
 	nAggs := len(ga.aggs.aggs)
 	var porder []*group
-	var pendBytes int64
+	var pendBytes, reservedHere, createdHere int64
 	reserve := func(force bool) error {
 		if pendBytes == 0 || (!force && pendBytes < 64<<10) {
 			return nil
@@ -356,16 +477,28 @@ func (ga *groupAccumulator) replayPartition(pt *aggSpillPart) ([]*group, error) 
 			return err
 		}
 		atomic.AddInt64(&ga.resident, pendBytes)
+		reservedHere += pendBytes
 		pendBytes = 0
 		return nil
 	}
+	fail := func(err error) ([]*group, error) {
+		for _, g := range porder {
+			delete(ga.groups, encodeKey(&ga.keyBuf, g.keyVals))
+		}
+		ga.groupsCreated -= createdHere
+		if reservedHere > 0 {
+			atomic.AddInt64(&ga.resident, -reservedHere)
+			ga.tracker.Release(opGroupBy, reservedHere)
+		}
+		return nil, err
+	}
 
-	srd := pt.stateDump.NewReader()
+	srd := state.NewReader()
 	srec := make([]types.Value, 1+kw+6*nAggs)
 	for {
 		ok, err := srd.Next(srec)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		if !ok {
 			break
@@ -392,18 +525,18 @@ func (ga *groupAccumulator) replayPartition(pt *aggSpillPart) ([]*group, error) 
 		porder = append(porder, g)
 		pendBytes += groupMemBytes(g.keyVals, nAggs)
 		if err := reserve(false); err != nil {
-			return nil, err
+			return fail(err)
 		}
 	}
 
-	rrd := rowsF.NewReader()
+	rrd := rows.NewReader()
 	rrec := make([]types.Value, ga.rowRecWidth())
 	maskOff := 1 + kw
 	argOff := maskOff + ga.nMasks
 	for {
 		ok, err := rrd.Next(rrec)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		if !ok {
 			break
@@ -422,9 +555,10 @@ func (ga *groupAccumulator) replayPartition(pt *aggSpillPart) ([]*group, error) 
 			ga.groups[key] = g
 			porder = append(porder, g)
 			ga.groupsCreated++
+			createdHere++
 			pendBytes += groupMemBytes(g.keyVals, nAggs)
 			if err := reserve(false); err != nil {
-				return nil, err
+				return fail(err)
 			}
 		}
 		for ai := range ga.aggs.aggs {
@@ -436,7 +570,7 @@ func (ga *groupAccumulator) replayPartition(pt *aggSpillPart) ([]*group, error) 
 		}
 	}
 	if err := reserve(true); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	return porder, nil
 }

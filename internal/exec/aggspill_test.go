@@ -1,0 +1,145 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/logical"
+	"repro/internal/memctl"
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/vec"
+)
+
+// Recursive replay re-partitioning: a spilled partition whose groups alone
+// exceed the memory budget must split by deeper hash bits and still produce
+// results bit-identical to the unlimited run; skew the splitting cannot
+// relieve (every group in one leaf partition) must fail with the clean
+// memory error after the bounded recursion, not hang or corrupt state.
+
+// hotStore loads a one-partition table whose rows carry the given keys (one
+// row per key occurrence) with a deterministic value column.
+func hotStore(t *testing.T, keys []int64) *storage.Store {
+	t.Helper()
+	cat := catalog.New()
+	cat.MustAdd(&catalog.Table{
+		Name: "hot",
+		Columns: []catalog.Column{
+			{Name: "h_k", Type: types.KindInt64},
+			{Name: "h_v", Type: types.KindInt64},
+		},
+	})
+	st := storage.NewStore(cat)
+	rows := make([][]types.Value, len(keys))
+	for i, k := range keys {
+		rows[i] = []types.Value{types.Int(k), types.Int(int64(i)%97 + 1)}
+	}
+	if err := st.Load("hot", rows); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func hotPlan(t *testing.T, st *storage.Store) logical.Operator {
+	t.Helper()
+	s := scanOf(t, st, "hot")
+	sum := expr.AggCall{Fn: expr.AggSum, Arg: expr.Ref(s.ColumnFor("h_v"))}
+	return &logical.GroupBy{
+		Input: s,
+		Keys:  []*expr.Column{s.ColumnFor("h_k")},
+		Aggs:  []logical.AggAssign{{Col: expr.NewColumn("s", sum.ResultType()), Agg: sum}},
+	}
+}
+
+// TestAggSpillRecursiveReplay drives a hot-key-skewed aggregation through a
+// budget a single top-level spill partition cannot fit, so finishing the
+// query requires replay to re-partition recursively.
+func TestAggSpillRecursiveReplay(t *testing.T) {
+	const limit = 96 << 10
+	// 24k distinct keys plus a hot key on ~30% of rows: the distinct tail
+	// spreads ~3k groups into each of the 8 spill partitions, far above
+	// what the budget can hold resident at once during replay.
+	var keys []int64
+	for i := 0; i < 24000; i++ {
+		keys = append(keys, int64(i))
+		if i%3 == 0 {
+			keys = append(keys, -1)
+		}
+	}
+	st := hotStore(t, keys)
+
+	// Small batches keep the consume phase's per-batch group reservations
+	// (which cannot spill mid-request) well under the limit; the replay
+	// pressure this test targets is batch-size independent.
+	want, err := RunWith(hotPlan(t, st), st, Options{Parallelism: 1, BatchSize: 128})
+	if err != nil {
+		t.Fatalf("unlimited run: %v", err)
+	}
+
+	// Non-vacuity: one top-level partition's groups (~1/8 of the distinct
+	// keys) must overshoot the whole budget, so a non-recursive replay
+	// could not have succeeded.
+	perPartBytes := int64(24001) * groupMemBytes([]types.Value{types.Int(0)}, 1) / numSpillParts
+	if perPartBytes < 2*limit {
+		t.Fatalf("corpus too small to force recursive replay: %d bytes/partition vs limit %d", perPartBytes, limit)
+	}
+
+	pool := memctl.NewPool(limit, t.TempDir())
+	got, err := RunWith(hotPlan(t, st), st, Options{Parallelism: 1, BatchSize: 128, MemPool: pool, QueryText: "hot recursive replay"})
+	if err != nil {
+		t.Fatalf("limited run: %v", err)
+	}
+	if got.Metrics.SpilledBytes == 0 || got.Metrics.SpillFiles == 0 {
+		t.Fatalf("limited run did not spill (spilled=%d files=%d)", got.Metrics.SpilledBytes, got.Metrics.SpillFiles)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("rows = %d, want %d", len(got.Rows), len(want.Rows))
+	}
+	for i := range want.Rows {
+		for j := range want.Rows[i] {
+			if !got.Rows[i][j].Equal(want.Rows[i][j]) {
+				t.Fatalf("row %d col %d = %v, want %v", i, j, got.Rows[i][j], want.Rows[i][j])
+			}
+		}
+	}
+	if got.Metrics.Storage.BytesScanned != want.Metrics.Storage.BytesScanned ||
+		got.Metrics.RowsProcessed != want.Metrics.RowsProcessed ||
+		got.Metrics.HashRows != want.Metrics.HashRows {
+		t.Fatalf("logical metrics diverged: limited {bytes %d rows %d hash %d} vs unlimited {bytes %d rows %d hash %d}",
+			got.Metrics.Storage.BytesScanned, got.Metrics.RowsProcessed, got.Metrics.HashRows,
+			want.Metrics.Storage.BytesScanned, want.Metrics.RowsProcessed, want.Metrics.HashRows)
+	}
+}
+
+// TestAggSpillReplayDepthExhausted builds a pathological key set that
+// collapses into a single leaf partition at every re-partitioning level
+// (all keys share their low 3*(maxReplayDepth+1) hash bits), so recursion
+// cannot spread the load and the replay must surface ErrMemoryExceeded
+// cleanly once the depth bound is hit.
+func TestAggSpillReplayDepthExhausted(t *testing.T) {
+	const limit = 64 << 10
+	mask := uint64(1)<<(3*(maxReplayDepth+1)) - 1
+	target := vec.HashKey([]types.Value{types.Int(0)}) & mask
+	var keys []int64
+	kv := []types.Value{types.Int(0)}
+	for c, bytes := int64(0), int64(0); bytes < 4*limit; c++ {
+		kv[0] = types.Int(c)
+		if vec.HashKey(kv)&mask != target {
+			continue
+		}
+		keys = append(keys, c)
+		bytes += groupMemBytes(kv, 1)
+	}
+	st := hotStore(t, keys)
+
+	pool := memctl.NewPool(limit, t.TempDir())
+	_, err := RunWith(hotPlan(t, st), st, Options{Parallelism: 1, BatchSize: 128, MemPool: pool, QueryText: "hot depth exhausted"})
+	if err == nil {
+		t.Fatal("expected ErrMemoryExceeded for un-partitionable skew, got success")
+	}
+	if !errors.Is(err, memctl.ErrMemoryExceeded) {
+		t.Fatalf("err = %v, want ErrMemoryExceeded", err)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/logical"
 	"repro/internal/memctl"
+	"repro/internal/rescache"
 	"repro/internal/scanshare"
 	"repro/internal/storage"
 	"repro/internal/types"
@@ -67,6 +68,13 @@ type Options struct {
 	// resident bytes; <= 0 means scanshare.DefaultCacheBytes). The first run
 	// to touch a store fixes its cache size.
 	ScanCacheBytes int64
+	// ResultCacheBytes, when > 0, attaches this run to the store's semantic
+	// sub-plan result cache (internal/rescache) bounded to that many result
+	// bytes: eligible completed sub-plans are offered for cost-weighted
+	// admission, and structurally equal sub-plans of later runs are served
+	// from cache with as-if-solo metric attribution. The first run to touch
+	// a store fixes the cache size. 0 disables the cache for this run.
+	ResultCacheBytes int64
 	// MemPool is the engine-level memory budget this run reserves blocking
 	// operator state against (see internal/memctl). nil means a private
 	// unlimited pool: reservations are tracked for Metrics but never fail
@@ -153,6 +161,15 @@ type Metrics struct {
 	// that crossed a fused project boundary without the dense column
 	// materialization the pull path would have performed.
 	Pipeline PipelineMetrics
+	// ResultCache counts semantic result-cache activity for this run
+	// (internal/rescache; all zero when Options.ResultCacheBytes is 0).
+	// Hits/Misses count eligible sub-plans probed, ServedBytes the cached
+	// result bytes replayed instead of recomputed, AdmissionRejects the
+	// computed results the cache declined, and EvictedBytes the entry bytes
+	// this run's admissions displaced. The logical counters above stay
+	// as-if-solo on a hit: the entry replays the exact Storage/RowsProcessed
+	// charges its original computation recorded.
+	ResultCache ResultCacheMetrics
 	// SharedExec tells the physical story of cross-query shared execution
 	// (internal/xfuse) for this client's run. The logical counters above
 	// (Storage, RowsProcessed) always describe the query as if it ran alone;
@@ -177,6 +194,15 @@ type SharedExecMetrics struct {
 	FusedPlans int64
 	// WindowWaits counts admission windows this query waited through.
 	WindowWaits int64
+}
+
+// ResultCacheMetrics counts semantic result-cache activity for one run.
+type ResultCacheMetrics struct {
+	Hits             int64
+	Misses           int64
+	AdmissionRejects int64
+	EvictedBytes     int64
+	ServedBytes      int64
 }
 
 // PipelineMetrics counts push-pipeline fusion activity for one run.
@@ -286,6 +312,9 @@ func newExecutor(store *storage.Store, opts Options) *executor {
 	if opts.ShareScans {
 		ex.share = scanshare.For(store, opts.ScanCacheBytes)
 	}
+	if opts.ResultCacheBytes > 0 {
+		ex.rcache = rescache.For(store, opts.ResultCacheBytes)
+	}
 	return ex
 }
 
@@ -309,6 +338,12 @@ type executor struct {
 	// share is the store's cross-query scan-share manager, nil when
 	// Options.ShareScans is off.
 	share *scanshare.Manager
+	// rcache is the store's semantic result cache, nil when
+	// Options.ResultCacheBytes is 0. rcDepth > 0 while building inside a
+	// capture or replay subtree, where nested probes are disabled (each
+	// query caches at most the topmost eligible sub-plan along any path).
+	rcache  *rescache.Cache
+	rcDepth int
 	// mempool is the resolved memory pool (opts.MemPool, or a private
 	// unlimited pool) and tracker this run's accounting handle; blocking
 	// operators reserve their resident state against it and register
@@ -396,6 +431,9 @@ func (ev *evaluator) eval(row Row) types.Value { return ev.fn(row) }
 // other operator (a pipeline breaker) keeps its pull implementation and
 // consumes fused chains through the BatchIterator facade.
 func (ex *executor) build(op logical.Operator) (BatchIterator, error) {
+	if it, ok, err := ex.buildResultCached(op); ok || err != nil {
+		return it, err
+	}
 	if !ex.opts.PullExec {
 		if it, ok, err := ex.buildPipeline(op); ok || err != nil {
 			return it, err

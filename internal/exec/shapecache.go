@@ -95,9 +95,10 @@ func (c *ShapeCache) AnalyzeChain(root logical.Operator, store *storage.Store) (
 			break
 		}
 	}
-	// The epoch is read once, before the partition walk: a concurrent Load
-	// can at worst leave this result recorded under the pre-Load epoch
-	// (a dead entry), never stale data under the live epoch.
+	// The epoch is read once, before the partition walk: a concurrent
+	// mutation (Load or Append) can at worst leave this result recorded
+	// under the pre-mutation epoch (a dead entry), never stale data under
+	// the live epoch.
 	fp, fpOK := chainFingerprint(cs)
 	key := shapeKey{epoch: store.Epoch(), fp: fp}
 	if fpOK {

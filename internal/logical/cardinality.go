@@ -16,8 +16,8 @@ import (
 func EstimateRows(op Operator) float64 {
 	switch o := op.(type) {
 	case *Scan:
-		if o.Table.Stats.RowCount > 0 {
-			return float64(o.Table.Stats.RowCount)
+		if rc := o.Table.Stats.RowCount.Load(); rc > 0 {
+			return float64(rc)
 		}
 		return 1000 // unknown tables assume a moderate size
 

@@ -10,7 +10,7 @@ import (
 
 func statTable(rows int64) *catalog.Table {
 	t := itemTable()
-	t.Stats.RowCount = rows
+	t.Stats.RowCount.Store(rows)
 	return t
 }
 

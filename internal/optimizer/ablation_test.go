@@ -73,7 +73,7 @@ func TestDisabledRulesLeaveOthersActive(t *testing.T) {
 // with a threshold far above the table size, fusion rules decline to fire.
 func TestMinReuseRowsGate(t *testing.T) {
 	tab := salesTable()
-	tab.Stats.RowCount = 100 // small table
+	tab.Stats.RowCount.Store(100) // small table
 	mk := func(lo int64) logical.Operator {
 		s := logical.NewScan(tab)
 		f := logical.NewFilter(s, expr.NewBinary(expr.OpGt, expr.Ref(s.Cols[2]), expr.Lit(types.Int(lo))))

@@ -79,7 +79,11 @@ func (c *Counters) addCache()  { atomic.AddInt64(&c.CacheHits, 1) }
 func (c *Counters) addStream() { atomic.AddInt64(&c.StreamHits, 1) }
 
 // chunkKey identifies one decoded column chunk. Partition pointers are
-// unique per Load, which is what makes the key invalidation-safe.
+// unique per Load and per Append (the store only ever creates fresh
+// Partition values and never mutates published ones), which is what makes
+// the key invalidation-safe under runtime mutation: a replaced table's old
+// chunks can never be returned for its new partitions, they just age out
+// of the LRU.
 type chunkKey struct {
 	part *storage.Partition
 	col  string

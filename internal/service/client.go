@@ -163,6 +163,22 @@ func (c *Client) Query(ctx context.Context, sql string) (*ClientResult, error) {
 	return c.QueryAs(ctx, "", sql)
 }
 
+// Ingest appends rows to table on the server, returning once they are
+// durably published (subsequent queries on any connection see them).
+func (c *Client) Ingest(ctx context.Context, table string, rows [][]types.Value) error {
+	resp, err := c.roundTrip(ctx, &Request{Op: "ingest", Table: table, Rows: encodeRows(rows)})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return kindErr(resp.Kind, resp.Err)
+	}
+	if resp.Appended != int64(len(rows)) {
+		return fmt.Errorf("service: ingest acknowledged %d of %d rows", resp.Appended, len(rows))
+	}
+	return nil
+}
+
 // QueryAs is Query with a per-call tenant override.
 func (c *Client) QueryAs(ctx context.Context, tenant, sql string) (*ClientResult, error) {
 	resp, err := c.roundTrip(ctx, &Request{Op: "query", Tenant: tenant, SQL: sql})

@@ -159,6 +159,12 @@ func (h *connHandler) run() {
 				defer h.reqs.Done()
 				h.query(req)
 			}(req)
+		case "ingest":
+			h.reqs.Add(1)
+			go func(req Request) {
+				defer h.reqs.Done()
+				h.ingest(req)
+			}(req)
 		default:
 			h.write(&Response{ID: req.ID, Err: fmt.Sprintf("unknown op %q", req.Op)})
 		}
@@ -183,12 +189,28 @@ func (h *connHandler) query(req Request) {
 		Columns: res.Columns,
 		Rows:    encodeRows(res.Rows),
 		Metrics: &ResultMetrics{
-			BytesScanned:   res.Metrics.Storage.BytesScanned,
-			RowsProcessed:  res.Metrics.RowsProcessed,
-			BatchedQueries: res.Metrics.SharedExec.BatchedQueries,
-			FusedPlans:     res.Metrics.SharedExec.FusedPlans,
+			BytesScanned:    res.Metrics.Storage.BytesScanned,
+			RowsProcessed:   res.Metrics.RowsProcessed,
+			BatchedQueries:  res.Metrics.SharedExec.BatchedQueries,
+			FusedPlans:      res.Metrics.SharedExec.FusedPlans,
+			ResultCacheHits: res.Metrics.ResultCache.Hits,
 		},
 	})
+}
+
+// ingest decodes an append request's rows and publishes them through the
+// engine, invalidating the affected result-cache entries as a side effect.
+func (h *connHandler) ingest(req Request) {
+	rows, err := decodeRows(req.Rows)
+	if err != nil {
+		h.write(&Response{ID: req.ID, Err: err.Error()})
+		return
+	}
+	if err := h.ns.srv.Ingest(req.Table, rows); err != nil {
+		h.write(&Response{ID: req.ID, Err: err.Error(), Kind: errKind(err)})
+		return
+	}
+	h.write(&Response{ID: req.ID, OK: true, Appended: int64(len(rows))})
 }
 
 // errKind classifies scheduling errors so remote clients can map them back

@@ -222,6 +222,22 @@ func (s *Server) Submit(ctx context.Context, tenant, sql string) (*engine.Result
 	}
 }
 
+// Ingest appends rows to table through the resident engine. Appends bypass
+// the admission queue — they are not queries, hold no tenant budget, and
+// the storage layer already serializes concurrent appends — but they
+// respect shutdown: once Shutdown begins, ingest fails with ErrClosed so a
+// draining server's data stops moving under its in-flight queries' feet no
+// later than its queue stops accepting work.
+func (s *Server) Ingest(table string, rows [][]engine.Value) error {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	return s.eng.Append(table, rows)
+}
+
 // tryRemove pulls a still-queued item out of its tenant queue, reporting
 // whether it was removed (false means the dispatcher already took it).
 func (s *Server) tryRemove(it *item) bool {

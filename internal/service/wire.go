@@ -23,12 +23,16 @@ import (
 type Request struct {
 	// ID is echoed on the matching Response.
 	ID int64 `json:"id"`
-	// Op is "hello", "query", or "ping".
+	// Op is "hello", "query", "ingest", or "ping".
 	Op string `json:"op"`
 	// Tenant (hello) names the connection's tenant for all later queries.
 	Tenant string `json:"tenant,omitempty"`
 	// SQL (query) is the statement text.
 	SQL string `json:"sql,omitempty"`
+	// Table and Rows (ingest) name the append target and carry its rows in
+	// the same lossless encoding responses use.
+	Table string        `json:"table,omitempty"`
+	Rows  [][]WireValue `json:"rows,omitempty"`
 }
 
 // Response is one server→client message.
@@ -44,6 +48,8 @@ type Response struct {
 	Columns []string       `json:"columns,omitempty"`
 	Rows    [][]WireValue  `json:"rows,omitempty"`
 	Metrics *ResultMetrics `json:"metrics,omitempty"`
+	// Appended (ingest) is the number of rows durably published.
+	Appended int64 `json:"appended,omitempty"`
 }
 
 // ResultMetrics is the slice of engine metrics a remote client can act on.
@@ -52,6 +58,9 @@ type ResultMetrics struct {
 	RowsProcessed  int64 `json:"rowsProcessed"`
 	BatchedQueries int64 `json:"batchedQueries,omitempty"`
 	FusedPlans     int64 `json:"fusedPlans,omitempty"`
+	// ResultCacheHits counts sub-plans of this query served from the
+	// semantic result cache (engine Config.ResultCacheBytes > 0).
+	ResultCacheHits int64 `json:"resultCacheHits,omitempty"`
 }
 
 // WireValue is the lossless JSON form of a types.Value.

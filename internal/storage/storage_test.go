@@ -46,8 +46,8 @@ func TestLoadAndPartitioning(t *testing.T) {
 		t.Errorf("rows = %d", td.NumRows())
 	}
 	tab, _ := st.Catalog().Table("t")
-	if tab.Stats.RowCount != 3 || tab.Stats.Partitions != 2 {
-		t.Errorf("stats not refreshed: %+v", tab.Stats)
+	if tab.Stats.RowCount.Load() != 3 || tab.Stats.Partitions.Load() != 2 {
+		t.Errorf("stats not refreshed: rows=%d parts=%d", tab.Stats.RowCount.Load(), tab.Stats.Partitions.Load())
 	}
 }
 

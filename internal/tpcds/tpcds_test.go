@@ -125,8 +125,8 @@ func TestNewLoadedStore(t *testing.T) {
 	if st.Data("store_sales") == nil || st.Data("store_sales").NumRows() == 0 {
 		t.Error("store_sales not loaded")
 	}
-	if st.Data("store_sales").Table.Stats.Partitions < 100 {
-		t.Errorf("expected hundreds of date partitions, got %d", st.Data("store_sales").Table.Stats.Partitions)
+	if st.Data("store_sales").Table.Stats.Partitions.Load() < 100 {
+		t.Errorf("expected hundreds of date partitions, got %d", st.Data("store_sales").Table.Stats.Partitions.Load())
 	}
 }
 

@@ -73,6 +73,7 @@ func (r *Runner) runSFPGroup(batched int64, g *group) {
 		rows := perSub[i]
 		m := stampMetrics(fres.Metrics, shape,
 			shape.SoloRowsProcessed(int64(len(rows))), 0, batched, int64(nm))
+		offerResult(e, &m, rows)
 		e.res = &exec.Result{Columns: e.cl.outCols, Rows: rows, Metrics: m}
 		close(e.done)
 	}
@@ -162,6 +163,7 @@ func (r *Runner) runScalarGroup(batched int64, g *group) {
 			hashRows = 1
 		}
 		m := stampMetrics(fres.Metrics, shape, rowsProcessed, hashRows, batched, int64(nm))
+		offerResult(e, &m, rows)
 		e.res = &exec.Result{Columns: e.cl.outCols, Rows: rows, Metrics: m}
 		close(e.done)
 	}

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/logical"
+	"repro/internal/rescache"
 	"repro/internal/storage"
 )
 
@@ -49,6 +50,10 @@ type Runner struct {
 	// members walks partition metadata once per distinct shape, not once
 	// per member per run.
 	shapes *exec.ShapeCache
+	// rcache, when non-nil, is the store's semantic result cache: batch
+	// members probe it before grouping and fused runs feed it afterwards
+	// (see rescache.go in this package).
+	rcache *rescache.Cache
 
 	mu     sync.Mutex
 	cur    *batch
@@ -72,7 +77,11 @@ func NewRunner(store *storage.Store, opts exec.Options, cfg Config) *Runner {
 	if cfg.MaxQueries < 1 {
 		cfg.MaxQueries = 1
 	}
-	return &Runner{store: store, opts: opts, cfg: cfg, shapes: exec.NewShapeCache()}
+	r := &Runner{store: store, opts: opts, cfg: cfg, shapes: exec.NewShapeCache()}
+	if opts.ResultCacheBytes > 0 {
+		r.rcache = rescache.For(store, opts.ResultCacheBytes)
+	}
+	return r
 }
 
 // ShapeCache exposes the runner's chain-shape cache (for tests).
@@ -175,6 +184,11 @@ type entry struct {
 	// abandoned is set when the submitter's context was canceled; the
 	// batch skips (or discards) this entry's work.
 	abandoned atomic.Bool
+	// rctx is this entry's result-cache transaction: begun at probe time
+	// (before the fused run enumerates partitions) when the probe missed,
+	// consumed by the post-run offer. nil when the cache is off, the plan
+	// is ineligible, or the probe hit.
+	rctx *rescache.Tx
 }
 
 // batch is one admission window's worth of eligible queries.
@@ -284,6 +298,9 @@ func (r *Runner) execute(b *batch) {
 		}
 	}
 	n := int64(len(live))
+	// Serve cached members before grouping: a hit needs no execution at
+	// all, and excluding it keeps the fused plan to the members that do.
+	live = r.probeCache(live, n)
 	byClass := map[planClass][]*entry{}
 	for _, e := range live {
 		byClass[e.cl.class] = append(byClass[e.cl.class], e)
@@ -345,6 +362,11 @@ func (r *Runner) groupOptions(g *group) exec.Options {
 	// Runner.Close before closing its pool.
 	opts.Workers = nil
 	opts.Tenant = ""
+	// The fused superset plan is not any member's sub-plan: caching it
+	// would pollute the cache with compensating-predicate shapes no solo
+	// query fingerprints to. Member-granularity reuse happens in the
+	// runner instead (probeCache / offerResult).
+	opts.ResultCacheBytes = 0
 	if opts.Parallelism > 0 {
 		scaled := opts.Parallelism * len(g.members)
 		if max := runtime.GOMAXPROCS(0); scaled > max {
