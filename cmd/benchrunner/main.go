@@ -38,6 +38,7 @@ func main() {
 		sharedExecOut = flag.String("sharedexec", "", "write a concurrent shared-execution vs independent-run comparison to this JSON file and exit")
 		serviceOut    = flag.String("service", "", "write a multi-tenant service vs no-queue baseline comparison to this JSON file and exit")
 		rescacheOut   = flag.String("rescache", "", "write a repeated-dashboard result-cache comparison to this JSON file and exit")
+		skipOut       = flag.String("skip", "", "write a data-skipping vs no-skip comparison to this JSON file and exit")
 		parallelism   = flag.Int("parallelism", 4, "workers for the parallel side of -exec/-agg/-shared")
 		batchSize     = flag.Int("batch", 1024, "rows per batch for the parallel side of -exec/-agg/-shared")
 		concurrency   = flag.Int("concurrency", 4, "concurrent query workers for -shared")
@@ -130,6 +131,17 @@ func main() {
 			opts.Waves = *iters
 		}
 		runRescacheComparison(*rescacheOut, opts)
+		return
+	}
+	if *skipOut != "" {
+		// -skip uses a dedicated clustered store (zone maps cannot prune a
+		// uniformly random layout), so -scale and -q do not apply.
+		opts := bench.DefaultSkipOptions()
+		opts.Seed = *seed
+		opts.Iterations = *iters
+		opts.Parallelism = *parallelism
+		opts.BatchSize = *batchSize
+		runSkipComparison(*skipOut, opts)
 		return
 	}
 	if *sharedOut != "" {
@@ -267,6 +279,27 @@ func runRescacheComparison(path string, opts bench.RescacheOptions) {
 	fmt.Fprintf(os.Stderr, "generating TPC-DS data at scale %.2f and refreshing the dashboard %d times with the result cache off and on...\n",
 		opts.Scale, opts.Waves)
 	cmp, err := bench.RunRescacheComparison(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := cmp.WriteJSON(f); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	cmp.WriteTable(os.Stdout)
+}
+
+func runSkipComparison(path string, opts bench.SkipOptions) {
+	fmt.Fprintf(os.Stderr, "generating %d clustered fact rows and comparing data skipping off and on over the selective and join waves...\n",
+		opts.Rows)
+	cmp, err := bench.RunSkipComparison(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)

@@ -108,6 +108,16 @@ type Config struct {
 	// against, not a tuning knob. Needs no normalization (false is the
 	// default and the fast path).
 	PullExec bool
+	// NoSkip disables data skipping: scan leaves decode every surviving
+	// partition instead of pruning chunks whose zone maps (write-time
+	// min/max/null-count stats) prove the predicate — or a hash join's
+	// sideways build-key filter — can match no row. Results and logical
+	// metrics (bytes scanned, rows processed) are identical either way;
+	// Metrics.Skip tells the physical story. This is the validation baseline
+	// the skip differential tests and `benchrunner -skip` compare against,
+	// not a tuning knob. Needs no normalization (false is the default and
+	// the fast path).
+	NoSkip bool
 }
 
 // normalize resolves every defaulted Config field to its effective value.

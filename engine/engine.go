@@ -60,6 +60,8 @@ type (
 	Catalog = catalog.Catalog
 	// Metrics carries per-query execution counters.
 	Metrics = exec.Metrics
+	// SkipMetrics carries the data-skipping counters (Metrics.Skip).
+	SkipMetrics = exec.SkipMetrics
 )
 
 // Scalar kind constants for table declarations.
@@ -159,6 +161,7 @@ func (e *Engine) execOptionsAs(sqlText, tenant string) exec.Options {
 		QueryText:      sqlText,
 		NaiveMasks:     e.config.NaiveMasks,
 		PullExec:       e.config.PullExec,
+		NoSkip:         e.config.NoSkip,
 
 		ResultCacheBytes: e.config.ResultCacheBytes,
 	}

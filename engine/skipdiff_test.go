@@ -1,0 +1,339 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+	"repro/internal/testgen"
+	"repro/internal/tpcds"
+	"repro/internal/types"
+)
+
+// This file is the data-skipping differential harness: the same query
+// corpora as difffuzz_test.go run with zone-map chunk pruning and sideways
+// join filters on (the default) and compared against the Config.NoSkip
+// baseline, which decodes every surviving partition. Pruning may only
+// change physical work: rows byte-identical in identical order, BytesScanned
+// and RowsProcessed exact — only Metrics.Skip may differ. Because the
+// random corpus spreads values uniformly across partitions (zone maps
+// rarely exclude anything there), non-vacuity is asserted on a dedicated
+// clustered store whose selective queries provably prune.
+
+// skipModes pairs each execution shape with both skipping settings; the
+// NoSkip side re-validates the baseline under the same shape, the skipping
+// side is the system under test.
+var skipModes = []struct {
+	name   string
+	noSkip bool
+}{
+	{"noskip", true},
+	{"skip", false},
+}
+
+// runSkipDifferential compares one generated query across the full
+// configuration matrix and returns the skipping runs' pruned-chunk count so
+// corpus-level callers can report coverage.
+func runSkipDifferential(t *testing.T, seed int64) int64 {
+	st := diffTestStore(t)
+	limit := spillTestLimit(defaultSpillTestLimit)
+	query := testgen.New(seed).Query()
+	var pruned int64
+	for _, fusion := range []bool{false, true} {
+		ref := OpenWithStore(st, Config{EnableFusion: fusion, Parallelism: 1, BatchSize: 1, NoSkip: true})
+		refRes, err := ref.Query(query)
+		if err != nil {
+			t.Fatalf("seed %d noskip reference (fusion=%v) failed: %v\n%s", seed, fusion, err, query)
+		}
+		if refRes.Metrics.Skip.ChunksPruned != 0 {
+			t.Fatalf("seed %d (fusion=%v): NoSkip run pruned %d chunks", seed, fusion, refRes.Metrics.Skip.ChunksPruned)
+		}
+		want := exactRows(refRes.Rows)
+		for _, cfg := range maskConfigs {
+			for _, mode := range skipModes {
+				c := Config{EnableFusion: fusion, Parallelism: cfg.parallelism, BatchSize: cfg.batchSize, NoSkip: mode.noSkip}
+				var spillDir string
+				if cfg.spill {
+					spillDir = t.TempDir()
+					c.MemoryLimitBytes = limit
+					c.SpillDir = spillDir
+				}
+				res, err := OpenWithStore(st, c).Query(query)
+				if err != nil {
+					t.Fatalf("seed %d %s/%s (fusion=%v) failed: %v\n%s", seed, cfg.name, mode.name, fusion, err, query)
+				}
+				if got := exactRows(res.Rows); got != want {
+					t.Fatalf("seed %d %s/%s (fusion=%v): rows differ from noskip reference\nquery:\n%s\ngot:\n%s\nwant:\n%s\nplan:\n%s",
+						seed, cfg.name, mode.name, fusion, query, got, want, res.Plan)
+				}
+				if got, want := res.Metrics.Storage.BytesScanned, refRes.Metrics.Storage.BytesScanned; got != want {
+					t.Fatalf("seed %d %s/%s (fusion=%v): BytesScanned %d != %d\n%s", seed, cfg.name, mode.name, fusion, got, want, query)
+				}
+				if got, want := res.Metrics.RowsProcessed, refRes.Metrics.RowsProcessed; got != want {
+					t.Fatalf("seed %d %s/%s (fusion=%v): RowsProcessed %d != %d\n%s", seed, cfg.name, mode.name, fusion, got, want, query)
+				}
+				if cfg.spill {
+					if res.Metrics.PeakMemoryBytes > limit {
+						t.Fatalf("seed %d %s/%s (fusion=%v): peak tracked memory %d exceeds limit %d\n%s",
+							seed, cfg.name, mode.name, fusion, res.Metrics.PeakMemoryBytes, limit, query)
+					}
+					if ents, err := os.ReadDir(spillDir); err != nil {
+						t.Fatal(err)
+					} else if len(ents) != 0 {
+						t.Fatalf("seed %d %s/%s (fusion=%v): %d spill files leaked", seed, cfg.name, mode.name, fusion, len(ents))
+					}
+				}
+				if mode.noSkip {
+					if res.Metrics.Skip.ChunksPruned != 0 {
+						t.Fatalf("seed %d %s/%s (fusion=%v): NoSkip run pruned %d chunks",
+							seed, cfg.name, mode.name, fusion, res.Metrics.Skip.ChunksPruned)
+					}
+				} else {
+					pruned += res.Metrics.Skip.ChunksPruned
+				}
+			}
+		}
+	}
+	return pruned
+}
+
+// TestDifferentialSkip is the bounded pruning-vs-NoSkip corpus wired into
+// plain `go test`: a fixed testgen seed range, every seed compared with
+// skipping on versus off across the full configuration matrix above.
+func TestDifferentialSkip(t *testing.T) {
+	const corpus = 60
+	var pruned int64
+	for seed := int64(0); seed < corpus; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%03d", seed), func(t *testing.T) {
+			pruned += runSkipDifferential(t, seed)
+		})
+	}
+	t.Logf("%d chunks pruned across the random corpus", pruned)
+}
+
+var (
+	skipStoreOnce sync.Once
+	skipStore     *storage.Store
+	skipStoreErr  error
+)
+
+// skipTestStore builds the clustered store the non-vacuity assertions run
+// against: per-partition value ranges are disjoint (cs_v), one string
+// column is all-NULL in one partition, one float column carries NaN, and
+// the dimension's keys land entirely inside the first partition's range so
+// sideways join filters prune the rest.
+func skipTestStore(t testing.TB) *storage.Store {
+	skipStoreOnce.Do(func() {
+		cat := catalog.New()
+		cat.MustAdd(&catalog.Table{
+			Name: "cs",
+			Columns: []catalog.Column{
+				{Name: "cs_v", Type: types.KindInt64},
+				{Name: "cs_w", Type: types.KindInt64},
+				{Name: "cs_f", Type: types.KindFloat64},
+				{Name: "cs_s", Type: types.KindString},
+				{Name: "cs_part", Type: types.KindInt64},
+			},
+			PartitionColumn: "cs_part",
+		})
+		cat.MustAdd(&catalog.Table{
+			Name: "ck",
+			Columns: []catalog.Column{
+				{Name: "ck_k", Type: types.KindInt64},
+				{Name: "ck_name", Type: types.KindString},
+			},
+			Keys: [][]string{{"ck_k"}},
+		})
+		st := storage.NewStore(cat)
+		var rows [][]types.Value
+		for p := int64(0); p < 4; p++ {
+			for i := int64(0); i < 50; i++ {
+				v := p*1000 + i
+				f := types.Float(float64(v) / 2)
+				if p == 3 && i%10 == 0 {
+					f = types.Float(math.NaN())
+				}
+				s := types.String(fmt.Sprintf("s%d", p))
+				if p == 2 {
+					s = types.NullOf(types.KindString)
+				}
+				rows = append(rows, []types.Value{types.Int(v), types.Int(i), f, s, types.Int(p)})
+			}
+		}
+		if skipStoreErr = st.Load("cs", rows); skipStoreErr != nil {
+			return
+		}
+		var drows [][]types.Value
+		for k := int64(0); k < 50; k += 7 {
+			drows = append(drows, []types.Value{types.Int(k), types.String("d")})
+		}
+		if skipStoreErr = st.Load("ck", drows); skipStoreErr != nil {
+			return
+		}
+		skipStore = st
+	})
+	if skipStoreErr != nil {
+		t.Fatal(skipStoreErr)
+	}
+	return skipStore
+}
+
+// selectiveSkipQueries are queries whose predicates provably exclude whole
+// partitions of the clustered store — the non-vacuity set the acceptance
+// criterion names.
+var selectiveSkipQueries = []string{
+	"SELECT cs_v, cs_w FROM cs WHERE cs_v >= 3000",
+	"SELECT COUNT(*) AS c, SUM(cs_w) AS s FROM cs WHERE cs_v = 1500",
+	"SELECT cs_v FROM cs WHERE cs_s = 's1'",
+	"SELECT cs_v FROM cs WHERE cs_s IS NULL",
+	"SELECT cs_v FROM cs WHERE cs_v IN (17, 2017)",
+	"SELECT cs_v FROM cs WHERE cs_f < 0",
+	"SELECT cs_v, cs_w FROM cs WHERE cs_v >= 3000 ORDER BY cs_w DESC LIMIT 5",
+	"SELECT cs_v, ck_k FROM cs JOIN ck ON cs_v = ck_k",
+}
+
+// TestDifferentialSkipSelective pins non-vacuity: every selective query
+// must actually prune chunks (Metrics.Skip.ChunksPruned > 0) while staying
+// byte-identical to its NoSkip baseline across the configuration matrix.
+func TestDifferentialSkipSelective(t *testing.T) {
+	st := skipTestStore(t)
+	for qi, query := range selectiveSkipQueries {
+		for _, fusion := range []bool{false, true} {
+			ref := OpenWithStore(st, Config{EnableFusion: fusion, Parallelism: 1, BatchSize: 1, NoSkip: true})
+			refRes, err := ref.Query(query)
+			if err != nil {
+				t.Fatalf("q%d noskip reference (fusion=%v) failed: %v\n%s", qi, fusion, err, query)
+			}
+			want := exactRows(refRes.Rows)
+			for _, cfg := range maskConfigs {
+				if cfg.spill {
+					continue // the tiny clustered store never reaches the spill limit
+				}
+				for _, mode := range skipModes {
+					c := Config{EnableFusion: fusion, Parallelism: cfg.parallelism, BatchSize: cfg.batchSize, NoSkip: mode.noSkip}
+					res, err := OpenWithStore(st, c).Query(query)
+					if err != nil {
+						t.Fatalf("q%d %s/%s (fusion=%v) failed: %v\n%s", qi, cfg.name, mode.name, fusion, err, query)
+					}
+					if got := exactRows(res.Rows); got != want {
+						t.Fatalf("q%d %s/%s (fusion=%v): rows differ\nquery:\n%s\ngot:\n%s\nwant:\n%s\nplan:\n%s",
+							qi, cfg.name, mode.name, fusion, query, got, want, res.Plan)
+					}
+					if got, want := res.Metrics.Storage.BytesScanned, refRes.Metrics.Storage.BytesScanned; got != want {
+						t.Fatalf("q%d %s/%s (fusion=%v): BytesScanned %d != %d\n%s", qi, cfg.name, mode.name, fusion, got, want, query)
+					}
+					if got, want := res.Metrics.RowsProcessed, refRes.Metrics.RowsProcessed; got != want {
+						t.Fatalf("q%d %s/%s (fusion=%v): RowsProcessed %d != %d\n%s", qi, cfg.name, mode.name, fusion, got, want, query)
+					}
+					if mode.noSkip && res.Metrics.Skip.ChunksPruned != 0 {
+						t.Fatalf("q%d %s/%s (fusion=%v): NoSkip run pruned chunks\n%s", qi, cfg.name, mode.name, fusion, query)
+					}
+					if !mode.noSkip {
+						if res.Metrics.Skip.ChunksPruned == 0 {
+							t.Fatalf("q%d %s/%s (fusion=%v): selective query pruned nothing (vacuous)\n%s\nplan:\n%s",
+								qi, cfg.name, mode.name, fusion, query, res.Plan)
+						}
+						if res.Metrics.Skip.PrunedBytes == 0 {
+							t.Fatalf("q%d %s/%s (fusion=%v): pruned chunks but zero pruned bytes\n%s", qi, cfg.name, mode.name, fusion, query)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialSkipTPCDS runs the full TPC-DS workload with skipping on
+// versus off. The spill configuration uses a per-query limit derived from
+// the NoSkip reference's memory profile, the same derivation as
+// TestDifferentialSpillTPCDS.
+func TestDifferentialSkipTPCDS(t *testing.T) {
+	st, err := tpcds.NewLoadedStore(0.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const floorMargin = 256 << 10
+
+	for _, fusion := range []bool{false, true} {
+		ref := OpenWithStore(st, Config{EnableFusion: fusion, Parallelism: 1, BatchSize: 1, NoSkip: true})
+		var pruned int64
+		for _, q := range tpcds.Queries() {
+			refRes, err := ref.Query(q.SQL)
+			if err != nil {
+				t.Fatalf("%s noskip reference (fusion=%v) failed: %v", q.Name, fusion, err)
+			}
+			want := exactRows(refRes.Rows)
+			var unspillPeak int64
+			for op, s := range refRes.Metrics.MemOperators {
+				if op != "groupby" && op != "sort" {
+					unspillPeak += s.PeakBytes
+				}
+			}
+			peak := refRes.Metrics.PeakMemoryBytes
+			limit := unspillPeak + floorMargin
+			if peak < unspillPeak+floorMargin+(128<<10) {
+				limit = peak + (64 << 10)
+			}
+			for _, cfg := range maskConfigs {
+				for _, mode := range skipModes {
+					c := Config{EnableFusion: fusion, Parallelism: cfg.parallelism, BatchSize: cfg.batchSize, NoSkip: mode.noSkip}
+					var spillDir string
+					if cfg.spill {
+						spillDir = t.TempDir()
+						c.MemoryLimitBytes = limit
+						c.SpillDir = spillDir
+					}
+					res, err := OpenWithStore(st, c).Query(q.SQL)
+					if err != nil {
+						t.Fatalf("%s %s/%s (fusion=%v) failed: %v", q.Name, cfg.name, mode.name, fusion, err)
+					}
+					if got := exactRows(res.Rows); got != want {
+						t.Fatalf("%s %s/%s (fusion=%v): rows differ from noskip reference\ngot:\n%s\nwant:\n%s", q.Name, cfg.name, mode.name, fusion, got, want)
+					}
+					if got, want := res.Metrics.Storage.BytesScanned, refRes.Metrics.Storage.BytesScanned; got != want {
+						t.Fatalf("%s %s/%s (fusion=%v): BytesScanned %d != %d", q.Name, cfg.name, mode.name, fusion, got, want)
+					}
+					if got, want := res.Metrics.RowsProcessed, refRes.Metrics.RowsProcessed; got != want {
+						t.Fatalf("%s %s/%s (fusion=%v): RowsProcessed %d != %d", q.Name, cfg.name, mode.name, fusion, got, want)
+					}
+					if cfg.spill {
+						if res.Metrics.PeakMemoryBytes > limit {
+							t.Fatalf("%s %s/%s (fusion=%v): peak tracked memory %d exceeds limit %d", q.Name, cfg.name, mode.name, fusion, res.Metrics.PeakMemoryBytes, limit)
+						}
+						if ents, err := os.ReadDir(spillDir); err != nil {
+							t.Fatal(err)
+						} else if len(ents) != 0 {
+							t.Fatalf("%s %s/%s (fusion=%v): %d spill files leaked", q.Name, cfg.name, mode.name, fusion, len(ents))
+						}
+					}
+					if mode.noSkip {
+						if res.Metrics.Skip.ChunksPruned != 0 {
+							t.Fatalf("%s %s/%s (fusion=%v): NoSkip run pruned %d chunks", q.Name, cfg.name, mode.name, fusion, res.Metrics.Skip.ChunksPruned)
+						}
+					} else {
+						pruned += res.Metrics.Skip.ChunksPruned
+					}
+				}
+			}
+		}
+		t.Logf("fusion=%v: %d chunks pruned across TPC-DS", fusion, pruned)
+	}
+}
+
+// FuzzDifferentialSkip extends the pruning-vs-NoSkip differential to go
+// test -fuzz: the fuzzer mutates the generator seed, searching for a query
+// shape where a zone-map prune, a shared-prefix prune or a sideways join
+// filter changes rows or logical metrics.
+func FuzzDifferentialSkip(f *testing.F) {
+	for _, seed := range []int64{0, 1, 17, 42, 20220513, -9} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		runSkipDifferential(t, seed)
+	})
+}

@@ -1,0 +1,347 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/engine"
+	"repro/internal/catalog"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// SkipOptions configures the data-skipping comparison: a clustered fact
+// table (per-partition key ranges are disjoint, the layout zone maps are
+// built for) queried by a selective wave and a join-heavy wave, each query
+// run with skipping on (the default) and with Config.NoSkip, solo and
+// under mask-family fusion.
+type SkipOptions struct {
+	// Rows is the fact-table row count; partitions hold skipPartRows rows
+	// each, so the partition count scales with it.
+	Rows int
+	Seed int64
+	// Iterations is how many timed runs each side gets; latencies keep the
+	// minimum.
+	Iterations  int
+	Parallelism int
+	BatchSize   int
+}
+
+// DefaultSkipOptions sizes the store so pruning has room to matter: 200
+// partitions of 1000 rows, of which the selective queries need a handful.
+func DefaultSkipOptions() SkipOptions {
+	return SkipOptions{
+		Rows: 200000, Seed: 42, Iterations: 3,
+		Parallelism: 4, BatchSize: 1024,
+	}
+}
+
+// skipPartRows is the clustered store's partition size. It stays under the
+// sideways bloom's 1024-value enumeration span so integer probe chunks
+// with no matching build key are prunable by the bloom, not just by range.
+const skipPartRows = 1000
+
+// skipBenchQuery is one benchmarked query.
+type skipBenchQuery struct {
+	Name string
+	Wave string // "selective" or "join"
+	SQL  string
+}
+
+// skipBenchQueries derives the two waves from the store size. Selective
+// queries carry zone-map-prunable predicates over the clustered key and
+// price; join queries probe the fact table against dimensions whose key
+// sets leave most fact partitions without a possible match.
+func skipBenchQueries(rows int) []skipBenchQuery {
+	lo := rows / 2
+	tail := rows - 4*skipPartRows
+	return []skipBenchQuery{
+		{"narrow-range", "selective", fmt.Sprintf(
+			"SELECT ev_k, ev_qty FROM ev WHERE ev_k BETWEEN %d AND %d", lo, lo+2*skipPartRows)},
+		{"point-agg", "selective", fmt.Sprintf(
+			"SELECT COUNT(*) AS c, SUM(ev_qty) AS s FROM ev WHERE ev_k = %d", lo+417)},
+		{"price-tail", "selective", fmt.Sprintf(
+			"SELECT ev_k FROM ev WHERE ev_price >= %d.0", tail/4)},
+		{"top-k", "selective", fmt.Sprintf(
+			"SELECT ev_k, ev_qty FROM ev WHERE ev_k >= %d ORDER BY ev_qty DESC LIMIT 10", tail)},
+		{"join-narrow", "join",
+			"SELECT ev_k, dn_k FROM ev JOIN dn ON ev_k = dn_k"},
+		{"join-narrow-agg", "join",
+			"SELECT COUNT(*) AS c, SUM(ev_qty) AS s FROM ev JOIN dn ON ev_k = dn_k"},
+		{"join-sparse", "join",
+			"SELECT ev_k, ds_k FROM ev JOIN ds ON ev_k = ds_k"},
+	}
+}
+
+// newSkipStore builds the clustered store: ev_k is the global row index
+// (each partition owns a disjoint 1000-value range), ev_price tracks it,
+// ev_qty cycles so aggregates and sorts have work. Dimension dn's keys all
+// land inside one fact partition's range (min/max sideways pruning);
+// dimension ds spreads one key into every fourth partition, so its
+// min/max span covers the whole table and only the bloom refinement can
+// prune the other three quarters.
+func newSkipStore(rows int) (*storage.Store, error) {
+	cat := catalog.New()
+	cat.MustAdd(&catalog.Table{
+		Name: "ev",
+		Columns: []catalog.Column{
+			{Name: "ev_k", Type: types.KindInt64},
+			{Name: "ev_qty", Type: types.KindInt64},
+			{Name: "ev_price", Type: types.KindFloat64},
+			{Name: "ev_part", Type: types.KindInt64},
+		},
+		PartitionColumn: "ev_part",
+	})
+	cat.MustAdd(&catalog.Table{
+		Name: "dn",
+		Columns: []catalog.Column{
+			{Name: "dn_k", Type: types.KindInt64},
+			{Name: "dn_name", Type: types.KindString},
+		},
+		Keys: [][]string{{"dn_k"}},
+	})
+	cat.MustAdd(&catalog.Table{
+		Name: "ds",
+		Columns: []catalog.Column{
+			{Name: "ds_k", Type: types.KindInt64},
+			{Name: "ds_name", Type: types.KindString},
+		},
+		Keys: [][]string{{"ds_k"}},
+	})
+	st := storage.NewStore(cat)
+	facts := make([][]types.Value, 0, rows)
+	for k := 0; k < rows; k++ {
+		facts = append(facts, []types.Value{
+			types.Int(int64(k)),
+			types.Int(int64(k % 100)),
+			types.Float(float64(k) / 4),
+			types.Int(int64(k / skipPartRows)),
+		})
+	}
+	if err := st.Load("ev", facts); err != nil {
+		return nil, err
+	}
+	var narrow [][]types.Value
+	base := (rows / 2 / skipPartRows) * skipPartRows
+	for k := base; k < base+skipPartRows; k += 13 {
+		narrow = append(narrow, []types.Value{types.Int(int64(k)), types.String("n")})
+	}
+	if err := st.Load("dn", narrow); err != nil {
+		return nil, err
+	}
+	var sparse [][]types.Value
+	for p := 0; p*skipPartRows < rows; p += 4 {
+		sparse = append(sparse, []types.Value{types.Int(int64(p*skipPartRows + 500)), types.String("s")})
+	}
+	if err := st.Load("ds", sparse); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// SkipModeReport compares skipping on vs off for one query under one
+// fusion setting.
+type SkipModeReport struct {
+	Fusion bool `json:"fusion"`
+	// Latencies are minimums over the iterations, in milliseconds.
+	NoSkipMS float64 `json:"noskip_ms"`
+	SkipMS   float64 `json:"skip_ms"`
+	Speedup  float64 `json:"speedup"`
+	// Decoded bytes are the physical decode work (Metrics.Share.BytesDecoded);
+	// a pruned partition's chunks never decode, so the reduction is the
+	// benchmark's headline.
+	NoSkipDecodedBytes int64   `json:"noskip_decoded_bytes"`
+	SkipDecodedBytes   int64   `json:"skip_decoded_bytes"`
+	DecodeReduction    float64 `json:"decode_reduction"`
+	// Skip counters from the skipping run.
+	ChunksPruned     int64 `json:"chunks_pruned"`
+	PartitionsPruned int64 `json:"partitions_pruned"`
+	BloomPruned      int64 `json:"bloom_pruned"`
+	PrunedBytes      int64 `json:"pruned_bytes"`
+	// Identical is true when the skipping run returned rows byte-identical
+	// to the NoSkip run with the same BytesScanned and RowsProcessed.
+	Identical bool `json:"identical_results"`
+}
+
+// SkipQueryReport is one query's results across both fusion settings.
+type SkipQueryReport struct {
+	Name  string           `json:"name"`
+	Wave  string           `json:"wave"`
+	SQL   string           `json:"sql"`
+	Modes []SkipModeReport `json:"modes"`
+}
+
+// SkipComparison is the BENCH_skip.json payload.
+type SkipComparison struct {
+	Rows        int `json:"rows"`
+	Partitions  int `json:"partitions"`
+	Parallelism int `json:"parallelism"`
+	BatchSize   int `json:"batch_size"`
+	Iterations  int `json:"iterations"`
+
+	Queries []SkipQueryReport `json:"queries"`
+
+	// Per-wave decode-bytes reductions (NoSkip sum / skip sum over both
+	// fusion settings) and wall-clock speedups (latency sums likewise).
+	SelectiveDecodeReduction float64 `json:"selective_decode_reduction"`
+	JoinDecodeReduction      float64 `json:"join_decode_reduction"`
+	SelectiveSpeedup         float64 `json:"selective_speedup"`
+	JoinSpeedup              float64 `json:"join_speedup"`
+
+	AllIdentical bool `json:"all_identical"`
+}
+
+// RunSkipComparison measures zone-map and sideways-filter pruning against
+// the NoSkip baseline over one clustered store. Both sides share every
+// other configuration knob, so the only difference is whether chunks whose
+// zone maps (or the join's build-key footprint) exclude the predicate are
+// decoded or skipped — which the result contract says must be unobservable
+// in rows, BytesScanned and RowsProcessed.
+func RunSkipComparison(opts SkipOptions) (*SkipComparison, error) {
+	if opts.Rows <= 0 {
+		opts.Rows = 200000
+	}
+	// Round to whole partitions so the query derivations line up.
+	opts.Rows -= opts.Rows % skipPartRows
+	if opts.Rows < 8*skipPartRows {
+		opts.Rows = 8 * skipPartRows
+	}
+	if opts.Iterations <= 0 {
+		opts.Iterations = 1
+	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = 4
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 1024
+	}
+	st, err := newSkipStore(opts.Rows)
+	if err != nil {
+		return nil, err
+	}
+	queries := skipBenchQueries(opts.Rows)
+
+	cmp := &SkipComparison{
+		Rows: opts.Rows, Partitions: opts.Rows / skipPartRows,
+		Parallelism: opts.Parallelism, BatchSize: opts.BatchSize,
+		Iterations:   opts.Iterations,
+		AllIdentical: true,
+	}
+	type sideState struct {
+		lat       time.Duration
+		rows      string
+		scanned   int64
+		processed int64
+		decoded   int64
+		skip      engine.SkipMetrics
+	}
+	waveLat := map[string][2]time.Duration{} // wave -> [noskip, skip] latency sums
+	waveDecoded := map[string][2]int64{}     // wave -> [noskip, skip] decode-byte sums
+	for _, q := range queries {
+		qr := SkipQueryReport{Name: q.Name, Wave: q.Wave, SQL: q.SQL}
+		for _, fusion := range []bool{false, true} {
+			var sides [2]*sideState // [noskip, skip]
+			for si, noSkip := range []bool{true, false} {
+				eng := engine.OpenWithStore(st, engine.Config{
+					EnableFusion: fusion, Parallelism: opts.Parallelism,
+					BatchSize: opts.BatchSize, NoSkip: noSkip,
+				})
+				// One unmeasured warmup.
+				if _, err := eng.Query(q.SQL); err != nil {
+					return nil, fmt.Errorf("bench: %s (fusion=%v, noskip=%v): %w", q.Name, fusion, noSkip, err)
+				}
+				s := &sideState{}
+				for i := 0; i < opts.Iterations; i++ {
+					res, err := eng.Query(q.SQL)
+					if err != nil {
+						return nil, fmt.Errorf("bench: %s (fusion=%v, noskip=%v): %w", q.Name, fusion, noSkip, err)
+					}
+					if i == 0 || res.Metrics.Elapsed < s.lat {
+						s.lat = res.Metrics.Elapsed
+					}
+					s.rows = renderRows(res.Rows)
+					s.scanned = res.Metrics.Storage.BytesScanned
+					s.processed = res.Metrics.RowsProcessed
+					s.decoded = res.Metrics.Share.BytesDecoded
+					s.skip = res.Metrics.Skip
+				}
+				sides[si] = s
+			}
+			noskip, skip := sides[0], sides[1]
+			mr := SkipModeReport{
+				Fusion:             fusion,
+				NoSkipMS:           float64(noskip.lat) / float64(time.Millisecond),
+				SkipMS:             float64(skip.lat) / float64(time.Millisecond),
+				NoSkipDecodedBytes: noskip.decoded,
+				SkipDecodedBytes:   skip.decoded,
+				ChunksPruned:       skip.skip.ChunksPruned,
+				PartitionsPruned:   skip.skip.PartitionsPruned,
+				BloomPruned:        skip.skip.BloomPruned,
+				PrunedBytes:        skip.skip.PrunedBytes,
+				Identical: skip.rows == noskip.rows &&
+					skip.scanned == noskip.scanned &&
+					skip.processed == noskip.processed,
+			}
+			if skip.lat > 0 {
+				mr.Speedup = float64(noskip.lat) / float64(skip.lat)
+			}
+			if skip.decoded > 0 {
+				mr.DecodeReduction = float64(noskip.decoded) / float64(skip.decoded)
+			}
+			if !mr.Identical {
+				cmp.AllIdentical = false
+			}
+			lat := waveLat[q.Wave]
+			lat[0] += noskip.lat
+			lat[1] += skip.lat
+			waveLat[q.Wave] = lat
+			dec := waveDecoded[q.Wave]
+			dec[0] += noskip.decoded
+			dec[1] += skip.decoded
+			waveDecoded[q.Wave] = dec
+			qr.Modes = append(qr.Modes, mr)
+		}
+		cmp.Queries = append(cmp.Queries, qr)
+	}
+	if d := waveDecoded["selective"]; d[1] > 0 {
+		cmp.SelectiveDecodeReduction = float64(d[0]) / float64(d[1])
+	}
+	if d := waveDecoded["join"]; d[1] > 0 {
+		cmp.JoinDecodeReduction = float64(d[0]) / float64(d[1])
+	}
+	if l := waveLat["selective"]; l[1] > 0 {
+		cmp.SelectiveSpeedup = float64(l[0]) / float64(l[1])
+	}
+	if l := waveLat["join"]; l[1] > 0 {
+		cmp.JoinSpeedup = float64(l[0]) / float64(l[1])
+	}
+	return cmp, nil
+}
+
+// WriteJSON emits the comparison as indented JSON (the BENCH_skip.json
+// artifact).
+func (c *SkipComparison) WriteJSON(out io.Writer) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// WriteTable renders a human-readable view of the comparison.
+func (c *SkipComparison) WriteTable(out io.Writer) {
+	fmt.Fprintf(out, "Data-skipping comparison (%d rows, %d partitions, parallelism=%d, batch=%d)\n",
+		c.Rows, c.Partitions, c.Parallelism, c.BatchSize)
+	fmt.Fprintln(out, "query           | fused | noskip    | skip      | speedup | decode red. | parts | bloom | identical")
+	fmt.Fprintln(out, "----------------+-------+-----------+-----------+---------+-------------+-------+-------+----------")
+	for _, q := range c.Queries {
+		for _, m := range q.Modes {
+			fmt.Fprintf(out, "%-15s | %-5v | %7.2fms | %7.2fms | %6.2fx | %10.2fx | %5d | %5d | %v\n",
+				q.Name, m.Fusion, m.NoSkipMS, m.SkipMS, m.Speedup, m.DecodeReduction,
+				m.PartitionsPruned, m.BloomPruned, m.Identical)
+		}
+	}
+	fmt.Fprintf(out, "selective wave: %.2fx decode reduction, %.2fx speedup; join wave: %.2fx decode reduction, %.2fx speedup; all identical: %v\n",
+		c.SelectiveDecodeReduction, c.SelectiveSpeedup,
+		c.JoinDecodeReduction, c.JoinSpeedup, c.AllIdentical)
+}

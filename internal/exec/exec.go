@@ -109,6 +109,11 @@ type Options struct {
 	// default for embedded single-tenant use and for cross-tenant fused
 	// plans, which hold one shared budget no single tenant owns.
 	Tenant string
+	// NoSkip disables zone-map chunk pruning and sideways join filters:
+	// every chunk is decoded, exactly the pre-skipping execution model.
+	// Results and logical metrics are identical either way — this is the
+	// differential-validation and benchmarking baseline.
+	NoSkip bool
 }
 
 func (o Options) withDefaults() Options {
@@ -178,6 +183,12 @@ type Metrics struct {
 	// the run waited out an admission window. All zero when shared execution
 	// is off or the query bypassed the window.
 	SharedExec SharedExecMetrics
+	// Skip counts data-skipping activity (zero under Options.NoSkip):
+	// chunks/partitions whose decode was pruned by zone maps or sideways
+	// join filters, and the encoded bytes that skipping saved. The logical
+	// counters above are unchanged by pruning — skipped partitions are
+	// re-charged exactly as-if-scanned.
+	Skip SkipMetrics
 	// Elapsed is the wall-clock execution time.
 	Elapsed time.Duration
 }
@@ -362,6 +373,15 @@ type executor struct {
 	// operators reset the guard for their own (totally consumed) inputs via
 	// buildConsumed.
 	noPush int
+	// sideCtrls maps each built scan leaf to its skip controller so the
+	// layers that know the predicates (filters, chains, hash joins) can
+	// configure pruning after the leaf is built. Empty under Options.NoSkip.
+	sideCtrls map[*logical.Scan]*scanCtrlReg
+	// extraSkip carries zone checks compiled by RunShared from the
+	// mask-family shared-prefix conjuncts — pruning every member of a fused
+	// batch agrees on, appended to whatever the chain's own filter
+	// contributes.
+	extraSkip map[*logical.Scan][]skipCheck
 }
 
 // buildConsumed builds the input of a blocking operator. The operator

@@ -50,6 +50,12 @@ func hasNull(vals []types.Value) bool {
 }
 
 func (ex *executor) buildJoin(j *logical.Join) (BatchIterator, error) {
+	// Snapshot the probe leaf's skip registration before building, so the
+	// sideways attachment below can tell a live scan from a cache replay.
+	var probePrev *scanCtrlReg
+	if ps, _ := probeScan(j.Left); ps != nil {
+		probePrev = ex.sideCtrls[ps]
+	}
 	left, err := ex.build(j.Left)
 	if err != nil {
 		return nil, err
@@ -68,6 +74,7 @@ func (ex *executor) buildJoin(j *logical.Join) (BatchIterator, error) {
 	// CASE-dispatched keys produced by the UnionAllOnJoin rewrite
 	// hash-joinable).
 	var leftKeys, rightKeys []*batchEvaluator
+	var leftKeyExprs, rightKeyExprs []expr.Expr
 	var residual []expr.Expr
 	leftSet := logical.OutputSet(j.Left)
 	rightSet := logical.OutputSet(j.Right)
@@ -84,6 +91,8 @@ func (ex *executor) buildJoin(j *logical.Join) (BatchIterator, error) {
 				if lerr == nil && rerr == nil {
 					leftKeys = append(leftKeys, lev)
 					rightKeys = append(rightKeys, rev)
+					leftKeyExprs = append(leftKeyExprs, le)
+					rightKeyExprs = append(rightKeyExprs, re)
 					continue
 				}
 			}
@@ -118,13 +127,20 @@ func (ex *executor) buildJoin(j *logical.Join) (BatchIterator, error) {
 			tracker: ex.tracker,
 		}, nil
 	}
-	return &hashJoinIter{
+	hj := &hashJoinIter{
 		kind: j.Kind, left: left, right: right,
 		leftKeys: leftKeys, rightKeys: rightKeys,
 		leftWidth: width, rightWidth: len(j.Right.Schema()),
 		residual: resEv, batchSize: ex.opts.BatchSize, m: ex.metrics,
 		workers: ex.opts.Parallelism, pool: ex.pool, tracker: ex.tracker,
-	}, nil
+	}
+	// Sideways data skipping: when the probe side is a plain (projected)
+	// scan, publish build-key summaries so probe partitions provably
+	// disjoint from the build keys skip decode. The table build completes
+	// before the first probe pull, so the filters are always published (or
+	// the build failed) by the time a probe worker consults them.
+	hj.sideways = ex.attachSideways(j, leftKeyExprs, rightKeyExprs, probePrev)
+	return hj, nil
 }
 
 // hashJoinIter builds a hash table over the right input and streams the
@@ -155,6 +171,10 @@ type hashJoinIter struct {
 	released   bool
 	buildErrMu sync.Mutex
 	buildErr   error
+	// sideways are the probe-side skip filters this build feeds (nil when
+	// sideways skipping did not attach). Key summaries accumulate over
+	// inserted rows and publish when the table build completes.
+	sideways []*sidewaysFilter
 
 	built   bool
 	tables  []map[string][]Row // hash-partitioned shards; len 1 when serial
@@ -191,6 +211,7 @@ func (it *hashJoinIter) buildTable() error {
 	}
 	table := make(map[string][]Row)
 	it.tables = []map[string][]Row{table}
+	accs := it.newKeyAccums()
 	for {
 		b, err := it.right.NextBatch()
 		if err != nil {
@@ -220,6 +241,9 @@ func (it *hashJoinIter) buildTable() error {
 			table[k] = append(table[k], row)
 			inserted++
 			batchBytes += rowMemBytes(row) + hashRowOverhead
+			for si, sf := range it.sideways {
+				accs[si].observe(it.keyVals[sf.keyPos])
+			}
 		}
 		it.m.addHashRows(int64(inserted))
 		if batchBytes > 0 {
@@ -229,8 +253,31 @@ func (it *hashJoinIter) buildTable() error {
 			it.reserved += batchBytes
 		}
 	}
+	it.publishSideways(accs)
 	it.built = true
 	return nil
+}
+
+// newKeyAccums creates one build-key accumulator per attached sideways
+// filter; nil when sideways skipping is off for this join.
+func (it *hashJoinIter) newKeyAccums() []*keyAccum {
+	if len(it.sideways) == 0 {
+		return nil
+	}
+	accs := make([]*keyAccum, len(it.sideways))
+	for si, sf := range it.sideways {
+		accs[si] = newKeyAccum(sf.kind)
+	}
+	return accs
+}
+
+// publishSideways installs the completed build's key summaries, enabling
+// probe-side pruning. Probe iterators start on the probe's first pull,
+// which happens strictly after the build completes.
+func (it *hashJoinIter) publishSideways(accs []*keyAccum) {
+	for si, sf := range it.sideways {
+		accs[si].publish(sf)
+	}
 }
 
 // buildTask carries one build-side batch to the partition workers: the key
@@ -251,14 +298,17 @@ func (it *hashJoinIter) buildTableParallel() error {
 	shards := it.workers
 	it.tables = make([]map[string][]Row, shards)
 	chans := make([]chan buildTask, shards)
+	shardAccs := make([][]*keyAccum, shards)
 	var wg sync.WaitGroup
 	for p := 0; p < shards; p++ {
 		chans[p] = make(chan buildTask, 2)
 		it.tables[p] = make(map[string][]Row)
+		shardAccs[p] = it.newKeyAccums()
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
 			table := it.tables[p]
+			accs := shardAccs[p]
 			var keyBuf strings.Builder
 			kv := make([]types.Value, len(it.rightKeys))
 			for task := range chans[p] {
@@ -282,6 +332,9 @@ func (it *hashJoinIter) buildTableParallel() error {
 					table[key] = append(table[key], row)
 					inserted++
 					batchBytes += rowMemBytes(row) + hashRowOverhead
+					for si, sf := range it.sideways {
+						accs[si].observe(kv[sf.keyPos])
+					}
 				}
 				it.m.addHashRows(int64(inserted))
 				it.pool.release()
@@ -333,7 +386,19 @@ func (it *hashJoinIter) buildTableParallel() error {
 	if readErr != nil {
 		return readErr
 	}
-	return it.getBuildErr()
+	if err := it.getBuildErr(); err != nil {
+		return err
+	}
+	if len(it.sideways) > 0 {
+		accs := it.newKeyAccums()
+		for p := range shardAccs {
+			for si := range accs {
+				accs[si].merge(shardAccs[p][si])
+			}
+		}
+		it.publishSideways(accs)
+	}
+	return nil
 }
 
 func (it *hashJoinIter) setBuildErr(err error) {

@@ -79,8 +79,22 @@ func partitionBatches(p *storage.Partition, cols []string, batchSize int, share 
 	return dst, nil
 }
 
+// morselItem is one in-order element of a scanned morsel: a decoded batch,
+// or a marker for a pruned partition (b nil, skip its row count). Markers
+// keep the as-if-scanned RowsProcessed recharge at the exact stream
+// position the partition's batches would have occupied, which is what
+// makes pruning invisible to LIMIT truncation.
+type morselItem struct {
+	b    *vec.Batch
+	skip int64
+}
+
 type morselResult struct {
 	batches []*vec.Batch
+	items   []morselItem
+	// skipped totals pruned rows of a pipeline morsel (recharged by the
+	// pipeline consumer when the result is received).
+	skipped int64
 	err     error
 }
 
@@ -100,6 +114,9 @@ type parallelScanIter struct {
 	// share, when non-nil, routes partition decodes through the cross-query
 	// scan-share session (set by buildScan before the first NextBatch).
 	share *scanshare.Scan
+	// ctrl prunes partitions before decode (set by buildScan; nil-safe).
+	// Workers decide prunes; the consumer applies the recharge in order.
+	ctrl *skipController
 
 	started bool
 	next    int64
@@ -109,7 +126,7 @@ type parallelScanIter struct {
 	wg      sync.WaitGroup
 
 	mi     int
-	cur    []*vec.Batch
+	cur    []morselItem
 	curIdx int
 }
 
@@ -159,17 +176,25 @@ func (it *parallelScanIter) worker() {
 		// scan leaves and the blocking operators above them together never
 		// exceed Parallelism concurrent workers.
 		it.pool.acquire()
-		var batches []*vec.Batch
+		var items []morselItem
 		var err error
 		for _, p := range it.morsels[i].parts {
-			if batches, err = partitionBatches(p, it.cols, it.batchSize, it.share, it.stop, it.m, batches); err != nil {
+			if it.ctrl.shouldPrune(p) {
+				items = append(items, morselItem{skip: int64(p.NumRows)})
+				continue
+			}
+			var batches []*vec.Batch
+			if batches, err = partitionBatches(p, it.cols, it.batchSize, it.share, it.stop, it.m, nil); err != nil {
 				break
+			}
+			for _, b := range batches {
+				items = append(items, morselItem{b: b})
 			}
 		}
 		it.pool.release()
 		// Capacity-1 channel: the send never blocks, so a worker always
 		// finishes its claimed morsel even if the consumer has gone away.
-		it.results[i] <- morselResult{batches: batches, err: err}
+		it.results[i] <- morselResult{items: items, err: err}
 	}
 }
 
@@ -179,10 +204,16 @@ func (it *parallelScanIter) NextBatch() (*vec.Batch, error) {
 	}
 	for {
 		if it.curIdx < len(it.cur) {
-			b := it.cur[it.curIdx]
+			item := it.cur[it.curIdx]
 			it.curIdx++
-			it.m.addProcessed(int64(b.Len()))
-			return b, nil
+			if item.b == nil {
+				// Pruned partition: recharge exactly where its batches would
+				// have been consumed.
+				it.ctrl.recharge(item.skip)
+				continue
+			}
+			it.m.addProcessed(int64(item.b.Len()))
+			return item.b, nil
 		}
 		if it.mi >= len(it.morsels) {
 			return nil, nil
@@ -193,7 +224,7 @@ func (it *parallelScanIter) NextBatch() (*vec.Batch, error) {
 		if res.err != nil {
 			return nil, res.err
 		}
-		it.cur, it.curIdx = res.batches, 0
+		it.cur, it.curIdx = res.items, 0
 	}
 }
 

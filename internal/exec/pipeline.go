@@ -300,6 +300,8 @@ func (ex *executor) newChainIterator(cs *chainSpec) (BatchIterator, error) {
 	if err != nil {
 		return nil, err
 	}
+	ex.configureChainSkip(cs)
+	ctrl, _ := ex.lookupScanCtrl(cs.scan)
 	ex.metrics.addFusedPipelines(1)
 	if ex.opts.Parallelism > 1 {
 		morsels := buildMorsels(parts, morselTarget(parts, ex.opts.BatchSize, ex.opts.Parallelism))
@@ -308,6 +310,7 @@ func (ex *executor) newChainIterator(cs *chainSpec) (BatchIterator, error) {
 			if err != nil {
 				return nil, err
 			}
+			it.ctrl = ctrl
 			ex.closers = append(ex.closers, it.close)
 			if share != nil {
 				ex.closers = append(ex.closers, share.Close)
@@ -318,7 +321,7 @@ func (ex *executor) newChainIterator(cs *chainSpec) (BatchIterator, error) {
 	if share != nil {
 		ex.closers = append(ex.closers, share.Close)
 	}
-	src := &scanIter{cols: cs.scan.ColNames, parts: parts, batchSize: ex.opts.BatchSize, m: ex.metrics, share: share}
+	src := &scanIter{cols: cs.scan.ColNames, parts: parts, batchSize: ex.opts.BatchSize, m: ex.metrics, share: share, ctrl: ctrl}
 	return &chainIter{src: src, stages: stages, m: ex.metrics, co: batchCoalescer{target: ex.opts.BatchSize}}, nil
 }
 
@@ -539,7 +542,11 @@ type pipelineIter struct {
 	m         *Metrics
 	pool      *workerPool
 	share     *scanshare.Scan
-	wstages   [][]pipeStage
+	// ctrl prunes partitions before decode (nil-safe). Workers decide and
+	// tally prunes per morsel; the consumer recharges on receipt — pipelines
+	// never run under LIMIT, so only the total matters, not the position.
+	ctrl    *skipController
+	wstages [][]pipeStage
 
 	cur    []*vec.Batch
 	curIdx int
@@ -578,7 +585,12 @@ func (it *pipelineIter) work(w, i int) morselResult {
 			out = append(out, ob)
 		}
 	}
+	var skipped int64
 	for _, p := range it.morsels[i].parts {
+		if it.ctrl.shouldPrune(p) {
+			skipped += int64(p.NumRows)
+			continue
+		}
 		if src, err = partitionBatches(p, it.cols, it.batchSize, it.share, it.run.stop, it.m, src[:0]); err != nil {
 			return morselResult{err: err}
 		}
@@ -591,7 +603,7 @@ func (it *pipelineIter) work(w, i int) morselResult {
 	if cb := co.flush(); cb != nil {
 		push(cb)
 	}
-	return morselResult{batches: out}
+	return morselResult{batches: out, skipped: skipped}
 }
 
 func (it *pipelineIter) NextBatch() (*vec.Batch, error) {
@@ -609,6 +621,7 @@ func (it *pipelineIter) NextBatch() (*vec.Batch, error) {
 		if res.err != nil {
 			return nil, res.err
 		}
+		it.ctrl.recharge(res.skipped)
 		it.cur, it.curIdx = res.batches, 0
 	}
 }

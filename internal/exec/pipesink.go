@@ -32,7 +32,8 @@ func (ex *executor) serialChain(cs *chainSpec, parts []*storage.Partition, share
 	if share != nil {
 		ex.closers = append(ex.closers, share.Close)
 	}
-	src := &scanIter{cols: cs.scan.ColNames, parts: parts, batchSize: ex.opts.BatchSize, m: ex.metrics, share: share}
+	ctrl, _ := ex.lookupScanCtrl(cs.scan)
+	src := &scanIter{cols: cs.scan.ColNames, parts: parts, batchSize: ex.opts.BatchSize, m: ex.metrics, share: share, ctrl: ctrl}
 	return &chainIter{src: src, stages: stages, m: ex.metrics, co: batchCoalescer{target: ex.opts.BatchSize}}, nil
 }
 
@@ -72,6 +73,7 @@ func (ex *executor) buildScalarAggSink(g *logical.GroupBy) (BatchIterator, bool,
 	if err != nil {
 		return nil, true, err
 	}
+	ex.configureChainSkip(cs)
 	ex.metrics.addFusedPipelines(1)
 	morsels := buildMorsels(parts, morselTarget(parts, ex.opts.BatchSize, ex.opts.Parallelism))
 	if len(morsels) <= 1 {
@@ -273,6 +275,7 @@ type scalarAggIter struct {
 	m         *Metrics
 	pool      *workerPool
 	share     *scanshare.Scan
+	ctrl      *skipController
 	workers   []*scalarWorker
 	aggCalls  []expr.AggCall
 	sensitive []bool
@@ -298,10 +301,11 @@ func newScalarAggIter(ex *executor, spec *scalarWorkerSpec, morsels []morsel, sh
 		aggCalls[i] = a.Agg
 		sensitive[i] = orderSensitive(a.Agg)
 	}
+	ctrl, _ := ex.lookupScanCtrl(spec.cs.scan)
 	return &scalarAggIter{
 		run: run, morsels: morsels, cols: spec.cs.scan.ColNames,
 		batchSize: ex.opts.BatchSize, m: ex.metrics, pool: ex.pool, share: share,
-		workers: workers, aggCalls: aggCalls, sensitive: sensitive,
+		ctrl: ctrl, workers: workers, aggCalls: aggCalls, sensitive: sensitive,
 	}, nil
 }
 
@@ -332,6 +336,12 @@ func (it *scalarAggIter) work(w, i int) scalarMorselOut {
 		sw.consume(ob, &out)
 	}
 	for _, p := range it.morsels[i].parts {
+		if it.ctrl.shouldPrune(p) {
+			// The sink drains totally, so the as-if-scanned recharge can
+			// happen worker-side like every other charge here.
+			it.ctrl.recharge(int64(p.NumRows))
+			continue
+		}
 		if src, err = partitionBatches(p, it.cols, it.batchSize, it.share, it.run.stop, it.m, src[:0]); err != nil {
 			return scalarMorselOut{err: err}
 		}
@@ -431,6 +441,7 @@ func (ex *executor) buildSortRunSink(s *logical.Sort) (BatchIterator, bool, erro
 	if err != nil {
 		return nil, true, err
 	}
+	ex.configureChainSkip(cs)
 	ex.metrics.addFusedPipelines(1)
 	morsels := buildMorsels(parts, morselTarget(parts, ex.opts.BatchSize, ex.opts.Parallelism))
 	if len(morsels) <= 1 {
@@ -683,6 +694,7 @@ type sortRunIter struct {
 	m         *Metrics
 	pool      *workerPool
 	share     *scanshare.Scan
+	ctrl      *skipController
 	tracker   *memctl.Tracker
 	wstages   [][]pipeStage
 	wstates   []*sortWorkerState
@@ -717,10 +729,11 @@ func newSortRunIter(ex *executor, s *logical.Sort, cs *chainSpec, morsels []mors
 	if err != nil {
 		return nil, err
 	}
+	ctrl, _ := ex.lookupScanCtrl(cs.scan)
 	return &sortRunIter{
 		run: run, morsels: morsels, cols: cs.scan.ColNames,
 		batchSize: ex.opts.BatchSize, width: width, keys: s.Keys, evs: evs,
-		m: ex.metrics, pool: ex.pool, share: share, tracker: ex.tracker,
+		m: ex.metrics, pool: ex.pool, share: share, ctrl: ctrl, tracker: ex.tracker,
 		wstages: wstages, wstates: wstates, sink: sink,
 	}, nil
 }
@@ -744,6 +757,12 @@ func (it *sortRunIter) work(w, i int) error {
 		}
 	}
 	for _, p := range it.morsels[i].parts {
+		if it.ctrl.shouldPrune(p) {
+			// The sink drains totally, so the as-if-scanned recharge can
+			// happen worker-side like every other charge here.
+			it.ctrl.recharge(int64(p.NumRows))
+			continue
+		}
 		if src, err = partitionBatches(p, it.cols, it.batchSize, it.share, it.run.stop, it.m, src[:0]); err != nil {
 			it.pool.release()
 			return err

@@ -97,6 +97,13 @@ func absorb(parent, priv *Metrics) {
 	parent.addFusedPipelines(atomic.LoadInt64(&priv.Pipeline.FusedPipelines))
 	parent.addPipelineBatches(atomic.LoadInt64(&priv.Pipeline.PipelineBatches))
 	parent.addMaterializedSaved(atomic.LoadInt64(&priv.Pipeline.MaterializedBatchesSaved))
+	// Skip counters are physical (what actually happened), so a capturing
+	// miss run folds them up; a replay re-charges logical cost only and
+	// correctly reports zero prunes (chargeCost leaves Skip untouched).
+	parent.addChunksPruned(atomic.LoadInt64(&priv.Skip.ChunksPruned))
+	parent.addPartitionsPruned(atomic.LoadInt64(&priv.Skip.PartitionsPruned))
+	parent.addBloomPruned(atomic.LoadInt64(&priv.Skip.BloomPruned))
+	parent.addPrunedBytes(atomic.LoadInt64(&priv.Skip.PrunedBytes))
 }
 
 // costOf extracts an entry's cost metrics from a drained private capture.

@@ -16,6 +16,7 @@ import (
 func (ex *executor) buildFilter(f *logical.Filter) (BatchIterator, error) {
 	if scan, ok := f.Input.(*logical.Scan); ok {
 		if pruner, residual := splitPartitionPrune(scan, f.Cond); pruner != nil {
+			prev := ex.sideCtrls[scan]
 			in, err := ex.buildScan(scan, pruner)
 			if err != nil {
 				return nil, err
@@ -23,12 +24,25 @@ func (ex *executor) buildFilter(f *logical.Filter) (BatchIterator, error) {
 			if residual == nil {
 				return in, nil
 			}
+			// Within surviving partitions the partition column is constant
+			// and the peeled conjuncts hold, so the residual alone decides
+			// survivor sets; pruned rows would have been charged at the scan
+			// emit and the filter input (factor 2).
+			ex.configureScanSkip(scan, prev, expr.Conjuncts(residual), 2)
 			return ex.newFilterIter(in, residual, layoutOf(scan))
 		}
+	}
+	var prev *scanCtrlReg
+	scan, isScan := f.Input.(*logical.Scan)
+	if isScan {
+		prev = ex.sideCtrls[scan]
 	}
 	in, err := ex.build(f.Input)
 	if err != nil {
 		return nil, err
+	}
+	if isScan {
+		ex.configureScanSkip(scan, prev, expr.Conjuncts(f.Cond), 2)
 	}
 	return ex.newFilterIter(in, f.Cond, layoutOf(f.Input))
 }
@@ -112,6 +126,11 @@ func (ex *executor) scanSource(s *logical.Scan, prune storage.Pruner) ([]*storag
 	if ex.share != nil {
 		share = ex.share.Open(s.Table.Name, parts, s.ColNames, &ex.metrics.Share)
 	}
+	if !ex.opts.NoSkip {
+		// Register a skip controller for this leaf; the filter, chain
+		// compiler, or a hash join above will configure it with predicates.
+		ex.registerScanCtrl(s, &skipController{m: ex.metrics, cols: s.ColNames, rcDepth: ex.rcDepth})
+	}
 	return parts, share, nil
 }
 
@@ -120,11 +139,13 @@ func (ex *executor) buildScan(s *logical.Scan, prune storage.Pruner) (BatchItera
 	if err != nil {
 		return nil, err
 	}
+	ctrl, _ := ex.lookupScanCtrl(s)
 	if ex.opts.Parallelism > 1 {
 		morsels := buildMorsels(parts, morselTarget(parts, ex.opts.BatchSize, ex.opts.Parallelism))
 		if len(morsels) > 1 {
 			it := newParallelScan(s.ColNames, morsels, ex.opts.BatchSize, ex.opts.Parallelism, ex.metrics, ex.pool)
 			it.share = share
+			it.ctrl = ctrl
 			ex.closers = append(ex.closers, it.close)
 			if share != nil {
 				ex.closers = append(ex.closers, share.Close)
@@ -135,7 +156,7 @@ func (ex *executor) buildScan(s *logical.Scan, prune storage.Pruner) (BatchItera
 	if share != nil {
 		ex.closers = append(ex.closers, share.Close)
 	}
-	return &scanIter{cols: s.ColNames, parts: parts, batchSize: ex.opts.BatchSize, m: ex.metrics, share: share}, nil
+	return &scanIter{cols: s.ColNames, parts: parts, batchSize: ex.opts.BatchSize, m: ex.metrics, share: share, ctrl: ctrl}, nil
 }
 
 // decodePartition is the single decode entry point for both scan leaves:
@@ -165,6 +186,7 @@ type scanIter struct {
 	batchSize int
 	m         *Metrics
 	share     *scanshare.Scan
+	ctrl      *skipController
 
 	part    int
 	decoded [][]types.Value
@@ -179,6 +201,14 @@ func (it *scanIter) NextBatch() (*vec.Batch, error) {
 				return nil, nil
 			}
 			p := it.parts[it.part]
+			if it.ctrl.shouldPrune(p) {
+				// The serial scan runs in its consumer's pull, so recharging
+				// here lands at exactly the stream position the partition's
+				// batches would have occupied — LIMIT truncation included.
+				it.ctrl.recharge(int64(p.NumRows))
+				it.part++
+				continue
+			}
 			d, err := decodePartition(p, it.cols, it.share, nil, it.m)
 			if err != nil {
 				return nil, err

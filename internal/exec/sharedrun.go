@@ -47,9 +47,17 @@ func RunShared(plan logical.Operator, store *storage.Store, opts Options, subs [
 			masks[i] = s.Comp
 		}
 	}
-	fam, err := newMaskFamily(masks, layoutOf(plan))
+	spec := newMaskFamilySpec(masks, layoutOf(plan))
+	fam, err := spec.instantiate()
 	if err != nil {
 		return nil, nil, err
+	}
+	if !opts.NoSkip && len(spec.prefixExprs) > 0 {
+		// The factoring's shared prefix is the predicate intersection every
+		// batched client agrees on — exactly the ISSUE's "prune once on
+		// behalf of the whole batch" opportunity. Stage it for the plan's
+		// scan leaf before building.
+		ex.feedPrefixSkip(plan, spec.prefixExprs)
 	}
 
 	it, err := ex.build(plan)

@@ -70,6 +70,11 @@ type Cache struct {
 	bytes   int64
 	clock   float64
 	entries map[string]*cacheEntry
+	// obsBytes/obsRows accumulate the scanned bytes and rows of every
+	// offered sub-plan, whatever the admission verdict — the observed
+	// decode cost profile the adaptive admission floor is derived from.
+	obsBytes int64
+	obsRows  int64
 }
 
 // New creates a cache bounded to capBytes of accounted result bytes.
@@ -159,11 +164,37 @@ func density(cost CostMetrics, bytes int64) float64 {
 	return float64(cost.cost()) / float64(bytes)
 }
 
-// admissionDensity is the minimum cost-per-byte an entry must have earned:
-// results cheaper than one logical row per 8 result bytes (bulk identity
-// scans) are not worth caching, selective filters and aggregations clear it
-// easily.
-const admissionDensity = 1.0 / 8
+// admissionFloorLocked is the minimum cost-per-byte an entry must have
+// earned to be worth caching. The break-even entry is a bulk identity scan:
+// it touches one logical row per stored row and re-emits every byte, so its
+// density is 1/(bytes per row). Rather than hard-coding the 8-byte rows
+// that ratio once assumed, the floor divides by the workload's OBSERVED
+// scanned-bytes-per-scanned-row (accumulated over every offer, admitted or
+// not): wide-row workloads, whose identity scans are naturally low-density,
+// lower the bar proportionally, and narrow-row workloads raise it. Clamped
+// to [2, 256] bytes/row so a degenerate observation window cannot open the
+// cache to everything or close it entirely; until both counters have real
+// observations the floor is the historical 1/8.
+func (c *Cache) admissionFloorLocked() float64 {
+	bpr := int64(8)
+	if c.obsRows > 0 && c.obsBytes > 0 {
+		bpr = c.obsBytes / c.obsRows
+	}
+	if bpr < 2 {
+		bpr = 2
+	}
+	if bpr > 256 {
+		bpr = 256
+	}
+	return 1.0 / float64(bpr)
+}
+
+// AdmissionFloor reports the current adaptive admission density floor.
+func (c *Cache) AdmissionFloor() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.admissionFloorLocked()
+}
 
 // Offer proposes a computed result for admission. rows must be immutable
 // from here on. bytes is the caller-accounted result size. It returns
@@ -176,7 +207,14 @@ func (tx *Tx) Offer(rows [][]types.Value, bytes int64, cost CostMetrics) (admitt
 	if bytes > c.MaxEntryBytes() {
 		return false, 0
 	}
-	if density(cost, bytes) < admissionDensity {
+	// Observe this sub-plan's decode cost BEFORE deciding, so the floor
+	// reflects the workload being offered, not just what was admitted.
+	c.mu.Lock()
+	c.obsBytes += cost.BytesScanned
+	c.obsRows += cost.RowsScanned
+	floor := c.admissionFloorLocked()
+	c.mu.Unlock()
+	if density(cost, bytes) < floor {
 		return false, 0
 	}
 	// Snapshot validation: if the partition set changed since Begin, the

@@ -70,7 +70,7 @@ func (c *ColumnChunk) DecodeAll(dst []types.Value) []types.Value {
 		copy(grown, dst)
 		dst = grown
 	}
-	r := ChunkReader{kind: c.Kind, data: transform(c.Data)}
+	r := ChunkReader{kind: c.Kind, data: transform(c.Data[payloadStart(c.Data):])}
 	for i := 0; i < c.Count; i++ {
 		dst = append(dst, r.Next())
 	}
@@ -85,9 +85,10 @@ type ChunkReader struct {
 }
 
 // NewReader reverses the storage transform (the simulated decompression
-// pass) and positions a reader at the chunk's first value.
+// pass) and positions a reader at the chunk's first value, past any
+// statistics header.
 func (c *ColumnChunk) NewReader() ChunkReader {
-	return ChunkReader{kind: c.Kind, data: transform(c.Data)}
+	return ChunkReader{kind: c.Kind, data: transform(c.Data[payloadStart(c.Data):])}
 }
 
 // Next decodes the next value; calling past the end panics (chunk row

@@ -1,0 +1,143 @@
+package storage
+
+import (
+	"encoding/binary"
+
+	"repro/internal/types"
+)
+
+// Chunk format versioning.
+//
+// The legacy (v0) chunk layout is the transformed value stream alone. Its
+// first byte is always a transformed null flag — 0x5a or 0x5b — so any
+// other leading byte can serve as a format marker. v1 chunks prepend an
+// UNtransformed statistics header:
+//
+//	[chunkMagic][chunkStatsV1][uvarint len(stats)][stats][transformed payload]
+//	stats = [uvarint nullCount][flags][min][max]
+//
+// where flags bit0 says min/max are present (appendValue-encoded) and bit1
+// says the chunk holds at least one NaN (excluded from the bounds, because
+// types.Compare cannot order it). The payload is byte-identical to the v0
+// encoding and is transformed independently from offset 0, so decode cost
+// and the Bytes accounting (payload length only — statistics ride free,
+// like a Parquet footer) are unchanged from pre-stats stores. Readers that
+// see neither magic nor a known version fall back to v0: statistics come
+// back nil and pruning degrades to a no-op.
+const (
+	chunkMagic   = 0xC7
+	chunkStatsV1 = 0x01
+
+	statsFlagBounds = 1 << 0
+	statsFlagNaN    = 1 << 1
+)
+
+// ChunkStats is the zone map of one column chunk: the null count and, when
+// at least one orderable non-NULL value exists, inclusive min/max bounds.
+// NaN values are counted via HasNaN instead of the bounds. Bounds cover
+// every non-NULL, non-NaN value, so a predicate provably false over
+// [Min, Max] (and false/NULL for NULLs and NaNs) has an empty survivor set.
+type ChunkStats struct {
+	NullCount int
+	HasBounds bool
+	HasNaN    bool
+	Min, Max  types.Value
+}
+
+// observe folds one value into the statistics at encode time.
+func (st *ChunkStats) observe(v types.Value) {
+	if v.Null {
+		st.NullCount++
+		return
+	}
+	if v.Kind == types.KindFloat64 && v.F != v.F {
+		st.HasNaN = true
+		return
+	}
+	if !st.HasBounds {
+		st.Min, st.Max, st.HasBounds = v, v, true
+		return
+	}
+	if types.Compare(v, st.Min) < 0 {
+		st.Min = v
+	}
+	if types.Compare(v, st.Max) > 0 {
+		st.Max = v
+	}
+}
+
+// encodeChunkData assembles the stored v1 byte layout from computed stats
+// and the raw (untransformed) value payload.
+func encodeChunkData(st *ChunkStats, payload []byte) []byte {
+	blk := binary.AppendUvarint(nil, uint64(st.NullCount))
+	var flags byte
+	if st.HasBounds {
+		flags |= statsFlagBounds
+	}
+	if st.HasNaN {
+		flags |= statsFlagNaN
+	}
+	blk = append(blk, flags)
+	if st.HasBounds {
+		blk = appendValue(blk, st.Min)
+		blk = appendValue(blk, st.Max)
+	}
+	out := make([]byte, 0, 2+binary.MaxVarintLen32+len(blk)+len(payload))
+	out = append(out, chunkMagic, chunkStatsV1)
+	out = binary.AppendUvarint(out, uint64(len(blk)))
+	out = append(out, blk...)
+	out = append(out, transform(payload)...)
+	return out
+}
+
+// payloadStart returns the offset of the transformed value payload within
+// the stored chunk bytes: past the stats header for v1 chunks, 0 for
+// legacy ones.
+func payloadStart(data []byte) int {
+	if len(data) < 3 || data[0] != chunkMagic || data[1] != chunkStatsV1 {
+		return 0
+	}
+	n, k := binary.Uvarint(data[2:])
+	if k <= 0 {
+		return 0
+	}
+	return 2 + k + int(n)
+}
+
+// parseStats decodes the statistics header, returning nil for legacy or
+// malformed chunks. It never mutates the chunk, so concurrent callers are
+// safe.
+func parseStats(data []byte, kind types.Kind) *ChunkStats {
+	if len(data) < 3 || data[0] != chunkMagic || data[1] != chunkStatsV1 {
+		return nil
+	}
+	n, k := binary.Uvarint(data[2:])
+	if k <= 0 || 2+k+int(n) > len(data) {
+		return nil
+	}
+	blk := data[2+k : 2+k+int(n)]
+	nulls, k2 := binary.Uvarint(blk)
+	if k2 <= 0 || k2 >= len(blk) {
+		return nil
+	}
+	flags := blk[k2]
+	st := &ChunkStats{NullCount: int(nulls), HasNaN: flags&statsFlagNaN != 0}
+	if flags&statsFlagBounds != 0 {
+		r := ChunkReader{kind: kind, data: blk[k2+1:]}
+		st.HasBounds = true
+		st.Min = r.Next()
+		st.Max = r.Next()
+	}
+	return st
+}
+
+// Stats returns the chunk's zone map, or nil when the chunk predates the
+// statistics format (pruning then degrades to reading the chunk). Chunks
+// built by this store version carry a pre-parsed copy; for bytes received
+// from elsewhere the header is re-parsed read-only on each call.
+func (c *ColumnChunk) Stats() *ChunkStats {
+	if c.stats != nil {
+		return c.stats
+	}
+	return parseStats(c.Data, c.Kind)
+}

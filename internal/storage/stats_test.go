@@ -1,0 +1,157 @@
+package storage
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// TestChunkStatsRoundTrip verifies the v1 chunk layout end to end: stats
+// computed at Load time survive the encode, a cold re-parse of the stored
+// bytes reproduces them, and the payload decodes to the original values.
+func TestChunkStatsRoundTrip(t *testing.T) {
+	st := NewStore(testCatalog())
+	rows := [][]types.Value{
+		{types.Int(7), types.String("bb"), types.Int(0)},
+		{types.Int(-3), types.NullOf(types.KindString), types.Int(0)},
+		{types.Int(12), types.String("aa"), types.Int(0)},
+	}
+	if err := st.Load("t", rows); err != nil {
+		t.Fatal(err)
+	}
+	p := st.Data("t").Partitions[0]
+
+	a := p.Chunk("a")
+	stats := a.Stats()
+	if stats == nil {
+		t.Fatal("v1 chunk returned nil stats")
+	}
+	if stats.NullCount != 0 || !stats.HasBounds || stats.HasNaN {
+		t.Fatalf("int stats = %+v", stats)
+	}
+	if stats.Min.I != -3 || stats.Max.I != 12 {
+		t.Fatalf("int bounds = [%d, %d], want [-3, 12]", stats.Min.I, stats.Max.I)
+	}
+
+	b := p.Chunk("b")
+	bs := b.Stats()
+	if bs == nil || bs.NullCount != 1 || !bs.HasBounds {
+		t.Fatalf("string stats = %+v", bs)
+	}
+	if bs.Min.S != "aa" || bs.Max.S != "bb" {
+		t.Fatalf("string bounds = [%q, %q]", bs.Min.S, bs.Max.S)
+	}
+
+	// Cold parse: a chunk carrying only the stored bytes (as if received
+	// from elsewhere) must re-derive identical stats from the header.
+	cold := &ColumnChunk{Kind: a.Kind, Count: a.Count, Bytes: a.Bytes, Data: a.Data}
+	cs := cold.Stats()
+	if cs == nil || cs.NullCount != stats.NullCount || cs.Min.I != stats.Min.I || cs.Max.I != stats.Max.I {
+		t.Fatalf("cold re-parse = %+v, want %+v", cs, stats)
+	}
+
+	got := a.DecodeAll(nil)
+	want := []int64{7, -3, 12}
+	for i, v := range got {
+		if v.Null || v.I != want[i] {
+			t.Fatalf("decode[%d] = %+v, want %d", i, v, want[i])
+		}
+	}
+	// Bytes accounts the payload only: the stats header rides free.
+	if a.Bytes >= int64(len(a.Data)) {
+		t.Fatalf("Bytes = %d covers the stats header (len(Data) = %d)", a.Bytes, len(a.Data))
+	}
+}
+
+// TestLegacyStatslessChunkDecodes builds a pre-stats (v0) chunk — the
+// transformed value stream with no header — and verifies both readers
+// decode it unchanged while Stats degrades to nil (pruning then reads the
+// chunk; it never guesses).
+func TestLegacyStatslessChunkDecodes(t *testing.T) {
+	vals := []types.Value{types.Int(5), types.NullOf(types.KindInt64), types.Int(-9)}
+	var payload []byte
+	for _, v := range vals {
+		payload = appendValue(payload, v)
+	}
+	legacy := &ColumnChunk{Kind: types.KindInt64, Count: len(vals),
+		Bytes: int64(len(payload)), Data: transform(payload)}
+	if legacy.Stats() != nil {
+		t.Fatal("legacy chunk reported stats")
+	}
+	got := legacy.DecodeAll(nil)
+	for i, v := range got {
+		if v.Null != vals[i].Null || v.I != vals[i].I {
+			t.Fatalf("legacy decode[%d] = %+v, want %+v", i, v, vals[i])
+		}
+	}
+	r := legacy.NewReader()
+	for i := range vals {
+		if v := r.Next(); v.Null != vals[i].Null || v.I != vals[i].I {
+			t.Fatalf("legacy reader[%d] = %+v", i, v)
+		}
+	}
+}
+
+// TestChunkStatsFloatEdges pins the float-bound policy: NaN never enters
+// the bounds (types.Compare cannot order it) but sets HasNaN; -0 and +0
+// compare equal so either may serve as a bound; an all-NULL chunk has no
+// bounds at all.
+func TestChunkStatsFloatEdges(t *testing.T) {
+	st := NewStore(testCatalog())
+	rows := [][]types.Value{
+		{types.Float(math.NaN())},
+		{types.Float(math.Copysign(0, -1))},
+		{types.Float(2.5)},
+		{types.NullOf(types.KindFloat64)},
+	}
+	if err := st.Load("u", rows); err != nil {
+		t.Fatal(err)
+	}
+	c := st.Data("u").Partitions[0].Chunk("x")
+	stats := c.Stats()
+	if stats == nil {
+		t.Fatal("nil stats")
+	}
+	if !stats.HasNaN || stats.NullCount != 1 || !stats.HasBounds {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Min.F != 0 || stats.Max.F != 2.5 {
+		t.Fatalf("bounds = [%v, %v], want [-0, 2.5]", stats.Min.F, stats.Max.F)
+	}
+	if math.IsNaN(stats.Min.F) || math.IsNaN(stats.Max.F) {
+		t.Fatal("NaN leaked into bounds")
+	}
+
+	st2 := NewStore(testCatalog())
+	if err := st2.Load("u", [][]types.Value{{types.NullOf(types.KindFloat64)}, {types.NullOf(types.KindFloat64)}}); err != nil {
+		t.Fatal(err)
+	}
+	c2 := st2.Data("u").Partitions[0].Chunk("x")
+	s2 := c2.Stats()
+	if s2 == nil || s2.HasBounds || s2.HasNaN || s2.NullCount != 2 {
+		t.Fatalf("all-NULL stats = %+v", s2)
+	}
+}
+
+// TestParseStatsRejectsMalformedHeaders feeds truncated and corrupt headers
+// and expects nil (legacy fallback), never a panic or a bogus zone map.
+func TestParseStatsRejectsMalformedHeaders(t *testing.T) {
+	good := encodeChunkData(&ChunkStats{HasBounds: true, Min: types.Int(1), Max: types.Int(2)}, appendValue(nil, types.Int(1)))
+	cases := [][]byte{
+		nil,
+		{chunkMagic},
+		{chunkMagic, chunkStatsV1},
+		{chunkMagic, 0x7F, 0x00},         // unknown version
+		{chunkMagic, chunkStatsV1, 0xFF}, // unterminated uvarint length
+		good[:4],                         // truncated mid-header
+	}
+	for i, data := range cases {
+		if st := parseStats(data, types.KindInt64); st != nil {
+			t.Fatalf("case %d: malformed header parsed to %+v", i, st)
+		}
+	}
+	if st := parseStats(good, types.KindInt64); st == nil || st.Min.I != 1 || st.Max.I != 2 {
+		t.Fatalf("well-formed header rejected: %+v", st)
+	}
+}

@@ -20,13 +20,19 @@ import (
 )
 
 // ColumnChunk is the encoded values of one column within one partition.
-// Bytes is the exact encoded size, which is what the bytes-scanned metric
+// Bytes is the exact encoded size of the value payload — excluding the
+// optional statistics header — which is what the bytes-scanned metric
 // charges when the chunk is read.
 type ColumnChunk struct {
 	Kind  types.Kind
 	Count int
 	Data  []byte
 	Bytes int64
+
+	// stats is the pre-parsed zone map for chunks encoded by this store
+	// version; chunks built from raw bytes leave it nil and Stats()
+	// re-parses the header on demand.
+	stats *ChunkStats
 }
 
 // Partition is a horizontal slice of a table sharing one partition-column
@@ -251,11 +257,19 @@ func (s *Store) buildPartitions(tab *catalog.Table, rows [][]types.Value) []*Par
 		}
 		for ci, col := range tab.Columns {
 			chunk := &ColumnChunk{Kind: col.Type, Count: len(idxs)}
+			st := &ChunkStats{}
+			var payload []byte
 			for _, ri := range idxs {
-				chunk.Data = appendValue(chunk.Data, rows[ri][ci])
+				v := rows[ri][ci]
+				st.observe(v)
+				payload = appendValue(payload, v)
 			}
-			chunk.Data = transform(chunk.Data) // stored transformed; reads pay the reverse pass
-			chunk.Bytes = int64(len(chunk.Data))
+			// Stored transformed behind the versioned stats header; reads pay
+			// the reverse pass over the payload only. Bytes stays the payload
+			// length, so scan accounting is unchanged by the header.
+			chunk.Data = encodeChunkData(st, payload)
+			chunk.Bytes = int64(len(payload))
+			chunk.stats = st
 			p.chunks[col.Name] = chunk
 		}
 		parts = append(parts, p)
